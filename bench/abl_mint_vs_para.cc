@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Ablation (footnote 6): why MoPAC-D must use MINT window sampling
+ * rather than PARA coin flips for SRQ insertion.
+ *
+ * With PARA, after the SRQ fills and the ABO window opens, the
+ * attacker's next activations can be guaranteed-unsampled runs; MINT
+ * bounds the gap between selections to strictly less than two
+ * windows.  This bench hammers both variants with the SRQ-fill
+ * pattern and reports the worst unmitigated exposure and the
+ * realized selection-gap tail.
+ */
+
+#include <algorithm>
+#include <iostream>
+
+#include "bench_util.hh"
+#include "mitigation/mint_sampler.hh"
+#include "sim/attack.hh"
+
+namespace
+{
+
+using namespace mopac;
+
+AttackResult
+hammer(MopacDEngine::SamplerKind sampler, std::uint64_t seed)
+{
+    SystemConfig cfg = makeConfig(MitigationKind::kMopacD, 500);
+    cfg.sampler = sampler;
+    cfg.seed = seed;
+    AttackRunner runner(cfg);
+    AttackPattern p = makeManySidedAttack(
+        runner.system().addressMap(), 0, 0, 48, 3000);
+    return runner.run(p, nsToCycles(2.0e6), 8);
+}
+
+/** Largest gap between consecutive selections over n draws. */
+unsigned
+maxGap(bool mint, unsigned window, unsigned n, std::uint64_t seed)
+{
+    Rng rng(seed);
+    MintSampler sampler(window, Rng(seed ^ 0x5555));
+    unsigned gap = 0;
+    unsigned max_gap = 0;
+    for (unsigned i = 0; i < n; ++i) {
+        bool selected;
+        if (mint) {
+            selected = sampler.step(i).at_selection;
+        } else {
+            selected = rng.below(window) == 0; // PARA coin
+        }
+        ++gap;
+        if (selected) {
+            max_gap = std::max(max_gap, gap);
+            gap = 0;
+        }
+    }
+    return max_gap;
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace mopac;
+
+    TextTable table("Ablation: MINT vs PARA sampling for the SRQ "
+                    "(footnote 6)");
+    table.header({"metric", "MINT", "PARA"});
+
+    const AttackResult mint1 =
+        hammer(MopacDEngine::SamplerKind::kMint, 1);
+    const AttackResult para1 =
+        hammer(MopacDEngine::SamplerKind::kPara, 1);
+    const AttackResult mint2 =
+        hammer(MopacDEngine::SamplerKind::kMint, 2);
+    const AttackResult para2 =
+        hammer(MopacDEngine::SamplerKind::kPara, 2);
+
+    table.row({"max unmitigated ACTs (seed 1)",
+               std::to_string(mint1.max_unmitigated),
+               std::to_string(para1.max_unmitigated)});
+    table.row({"max unmitigated ACTs (seed 2)",
+               std::to_string(mint2.max_unmitigated),
+               std::to_string(para2.max_unmitigated)});
+    table.row({"ALERTs (seed 1)", std::to_string(mint1.alerts),
+               std::to_string(para1.alerts)});
+
+    // Selection-gap tail over 10M activations at p = 1/8.
+    table.row({"max selection gap (1/p = 8, 10M ACTs)",
+               std::to_string(maxGap(true, 8, 10000000, 3)),
+               std::to_string(maxGap(false, 8, 10000000, 3))});
+    table.note("MINT's gap is bounded by 2/p - 1 = 15 by "
+               "construction; PARA's tail is unbounded (observe "
+               "~15x the window), which is exactly the slack an "
+               "attacker exploits around SRQ-full ABOs.");
+    table.print(std::cout);
+    return 0;
+}

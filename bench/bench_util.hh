@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Shared plumbing for the paper-reproduction bench binaries.
+ *
+ * Every binary prints the same rows/series as its paper exhibit.
+ * Simulation horizon defaults to 200K instructions per core
+ * (MOPAC_SIM_SCALE / MOPAC_SIM_INSTS rescale it); EXPERIMENTS.md
+ * records the fidelity implications.
+ */
+
+#ifndef MOPAC_BENCH_BENCH_UTIL_HH
+#define MOPAC_BENCH_BENCH_UTIL_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/mathutil.hh"
+#include "common/table.hh"
+#include "sim/experiment.hh"
+#include "workload/spec.hh"
+
+namespace mopac::bench
+{
+
+/** Default per-core instruction budget for bench runs. */
+inline std::uint64_t
+benchInsts()
+{
+    return defaultInstsPerCore(200000);
+}
+
+/**
+ * Workload subset used by the sensitivity sweeps (Figs 12, 13, 17,
+ * 18, 19; Table 15): a cross-section of streaming, latency-bound,
+ * and hot-row-heavy behaviour.  The headline figures use all 23.
+ */
+inline std::vector<std::string>
+sensitivitySubset()
+{
+    return {"bwaves", "parest", "mcf",      "omnetpp",
+            "xz",     "roms",   "masstree", "add"};
+}
+
+/** Build a bench config for one mitigation/threshold. */
+inline SystemConfig
+benchConfig(MitigationKind kind, std::uint32_t trh)
+{
+    SystemConfig cfg = makeConfig(kind, trh);
+    cfg.insts_per_core = benchInsts();
+    cfg.warmup_insts = cfg.insts_per_core / 10;
+    return cfg;
+}
+
+/**
+ * Runs workloads under test configs and caches the matching baseline
+ * runs, so sweeps that share a baseline do not re-simulate it.
+ */
+class SlowdownLab
+{
+  public:
+    /** @param base_template Baseline config (mitigation forced off). */
+    explicit SlowdownLab(SystemConfig base_template)
+        : base_(std::move(base_template))
+    {
+        base_.mitigation = MitigationKind::kNone;
+    }
+
+    /** Baseline result for @p workload at the template seed. */
+    const RunResult &
+    baseline(const std::string &workload)
+    {
+        return baseline(workload, base_.seed);
+    }
+
+    /**
+     * Slowdown of @p cfg on @p workload vs the cached baseline.
+     *
+     * The STREAM kernels are chaotic (8 identical strided cores
+     * produce phase-sensitive bank conflicts, +/- a few percent per
+     * trajectory), so their slowdowns are averaged over three seeds;
+     * all other workloads use one paired run.
+     */
+    double
+    slowdown(const SystemConfig &cfg, const std::string &workload)
+    {
+        const bool streaming =
+            workload.rfind("mix", 0) != 0 &&
+            findWorkload(workload).streaming;
+        const std::vector<std::uint64_t> seeds =
+            streaming ? std::vector<std::uint64_t>{cfg.seed,
+                                                   cfg.seed + 777,
+                                                   cfg.seed + 1555}
+                      : std::vector<std::uint64_t>{cfg.seed};
+        double sum = 0.0;
+        for (std::uint64_t seed : seeds) {
+            SystemConfig test_cfg = cfg;
+            test_cfg.seed = seed;
+            const RunResult test = runWorkload(test_cfg, workload);
+            sum += weightedSlowdown(baseline(workload, seed), test);
+        }
+        return sum / static_cast<double>(seeds.size());
+    }
+
+    const SystemConfig &baseConfig() const { return base_; }
+
+  private:
+    /** Baseline for a specific seed (cached). */
+    const RunResult &
+    baseline(const std::string &workload, std::uint64_t seed)
+    {
+        const std::string key =
+            workload + "#" + std::to_string(seed);
+        auto it = base_results_.find(key);
+        if (it == base_results_.end()) {
+            SystemConfig cfg = base_;
+            cfg.seed = seed;
+            it = base_results_
+                     .emplace(key, runWorkload(cfg, workload))
+                     .first;
+        }
+        return it->second;
+    }
+
+    SystemConfig base_;
+    std::map<std::string, RunResult> base_results_;
+};
+
+/** Arithmetic mean of per-workload slowdowns (the paper's "average"). */
+inline double
+meanSlowdown(const std::vector<double> &xs)
+{
+    return mean(xs);
+}
+
+} // namespace mopac::bench
+
+#endif // MOPAC_BENCH_BENCH_UTIL_HH

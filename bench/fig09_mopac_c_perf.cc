@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Reproduces Figure 9: per-workload slowdown of PRAC and MoPAC-C at
+ * T_RH 1000 / 500 / 250.  Paper averages: PRAC 10%; MoPAC-C 0.8% /
+ * 1.8% / 3.0%.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+
+int
+main()
+{
+    using namespace mopac;
+    using namespace mopac::bench;
+
+    SlowdownLab lab(benchConfig(MitigationKind::kNone, 500));
+
+    TextTable table(
+        "Figure 9: PRAC vs MoPAC-C slowdown (T_RH 1000/500/250)");
+    table.header({"workload", "PRAC", "MoPAC-C@1000", "MoPAC-C@500",
+                  "MoPAC-C@250"});
+
+    const std::vector<std::uint32_t> trhs = {1000, 500, 250};
+    std::vector<double> prac_series;
+    std::vector<std::vector<double>> mopac_series(trhs.size());
+
+    for (const std::string &name : allWorkloadNames()) {
+        std::vector<std::string> cells{name};
+        const double prac = lab.slowdown(
+            benchConfig(MitigationKind::kPracMoat, 500), name);
+        prac_series.push_back(prac);
+        cells.push_back(TextTable::pct(prac, 1));
+        for (std::size_t i = 0; i < trhs.size(); ++i) {
+            const double s = lab.slowdown(
+                benchConfig(MitigationKind::kMopacC, trhs[i]), name);
+            mopac_series[i].push_back(s);
+            cells.push_back(TextTable::pct(s, 1));
+        }
+        table.row(cells);
+    }
+    table.separator();
+    std::vector<std::string> avg{
+        "average", TextTable::pct(meanSlowdown(prac_series), 1)};
+    for (const auto &series : mopac_series) {
+        avg.push_back(TextTable::pct(meanSlowdown(series), 1));
+    }
+    table.row(avg);
+    table.note("Paper averages: PRAC 10%; MoPAC-C 0.8% / 1.8% / 3.0% "
+               "at T_RH 1000 / 500 / 250 (PRAC shown once; its "
+               "overhead is threshold-independent, Figure 2).");
+    table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Reproduces Figure 12: MoPAC-D slowdown as the drain-on-REF rate is
+ * varied (0 / 1 / 2 / 4 SRQ entries per REF) at T_RH 1000 / 500 /
+ * 250.  Paper averages: 1000: 3.1/0.1/0/0%; 500: 6.2/2.9/0.8/0.1%;
+ * 250: 14.1/10.5/7.4/3.5%.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+
+int
+main()
+{
+    using namespace mopac;
+    using namespace mopac::bench;
+
+    SlowdownLab lab(benchConfig(MitigationKind::kNone, 500));
+    const std::vector<std::string> names = sensitivitySubset();
+
+    TextTable table(
+        "Figure 12: MoPAC-D slowdown vs drain-on-REF rate");
+    table.header({"T_RH", "drain=0", "drain=1", "drain=2", "drain=4",
+                  "paper (0/1/2/4)"});
+    struct Ref
+    {
+        std::uint32_t trh;
+        const char *paper;
+    };
+    for (const Ref &ref :
+         {Ref{1000, "3.1% / 0.1% / 0% / 0%"},
+          Ref{500, "6.2% / 2.9% / 0.8% / 0.1%"},
+          Ref{250, "14.1% / 10.5% / 7.4% / 3.5%"}}) {
+        std::vector<std::string> cells{std::to_string(ref.trh)};
+        for (int drain : {0, 1, 2, 4}) {
+            std::vector<double> series;
+            for (const std::string &name : names) {
+                SystemConfig cfg =
+                    benchConfig(MitigationKind::kMopacD, ref.trh);
+                cfg.drain_per_ref = drain;
+                series.push_back(lab.slowdown(cfg, name));
+            }
+            cells.push_back(TextTable::pct(meanSlowdown(series), 1));
+        }
+        cells.push_back(ref.paper);
+        table.row(cells);
+    }
+    table.note("Averaged over the 8-workload sensitivity subset "
+               "(see bench_util.hh); the paper averages all 23.");
+    table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator itself: host
+ * throughput of the end-to-end system loop, the attack harness, and
+ * the hot analytic kernels.  Not a paper exhibit -- this guards the
+ * simulator's own performance.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "analysis/binomial.hh"
+#include "analysis/security.hh"
+#include "mitigation/mint_sampler.hh"
+#include "sim/attack.hh"
+#include "sim/experiment.hh"
+
+namespace
+{
+
+using namespace mopac;
+
+void
+BM_SystemRun(benchmark::State &state)
+{
+    const auto kind = static_cast<MitigationKind>(state.range(0));
+    std::uint64_t insts = 0;
+    for (auto _ : state) {
+        SystemConfig cfg = makeConfig(kind, 500);
+        cfg.insts_per_core = 20000;
+        cfg.warmup_insts = 2000;
+        const RunResult r = runWorkload(cfg, "mcf");
+        benchmark::DoNotOptimize(r.acts);
+        insts += (cfg.insts_per_core + cfg.warmup_insts) *
+                 cfg.num_cores;
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(insts));
+    state.SetLabel("items = simulated instructions");
+}
+BENCHMARK(BM_SystemRun)
+    ->Arg(static_cast<int>(MitigationKind::kNone))
+    ->Arg(static_cast<int>(MitigationKind::kPracMoat))
+    ->Arg(static_cast<int>(MitigationKind::kMopacC))
+    ->Arg(static_cast<int>(MitigationKind::kMopacD))
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_AttackRun(benchmark::State &state)
+{
+    std::uint64_t acts = 0;
+    for (auto _ : state) {
+        SystemConfig cfg = makeConfig(MitigationKind::kMopacD, 500);
+        AttackRunner runner(cfg);
+        AttackPattern p = makeMultiBankAttack(
+            runner.system().addressMap(), 64, 1000);
+        const AttackResult res =
+            runner.run(p, nsToCycles(100000.0), 8);
+        benchmark::DoNotOptimize(res.acts);
+        acts += res.acts;
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(acts));
+    state.SetLabel("items = simulated ACTs");
+}
+BENCHMARK(BM_AttackRun)->Unit(benchmark::kMillisecond);
+
+void
+BM_MintSampler(benchmark::State &state)
+{
+    MintSampler sampler(8, Rng(1));
+    std::uint32_t row = 0;
+    std::uint64_t selections = 0;
+    for (auto _ : state) {
+        const auto res = sampler.step(row++);
+        selections += res.at_selection ? 1 : 0;
+    }
+    benchmark::DoNotOptimize(selections);
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_MintSampler);
+
+void
+BM_BinomialTail(benchmark::State &state)
+{
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(binomialCdfBelow(472, 23, 0.125));
+    }
+}
+BENCHMARK(BM_BinomialTail);
+
+void
+BM_DeriveParameters(benchmark::State &state)
+{
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(deriveMopacD(500).ath_star);
+        benchmark::DoNotOptimize(
+            deriveMopacD(500, 32, false, true).ath_star);
+    }
+}
+BENCHMARK(BM_DeriveParameters);
+
+} // namespace
+
+BENCHMARK_MAIN();

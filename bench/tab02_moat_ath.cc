@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Reproduces Table 2: the MOAT ALERT threshold (ATH) for T_RH of
+ * 1000 / 500 / 250 (paper §2.6), plus the interpolated values used
+ * for Figure 1(d)'s higher thresholds.
+ */
+
+#include <iostream>
+
+#include "analysis/moat_model.hh"
+#include "common/table.hh"
+
+int
+main()
+{
+    using namespace mopac;
+
+    TextTable table("Table 2: The ALERT Threshold (ATH) of MOAT");
+    table.header({"Rowhammer Threshold (T_RH)", "ATH (paper)",
+                  "ATH (this repo)", "slippage"});
+    struct Row
+    {
+        std::uint32_t trh;
+        const char *paper;
+    };
+    for (const Row &row : {Row{1000, "975"}, Row{500, "472"},
+                           Row{250, "219"}}) {
+        table.row({std::to_string(row.trh), row.paper,
+                   std::to_string(moatAth(row.trh)),
+                   std::to_string(moatSlippage(row.trh))});
+    }
+    table.separator();
+    for (std::uint32_t trh : {4000u, 2000u, 125u}) {
+        table.row({std::to_string(trh), "-",
+                   std::to_string(moatAth(trh)),
+                   std::to_string(moatSlippage(trh))});
+    }
+    table.note("Rows below the rule are the fitted-curve extensions "
+               "used by Figure 1(d); the paper publishes only the "
+               "first three.");
+    table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Reproduces Table 10: throughput loss of MoPAC-D under the three
+ * performance attacks of §7.4 -- mitigation attack (multi-bank),
+ * SRQ-fill attack (many unique rows in one bank), and tardiness
+ * attack -- closed forms plus simulated cross-checks.
+ */
+
+#include <iostream>
+
+#include "analysis/perf_attack.hh"
+#include "analysis/security.hh"
+#include "common/table.hh"
+#include "sim/attack.hh"
+
+namespace
+{
+
+using namespace mopac;
+
+double
+throughput(const SystemConfig &cfg, bool srq_fill)
+{
+    AttackRunner runner(cfg);
+    AttackPattern p =
+        srq_fill ? makeManySidedAttack(runner.system().addressMap(),
+                                       0, 0, 48, 3000)
+                 : makeMultiBankAttack(runner.system().addressMap(),
+                                       64, 1000);
+    return runner.run(p, nsToCycles(1.0e6), 8).acts_per_us;
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace mopac;
+
+    const double base_multi =
+        throughput(makeConfig(MitigationKind::kNone, 500), false);
+    const double base_fill =
+        throughput(makeConfig(MitigationKind::kNone, 500), true);
+
+    TextTable table("Table 10: Impact of performance attacks on "
+                    "MoPAC-D");
+    table.header({"T_RH", "ATH+", "Mitig-Attack", "SRQ-Attack",
+                  "TTH-Attack", "Mitig (sim)", "SRQ (sim)",
+                  "paper (mitig/srq/tth)"});
+    struct Ref
+    {
+        std::uint32_t trh;
+        const char *paper;
+    };
+    for (const Ref &ref : {Ref{250, "16.6% / 25.9% / 17.9%"},
+                           Ref{500, "7.4% / 14.9% / 17.9%"},
+                           Ref{1000, "3.5% / 8.1% / 17.9%"}}) {
+        const MopacDDerived d = deriveMopacD(ref.trh);
+        const std::uint32_t ath_plus =
+            (d.c + 1) * (1u << d.log2_inv_p);
+        SystemConfig cfg = makeConfig(MitigationKind::kMopacD,
+                                      ref.trh);
+        const double sim_mitig =
+            1.0 - throughput(cfg, false) / base_multi;
+        const double sim_fill =
+            1.0 - throughput(cfg, true) / base_fill;
+        table.row({std::to_string(ref.trh),
+                   std::to_string(ath_plus),
+                   TextTable::pct(
+                       mitigationAttackSlowdown(ath_plus, 0.55), 1),
+                   TextTable::pct(srqAttackSlowdown(d.p), 1),
+                   TextTable::pct(tthAttackSlowdown(d.tth), 1),
+                   TextTable::pct(sim_mitig, 1),
+                   TextTable::pct(sim_fill, 1), ref.paper});
+    }
+    table.note("Model columns follow §7: ABO every alpha*ATH+ "
+               "(alpha = 0.55), every 5/p, and every TTH = 32 "
+               "activations, with a 7-ACT stall per ABO.");
+    table.note("All attacks stay within ~26%, far below the 2-3x of "
+               "classic row-buffer-conflict attacks (the paper's "
+               "DoS conclusion).");
+    table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Reproduces Table 15 (Appendix C): slowdowns of PRAC and MoPAC-D
+ * under proactive row-closure policies -- open-page, close-page, and
+ * timeout closure at tON = 100 / 200 ns.  Paper: PRAC 10% / 7.1% /
+ * 7.5% / 8.2%; MoPAC-D@500 0.8% / 1.3% / 1.0% / 0.9%.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+
+namespace
+{
+
+using namespace mopac;
+using namespace mopac::bench;
+
+void
+applyPolicy(SystemConfig &cfg, int policy_idx)
+{
+    switch (policy_idx) {
+      case 0:
+        cfg.mc.page_policy = PagePolicy::kOpen;
+        break;
+      case 1:
+        cfg.mc.page_policy = PagePolicy::kClose;
+        break;
+      case 2:
+        cfg.mc.page_policy = PagePolicy::kTimeout;
+        cfg.mc.timeout_ton = nsToCycles(100.0);
+        break;
+      default:
+        cfg.mc.page_policy = PagePolicy::kTimeout;
+        cfg.mc.timeout_ton = nsToCycles(200.0);
+        break;
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    const std::vector<std::string> names = sensitivitySubset();
+    const char *policy_names[4] = {"Open-Page", "Close-Page",
+                                   "tON = 100ns", "tON = 200ns"};
+    const char *paper[4] = {
+        "10% | 0.1% 0.8% 3.5%", "7.1% | 0.4% 1.3% 4.9%",
+        "7.5% | 0.5% 1.0% 4.2%", "8.2% | 0.3% 0.9% 3.8%"};
+
+    TextTable table("Table 15: slowdowns with proactive row closure");
+    table.header({"policy", "PRAC", "MoPAC-D@1000", "MoPAC-D@500",
+                  "MoPAC-D@250", "paper (PRAC | D@1K,500,250)"});
+
+    for (int policy = 0; policy < 4; ++policy) {
+        // Baselines are policy-matched: the paper compares each
+        // configuration to a baseline with the same closure policy.
+        SystemConfig base = benchConfig(MitigationKind::kNone, 500);
+        applyPolicy(base, policy);
+        SlowdownLab lab(base);
+
+        std::vector<std::string> cells{policy_names[policy]};
+        {
+            std::vector<double> series;
+            for (const std::string &name : names) {
+                SystemConfig cfg =
+                    benchConfig(MitigationKind::kPracMoat, 500);
+                applyPolicy(cfg, policy);
+                series.push_back(lab.slowdown(cfg, name));
+            }
+            cells.push_back(TextTable::pct(meanSlowdown(series), 1));
+        }
+        for (std::uint32_t trh : {1000u, 500u, 250u}) {
+            std::vector<double> series;
+            for (const std::string &name : names) {
+                SystemConfig cfg =
+                    benchConfig(MitigationKind::kMopacD, trh);
+                applyPolicy(cfg, policy);
+                series.push_back(lab.slowdown(cfg, name));
+            }
+            cells.push_back(TextTable::pct(meanSlowdown(series), 1));
+        }
+        cells.push_back(paper[policy]);
+        table.row(cells);
+    }
+    table.note("Closing rows ahead of conflicts takes PRAC's 36 ns "
+               "precharge off the critical path (10% -> ~7%), at the "
+               "cost of refetching row hits; the paper also notes "
+               "the close-page *baseline* is 1.8% slower than "
+               "open-page.");
+    table.print(std::cout);
+    return 0;
+}

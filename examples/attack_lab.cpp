@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Attack lab: hammer every mitigation with the classic Rowhammer
+ * patterns and watch the ground-truth checker.
+ *
+ * This is the paper's security story as a runnable demo:
+ *  - the unprotected baseline is trivially broken;
+ *  - DDR4-style TRR survives double-sided but falls to many-sided
+ *    (TRRespass) patterns;
+ *  - MINT/PrIDE (one mitigation per REF) cannot hold T_RH = 500;
+ *  - PRAC+MOAT and both MoPAC variants hold everywhere, while MoPAC
+ *    issues an order of magnitude fewer counter updates.
+ *
+ * Usage: attack_lab [trh] [duration_us]
+ */
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/table.hh"
+#include "sim/attack.hh"
+
+namespace
+{
+
+using namespace mopac;
+
+struct PatternSpec
+{
+    const char *name;
+    AttackPattern (*make)(const AddressMap &);
+};
+
+AttackPattern
+doubleSided(const AddressMap &map)
+{
+    return makeDoubleSidedAttack(map, 0, 0, 1000);
+}
+
+AttackPattern
+manySided(const AddressMap &map)
+{
+    return makeManySidedAttack(map, 0, 0, 48, 3000);
+}
+
+AttackPattern
+multiBank(const AddressMap &map)
+{
+    return makeMultiBankAttack(map, 64, 2000);
+}
+
+AttackPattern
+trrEvasion(const AddressMap &map)
+{
+    return makeTrrEvasionAttack(map, 0, 0, 5000);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace mopac;
+
+    const std::uint32_t trh =
+        argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1])) : 500;
+    const double duration_us =
+        argc > 2 ? std::atof(argv[2]) : 4000.0;
+    const Cycle duration = nsToCycles(duration_us * 1000.0);
+
+    const PatternSpec patterns[] = {
+        {"double-sided", doubleSided},
+        {"many-sided(48)", manySided},
+        {"multi-bank(64)", multiBank},
+        {"trr-evasion", trrEvasion},
+    };
+    const MitigationKind kinds[] = {
+        MitigationKind::kNone,  MitigationKind::kTrr,
+        MitigationKind::kMint,  MitigationKind::kPracMoat,
+        MitigationKind::kMopacC, MitigationKind::kMopacD,
+    };
+
+    std::printf("Hammering for %.0f us at T_RH=%u; 'max' is the "
+                "ground-truth worst unmitigated activation count "
+                "(attack succeeds when max > T_RH).\n\n",
+                duration_us, trh);
+
+    TextTable table("Attack lab results");
+    table.header({"mitigation", "pattern", "ACTs", "max", "broken?",
+                  "ALERTs", "mitigations", "counter updates"});
+
+    for (MitigationKind kind : kinds) {
+        for (const PatternSpec &ps : patterns) {
+            SystemConfig cfg = makeConfig(kind, trh);
+            AttackRunner runner(cfg);
+            AttackPattern pattern =
+                ps.make(runner.system().addressMap());
+            const AttackResult res =
+                runner.run(pattern, duration, 8);
+            const EngineStats &es =
+                runner.system().engine(0).engineStats();
+            table.row({toString(kind), ps.name,
+                       std::to_string(res.acts),
+                       std::to_string(res.max_unmitigated),
+                       res.violations > 0 ? "BROKEN" : "holds",
+                       std::to_string(res.alerts),
+                       std::to_string(res.mitigations),
+                       std::to_string(es.counter_updates)});
+        }
+        table.separator();
+    }
+    table.note("TRR holds against double-sided but the trr-evasion "
+               "pattern (TRRespass-style decoy sweeps) walks past its "
+               "frequency table; MINT tolerates only T_RH ~1500 with "
+               "one mitigation per REF (Table 13), so rerun with a "
+               "lower threshold (e.g. 150) to watch it break.");
+    table.note("Compare 'counter updates': MoPAC performs ~p of "
+               "PRAC's update work while holding the same bound.");
+    table.print(std::cout);
+    return 0;
+}

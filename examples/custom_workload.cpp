@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Custom workloads: define your own WorkloadSpec, inspect the trace
+ * it generates through the LLC substrate, and measure how each
+ * mitigation prices it.
+ *
+ * Demonstrates three library layers working together:
+ *   1. workload: a hand-built WorkloadSpec + trace generator;
+ *   2. core:     the standalone LLC model filtering a raw stream;
+ *   3. sim:      a System assembled from explicit per-core traces
+ *                (rather than the named Table-4 workloads).
+ */
+
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "common/table.hh"
+#include "core/cache.hh"
+#include "sim/system.hh"
+#include "workload/synth.hh"
+
+int
+main()
+{
+    using namespace mopac;
+
+    // --- 1. A hand-built workload: a hot-row-heavy key-value store.
+    WorkloadSpec kv;
+    kv.name = "my-kvstore";
+    kv.mpki = 18.0;          // LLC misses per kilo-instruction
+    kv.write_frac = 0.25;    // log writes
+    kv.dep_frac = 0.35;      // pointer chasing through the index
+    kv.burst_len = 2.5;      // short value reads
+    kv.cluster = 1.5;        // modest memory-level parallelism
+    kv.footprint_rows = 4096;
+    kv.hot_rows = 256;       // a skewed hot key set
+    kv.hot_frac = 0.30;
+
+    // --- 2. Peek at the raw stream through an 8 MB / 16-way LLC.
+    //        (The timing path replays post-LLC misses; this shows how
+    //        a pre-LLC stream would filter through the substrate.)
+    Geometry geo;
+    AddressMap map(geo);
+    auto probe = makeTraceSource(kv, map, /*core=*/0, /*cores=*/8, 42);
+    Cache llc(8 * 1024 * 1024, 16);
+    for (int i = 0; i < 50000; ++i) {
+        const TraceRecord rec = probe->next();
+        llc.access(rec.line_addr, rec.is_write);
+    }
+    std::printf("LLC probe over 50K accesses: hit rate %.2f, "
+                "%llu writebacks\n\n",
+                llc.hitRate(),
+                static_cast<unsigned long long>(llc.writebacks()));
+
+    // --- 3. Assemble a System from explicit traces and price the
+    //        mitigations on this custom workload.
+    TextTable table("Mitigation cost on 'my-kvstore' (T_RH 500)");
+    table.header({"mitigation", "mean IPC", "slowdown", "ALERTs",
+                  "counter updates"});
+
+    RunResult baseline;
+    for (MitigationKind kind :
+         {MitigationKind::kNone, MitigationKind::kPracMoat,
+          MitigationKind::kMopacC, MitigationKind::kMopacD}) {
+        SystemConfig cfg = makeConfig(kind, 500);
+        cfg.insts_per_core = 150000;
+        cfg.warmup_insts = 15000;
+
+        std::vector<std::unique_ptr<TraceSource>> owned;
+        std::vector<TraceSource *> traces;
+        Rng seeder(cfg.seed);
+        for (unsigned i = 0; i < cfg.num_cores; ++i) {
+            owned.push_back(makeTraceSource(kv, map, i, cfg.num_cores,
+                                            seeder.next()));
+            traces.push_back(owned.back().get());
+        }
+        System system(cfg, traces);
+        const RunResult r = system.run();
+        if (kind == MitigationKind::kNone) {
+            baseline = r;
+        }
+        table.row({toString(kind), TextTable::fmt(r.meanIpc(), 3),
+                   kind == MitigationKind::kNone
+                       ? "-"
+                       : TextTable::pct(
+                             weightedSlowdown(baseline, r), 1),
+                   std::to_string(r.alerts),
+                   std::to_string(r.counter_updates)});
+    }
+    table.note("The hot key set stresses the trackers the way "
+               "parest/xz stress them in Table 4; MoPAC still prices "
+               "it at a fraction of PRAC's tax.");
+    table.print(std::cout);
+    return 0;
+}

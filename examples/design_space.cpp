@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Design-space explorer: use the security-analysis API to derive a
+ * MoPAC operating point for an arbitrary Rowhammer threshold, and
+ * inspect the trade-offs the paper's §5.4 describes -- update
+ * probability versus ATH* versus DoS exposure.
+ *
+ * Usage: design_space [trh]
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "analysis/moat_model.hh"
+#include "analysis/perf_attack.hh"
+#include "analysis/security.hh"
+#include "common/format.hh"
+#include "common/table.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace mopac;
+
+    const std::uint32_t trh =
+        argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1])) : 500;
+
+    std::printf("Designing MoPAC for T_RH = %u\n", trh);
+    std::printf("  MOAT ATH          : %u (slippage %u)\n",
+                moatAth(trh), moatSlippage(trh));
+    std::printf("  failure budget F  : %.3g\n", failureBudgetF(trh));
+    std::printf("  escape budget eps : %.3g (per side, Eq. 6)\n\n",
+                epsilonFor(trh));
+
+    // Sweep the update probability: smaller p means fewer counter
+    // updates (less latency tax) but a lower ATH* (sampling must be
+    // compensated), which raises the DoS exposure of ABO-based
+    // designs (§5.4: "avoid values of p with low ATH*").
+    TextTable sweep("Update-probability sweep (MoPAC-C style)");
+    sweep.header({"p", "C", "ATH*", "updates per 1000 ACTs",
+                  "mitigation-attack slowdown"});
+    const double eps = epsilonFor(trh);
+    const std::uint32_t ath = moatAth(trh);
+    for (unsigned k = 1; k <= 8; ++k) {
+        const double p = 1.0 / (1u << k);
+        const std::uint32_t c = findCriticalC(ath, p, eps);
+        if (c == 0) {
+            sweep.row({format("1/{}", 1u << k), "-", "-", "-",
+                       "insecure (no C fits eps)"});
+            continue;
+        }
+        const std::uint32_t ath_star = c * (1u << k);
+        const std::uint32_t ath_plus = (c + 1) * (1u << k);
+        sweep.row({format("1/{}", 1u << k), std::to_string(c),
+                   std::to_string(ath_star),
+                   TextTable::fmt(1000.0 * p, 1),
+                   TextTable::pct(
+                       mitigationAttackSlowdown(ath_plus, 0.55), 1)});
+    }
+    sweep.note("The paper's rule picks p = 1/4 at T_RH 250, halving "
+               "per doubling -- the sweet spot between update cost "
+               "and ABO exposure.");
+    sweep.print(std::cout);
+
+    // The recommended operating points.
+    const MopacCDerived c = deriveMopacC(trh);
+    const MopacDDerived d = deriveMopacD(trh);
+    const MopacDDerived nup = deriveMopacD(trh, 32, false, true);
+    TextTable rec("Recommended operating points");
+    rec.header({"design", "p", "C", "ATH*", "extras"});
+    rec.row({"MoPAC-C", format("1/{}", 1u << c.log2_inv_p),
+             std::to_string(c.c), std::to_string(c.ath_star),
+             "two PRE flavors (PRE / PREcu)"});
+    rec.row({"MoPAC-D", format("1/{}", 1u << d.log2_inv_p),
+             std::to_string(d.c), std::to_string(d.ath_star),
+             format("SRQ 16, TTH {}, drain-on-REF {}", d.tth,
+                    d.drain_per_ref)});
+    rec.row({"MoPAC-D + NUP", format("1/{}", 1u << nup.log2_inv_p),
+             std::to_string(nup.c), std::to_string(nup.ath_star),
+             "p/2 sampling for zero-count rows"});
+    rec.print(std::cout);
+    return 0;
+}

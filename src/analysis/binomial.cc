@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Binomial tail implementation.
+ */
+
+#include "binomial.hh"
+
+#include <cmath>
+
+#include "common/log.hh"
+
+namespace mopac
+{
+
+long double
+logBinomCoef(std::uint64_t n, std::uint64_t k)
+{
+    MOPAC_ASSERT(k <= n);
+    return std::lgammal(static_cast<long double>(n) + 1.0L) -
+           std::lgammal(static_cast<long double>(k) + 1.0L) -
+           std::lgammal(static_cast<long double>(n - k) + 1.0L);
+}
+
+long double
+binomialPmf(std::uint64_t n, std::uint64_t k, double p)
+{
+    MOPAC_ASSERT(p >= 0.0 && p <= 1.0);
+    if (p == 0.0) {
+        return k == 0 ? 1.0L : 0.0L;
+    }
+    if (p == 1.0) {
+        return k == n ? 1.0L : 0.0L;
+    }
+    const long double lp = std::log(static_cast<long double>(p));
+    const long double lq = std::log1p(-static_cast<long double>(p));
+    const long double log_term =
+        logBinomCoef(n, k) + static_cast<long double>(k) * lp +
+        static_cast<long double>(n - k) * lq;
+    return std::exp(log_term);
+}
+
+long double
+binomialCdfBelow(std::uint64_t n, std::uint64_t c, double p)
+{
+    long double sum = 0.0L;
+    const std::uint64_t last = (c > n + 1) ? n + 1 : c;
+    for (std::uint64_t i = 0; i < last; ++i) {
+        sum += binomialPmf(n, i, p);
+    }
+    return sum;
+}
+
+} // namespace mopac

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * High-precision binomial tail computation (paper §5.3, Eq. 1-2).
+ *
+ * The security analysis needs P(N < C) for N ~ Binomial(A, p) at
+ * probabilities down to ~1e-17; terms are evaluated in log space with
+ * lgammal and accumulated in long double, which is exact to far below
+ * the required range.
+ */
+
+#ifndef MOPAC_ANALYSIS_BINOMIAL_HH
+#define MOPAC_ANALYSIS_BINOMIAL_HH
+
+#include <cstdint>
+
+namespace mopac
+{
+
+/** log of the binomial coefficient C(n, k). */
+long double logBinomCoef(std::uint64_t n, std::uint64_t k);
+
+/** Probability mass P(X = k) for X ~ Binomial(n, p). */
+long double binomialPmf(std::uint64_t n, std::uint64_t k, double p);
+
+/**
+ * Lower tail P(X < c) = sum_{i=0}^{c-1} P(X = i) for
+ * X ~ Binomial(n, p)  (Eq. 2 of the paper).
+ */
+long double binomialCdfBelow(std::uint64_t n, std::uint64_t c, double p);
+
+} // namespace mopac
+
+#endif // MOPAC_ANALYSIS_BINOMIAL_HH

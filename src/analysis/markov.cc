@@ -1,0 +1,67 @@
+/**
+ * @file
+ * NUP Markov-chain implementation.
+ */
+
+#include "markov.hh"
+
+#include "common/log.hh"
+
+namespace mopac
+{
+
+std::vector<long double>
+nupUpdateDistribution(std::uint32_t steps, double p0, double p,
+                      std::uint32_t max_state)
+{
+    MOPAC_ASSERT(p0 >= 0.0 && p0 <= 1.0);
+    MOPAC_ASSERT(p >= 0.0 && p <= 1.0);
+    MOPAC_ASSERT(max_state >= 1);
+
+    std::vector<long double> y(max_state + 1, 0.0L);
+    y[0] = 1.0L;
+    const auto lp0 = static_cast<long double>(p0);
+    const auto lp = static_cast<long double>(p);
+
+    for (std::uint32_t t = 0; t < steps; ++t) {
+        // Advance in place from the highest state down so each step
+        // uses the previous iteration's values.
+        // The last bin absorbs (no exit).
+        for (std::uint32_t s = max_state; s >= 1; --s) {
+            const long double in_prob = (s == 1) ? lp0 : lp;
+            const long double stay =
+                (s == max_state) ? y[s] : y[s] * (1.0L - lp);
+            y[s] = stay + y[s - 1] * in_prob;
+        }
+        y[0] *= (1.0L - lp0);
+    }
+    return y;
+}
+
+std::uint32_t
+findCriticalCNup(std::uint32_t steps, double p0, double p, double eps)
+{
+    // Truncate generously above the mean so the absorbing bin cannot
+    // influence the lower tail we integrate.
+    const std::uint32_t max_state = std::max<std::uint32_t>(
+        64, static_cast<std::uint32_t>(steps * p * 2.0) + 32);
+    const std::vector<long double> y =
+        nupUpdateDistribution(steps, p0, p, max_state);
+
+    // Eq. 9: the largest C whose inclusive cumulative probability
+    // P(N <= C) stays below eps (footnote 8: with p0 = p this equals
+    // the binomial convention of findCriticalC).
+    long double tail = y[0];
+    std::uint32_t best = 0;
+    for (std::uint32_t c = 1; c <= max_state; ++c) {
+        tail += y[c];
+        if (tail < static_cast<long double>(eps)) {
+            best = c;
+        } else {
+            break;
+        }
+    }
+    return best;
+}
+
+} // namespace mopac

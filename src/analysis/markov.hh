@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Markov-chain model for Non-Uniform-Probability updates (paper §8.2,
+ * Figure 16).
+ *
+ * The counter starts in state 0 and advances to state 1 with
+ * probability p0 (= p/2 under NUP) on each activation; from any
+ * non-zero state it advances with probability p.  After a given
+ * number of activations the chain yields the distribution over the
+ * number of updates, from which the critical update count C is chosen
+ * (Eq. 9).  With p0 = p the chain degenerates to the binomial model
+ * (footnote 8's sanity check, enforced by tests).
+ */
+
+#ifndef MOPAC_ANALYSIS_MARKOV_HH
+#define MOPAC_ANALYSIS_MARKOV_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace mopac
+{
+
+/**
+ * Distribution of the update count after @p steps activations.
+ *
+ * @param steps Number of activations (A or A').
+ * @param p0 Advance probability out of state 0.
+ * @param p Advance probability out of non-zero states.
+ * @param max_state States beyond this are lumped into the last bin.
+ * @return y where y[i] = P(update count == i), i in [0, max_state].
+ */
+std::vector<long double> nupUpdateDistribution(std::uint32_t steps,
+                                               double p0, double p,
+                                               std::uint32_t max_state);
+
+/**
+ * Largest C whose inclusive tail P(N <= C) stays below @p eps under
+ * the NUP chain (Eq. 9) -- the same convention as the binomial
+ * findCriticalC, so uniform edges reproduce the binomial answer
+ * exactly (footnote 8).
+ */
+std::uint32_t findCriticalCNup(std::uint32_t steps, double p0, double p,
+                               double eps);
+
+} // namespace mopac
+
+#endif // MOPAC_ANALYSIS_MARKOV_HH

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * MOAT ATH model implementation.
+ */
+
+#include "moat_model.hh"
+
+#include <cmath>
+
+#include "common/log.hh"
+
+namespace mopac
+{
+
+std::uint32_t
+moatSlippage(std::uint32_t trh)
+{
+    MOPAC_ASSERT(trh >= 32);
+    const double s =
+        25.0 + 3.0 * std::log2(1000.0 / static_cast<double>(trh));
+    const double clamped = std::max(s, 8.0);
+    return static_cast<std::uint32_t>(std::lround(clamped));
+}
+
+std::uint32_t
+moatAth(std::uint32_t trh)
+{
+    const std::uint32_t slip = moatSlippage(trh);
+    MOPAC_ASSERT(trh > slip);
+    return trh - slip;
+}
+
+} // namespace mopac

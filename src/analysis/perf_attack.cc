@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Performance-attack analysis implementation.
+ */
+
+#include "perf_attack.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.hh"
+#include "common/rng.hh"
+
+namespace mopac
+{
+
+double
+estimateAlpha(unsigned banks, std::uint32_t c_plus, double p,
+              unsigned trials, std::uint64_t seed)
+{
+    MOPAC_ASSERT(banks > 0 && c_plus > 0);
+    MOPAC_ASSERT(p > 0.0 && p <= 1.0);
+    MOPAC_ASSERT(trials > 0);
+
+    Rng rng(seed);
+    const double log_q = std::log1p(-p);
+    // Activations a bank needs for c_plus selections: a sum of c_plus
+    // geometric(p) variables (negative binomial).
+    auto negBinomial = [&]() -> std::uint64_t {
+        std::uint64_t total = 0;
+        for (std::uint32_t i = 0; i < c_plus; ++i) {
+            const double u = rng.uniform();
+            const double g =
+                std::floor(std::log(1.0 - u) / log_q) + 1.0;
+            total += static_cast<std::uint64_t>(std::max(g, 1.0));
+        }
+        return total;
+    };
+
+    const double ath_plus = static_cast<double>(c_plus) / p;
+    double sum_alpha = 0.0;
+    for (unsigned t = 0; t < trials; ++t) {
+        std::uint64_t fastest = ~0ull;
+        for (unsigned b = 0; b < banks; ++b) {
+            fastest = std::min(fastest, negBinomial());
+        }
+        sum_alpha += static_cast<double>(fastest) / ath_plus;
+    }
+    return sum_alpha / static_cast<double>(trials);
+}
+
+double
+slowdownForAboEvery(double acts)
+{
+    MOPAC_ASSERT(acts > 0.0);
+    return kAlertStallActs / (acts + kAlertStallActs);
+}
+
+double
+mitigationAttackSlowdown(std::uint32_t ath_plus, double alpha)
+{
+    return slowdownForAboEvery(alpha * static_cast<double>(ath_plus));
+}
+
+double
+srqAttackSlowdown(double p, unsigned drain_per_abo)
+{
+    MOPAC_ASSERT(p > 0.0);
+    return slowdownForAboEvery(static_cast<double>(drain_per_abo) / p);
+}
+
+double
+tthAttackSlowdown(std::uint32_t tth)
+{
+    return slowdownForAboEvery(static_cast<double>(tth));
+}
+
+} // namespace mopac

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Performance-attack (DoS) analysis (paper §7, Tables 9-10).
+ *
+ * The paper measures memory throughput in activations: one ACT costs
+ * one tRC, and one ABO stall (350 ns RFM) costs the equivalent of
+ * seven activations.  A pattern forcing an ABO every N activations
+ * therefore loses 7 / (N + 7) of throughput (Figure 14's model).  For
+ * the multi-bank mitigation attack, randomization makes the fastest
+ * of 32 banks reach ATH* after only about alpha * ATH* activations;
+ * alpha ~= 0.55 comes from a Monte-Carlo over the per-bank negative
+ * binomial selection processes, reproduced here.
+ */
+
+#ifndef MOPAC_ANALYSIS_PERF_ATTACK_HH
+#define MOPAC_ANALYSIS_PERF_ATTACK_HH
+
+#include <cstdint>
+
+namespace mopac
+{
+
+/** ABO stall expressed in activation-equivalents (350 ns / tRC). */
+constexpr double kAlertStallActs = 7.0;
+
+/**
+ * Monte-Carlo estimate of alpha: the fraction of ATH* activations
+ * after which the fastest of @p banks banks reaches its critical
+ * update count under probability-p sampling (§7.2).
+ *
+ * @param banks Banks hammered in parallel (32 in the paper).
+ * @param c_plus Updates needed to reach ATH* (C + 1).
+ * @param p Per-activation update probability.
+ * @param trials Monte-Carlo trials.
+ * @param seed RNG seed.
+ */
+double estimateAlpha(unsigned banks, std::uint32_t c_plus, double p,
+                     unsigned trials, std::uint64_t seed);
+
+/** Throughput loss when an ABO fires every @p acts activations. */
+double slowdownForAboEvery(double acts);
+
+/** §7.3/§7.4 mitigation attack: ABO every alpha * ATH+ activations. */
+double mitigationAttackSlowdown(std::uint32_t ath_plus, double alpha);
+
+/** §7.4 SRQ-fill attack: ABO every (drain_per_abo / p) activations. */
+double srqAttackSlowdown(double p, unsigned drain_per_abo = 5);
+
+/** §7.4 tardiness attack: ABO every TTH activations. */
+double tthAttackSlowdown(std::uint32_t tth);
+
+} // namespace mopac
+
+#endif // MOPAC_ANALYSIS_PERF_ATTACK_HH

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Related-work tolerated-threshold models.
+ */
+
+#include "related.hh"
+
+#include <cmath>
+
+#include "analysis/security.hh"
+#include "common/log.hh"
+
+namespace mopac
+{
+
+namespace
+{
+
+constexpr double kTrefiNs = 3900.0;
+
+/**
+ * Fixed-point solve of T = W * ln(1/epsilon(T)) + extra, where
+ * epsilon(T) = sqrt(T * tRC / MTTF) tightens slowly with T.
+ */
+double
+solveTolerated(double window_acts, double extra_acts)
+{
+    double t = window_acts * 18.0 + extra_acts; // seed near ln(1/eps)
+    for (int iter = 0; iter < 64; ++iter) {
+        const double eps = epsilonFor(static_cast<std::uint32_t>(
+            std::max(t, 64.0)));
+        const double next =
+            window_acts * std::log(1.0 / eps) + extra_acts;
+        if (std::abs(next - t) < 0.01) {
+            return next;
+        }
+        t = next;
+    }
+    return t;
+}
+
+} // namespace
+
+double
+actsPerRefInterval()
+{
+    return kTrefiNs / kTrcNsForBudget;
+}
+
+double
+mintToleratedTrh(double budget_ns)
+{
+    MOPAC_ASSERT(budget_ns > 0.0);
+    const double refs_per_mitigation =
+        std::ceil(kAggressorMitigationNs / budget_ns);
+    const double window = actsPerRefInterval() * refs_per_mitigation;
+    return solveTolerated(window, 0.0);
+}
+
+double
+prideToleratedTrh(double budget_ns, unsigned q)
+{
+    MOPAC_ASSERT(budget_ns > 0.0);
+    const double refs_per_mitigation =
+        std::ceil(kAggressorMitigationNs / budget_ns);
+    const double window = actsPerRefInterval() * refs_per_mitigation;
+    return solveTolerated(window, static_cast<double>(q) * window);
+}
+
+std::uint32_t
+mopacDToleratedTrh(double budget_ns)
+{
+    const unsigned drains = static_cast<unsigned>(
+        std::max(1.0, std::floor(budget_ns / kVictimRefreshNs)));
+    // Lowest standard operating point whose drain-on-REF rate fits
+    // the budget (Table 8).
+    for (std::uint32_t trh : {250u, 500u, 1000u, 2000u, 4000u}) {
+        if (defaultDrainPerRef(trh) <= drains) {
+            return trh;
+        }
+    }
+    return 4000;
+}
+
+} // namespace mopac

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Tolerated-threshold models for related low-cost in-DRAM trackers
+ * (paper §9.2, Table 13).
+ *
+ * The comparison fixes the time DRAM reserves for Rowhammer work per
+ * REF (60 / 120 / 240 ns -- the cost of refreshing 1 / 2 / 4 victim
+ * rows, or equivalently 1 / 2 / 4 counter updates) and asks what
+ * Rowhammer threshold each design can then tolerate:
+ *
+ *  - MINT mitigates one aggressor (cost 240 ns, blast radius 2) per
+ *    window; with budget b ns per REF one mitigation needs
+ *    ceil(240/b) REFs, so the selection window is
+ *    W = (tREFI / tRC) * ceil(240 / b) activations.  The attacker's
+ *    best strategy spreads one activation per window, escaping with
+ *    (1 - 1/W)^T ~= e^(-T/W); security needs that below epsilon(T),
+ *    giving the fixed point T = W * ln(1 / epsilon(T)).
+ *  - PrIDE samples into a small FIFO, which adds up to Q windows of
+ *    mitigation delay: T = W * ln(1 / epsilon(T)) + Q * W.
+ *  - MoPAC-D spends the same budget on counter updates
+ *    (drain-on-REF), so the tolerated threshold is the operating
+ *    point of Table 8 whose drain rate fits the budget.
+ *
+ * These models reproduce the published MINT / PrIDE numbers within a
+ * few percent (see tests) and are documented in DESIGN.md.
+ */
+
+#ifndef MOPAC_ANALYSIS_RELATED_HH
+#define MOPAC_ANALYSIS_RELATED_HH
+
+#include <cstdint>
+
+namespace mopac
+{
+
+/** Cost of refreshing one victim row / one counter update (ns). */
+constexpr double kVictimRefreshNs = 60.0;
+
+/** Cost of mitigating one aggressor (blast radius 2 => 4 victims). */
+constexpr double kAggressorMitigationNs = 240.0;
+
+/** Activation opportunities per refresh interval (tREFI / tRC). */
+double actsPerRefInterval();
+
+/** Tolerated T_RH for MINT given @p budget_ns of REF time. */
+double mintToleratedTrh(double budget_ns);
+
+/** Tolerated T_RH for PrIDE given @p budget_ns (FIFO depth @p q). */
+double prideToleratedTrh(double budget_ns, unsigned q = 4);
+
+/** Tolerated T_RH for MoPAC-D given @p budget_ns (Table 8 mapping). */
+std::uint32_t mopacDToleratedTrh(double budget_ns);
+
+} // namespace mopac
+
+#endif // MOPAC_ANALYSIS_RELATED_HH

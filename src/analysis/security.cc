@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Security parameter derivation.
+ */
+
+#include "security.hh"
+
+#include <cmath>
+
+#include "analysis/binomial.hh"
+#include "analysis/markov.hh"
+#include "analysis/moat_model.hh"
+#include "common/log.hh"
+
+namespace mopac
+{
+
+double
+failureBudgetF(std::uint32_t trh)
+{
+    return static_cast<double>(trh) * kTrcNsForBudget / kMttfNs;
+}
+
+double
+epsilonFor(std::uint32_t trh)
+{
+    return std::sqrt(failureBudgetF(trh));
+}
+
+double
+bankMttfYears(std::uint32_t trh, double escape)
+{
+    MOPAC_ASSERT(escape > 0.0 && escape <= 1.0);
+    // One attack round takes T * tRC nanoseconds; failure needs both
+    // sides of the double-sided pattern to escape (Eq. 4).
+    const double round_ns =
+        static_cast<double>(trh) * kTrcNsForBudget;
+    const double fail_per_round = escape * escape;
+    const double mttf_ns = round_ns / fail_per_round;
+    constexpr double ns_per_year = 3.156e16;
+    return mttf_ns / ns_per_year;
+}
+
+std::uint32_t
+findCriticalC(std::uint32_t a, double p, double eps)
+{
+    MOPAC_ASSERT(a > 0 && p > 0.0 && eps > 0.0);
+    // Paper convention (Table 6): the failure probability charged to
+    // a critical count C is P(N <= C); pick the largest C below eps.
+    std::uint32_t best = 0;
+    for (std::uint32_t c = 1; c <= a; ++c) {
+        const long double tail = binomialCdfBelow(a, c + 1, p);
+        if (tail < static_cast<long double>(eps)) {
+            best = c;
+        } else {
+            break;
+        }
+    }
+    return best;
+}
+
+unsigned
+defaultLog2InvP(std::uint32_t trh)
+{
+    // p = 1/4 at T_RH 250, halving per doubling of the threshold
+    // (§1: 1/64, 1/32, 1/16, 1/8, 1/4 for 4K..250; 1/2 at 125).
+    MOPAC_ASSERT(trh >= 125);
+    unsigned k = 1;
+    std::uint32_t level = 125;
+    while (level * 2 <= trh) {
+        level *= 2;
+        ++k;
+    }
+    return k;
+}
+
+unsigned
+defaultDrainPerRef(std::uint32_t trh)
+{
+    // Table 8: 4 / 2 / 1 entries per REF at T_RH 250 / 500 / 1000.
+    const double d = 1024.0 / static_cast<double>(trh);
+    const long r = std::lround(d);
+    return static_cast<unsigned>(std::max(1L, r));
+}
+
+namespace
+{
+
+/** Apply the Row-Press 1.5x damage derating (Appendix A). */
+std::uint32_t
+derateForRowPress(std::uint32_t ath)
+{
+    return static_cast<std::uint32_t>(
+        std::lround(static_cast<double>(ath) / 1.5));
+}
+
+} // namespace
+
+MopacCDerived
+deriveMopacC(std::uint32_t trh, bool rowpress)
+{
+    MopacCDerived d{};
+    d.trh = trh;
+    d.ath = moatAth(trh);
+    if (rowpress) {
+        d.ath = derateForRowPress(d.ath);
+    }
+    d.log2_inv_p = defaultLog2InvP(trh);
+    d.p = 1.0 / static_cast<double>(1u << d.log2_inv_p);
+    d.c = findCriticalC(d.ath, d.p, epsilonFor(trh));
+    MOPAC_ASSERT(d.c > 0);
+    d.ath_star = d.c * (1u << d.log2_inv_p);
+    return d;
+}
+
+MopacDDerived
+deriveMopacD(std::uint32_t trh, std::uint32_t tth, bool rowpress,
+             bool nup)
+{
+    MopacDDerived d{};
+    d.trh = trh;
+    d.ath = moatAth(trh);
+    if (rowpress) {
+        d.ath = derateForRowPress(d.ath);
+    }
+    d.tth = tth;
+    MOPAC_ASSERT(d.ath > tth);
+    d.a_prime = d.ath - tth;
+    d.log2_inv_p = defaultLog2InvP(trh);
+    d.p = 1.0 / static_cast<double>(1u << d.log2_inv_p);
+    const double eps = epsilonFor(trh);
+    if (nup) {
+        // §8.2 runs the Markov chain for ATH steps (Table 11).
+        d.c = findCriticalCNup(d.ath, d.p / 2.0, d.p, eps);
+    } else {
+        d.c = findCriticalC(d.a_prime, d.p, eps);
+    }
+    MOPAC_ASSERT(d.c > 0);
+    d.ath_star = d.c * (1u << d.log2_inv_p);
+    d.drain_per_ref = defaultDrainPerRef(trh);
+    return d;
+}
+
+} // namespace mopac

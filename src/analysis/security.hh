@@ -1,0 +1,104 @@
+/**
+ * @file
+ * MoPAC security analysis: failure budgets, critical update counts,
+ * and parameter derivation for MoPAC-C (§5.3-5.4) and MoPAC-D
+ * (§6.4-6.5), including the Row-Press variants (Appendix A) and the
+ * Non-Uniform-Probability variant (§8.2).
+ */
+
+#ifndef MOPAC_ANALYSIS_SECURITY_HH
+#define MOPAC_ANALYSIS_SECURITY_HH
+
+#include <cstdint>
+
+namespace mopac
+{
+
+/** Baseline row-cycle time used by the MTTF budget (Eq. 3). */
+constexpr double kTrcNsForBudget = 46.0;
+
+/** Nanoseconds in the 10K-year target Bank-MTTF (Eq. 3). */
+constexpr double kMttfNs = 3.2e20;
+
+/**
+ * Failure budget F: probability that a victim row may miss
+ * mitigation during one T_RH-activation attack round while still
+ * meeting the 10K-year per-chip Bank-MTTF (Eq. 3, Table 5).
+ */
+double failureBudgetF(std::uint32_t trh);
+
+/**
+ * Acceptable single-side escape probability epsilon = sqrt(F)
+ * (Eq. 6, Table 5): both sides of a double-sided pattern must escape
+ * simultaneously for a bit-flip.
+ */
+double epsilonFor(std::uint32_t trh);
+
+/**
+ * Expected per-chip Bank-MTTF, in years, of a probabilistic design
+ * whose single-side escape probability per T_RH-activation round is
+ * @p escape (the inverse of the Eq. 3-6 budget; a double-sided
+ * failure needs both sides to escape in the same round).
+ */
+double bankMttfYears(std::uint32_t trh, double escape);
+
+/**
+ * Largest critical update count C such that
+ * P(N < C) < eps for N ~ Binomial(A, p)  (Table 6's bold entries).
+ */
+std::uint32_t findCriticalC(std::uint32_t a, double p, double eps);
+
+/**
+ * The paper's p-selection rule: p = 1/4 at T_RH 250, halving as the
+ * threshold doubles (1/8 at 500, ..., 1/64 at 4K).
+ * @return k with p = 1/2^k.
+ */
+unsigned defaultLog2InvP(std::uint32_t trh);
+
+/** Drain-on-REF rate by threshold (Table 8: 4 / 2 / 1). */
+unsigned defaultDrainPerRef(std::uint32_t trh);
+
+/** Derived MoPAC-C operating point (Table 7 / Table 14). */
+struct MopacCDerived
+{
+    std::uint32_t trh;
+    std::uint32_t ath;      ///< MOAT ATH (after Row-Press derating).
+    unsigned log2_inv_p;
+    double p;
+    std::uint32_t c;        ///< Critical update count.
+    std::uint32_t ath_star; ///< C / p.
+};
+
+/**
+ * Derive MoPAC-C parameters for @p trh.
+ * @param rowpress Derate ATH by 1.5x (Appendix A).
+ */
+MopacCDerived deriveMopacC(std::uint32_t trh, bool rowpress = false);
+
+/** Derived MoPAC-D operating point (Table 8 / 11 / 14). */
+struct MopacDDerived
+{
+    std::uint32_t trh;
+    std::uint32_t ath;
+    std::uint32_t a_prime;  ///< ATH - TTH (tardiness slack, Eq. 8).
+    unsigned log2_inv_p;
+    double p;
+    std::uint32_t c;
+    std::uint32_t ath_star;
+    std::uint32_t tth;
+    unsigned drain_per_ref;
+};
+
+/**
+ * Derive MoPAC-D parameters for @p trh.
+ * @param tth Tardiness threshold (default 32).
+ * @param rowpress Derate ATH by 1.5x (Appendix A).
+ * @param nup Use the NUP Markov chain (p/2 from counter 0) for C
+ *        (§8.2, Table 11).
+ */
+MopacDDerived deriveMopacD(std::uint32_t trh, std::uint32_t tth = 32,
+                           bool rowpress = false, bool nup = false);
+
+} // namespace mopac
+
+#endif // MOPAC_ANALYSIS_SECURITY_HH

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Config implementation.
+ */
+
+#include "config.hh"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+
+#include "log.hh"
+
+namespace mopac
+{
+
+namespace
+{
+
+std::string
+trim(const std::string &s)
+{
+    std::size_t b = 0;
+    std::size_t e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) {
+        ++b;
+    }
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) {
+        --e;
+    }
+    return s.substr(b, e - b);
+}
+
+} // namespace
+
+void
+Config::parseArgs(const std::vector<std::string> &tokens)
+{
+    for (const auto &tok : tokens) {
+        parseLine(tok);
+    }
+}
+
+void
+Config::parseFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in) {
+        fatal("cannot open config file '{}'", path);
+    }
+    std::string line;
+    while (std::getline(in, line)) {
+        parseLine(line);
+    }
+}
+
+void
+Config::parseLine(const std::string &line)
+{
+    std::string body = line;
+    if (const auto hash = body.find('#'); hash != std::string::npos) {
+        body = body.substr(0, hash);
+    }
+    body = trim(body);
+    if (body.empty()) {
+        return;
+    }
+    const auto eq = body.find('=');
+    if (eq == std::string::npos) {
+        fatal("malformed config entry '{}': expected key=value", line);
+    }
+    const std::string key = trim(body.substr(0, eq));
+    const std::string value = trim(body.substr(eq + 1));
+    if (key.empty()) {
+        fatal("malformed config entry '{}': empty key", line);
+    }
+    values_[key] = value;
+}
+
+void
+Config::set(const std::string &key, const std::string &value)
+{
+    values_[key] = value;
+}
+
+bool
+Config::has(const std::string &key) const
+{
+    return values_.count(key) != 0;
+}
+
+std::string
+Config::getString(const std::string &key, const std::string &def) const
+{
+    const auto it = values_.find(key);
+    return it == values_.end() ? def : it->second;
+}
+
+std::int64_t
+Config::getInt(const std::string &key, std::int64_t def) const
+{
+    const auto it = values_.find(key);
+    if (it == values_.end()) {
+        return def;
+    }
+    char *end = nullptr;
+    const std::int64_t v = std::strtoll(it->second.c_str(), &end, 0);
+    if (end == it->second.c_str() || *end != '\0') {
+        fatal("config key '{}': '{}' is not an integer", key, it->second);
+    }
+    return v;
+}
+
+std::uint64_t
+Config::getUint(const std::string &key, std::uint64_t def) const
+{
+    const auto it = values_.find(key);
+    if (it == values_.end()) {
+        return def;
+    }
+    char *end = nullptr;
+    const std::uint64_t v = std::strtoull(it->second.c_str(), &end, 0);
+    if (end == it->second.c_str() || *end != '\0') {
+        fatal("config key '{}': '{}' is not an unsigned integer", key,
+              it->second);
+    }
+    return v;
+}
+
+double
+Config::getDouble(const std::string &key, double def) const
+{
+    const auto it = values_.find(key);
+    if (it == values_.end()) {
+        return def;
+    }
+    char *end = nullptr;
+    const double v = std::strtod(it->second.c_str(), &end);
+    if (end == it->second.c_str() || *end != '\0') {
+        fatal("config key '{}': '{}' is not a number", key, it->second);
+    }
+    return v;
+}
+
+bool
+Config::getBool(const std::string &key, bool def) const
+{
+    const auto it = values_.find(key);
+    if (it == values_.end()) {
+        return def;
+    }
+    const std::string &v = it->second;
+    if (v == "true" || v == "1" || v == "yes" || v == "on") {
+        return true;
+    }
+    if (v == "false" || v == "0" || v == "no" || v == "off") {
+        return false;
+    }
+    fatal("config key '{}': '{}' is not a boolean", key, v);
+}
+
+std::vector<std::string>
+Config::keys() const
+{
+    std::vector<std::string> out;
+    out.reserve(values_.size());
+    for (const auto &[k, v] : values_) {
+        out.push_back(k);
+    }
+    return out;
+}
+
+} // namespace mopac

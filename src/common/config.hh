@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Minimal key=value configuration store for the CLI tool and tests.
+ *
+ * Syntax (one entry per line or per command-line token):
+ *     key = value        # comment
+ * Section headers are not needed; keys are dotted ("dram.trh = 500").
+ */
+
+#ifndef MOPAC_COMMON_CONFIG_HH
+#define MOPAC_COMMON_CONFIG_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mopac
+{
+
+/** Parsed key=value configuration with typed getters and defaults. */
+class Config
+{
+  public:
+    Config() = default;
+
+    /** Parse "key=value" tokens (e.g. from argv); later wins. */
+    void parseArgs(const std::vector<std::string> &tokens);
+
+    /** Parse a config file; fatal() on I/O error. */
+    void parseFile(const std::string &path);
+
+    /** Parse a single "key=value" line; ignores blanks and comments. */
+    void parseLine(const std::string &line);
+
+    /** Set a key explicitly. */
+    void set(const std::string &key, const std::string &value);
+
+    bool has(const std::string &key) const;
+
+    /** Typed getters returning @p def when the key is absent. */
+    std::string getString(const std::string &key,
+                          const std::string &def = "") const;
+    std::int64_t getInt(const std::string &key, std::int64_t def = 0) const;
+    std::uint64_t getUint(const std::string &key,
+                          std::uint64_t def = 0) const;
+    double getDouble(const std::string &key, double def = 0.0) const;
+    bool getBool(const std::string &key, bool def = false) const;
+
+    /** All keys in sorted order (for dumping the effective config). */
+    std::vector<std::string> keys() const;
+
+  private:
+    std::map<std::string, std::string> values_;
+};
+
+} // namespace mopac
+
+#endif // MOPAC_COMMON_CONFIG_HH

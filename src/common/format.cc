@@ -1,0 +1,257 @@
+/**
+ * @file
+ * Implementation of the minimal formatter.
+ */
+
+#include "format.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace mopac
+{
+namespace detail
+{
+
+namespace
+{
+
+/** Parsed contents of one {...} replacement field. */
+struct Spec
+{
+    char align = '\0';      // '<' or '>' (0 = default per type)
+    long width = -1;        // -1 = none; -2 = dynamic ("{}")
+    int precision = -1;     // -1 = none
+    char type = '\0';       // f, e, g, x, s or 0
+};
+
+[[noreturn]] void
+bad(std::string_view fmt, const char *why)
+{
+    std::fprintf(stderr, "format error: %s in \"%.*s\"\n", why,
+                 static_cast<int>(fmt.size()), fmt.data());
+    std::abort();
+}
+
+/** Parse the spec between ':' and '}'. Returns chars consumed. */
+std::size_t
+parseSpec(std::string_view body, std::string_view full, Spec &spec)
+{
+    std::size_t i = 0;
+    auto peek = [&](std::size_t k) -> char {
+        return k < body.size() ? body[k] : '\0';
+    };
+    if (peek(i) == '<' || peek(i) == '>') {
+        spec.align = body[i];
+        ++i;
+    }
+    if (peek(i) == '{') {
+        if (peek(i + 1) != '}') {
+            bad(full, "expected '}' after dynamic width '{'");
+        }
+        spec.width = -2;
+        i += 2;
+    } else {
+        long w = 0;
+        bool got = false;
+        while (peek(i) >= '0' && peek(i) <= '9') {
+            w = w * 10 + (body[i] - '0');
+            ++i;
+            got = true;
+        }
+        if (got) {
+            spec.width = w;
+        }
+    }
+    if (peek(i) == '.') {
+        ++i;
+        if (peek(i) == '{') {
+            if (peek(i + 1) != '}') {
+                bad(full, "expected '}' after dynamic precision '{'");
+            }
+            spec.precision = -2;
+            i += 2;
+        } else {
+            int p = 0;
+            bool got = false;
+            while (peek(i) >= '0' && peek(i) <= '9') {
+                p = p * 10 + (body[i] - '0');
+                ++i;
+                got = true;
+            }
+            if (!got) {
+                bad(full, "missing precision digits");
+            }
+            spec.precision = p;
+        }
+    }
+    const char t = peek(i);
+    if (t == 'f' || t == 'e' || t == 'g' || t == 'x' || t == 's' ||
+        t == 'd') {
+        spec.type = t;
+        ++i;
+    }
+    return i;
+}
+
+std::string
+renderDouble(double v, const Spec &spec)
+{
+    char conv = spec.type ? spec.type : 'g';
+    if (conv == 's' || conv == 'd') {
+        conv = 'g';
+    }
+    const int prec = spec.precision >= 0 ? spec.precision
+                     : (conv == 'g' ? 6 : 6);
+    char pattern[16];
+    std::snprintf(pattern, sizeof(pattern), "%%.%d%c", prec, conv);
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), pattern, v);
+    return buf;
+}
+
+std::string
+renderArg(const FormatArg &arg, const Spec &spec,
+          std::string_view full)
+{
+    switch (arg.kind) {
+      case FormatArg::Kind::kBool:
+        return arg.u ? "true" : "false";
+      case FormatArg::Kind::kInt:
+        if (spec.type == 'x') {
+            char buf[32];
+            std::snprintf(buf, sizeof(buf), "%llx",
+                          static_cast<unsigned long long>(arg.i));
+            return buf;
+        }
+        if (spec.precision >= 0 || spec.type == 'f' || spec.type == 'e' ||
+            spec.type == 'g') {
+            return renderDouble(static_cast<double>(arg.i), spec);
+        }
+        return std::to_string(arg.i);
+      case FormatArg::Kind::kUint:
+        if (spec.type == 'x') {
+            char buf[32];
+            std::snprintf(buf, sizeof(buf), "%llx",
+                          static_cast<unsigned long long>(arg.u));
+            return buf;
+        }
+        if (spec.precision >= 0 || spec.type == 'f' || spec.type == 'e' ||
+            spec.type == 'g') {
+            return renderDouble(static_cast<double>(arg.u), spec);
+        }
+        return std::to_string(arg.u);
+      case FormatArg::Kind::kDouble:
+        return renderDouble(arg.d, spec);
+      case FormatArg::Kind::kString:
+        if (spec.precision >= 0) {
+            return arg.s.substr(
+                0, static_cast<std::size_t>(spec.precision));
+        }
+        return arg.s;
+    }
+    bad(full, "unknown argument kind");
+}
+
+void
+pad(std::string &out, const std::string &text, const FormatArg &arg,
+    const Spec &spec)
+{
+    const auto width = spec.width < 0
+                           ? 0
+                           : static_cast<std::size_t>(spec.width);
+    char align = spec.align;
+    if (align == '\0') {
+        const bool numeric = arg.kind != FormatArg::Kind::kString &&
+                             arg.kind != FormatArg::Kind::kBool;
+        align = numeric ? '>' : '<';
+    }
+    if (text.size() >= width) {
+        out += text;
+        return;
+    }
+    const std::string fill(width - text.size(), ' ');
+    if (align == '<') {
+        out += text;
+        out += fill;
+    } else {
+        out += fill;
+        out += text;
+    }
+}
+
+} // namespace
+
+std::string
+vformat(std::string_view fmt, std::vector<FormatArg> args)
+{
+    std::string out;
+    out.reserve(fmt.size() + 16);
+    std::size_t next_arg = 0;
+
+    for (std::size_t i = 0; i < fmt.size(); ++i) {
+        const char c = fmt[i];
+        if (c == '{') {
+            if (i + 1 < fmt.size() && fmt[i + 1] == '{') {
+                out += '{';
+                ++i;
+                continue;
+            }
+            std::size_t j = i + 1;
+            Spec spec;
+            if (j < fmt.size() && fmt[j] == ':') {
+                ++j;
+                j += parseSpec(fmt.substr(j), fmt, spec);
+            }
+            if (j >= fmt.size() || fmt[j] != '}') {
+                bad(fmt, "unterminated replacement field");
+            }
+            // std::format argument order: the field's value argument
+            // precedes its nested dynamic width/precision arguments.
+            if (next_arg >= args.size()) {
+                bad(fmt, "not enough arguments");
+            }
+            const std::size_t value_idx = next_arg++;
+            if (spec.width == -2) {
+                if (next_arg >= args.size()) {
+                    bad(fmt, "missing dynamic-width argument");
+                }
+                const FormatArg &w = args[next_arg++];
+                if (w.kind == FormatArg::Kind::kInt) {
+                    spec.width = static_cast<long>(w.i);
+                } else if (w.kind == FormatArg::Kind::kUint) {
+                    spec.width = static_cast<long>(w.u);
+                } else {
+                    bad(fmt, "dynamic width must be integral");
+                }
+            }
+            if (spec.precision == -2) {
+                if (next_arg >= args.size()) {
+                    bad(fmt, "missing dynamic-precision argument");
+                }
+                const FormatArg &w = args[next_arg++];
+                if (w.kind == FormatArg::Kind::kInt) {
+                    spec.precision = static_cast<int>(w.i);
+                } else if (w.kind == FormatArg::Kind::kUint) {
+                    spec.precision = static_cast<int>(w.u);
+                } else {
+                    bad(fmt, "dynamic precision must be integral");
+                }
+            }
+            const FormatArg &arg = args[value_idx];
+            pad(out, renderArg(arg, spec, fmt), arg, spec);
+            i = j;
+        } else if (c == '}') {
+            if (i + 1 < fmt.size() && fmt[i + 1] == '}') {
+                ++i;
+            }
+            out += '}';
+        } else {
+            out += c;
+        }
+    }
+    return out;
+}
+
+} // namespace detail
+} // namespace mopac

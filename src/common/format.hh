@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Minimal std::format-like string formatting.
+ *
+ * The toolchain this project targets (gcc-12) predates libstdc++'s
+ * <format>, so this header provides the small subset the simulator
+ * needs:
+ *
+ *   {}          default rendering
+ *   {:<N} {:>N} left/right alignment to width N (N may be "{}" to
+ *               consume the next argument as a dynamic width)
+ *   {:.Nf}      fixed-point with N decimals
+ *   {:.Ne}      scientific with N decimals
+ *   {:.Ng}      shortest with N significant digits
+ *   {:x}        hexadecimal (integers)
+ *   {{ and }}   literal braces
+ *
+ * Arguments may be integral, floating point, bool, const char*,
+ * std::string, or std::string_view.
+ */
+
+#ifndef MOPAC_COMMON_FORMAT_HH
+#define MOPAC_COMMON_FORMAT_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+namespace mopac
+{
+
+namespace detail
+{
+
+/** Type-erased format argument. */
+struct FormatArg
+{
+    enum class Kind { kInt, kUint, kDouble, kString, kBool } kind;
+    std::int64_t i = 0;
+    std::uint64_t u = 0;
+    double d = 0.0;
+    std::string s;
+
+    FormatArg(bool v) : kind(Kind::kBool), u(v) {}                 // NOLINT
+    FormatArg(double v) : kind(Kind::kDouble), d(v) {}             // NOLINT
+    FormatArg(float v) : kind(Kind::kDouble), d(v) {}              // NOLINT
+    FormatArg(const char *v) : kind(Kind::kString), s(v) {}        // NOLINT
+    FormatArg(std::string v)                                       // NOLINT
+        : kind(Kind::kString), s(std::move(v)) {}
+    FormatArg(std::string_view v) : kind(Kind::kString), s(v) {}   // NOLINT
+
+    template <typename T,
+              typename = std::enable_if_t<std::is_integral_v<T> &&
+                                          !std::is_same_v<T, bool>>>
+    FormatArg(T v)                                                 // NOLINT
+    {
+        if constexpr (std::is_signed_v<T>) {
+            kind = Kind::kInt;
+            i = static_cast<std::int64_t>(v);
+        } else {
+            kind = Kind::kUint;
+            u = static_cast<std::uint64_t>(v);
+        }
+    }
+};
+
+/** Core formatter over erased arguments. */
+std::string vformat(std::string_view fmt, std::vector<FormatArg> args);
+
+} // namespace detail
+
+/** Format @p fmt with std::format-style placeholders (see @file). */
+template <typename... Args>
+std::string
+format(std::string_view fmt, Args &&...args)
+{
+    std::vector<detail::FormatArg> erased;
+    erased.reserve(sizeof...(Args));
+    (erased.emplace_back(std::forward<Args>(args)), ...);
+    return detail::vformat(fmt, std::move(erased));
+}
+
+} // namespace mopac
+
+#endif // MOPAC_COMMON_FORMAT_HH

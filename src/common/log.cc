@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Implementation of the logging / error-reporting helpers.
+ */
+
+#include "log.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace mopac
+{
+namespace detail
+{
+
+namespace
+{
+bool quiet_warnings = false;
+} // namespace
+
+void
+panicImpl(std::string_view where, const std::string &msg)
+{
+    std::fprintf(stderr, "%s: %s\n", std::string(where).c_str(),
+                 msg.c_str());
+    std::fflush(stderr);
+    std::abort();
+}
+
+void
+fatalImpl(const std::string &msg)
+{
+    std::fprintf(stderr, "fatal: %s\n", msg.c_str());
+    std::fflush(stderr);
+    std::exit(1);
+}
+
+void
+warnImpl(const std::string &msg)
+{
+    if (!quiet_warnings) {
+        std::fprintf(stderr, "warn: %s\n", msg.c_str());
+    }
+}
+
+void
+informImpl(const std::string &msg)
+{
+    std::fprintf(stdout, "info: %s\n", msg.c_str());
+}
+
+} // namespace detail
+} // namespace mopac

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Logging and error-reporting helpers in the gem5 tradition.
+ *
+ * - panic():  an internal invariant was violated (simulator bug);
+ *             aborts so a debugger / core dump can inspect the state.
+ * - fatal():  the user asked for something impossible (bad config);
+ *             exits with status 1.
+ * - warn():   something is suspicious but simulation can continue.
+ * - inform(): status messages.
+ */
+
+#ifndef MOPAC_COMMON_LOG_HH
+#define MOPAC_COMMON_LOG_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+
+#include "format.hh"
+
+namespace mopac
+{
+
+namespace detail
+{
+
+[[noreturn]] void panicImpl(std::string_view where, const std::string &msg);
+[[noreturn]] void fatalImpl(const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+} // namespace detail
+
+/** Abort with a formatted message; use for internal invariant failures. */
+template <typename... Args>
+[[noreturn]] void
+panic(std::string_view fmt, Args &&...args)
+{
+    detail::panicImpl("panic", mopac::format(fmt, std::forward<Args>(args)...));
+}
+
+/** Exit(1) with a formatted message; use for user/configuration errors. */
+template <typename... Args>
+[[noreturn]] void
+fatal(std::string_view fmt, Args &&...args)
+{
+    detail::fatalImpl(mopac::format(fmt, std::forward<Args>(args)...));
+}
+
+/** Print a warning; simulation continues. */
+template <typename... Args>
+void
+warn(std::string_view fmt, Args &&...args)
+{
+    detail::warnImpl(mopac::format(fmt, std::forward<Args>(args)...));
+}
+
+/** Print an informational status message. */
+template <typename... Args>
+void
+inform(std::string_view fmt, Args &&...args)
+{
+    detail::informImpl(mopac::format(fmt, std::forward<Args>(args)...));
+}
+
+/**
+ * Assert a simulator invariant.  Active in all build types (unlike
+ * assert()); failure is a simulator bug and calls panic().
+ */
+#define MOPAC_ASSERT(cond)                                                  \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::mopac::panic("assertion failed: {} at {}:{}", #cond,          \
+                           __FILE__, __LINE__);                             \
+        }                                                                   \
+    } while (0)
+
+} // namespace mopac
+
+#endif // MOPAC_COMMON_LOG_HH

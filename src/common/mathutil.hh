@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Small numeric helpers shared across the analysis and bench code.
+ */
+
+#ifndef MOPAC_COMMON_MATHUTIL_HH
+#define MOPAC_COMMON_MATHUTIL_HH
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "log.hh"
+
+namespace mopac
+{
+
+/** Arithmetic mean of a vector (0 if empty). */
+inline double
+mean(const std::vector<double> &xs)
+{
+    if (xs.empty()) {
+        return 0.0;
+    }
+    double s = 0.0;
+    for (double x : xs) {
+        s += x;
+    }
+    return s / static_cast<double>(xs.size());
+}
+
+/**
+ * Geometric mean of a vector of positive values (0 if empty).
+ * Used for averaging speedup ratios across workloads.
+ */
+inline double
+geomean(const std::vector<double> &xs)
+{
+    if (xs.empty()) {
+        return 0.0;
+    }
+    double log_sum = 0.0;
+    for (double x : xs) {
+        MOPAC_ASSERT(x > 0.0);
+        log_sum += std::log(x);
+    }
+    return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+/** True if @p x is a power of two (x > 0). */
+constexpr bool
+isPowerOfTwo(std::uint64_t x)
+{
+    return x != 0 && (x & (x - 1)) == 0;
+}
+
+/** floor(log2(x)) for x > 0. */
+constexpr unsigned
+floorLog2(std::uint64_t x)
+{
+    unsigned r = 0;
+    while (x >>= 1) {
+        ++r;
+    }
+    return r;
+}
+
+/** Integer ceiling division. */
+constexpr std::uint64_t
+ceilDiv(std::uint64_t a, std::uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+} // namespace mopac
+
+#endif // MOPAC_COMMON_MATHUTIL_HH

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Histogram and StatRegistry implementation.
+ */
+
+#include "stats.hh"
+
+#include <algorithm>
+
+#include "format.hh"
+#include "log.hh"
+
+namespace mopac
+{
+
+Histogram::Histogram(std::uint64_t bucket_width, std::size_t num_buckets)
+    : bucket_width_(bucket_width), buckets_(num_buckets + 1, 0)
+{
+    MOPAC_ASSERT(bucket_width > 0);
+    MOPAC_ASSERT(num_buckets > 0);
+}
+
+void
+Histogram::add(std::uint64_t sample)
+{
+    const std::size_t idx = std::min<std::size_t>(
+        sample / bucket_width_, buckets_.size() - 1);
+    ++buckets_[idx];
+    if (count_ == 0) {
+        min_ = max_ = sample;
+    } else {
+        min_ = std::min(min_, sample);
+        max_ = std::max(max_, sample);
+    }
+    ++count_;
+    sum_ += sample;
+}
+
+double
+Histogram::mean() const
+{
+    if (count_ == 0) {
+        return 0.0;
+    }
+    return static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+std::uint64_t
+Histogram::quantile(double p) const
+{
+    if (count_ == 0) {
+        return 0;
+    }
+    p = std::clamp(p, 0.0, 1.0);
+    const auto target = static_cast<std::uint64_t>(
+        p * static_cast<double>(count_));
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        seen += buckets_[i];
+        if (seen > target) {
+            return (i + 1) * bucket_width_ - 1;
+        }
+    }
+    return max_;
+}
+
+void
+Histogram::reset()
+{
+    std::fill(buckets_.begin(), buckets_.end(), 0);
+    count_ = sum_ = min_ = max_ = 0;
+}
+
+void
+StatRegistry::addScalar(const std::string &name, const std::uint64_t *value)
+{
+    MOPAC_ASSERT(value != nullptr);
+    entries_.push_back({name, value});
+}
+
+void
+StatRegistry::addReal(const std::string &name, const double *value)
+{
+    MOPAC_ASSERT(value != nullptr);
+    entries_.push_back({name, value});
+}
+
+void
+StatRegistry::dump(std::ostream &os) const
+{
+    for (const auto &entry : entries_) {
+        if (std::holds_alternative<const std::uint64_t *>(entry.value)) {
+            os << mopac::format("{:<48} {}\n", entry.name,
+                              *std::get<const std::uint64_t *>(entry.value));
+        } else {
+            os << mopac::format("{:<48} {:.6g}\n", entry.name,
+                              *std::get<const double *>(entry.value));
+        }
+    }
+}
+
+const StatRegistry::Entry *
+StatRegistry::find(const std::string &name) const
+{
+    for (const auto &entry : entries_) {
+        if (entry.name == name) {
+            return &entry;
+        }
+    }
+    return nullptr;
+}
+
+std::uint64_t
+StatRegistry::scalar(const std::string &name) const
+{
+    const Entry *entry = find(name);
+    if (entry == nullptr ||
+        !std::holds_alternative<const std::uint64_t *>(entry->value)) {
+        panic("no scalar stat named '{}'", name);
+    }
+    return *std::get<const std::uint64_t *>(entry->value);
+}
+
+double
+StatRegistry::real(const std::string &name) const
+{
+    const Entry *entry = find(name);
+    if (entry == nullptr ||
+        !std::holds_alternative<const double *>(entry->value)) {
+        panic("no real stat named '{}'", name);
+    }
+    return *std::get<const double *>(entry->value);
+}
+
+bool
+StatRegistry::has(const std::string &name) const
+{
+    return find(name) != nullptr;
+}
+
+} // namespace mopac

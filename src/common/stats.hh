@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Lightweight statistics: histograms and a named-stat registry.
+ *
+ * Components keep plain counters as members for speed, then register
+ * them (by reference) in a StatRegistry so the runner can dump every
+ * statistic as "name value" lines at the end of a simulation, in the
+ * style of DRAMsim3 / gem5 stat files.
+ */
+
+#ifndef MOPAC_COMMON_STATS_HH
+#define MOPAC_COMMON_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace mopac
+{
+
+/**
+ * A streaming histogram over unsigned samples with fixed-width
+ * buckets, also tracking exact count / sum / min / max.
+ */
+class Histogram
+{
+  public:
+    /**
+     * @param bucket_width Width of each bucket.
+     * @param num_buckets Number of buckets; samples beyond the last
+     *        bucket are accumulated in an overflow bucket.
+     */
+    explicit Histogram(std::uint64_t bucket_width = 1,
+                       std::size_t num_buckets = 64);
+
+    /** Record one sample. */
+    void add(std::uint64_t sample);
+
+    /** Number of recorded samples. */
+    std::uint64_t count() const { return count_; }
+
+    /** Sum of recorded samples. */
+    std::uint64_t sum() const { return sum_; }
+
+    /** Arithmetic mean (0 if empty). */
+    double mean() const;
+
+    std::uint64_t minValue() const { return min_; }
+    std::uint64_t maxValue() const { return max_; }
+
+    /**
+     * Approximate p-quantile (0 <= p <= 1) from the bucketed data;
+     * returns the upper edge of the bucket containing the quantile.
+     */
+    std::uint64_t quantile(double p) const;
+
+    /** Raw bucket counts; the final entry is the overflow bucket. */
+    const std::vector<std::uint64_t> &buckets() const { return buckets_; }
+
+    std::uint64_t bucketWidth() const { return bucket_width_; }
+
+    /** Reset all recorded data. */
+    void reset();
+
+  private:
+    std::uint64_t bucket_width_;
+    std::vector<std::uint64_t> buckets_;
+    std::uint64_t count_ = 0;
+    std::uint64_t sum_ = 0;
+    std::uint64_t min_ = 0;
+    std::uint64_t max_ = 0;
+};
+
+/**
+ * Registry of named statistics.  Holds references to counters owned by
+ * components; dump() renders them in registration order.
+ */
+class StatRegistry
+{
+  public:
+    /** Register an unsigned counter under a dotted name. */
+    void addScalar(const std::string &name, const std::uint64_t *value);
+
+    /** Register a floating-point statistic under a dotted name. */
+    void addReal(const std::string &name, const double *value);
+
+    /** Render "name value" lines for all registered stats. */
+    void dump(std::ostream &os) const;
+
+    /** Look up a scalar by name; panics if absent or wrong type. */
+    std::uint64_t scalar(const std::string &name) const;
+
+    /** Look up a real by name; panics if absent or wrong type. */
+    double real(const std::string &name) const;
+
+    /** True if any stat with this name exists. */
+    bool has(const std::string &name) const;
+
+    std::size_t size() const { return entries_.size(); }
+
+  private:
+    struct Entry
+    {
+        std::string name;
+        std::variant<const std::uint64_t *, const double *> value;
+    };
+
+    const Entry *find(const std::string &name) const;
+
+    std::vector<Entry> entries_;
+};
+
+} // namespace mopac
+
+#endif // MOPAC_COMMON_STATS_HH

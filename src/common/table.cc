@@ -1,0 +1,133 @@
+/**
+ * @file
+ * TextTable implementation.
+ */
+
+#include "table.hh"
+
+#include <algorithm>
+
+#include "format.hh"
+#include "log.hh"
+
+namespace mopac
+{
+
+TextTable::TextTable(std::string title) : title_(std::move(title))
+{
+}
+
+void
+TextTable::header(std::vector<std::string> cells)
+{
+    header_ = std::move(cells);
+}
+
+void
+TextTable::row(std::vector<std::string> cells)
+{
+    if (!header_.empty() && cells.size() != header_.size()) {
+        panic("table row arity {} != header arity {}", cells.size(),
+              header_.size());
+    }
+    rows_.push_back({std::move(cells), false});
+}
+
+void
+TextTable::separator()
+{
+    rows_.push_back({{}, true});
+}
+
+void
+TextTable::note(std::string text)
+{
+    notes_.push_back(std::move(text));
+}
+
+std::size_t
+TextTable::numRows() const
+{
+    std::size_t n = 0;
+    for (const auto &r : rows_) {
+        if (!r.is_separator) {
+            ++n;
+        }
+    }
+    return n;
+}
+
+void
+TextTable::print(std::ostream &os) const
+{
+    // Compute column widths across header + all rows.
+    std::vector<std::size_t> widths;
+    auto widen = [&widths](const std::vector<std::string> &cells) {
+        if (cells.size() > widths.size()) {
+            widths.resize(cells.size(), 0);
+        }
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            widths[i] = std::max(widths[i], cells[i].size());
+        }
+    };
+    widen(header_);
+    for (const auto &r : rows_) {
+        widen(r.cells);
+    }
+
+    std::size_t total = 0;
+    for (std::size_t w : widths) {
+        total += w + 3;
+    }
+    total = (total >= 2) ? total - 2 : total;
+
+    if (!title_.empty()) {
+        os << "== " << title_ << " ==\n";
+    }
+    const std::string rule(total, '-');
+    auto print_cells = [&](const std::vector<std::string> &cells) {
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            os << mopac::format("{:<{}}", cells[i], widths[i]);
+            if (i + 1 < cells.size()) {
+                os << " | ";
+            }
+        }
+        os << "\n";
+    };
+
+    if (!header_.empty()) {
+        print_cells(header_);
+        os << rule << "\n";
+    }
+    for (const auto &r : rows_) {
+        if (r.is_separator) {
+            os << rule << "\n";
+        } else {
+            print_cells(r.cells);
+        }
+    }
+    for (const auto &n : notes_) {
+        os << "  * " << n << "\n";
+    }
+    os << "\n";
+}
+
+std::string
+TextTable::fmt(double value, int digits)
+{
+    return mopac::format("{:.{}f}", value, digits);
+}
+
+std::string
+TextTable::pct(double fraction, int digits)
+{
+    return mopac::format("{:.{}f}%", fraction * 100.0, digits);
+}
+
+std::string
+TextTable::sci(double value, int digits)
+{
+    return mopac::format("{:.{}e}", value, digits);
+}
+
+} // namespace mopac

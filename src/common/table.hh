@@ -1,0 +1,69 @@
+/**
+ * @file
+ * ASCII table rendering for the paper-reproduction benchmark binaries.
+ *
+ * Every bench target prints the same rows / series as the paper's
+ * corresponding table or figure; this helper keeps that output aligned
+ * and uniform.
+ */
+
+#ifndef MOPAC_COMMON_TABLE_HH
+#define MOPAC_COMMON_TABLE_HH
+
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace mopac
+{
+
+/** Column-aligned ASCII table with an optional title and footnotes. */
+class TextTable
+{
+  public:
+    explicit TextTable(std::string title = "");
+
+    /** Set the header row. */
+    void header(std::vector<std::string> cells);
+
+    /** Append a data row (must match header arity if a header is set). */
+    void row(std::vector<std::string> cells);
+
+    /** Append a horizontal separator between data rows. */
+    void separator();
+
+    /** Append a footnote line rendered below the table. */
+    void note(std::string text);
+
+    /** Render to a stream. */
+    void print(std::ostream &os) const;
+
+    /** Number of data rows added so far. */
+    std::size_t numRows() const;
+
+    /** Format helper: fixed-point with @p digits decimals. */
+    static std::string fmt(double value, int digits = 2);
+
+    /** Format helper: percentage with @p digits decimals ("3.50%"). */
+    static std::string pct(double fraction, int digits = 1);
+
+    /** Format helper: scientific notation ("5.99e-09"). */
+    static std::string sci(double value, int digits = 2);
+
+  private:
+    struct Row
+    {
+        std::vector<std::string> cells;
+        bool is_separator = false;
+    };
+
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<Row> rows_;
+    std::vector<std::string> notes_;
+};
+
+} // namespace mopac
+
+#endif // MOPAC_COMMON_TABLE_HH

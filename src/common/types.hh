@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Fundamental scalar types and time conversion helpers.
+ *
+ * The simulator runs on a single global clock at the CPU frequency
+ * (4 GHz by default, i.e. 0.25 ns per cycle).  All DRAM timing
+ * parameters are specified in nanoseconds and converted to whole CPU
+ * cycles with ceiling rounding, which over-constrains each parameter
+ * by strictly less than one CPU cycle, identically for the baseline
+ * and PRAC timing sets.
+ */
+
+#ifndef MOPAC_COMMON_TYPES_HH
+#define MOPAC_COMMON_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace mopac
+{
+
+/** Global simulation time, in CPU cycles. */
+using Cycle = std::uint64_t;
+
+/** Physical byte address. */
+using Addr = std::uint64_t;
+
+/** Sentinel for "no time" / "never". */
+constexpr Cycle kNeverCycle = std::numeric_limits<Cycle>::max();
+
+/** Sentinel for invalid addresses / indices. */
+constexpr std::uint64_t kInvalid64 = std::numeric_limits<std::uint64_t>::max();
+constexpr std::uint32_t kInvalid32 = std::numeric_limits<std::uint32_t>::max();
+
+/** CPU clock frequency used by the evaluation (Table 3: 4 GHz). */
+constexpr double kCpuFreqGHz = 4.0;
+
+/** Number of CPU cycles per nanosecond. */
+constexpr double kCyclesPerNs = kCpuFreqGHz;
+
+/**
+ * Convert a latency in nanoseconds to CPU cycles, rounding up.
+ *
+ * @param ns Latency in nanoseconds.
+ * @return Equivalent number of whole CPU cycles (ceiling).
+ */
+constexpr Cycle
+nsToCycles(double ns)
+{
+    const double cycles = ns * kCyclesPerNs;
+    const auto floor_c = static_cast<Cycle>(cycles);
+    return (static_cast<double>(floor_c) >= cycles) ? floor_c : floor_c + 1;
+}
+
+/** Convert CPU cycles back to nanoseconds (exact for our 4 GHz clock). */
+constexpr double
+cyclesToNs(Cycle cycles)
+{
+    return static_cast<double>(cycles) / kCyclesPerNs;
+}
+
+} // namespace mopac
+
+#endif // MOPAC_COMMON_TYPES_HH

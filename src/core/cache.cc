@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Cache implementation.
+ */
+
+#include "cache.hh"
+
+#include "common/log.hh"
+#include "common/mathutil.hh"
+
+namespace mopac
+{
+
+Cache::Cache(std::uint64_t size_bytes, unsigned ways,
+             unsigned line_bytes)
+    : ways_(ways)
+{
+    if (ways == 0 || line_bytes == 0 || size_bytes == 0) {
+        fatal("cache: all parameters must be non-zero");
+    }
+    const std::uint64_t lines = size_bytes / line_bytes;
+    if (lines % ways != 0) {
+        fatal("cache: capacity {} not divisible into {} ways",
+              size_bytes, ways);
+    }
+    num_sets_ = static_cast<unsigned>(lines / ways);
+    if (!isPowerOfTwo(num_sets_)) {
+        fatal("cache: number of sets ({}) must be a power of two",
+              num_sets_);
+    }
+    lines_.resize(lines);
+}
+
+Cache::AccessResult
+Cache::access(Addr line_addr, bool is_write)
+{
+    AccessResult res;
+    const unsigned set =
+        static_cast<unsigned>(line_addr & (num_sets_ - 1));
+    const Addr tag = line_addr >> floorLog2(num_sets_);
+    Line *base = &lines_[static_cast<std::size_t>(set) * ways_];
+    ++use_clock_;
+
+    Line *victim = base;
+    for (unsigned w = 0; w < ways_; ++w) {
+        Line &line = base[w];
+        if (line.tag == tag) {
+            ++hits_;
+            res.hit = true;
+            line.lru = use_clock_;
+            line.dirty = line.dirty || is_write;
+            return res;
+        }
+        if (line.tag == kInvalid64) {
+            victim = &line;
+        } else if (victim->tag != kInvalid64 &&
+                   line.lru < victim->lru) {
+            victim = &line;
+        }
+    }
+
+    ++misses_;
+    if (victim->tag != kInvalid64 && victim->dirty) {
+        res.writeback = true;
+        res.victim_line =
+            (victim->tag << floorLog2(num_sets_)) | set;
+        ++writebacks_;
+    }
+    victim->tag = tag;
+    victim->dirty = is_write;
+    victim->lru = use_clock_;
+    return res;
+}
+
+bool
+Cache::contains(Addr line_addr) const
+{
+    const unsigned set =
+        static_cast<unsigned>(line_addr & (num_sets_ - 1));
+    const Addr tag = line_addr >> floorLog2(num_sets_);
+    const Line *base = &lines_[static_cast<std::size_t>(set) * ways_];
+    for (unsigned w = 0; w < ways_; ++w) {
+        if (base[w].tag == tag) {
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+Cache::flush()
+{
+    for (Line &line : lines_) {
+        line = Line{};
+    }
+    use_clock_ = 0;
+}
+
+} // namespace mopac

@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Core implementation.
+ */
+
+#include "core.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace mopac
+{
+
+Core::Core(unsigned id, const CoreParams &params, TraceSource *trace,
+           std::uint64_t target_insts, RequestSink *sink)
+    : id_(id), params_(params), trace_(trace),
+      target_insts_(target_insts), sink_(sink)
+{
+    MOPAC_ASSERT(trace_ != nullptr && sink_ != nullptr);
+    MOPAC_ASSERT(params_.rob_entries > 0 && params_.width > 0);
+    MOPAC_ASSERT(params_.mshrs > 0);
+}
+
+void
+Core::tick(Cycle now)
+{
+    // Release MSHRs whose data has arrived.
+    for (MemOp &op : ops_) {
+        if (op.mshr_held && op.done && now >= op.done_at) {
+            op.mshr_held = false;
+            MOPAC_ASSERT(outstanding_reads_ > 0);
+            --outstanding_reads_;
+        }
+    }
+
+    retire(now);
+    fetch(now);
+    issue(now);
+
+    if (retire_inst_ >= target_insts_ && finish_cycle_ == 0) {
+        finish_cycle_ = now;
+        finish_insts_ = retire_inst_;
+    }
+}
+
+void
+Core::retire(Cycle now)
+{
+    unsigned budget = params_.width;
+    while (budget > 0 && retire_inst_ < fetch_inst_) {
+        if (!ops_.empty() && ops_.front().inst_idx == retire_inst_) {
+            MemOp &op = ops_.front();
+            if (op.is_write) {
+                // Posted write: retires once the controller accepted
+                // it (write-buffer backpressure otherwise).
+                if (!op.issued) {
+                    break;
+                }
+            } else {
+                if (!op.done || now < op.done_at) {
+                    break;
+                }
+                if (op.mshr_held) {
+                    op.mshr_held = false;
+                    MOPAC_ASSERT(outstanding_reads_ > 0);
+                    --outstanding_reads_;
+                }
+            }
+            ops_.pop_front();
+        }
+        ++retire_inst_;
+        --budget;
+    }
+}
+
+void
+Core::fetch(Cycle)
+{
+    unsigned budget = params_.width;
+    while (budget > 0 &&
+           fetch_inst_ < retire_inst_ + params_.rob_entries) {
+        if (!record_pending_) {
+            record_ = trace_->next();
+            gap_left_ = record_.inst_gap;
+            record_pending_ = true;
+        }
+        if (gap_left_ > 0) {
+            const std::uint64_t rob_space =
+                retire_inst_ + params_.rob_entries - fetch_inst_;
+            const std::uint32_t n = static_cast<std::uint32_t>(
+                std::min<std::uint64_t>({gap_left_, budget, rob_space}));
+            fetch_inst_ += n;
+            gap_left_ -= n;
+            budget -= n;
+            continue;
+        }
+        // Dispatch the memory operation itself.
+        MemOp op;
+        op.inst_idx = fetch_inst_;
+        op.line_addr = record_.line_addr;
+        op.is_write = record_.is_write;
+        op.depends_on_prev = record_.depends_on_prev;
+        ops_.push_back(op);
+        ++fetch_inst_;
+        --budget;
+        record_pending_ = false;
+    }
+}
+
+void
+Core::issue(Cycle now)
+{
+    unsigned budget = params_.width;
+    bool prev_read_done = true;
+    bool prev_was_read = false;
+    for (MemOp &op : ops_) {
+        const bool dep_ok =
+            !op.depends_on_prev || !prev_was_read || prev_read_done;
+        if (!op.issued && budget > 0) {
+            if (op.is_write) {
+                Request req;
+                req.line_addr = op.line_addr;
+                req.is_write = true;
+                req.core_id = id_;
+                if (sink_->trySend(req, now)) {
+                    op.issued = true;
+                    ++issued_writes_;
+                    --budget;
+                }
+            } else if (dep_ok && outstanding_reads_ < params_.mshrs) {
+                Request req;
+                req.line_addr = op.line_addr;
+                req.is_write = false;
+                req.core_id = id_;
+                req.req_id = next_req_id_++;
+                if (sink_->trySend(req, now)) {
+                    op.issued = true;
+                    op.req_id = req.req_id;
+                    op.mshr_held = true;
+                    ++outstanding_reads_;
+                    ++issued_reads_;
+                    --budget;
+                }
+            }
+        }
+        if (!op.is_write) {
+            prev_was_read = true;
+            prev_read_done = op.done && now >= op.done_at;
+        } else {
+            prev_was_read = false;
+        }
+    }
+}
+
+void
+Core::onReadComplete(std::uint64_t req_id, Cycle done_cycle)
+{
+    for (MemOp &op : ops_) {
+        if (!op.is_write && op.issued && !op.done &&
+            op.req_id == req_id) {
+            op.done = true;
+            op.done_at = done_cycle;
+            return;
+        }
+    }
+    panic("core {}: completion for unknown req_id {}", id_, req_id);
+}
+
+void
+Core::startMeasurement(Cycle now)
+{
+    measure_start_cycle_ = now;
+    measure_start_insts_ = retire_inst_;
+}
+
+std::uint64_t
+Core::measuredInsts() const
+{
+    // Once done, freeze at the count captured with finish_cycle_ so
+    // post-target retirement (while slower cores finish) is excluded.
+    const std::uint64_t end =
+        finish_cycle_ > 0 ? finish_insts_ : retire_inst_;
+    return end - measure_start_insts_;
+}
+
+double
+Core::measuredIpc() const
+{
+    const Cycle end = finish_cycle_ > 0 ? finish_cycle_ : 0;
+    if (end <= measure_start_cycle_) {
+        return 0.0;
+    }
+    return static_cast<double>(measuredInsts()) /
+           static_cast<double>(end - measure_start_cycle_);
+}
+
+} // namespace mopac

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Trace-driven out-of-order core timing model (USIMM style).
+ *
+ * The model captures the two core-side behaviours that govern
+ * sensitivity to memory latency (Table 3: 4 GHz, 4-wide, 256-entry
+ * ROB):
+ *
+ *  - in-order retirement, up to `width` instructions per cycle, with
+ *    a load at the ROB head blocking retirement until its data
+ *    returns (latency-bound stalls);
+ *  - ROB-bounded fetch-ahead with an MSHR limit, so independent
+ *    misses overlap (bandwidth-bound workloads hide added latency).
+ *
+ * Writes retire through a posted write buffer: they only block if the
+ * memory controller's write queue refuses them.
+ */
+
+#ifndef MOPAC_CORE_CORE_HH
+#define MOPAC_CORE_CORE_HH
+
+#include <cstdint>
+#include <deque>
+
+#include "common/types.hh"
+#include "core/trace.hh"
+#include "mc/request.hh"
+
+namespace mopac
+{
+
+/** Where cores hand their memory requests (implemented by the System). */
+class RequestSink
+{
+  public:
+    virtual ~RequestSink() = default;
+
+    /**
+     * Try to enqueue @p req.
+     * @return false if the destination queue is full (retry later).
+     */
+    virtual bool trySend(const Request &req, Cycle now) = 0;
+};
+
+/** Core tuning parameters. */
+struct CoreParams
+{
+    unsigned rob_entries = 256;
+    unsigned width = 4;
+    unsigned mshrs = 16;
+};
+
+/** One trace-driven core. */
+class Core
+{
+  public:
+    /**
+     * @param id Core index (used as Request::core_id).
+     * @param params Microarchitectural parameters.
+     * @param trace Instruction stream (not owned).
+     * @param target_insts Instructions to retire before reporting done.
+     * @param sink Memory request destination (not owned).
+     */
+    Core(unsigned id, const CoreParams &params, TraceSource *trace,
+         std::uint64_t target_insts, RequestSink *sink);
+
+    /** Advance one cycle. */
+    void tick(Cycle now);
+
+    /** A read issued by this core completed (data at @p done_cycle). */
+    void onReadComplete(std::uint64_t req_id, Cycle done_cycle);
+
+    /** Has the core retired its target instruction count? */
+    bool done() const { return retire_inst_ >= target_insts_; }
+
+    std::uint64_t retiredInsts() const { return retire_inst_; }
+
+    /** Cycle at which the target was reached (valid once done()). */
+    Cycle finishCycle() const { return finish_cycle_; }
+
+    /**
+     * Begin the measured interval: remember the current instruction
+     * count and cycle so IPC excludes warmup.
+     */
+    void startMeasurement(Cycle now);
+
+    /**
+     * Retired instructions inside the measured interval
+     * (measurement start to target; cores keep running past their
+     * target until every core finishes, and those extra instructions
+     * are excluded).
+     */
+    std::uint64_t measuredInsts() const;
+
+    /** IPC over the measured interval (valid once done()). */
+    double measuredIpc() const;
+
+    unsigned id() const { return id_; }
+
+    std::uint64_t issuedReads() const { return issued_reads_; }
+    std::uint64_t issuedWrites() const { return issued_writes_; }
+
+  private:
+    /** An in-flight memory operation occupying a ROB slot. */
+    struct MemOp
+    {
+        std::uint64_t inst_idx;
+        Addr line_addr;
+        bool is_write;
+        bool depends_on_prev;
+        bool issued = false;
+        bool done = false;
+        bool mshr_held = false;
+        Cycle done_at = kNeverCycle;
+        std::uint64_t req_id = 0;
+    };
+
+    void retire(Cycle now);
+    void fetch(Cycle now);
+    void issue(Cycle now);
+
+    unsigned id_;
+    CoreParams params_;
+    TraceSource *trace_;
+    std::uint64_t target_insts_;
+    RequestSink *sink_;
+
+    std::uint64_t fetch_inst_ = 0;
+    std::uint64_t retire_inst_ = 0;
+    std::deque<MemOp> ops_;
+
+    // Partially dispatched trace record.
+    bool record_pending_ = false;
+    TraceRecord record_{};
+    std::uint32_t gap_left_ = 0;
+
+    unsigned outstanding_reads_ = 0;
+    std::uint64_t next_req_id_ = 1;
+    std::uint64_t issued_reads_ = 0;
+    std::uint64_t issued_writes_ = 0;
+
+    Cycle finish_cycle_ = 0;
+    /** Retired-instruction count when the target was reached. */
+    std::uint64_t finish_insts_ = 0;
+    Cycle measure_start_cycle_ = 0;
+    std::uint64_t measure_start_insts_ = 0;
+};
+
+} // namespace mopac
+
+#endif // MOPAC_CORE_CORE_HH

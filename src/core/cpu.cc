@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Cpu implementation.
+ */
+
+#include "cpu.hh"
+
+#include "common/log.hh"
+
+namespace mopac
+{
+
+Cpu::Cpu(const CoreParams &params,
+         const std::vector<TraceSource *> &traces,
+         std::uint64_t target_insts, RequestSink *sink)
+{
+    MOPAC_ASSERT(!traces.empty());
+    cores_.reserve(traces.size());
+    for (unsigned i = 0; i < traces.size(); ++i) {
+        cores_.push_back(std::make_unique<Core>(i, params, traces[i],
+                                                target_insts, sink));
+    }
+}
+
+std::vector<double>
+Cpu::measuredIpcs() const
+{
+    std::vector<double> out;
+    out.reserve(cores_.size());
+    for (const auto &core : cores_) {
+        out.push_back(core->measuredIpc());
+    }
+    return out;
+}
+
+} // namespace mopac

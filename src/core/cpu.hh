@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Multi-core wrapper: owns the cores, routes completions, and
+ * computes weighted-speedup inputs.
+ */
+
+#ifndef MOPAC_CORE_CPU_HH
+#define MOPAC_CORE_CPU_HH
+
+#include <memory>
+#include <vector>
+
+#include "core/core.hh"
+#include "mc/request.hh"
+
+namespace mopac
+{
+
+/** The chip multiprocessor: N trace-driven cores. */
+class Cpu : public MemClient
+{
+  public:
+    /**
+     * @param params Per-core parameters (identical cores).
+     * @param traces One trace per core (not owned).
+     * @param target_insts Instructions each core must retire.
+     * @param sink Memory request destination (not owned).
+     */
+    Cpu(const CoreParams &params,
+        const std::vector<TraceSource *> &traces,
+        std::uint64_t target_insts, RequestSink *sink);
+
+    /** Advance every core one cycle. */
+    void
+    tick(Cycle now)
+    {
+        for (auto &core : cores_) {
+            core->tick(now);
+        }
+    }
+
+    /** All cores reached their instruction target? */
+    bool
+    allDone() const
+    {
+        for (const auto &core : cores_) {
+            if (!core->done()) {
+                return false;
+            }
+        }
+        return true;
+    }
+
+    /** MemClient: dispatch a read completion to its core. */
+    void
+    memComplete(const Request &req, Cycle done_cycle) override
+    {
+        cores_.at(req.core_id)->onReadComplete(req.req_id, done_cycle);
+    }
+
+    /** Start the measured interval on every core. */
+    void
+    startMeasurement(Cycle now)
+    {
+        for (auto &core : cores_) {
+            core->startMeasurement(now);
+        }
+    }
+
+    unsigned numCores() const
+    {
+        return static_cast<unsigned>(cores_.size());
+    }
+
+    Core &core(unsigned i) { return *cores_.at(i); }
+    const Core &core(unsigned i) const { return *cores_.at(i); }
+
+    /** Per-core IPC over the measured interval. */
+    std::vector<double> measuredIpcs() const;
+
+  private:
+    std::vector<std::unique_ptr<Core>> cores_;
+};
+
+} // namespace mopac
+
+#endif // MOPAC_CORE_CPU_HH

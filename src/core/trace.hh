@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Instruction-trace abstraction for the trace-driven cores.
+ *
+ * A trace is a stream of memory operations separated by runs of
+ * non-memory instructions, the standard format for memory-system
+ * studies (the paper replays SPEC-2017 / STREAM / masstree traces at
+ * 100M instructions; this repository synthesizes equivalent streams,
+ * see src/workload).  Addresses are line-granular and already placed
+ * in the issuing core's share of the physical address space.
+ */
+
+#ifndef MOPAC_CORE_TRACE_HH
+#define MOPAC_CORE_TRACE_HH
+
+#include <cstdint>
+#include <memory>
+
+#include "common/types.hh"
+
+namespace mopac
+{
+
+/** One memory operation plus the instruction gap preceding it. */
+struct TraceRecord
+{
+    /** Non-memory instructions retired before this operation. */
+    std::uint32_t inst_gap = 0;
+    /** Line address of the access. */
+    Addr line_addr = 0;
+    bool is_write = false;
+    /**
+     * True if this operation consumes the value of the previous
+     * memory read (pointer chasing): it cannot issue until that read
+     * completes.  Dependent-miss chains are what make a workload
+     * latency-bound rather than bandwidth-bound.
+     */
+    bool depends_on_prev = false;
+};
+
+/** An endless stream of trace records. */
+class TraceSource
+{
+  public:
+    virtual ~TraceSource() = default;
+
+    /** Produce the next record. */
+    virtual TraceRecord next() = 0;
+};
+
+} // namespace mopac
+
+#endif // MOPAC_CORE_TRACE_HH

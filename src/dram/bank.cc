@@ -1,0 +1,98 @@
+/**
+ * @file
+ * BankTiming implementation.
+ */
+
+#include "bank.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace mopac
+{
+
+BankTiming::BankTiming(const TimingSet *normal, const TimingSet *cu)
+    : normal_(normal), cu_(cu)
+{
+    MOPAC_ASSERT(normal_ != nullptr && cu_ != nullptr);
+}
+
+Cycle
+BankTiming::preReadyAt(bool counter_update) const
+{
+    const TimingSet *ts = counter_update ? cu_ : normal_;
+    return std::max(last_act_ + ts->tRAS, pre_cas_constraint_);
+}
+
+void
+BankTiming::act(Cycle now, std::uint32_t row)
+{
+    if (hasOpenRow()) {
+        panic("ACT to bank with open row {} at cycle {}", open_row_, now);
+    }
+    if (now < act_ready_) {
+        panic("ACT at cycle {} violates act_ready {}", now, act_ready_);
+    }
+    open_row_ = row;
+    open_since_ = now;
+    last_act_ = now;
+    last_cas_ = now;
+    cas_ready_ = now + normal_->tRCD;
+    pre_cas_constraint_ = now;
+}
+
+Cycle
+BankTiming::read(Cycle now)
+{
+    if (!hasOpenRow()) {
+        panic("RD to closed bank at cycle {}", now);
+    }
+    if (now < cas_ready_) {
+        panic("RD at cycle {} violates cas_ready {}", now, cas_ready_);
+    }
+    last_cas_ = now;
+    pre_cas_constraint_ =
+        std::max(pre_cas_constraint_, now + normal_->tRTP);
+    return now + normal_->tCL + normal_->tBL;
+}
+
+Cycle
+BankTiming::write(Cycle now)
+{
+    if (!hasOpenRow()) {
+        panic("WR to closed bank at cycle {}", now);
+    }
+    if (now < cas_ready_) {
+        panic("WR at cycle {} violates cas_ready {}", now, cas_ready_);
+    }
+    last_cas_ = now;
+    const Cycle burst_end = now + normal_->tCWL + normal_->tBL;
+    pre_cas_constraint_ =
+        std::max(pre_cas_constraint_, burst_end + normal_->tWR);
+    return burst_end;
+}
+
+void
+BankTiming::pre(Cycle now, bool counter_update)
+{
+    if (!hasOpenRow()) {
+        panic("PRE to closed bank at cycle {}", now);
+    }
+    if (now < preReadyAt(counter_update)) {
+        panic("PRE at cycle {} violates pre_ready {}", now,
+              preReadyAt(counter_update));
+    }
+    const TimingSet *ts = counter_update ? cu_ : normal_;
+    open_row_ = kInvalid32;
+    act_ready_ = std::max(act_ready_, now + ts->tRP);
+}
+
+void
+BankTiming::blockUntil(Cycle until)
+{
+    MOPAC_ASSERT(!hasOpenRow());
+    act_ready_ = std::max(act_ready_, until);
+}
+
+} // namespace mopac

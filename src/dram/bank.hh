@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Per-bank DRAM timing state machine.
+ *
+ * The bank enforces every intra-bank command-to-command constraint:
+ *
+ *   ACT -> RD/WR : tRCD
+ *   ACT -> PRE   : tRAS      (per precharge flavor; PRAC tRAS differs)
+ *   PRE -> ACT   : tRP       (per precharge flavor)
+ *   RD  -> PRE   : tRTP
+ *   WR  -> PRE   : tCWL + tBL + tWR
+ *
+ * tRC is enforced implicitly as tRAS + tRP of the flavors actually
+ * used (base: 32+14 = 46 ns; PRAC: 16+36 = 52 ns, matching Table 1).
+ *
+ * The scheduler queries *ReadyAt() to learn the earliest legal issue
+ * cycle for each command, so it can also compute how long to sleep
+ * when nothing is schedulable.
+ */
+
+#ifndef MOPAC_DRAM_BANK_HH
+#define MOPAC_DRAM_BANK_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+#include "dram/timing.hh"
+
+namespace mopac
+{
+
+/** Timing state for one DRAM bank. */
+class BankTiming
+{
+  public:
+    /**
+     * @param normal Timing set for regular commands (ACT/RD/WR/PRE).
+     * @param cu Timing set used by counter-update precharges (PREcu);
+     *        equal to @p normal for designs without PREcu.
+     */
+    BankTiming(const TimingSet *normal, const TimingSet *cu);
+
+    /** True when a row is open. */
+    bool hasOpenRow() const { return open_row_ != kInvalid32; }
+
+    /** The open row (invalid if closed). */
+    std::uint32_t openRow() const { return open_row_; }
+
+    /** Cycle at which the current row was opened. */
+    Cycle openSince() const { return open_since_; }
+
+    /** Cycle of the most recent CAS (RD/WR) to the open row. */
+    Cycle lastCas() const { return last_cas_; }
+
+    /** Earliest cycle an ACT may issue (bank must be closed). */
+    Cycle actReadyAt() const { return act_ready_; }
+
+    /** Earliest cycle a RD may issue (row must be open). */
+    Cycle readReadyAt() const { return cas_ready_; }
+
+    /** Earliest cycle a WR may issue (row must be open). */
+    Cycle writeReadyAt() const { return cas_ready_; }
+
+    /** Earliest cycle a PRE / PREcu may issue. */
+    Cycle preReadyAt(bool counter_update) const;
+
+    /** Issue ACT: open @p row. Panics if constraints are violated. */
+    void act(Cycle now, std::uint32_t row);
+
+    /**
+     * Issue RD.
+     * @return Cycle at which the full burst has been delivered.
+     */
+    Cycle read(Cycle now);
+
+    /** Issue WR. @return Cycle at which the burst completes. */
+    Cycle write(Cycle now);
+
+    /** Issue PRE/PREcu: close the open row. */
+    void pre(Cycle now, bool counter_update);
+
+    /**
+     * Block the (closed) bank until @p until; used for REF / RFM and
+     * ALERT stalls.
+     */
+    void blockUntil(Cycle until);
+
+  private:
+    const TimingSet *normal_;
+    const TimingSet *cu_;
+
+    std::uint32_t open_row_ = kInvalid32;
+    Cycle open_since_ = 0;
+    Cycle last_cas_ = 0;
+    /** Earliest next ACT (tRP and blockUntil constraints). */
+    Cycle act_ready_ = 0;
+    /** Earliest next CAS (tRCD after ACT). */
+    Cycle cas_ready_ = 0;
+    /** Earliest next PRE due to RD/WR recovery (tRTP / tWR). */
+    Cycle pre_cas_constraint_ = 0;
+    /** Time of the ACT that opened the current row (tRAS base). */
+    Cycle last_act_ = 0;
+};
+
+} // namespace mopac
+
+#endif // MOPAC_DRAM_BANK_HH

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * SecurityChecker implementation.
+ */
+
+#include "checker.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace mopac
+{
+
+SecurityChecker::SecurityChecker(unsigned banks, std::uint32_t rows,
+                                 unsigned chips, std::uint32_t trh)
+    : banks_(banks), rows_(rows), chips_(chips), trh_(trh),
+      counts_(static_cast<std::size_t>(banks) * rows * chips, 0)
+{
+    MOPAC_ASSERT(banks > 0 && rows > 0 && chips > 0);
+}
+
+void
+SecurityChecker::bumpChip(unsigned chip, unsigned bank, std::uint32_t row)
+{
+    std::uint32_t &c = counts_[index(chip, bank, row)];
+    ++c;
+    max_unmitigated_ = std::max(max_unmitigated_, c);
+    if (trh_ > 0 && c > trh_) {
+        ++violations_;
+    }
+}
+
+void
+SecurityChecker::onActivate(unsigned bank, std::uint32_t row, Cycle now)
+{
+    for (unsigned chip = 0; chip < chips_; ++chip) {
+        bumpChip(chip, bank, row);
+    }
+    if (epoch_enabled_) {
+        if (now >= epoch_start_ + epoch_len_) {
+            rollEpoch(now);
+        }
+        ++epoch_counts_[bank][row];
+    }
+}
+
+void
+SecurityChecker::onSweep(std::uint32_t row_begin, std::uint32_t row_end)
+{
+    MOPAC_ASSERT(row_begin <= row_end && row_end <= rows_);
+    for (unsigned chip = 0; chip < chips_; ++chip) {
+        for (unsigned bank = 0; bank < banks_; ++bank) {
+            auto base = counts_.begin() +
+                        static_cast<std::ptrdiff_t>(index(chip, bank, 0));
+            std::fill(base + row_begin, base + row_end, 0u);
+        }
+    }
+}
+
+void
+SecurityChecker::onVictimRefresh(unsigned chip, unsigned bank,
+                                 std::uint32_t row, Cycle now)
+{
+    (void)now;
+    const unsigned chip_begin = (chip == kAllChips) ? 0 : chip;
+    const unsigned chip_end = (chip == kAllChips) ? chips_ : chip + 1;
+    for (unsigned c = chip_begin; c < chip_end; ++c) {
+        // The aggressor's victims are now fresh: its exposure restarts.
+        counts_[index(c, bank, row)] = 0;
+        // Blast radius 2: rows r-2, r-1, r+1, r+2 are refreshed.  Per
+        // the threat model, a refresh of a row is an intervening event
+        // for that row, so its own count restarts too -- and the
+        // refresh activates it once, which is its first new act.
+        for (int d : {-2, -1, 1, 2}) {
+            const std::int64_t v = static_cast<std::int64_t>(row) + d;
+            if (v >= 0 && v < static_cast<std::int64_t>(rows_)) {
+                counts_[index(c, bank,
+                              static_cast<std::uint32_t>(v))] = 0;
+                bumpChip(c, bank, static_cast<std::uint32_t>(v));
+            }
+        }
+    }
+}
+
+std::uint32_t
+SecurityChecker::count(unsigned chip, unsigned bank,
+                       std::uint32_t row) const
+{
+    return counts_[index(chip, bank, row)];
+}
+
+void
+SecurityChecker::enableEpochTracking(Cycle epoch_cycles,
+                                     std::uint32_t hi1,
+                                     std::uint32_t hi2)
+{
+    MOPAC_ASSERT(epoch_cycles > 0 && hi1 > 0 && hi2 >= hi1);
+    epoch_enabled_ = true;
+    epoch_len_ = epoch_cycles;
+    epoch_hi1_ = hi1;
+    epoch_hi2_ = hi2;
+    epoch_start_ = 0;
+    epoch_counts_.assign(banks_, {});
+}
+
+void
+SecurityChecker::rollEpoch(Cycle now)
+{
+    finalizeEpoch();
+    // Skip forward over empty epochs so a burst after a long idle
+    // period starts a fresh epoch aligned to epoch_len_.
+    const Cycle elapsed = now - epoch_start_;
+    epoch_start_ += (elapsed / epoch_len_) * epoch_len_;
+}
+
+void
+SecurityChecker::finalizeEpoch()
+{
+    if (!epoch_enabled_) {
+        return;
+    }
+    for (auto &bank_map : epoch_counts_) {
+        for (const auto &[row, acts] : bank_map) {
+            if (acts >= epoch_hi1_) {
+                ++rows_act64_;
+            }
+            if (acts >= epoch_hi2_) {
+                ++rows_act200_;
+            }
+        }
+        bank_map.clear();
+    }
+    ++epochs_;
+}
+
+double
+SecurityChecker::act64PerBankPerEpoch() const
+{
+    if (epochs_ == 0) {
+        return 0.0;
+    }
+    return static_cast<double>(rows_act64_) /
+           (static_cast<double>(banks_) * static_cast<double>(epochs_));
+}
+
+double
+SecurityChecker::act200PerBankPerEpoch() const
+{
+    if (epochs_ == 0) {
+        return 0.0;
+    }
+    return static_cast<double>(rows_act200_) /
+           (static_cast<double>(banks_) * static_cast<double>(epochs_));
+}
+
+} // namespace mopac

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Ground-truth Rowhammer security checker.
+ *
+ * Independently of any mitigation engine's own (possibly approximate)
+ * counters, the checker keeps an oracle count of activations each row
+ * has received since the last event that restored its victims:
+ * the periodic refresh sweep covering the row, or a victim refresh of
+ * the row itself.  The paper's threat model (§2.1) declares an attack
+ * successful when any row receives more than T_RH activations without
+ * an intervening mitigation or refresh; the checker records exactly
+ * that, so tests can assert "max unmitigated activations < T_RH" for
+ * every engine under every attack pattern.
+ *
+ * DRAM chips on a DIMM see the same command stream but, under MoPAC,
+ * mitigate independently (their probabilistic counters desynchronize;
+ * Appendix B).  A row's bits in chip c are only safe if *that chip*
+ * refreshed the victims in time, so the oracle carries a chip
+ * dimension; synchronized designs use chips = 1.
+ *
+ * The checker can also track per-row activation counts per fixed-size
+ * epoch to reproduce Table 4's ACT-64+ / ACT-200+ columns.
+ */
+
+#ifndef MOPAC_DRAM_CHECKER_HH
+#define MOPAC_DRAM_CHECKER_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace mopac
+{
+
+/** "All chips" selector for victim refreshes. */
+constexpr unsigned kAllChips = ~0u;
+
+/** Oracle activation tracking for one sub-channel. */
+class SecurityChecker
+{
+  public:
+    /**
+     * @param banks Banks in the sub-channel.
+     * @param rows Rows per bank.
+     * @param chips Independent mitigation domains (DRAM chips).
+     * @param trh Rowhammer threshold being defended.
+     */
+    SecurityChecker(unsigned banks, std::uint32_t rows, unsigned chips,
+                    std::uint32_t trh);
+
+    /** Record an activation of (bank, row) at @p now (all chips). */
+    void onActivate(unsigned bank, std::uint32_t row, Cycle now);
+
+    /** Periodic sweep refreshed rows [begin, end) in every bank. */
+    void onSweep(std::uint32_t row_begin, std::uint32_t row_end);
+
+    /**
+     * A mitigation refreshed the victims of @p row in @p chip
+     * (kAllChips for synchronized designs): reset the row's oracle
+     * count there; each victim (blast radius 2) is itself activated
+     * once in that chip.
+     */
+    void onVictimRefresh(unsigned chip, unsigned bank, std::uint32_t row,
+                         Cycle now);
+
+    /** Largest oracle count ever observed (post-increment). */
+    std::uint32_t maxUnmitigated() const { return max_unmitigated_; }
+
+    /** Number of activations that exceeded T_RH unmitigated. */
+    std::uint64_t violations() const { return violations_; }
+
+    std::uint32_t trh() const { return trh_; }
+    unsigned chips() const { return chips_; }
+
+    /** Current oracle count for a row in a chip. */
+    std::uint32_t count(unsigned chip, unsigned bank,
+                        std::uint32_t row) const;
+
+    /**
+     * Enable per-epoch hot-row tracking (Table 4 ACT-64+/200+).
+     * @param epoch_cycles Epoch length; the paper uses tREFW (32 ms).
+     * @param hi1 Activation count qualifying a row as "ACT-64+"
+     *        (scale it with the epoch: 64 * epoch / tREFW).
+     * @param hi2 Count qualifying as "ACT-200+".
+     */
+    void enableEpochTracking(Cycle epoch_cycles, std::uint32_t hi1 = 64,
+                             std::uint32_t hi2 = 200);
+
+    /** Close the current partial epoch and fold it into the stats. */
+    void finalizeEpoch();
+
+    /** Mean rows per bank per epoch with >= 64 activations. */
+    double act64PerBankPerEpoch() const;
+
+    /** Mean rows per bank per epoch with >= 200 activations. */
+    double act200PerBankPerEpoch() const;
+
+    std::uint64_t epochsCompleted() const { return epochs_; }
+
+  private:
+    std::size_t
+    index(unsigned chip, unsigned bank, std::uint32_t row) const
+    {
+        return (static_cast<std::size_t>(chip) * banks_ + bank) * rows_ +
+               row;
+    }
+
+    void bumpChip(unsigned chip, unsigned bank, std::uint32_t row);
+    void rollEpoch(Cycle now);
+
+    unsigned banks_;
+    std::uint32_t rows_;
+    unsigned chips_;
+    std::uint32_t trh_;
+    std::vector<std::uint32_t> counts_;
+    std::uint32_t max_unmitigated_ = 0;
+    std::uint64_t violations_ = 0;
+
+    // Epoch tracking (optional; activations are identical across
+    // chips, so epochs are tracked once).
+    bool epoch_enabled_ = false;
+    Cycle epoch_len_ = 0;
+    std::uint32_t epoch_hi1_ = 64;
+    std::uint32_t epoch_hi2_ = 200;
+    Cycle epoch_start_ = 0;
+    std::vector<std::unordered_map<std::uint32_t, std::uint32_t>>
+        epoch_counts_;
+    std::uint64_t epochs_ = 0;
+    std::uint64_t rows_act64_ = 0;
+    std::uint64_t rows_act200_ = 0;
+};
+
+} // namespace mopac
+
+#endif // MOPAC_DRAM_CHECKER_HH

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * DRAM command vocabulary.
+ */
+
+#ifndef MOPAC_DRAM_COMMAND_HH
+#define MOPAC_DRAM_COMMAND_HH
+
+#include <string_view>
+
+namespace mopac
+{
+
+/**
+ * Commands the memory controller can issue.  PRE_CU is the
+ * "precharge with counter update" command introduced by MoPAC-C
+ * (paper §5.1); under deterministic PRAC every precharge behaves as
+ * PRE_CU.
+ */
+enum class DramCommand : unsigned char
+{
+    kAct,
+    kPre,
+    kPreCu,
+    kRead,
+    kWrite,
+    kRef,
+    kRfm,
+};
+
+/** Printable name for a command. */
+constexpr std::string_view
+toString(DramCommand cmd)
+{
+    switch (cmd) {
+      case DramCommand::kAct: return "ACT";
+      case DramCommand::kPre: return "PRE";
+      case DramCommand::kPreCu: return "PREcu";
+      case DramCommand::kRead: return "RD";
+      case DramCommand::kWrite: return "WR";
+      case DramCommand::kRef: return "REF";
+      case DramCommand::kRfm: return "RFM";
+    }
+    return "?";
+}
+
+} // namespace mopac
+
+#endif // MOPAC_DRAM_COMMAND_HH

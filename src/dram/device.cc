@@ -1,0 +1,222 @@
+/**
+ * @file
+ * SubChannel implementation.
+ */
+
+#include "device.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace mopac
+{
+
+SubChannel::SubChannel(const Geometry &geo, const TimingSet *normal,
+                       const TimingSet *cu, std::uint32_t trh)
+    : geo_(geo), normal_(normal), cu_(cu),
+      checker_(geo.banks_per_subchannel, geo.rows_per_bank, geo.chips,
+               trh)
+{
+    geo_.check();
+    banks_.reserve(geo_.banks_per_subchannel);
+    for (unsigned i = 0; i < geo_.banks_per_subchannel; ++i) {
+        banks_.emplace_back(normal_, cu_);
+    }
+    faw_window_.fill(0);
+}
+
+void
+SubChannel::setMitigator(Mitigator *engine)
+{
+    MOPAC_ASSERT(engine != nullptr);
+    engine_ = engine;
+}
+
+Cycle
+SubChannel::actAllowedAt() const
+{
+    Cycle ready = 0;
+    if (act_count_ > 0) {
+        ready = last_act_ + normal_->tRRD;
+    }
+    // Four-activate window: the 4th-previous ACT bounds this one.
+    if (act_count_ >= faw_window_.size()) {
+        ready = std::max(ready, faw_window_[faw_idx_] + normal_->tFAW);
+    }
+    return ready;
+}
+
+Cycle
+SubChannel::readBusAllowedAt() const
+{
+    if (bus_free_at_ <= normal_->tCL) {
+        return 0;
+    }
+    return bus_free_at_ - normal_->tCL;
+}
+
+Cycle
+SubChannel::writeBusAllowedAt() const
+{
+    if (bus_free_at_ <= normal_->tCWL) {
+        return 0;
+    }
+    return bus_free_at_ - normal_->tCWL;
+}
+
+void
+SubChannel::cmdAct(Cycle now, unsigned bank, std::uint32_t row)
+{
+    MOPAC_ASSERT(engine_ != nullptr);
+    MOPAC_ASSERT(bank < banks_.size());
+    MOPAC_ASSERT(row < geo_.rows_per_bank);
+    if (now < actAllowedAt()) {
+        panic("ACT at {} violates sub-channel constraint {}", now,
+              actAllowedAt());
+    }
+    now_ = now;
+    banks_[bank].act(now, row);
+    last_act_ = now;
+    ++act_count_;
+    faw_window_[faw_idx_] = now;
+    faw_idx_ = (faw_idx_ + 1) % faw_window_.size();
+
+    ++stats_.acts;
+    ++acts_since_rfm_;
+    checker_.onActivate(bank, row, now);
+    engine_->onActivate(bank, row, now);
+
+    if (alert_pending_ && !alert_asserted_) {
+        alert_pending_ = false;
+        alert_asserted_ = true;
+        alert_since_ = now;
+        ++stats_.alerts;
+    }
+}
+
+Cycle
+SubChannel::cmdRead(Cycle now, unsigned bank)
+{
+    now_ = now;
+    const Cycle done = banks_[bank].read(now);
+    MOPAC_ASSERT(now + normal_->tCL >= bus_free_at_);
+    bus_free_at_ = done;
+    ++stats_.reads;
+    return done;
+}
+
+Cycle
+SubChannel::cmdWrite(Cycle now, unsigned bank)
+{
+    now_ = now;
+    const Cycle done = banks_[bank].write(now);
+    MOPAC_ASSERT(now + normal_->tCWL >= bus_free_at_);
+    bus_free_at_ = done;
+    ++stats_.writes;
+    return done;
+}
+
+void
+SubChannel::cmdPre(Cycle now, unsigned bank, bool counter_update)
+{
+    MOPAC_ASSERT(engine_ != nullptr);
+    now_ = now;
+    BankTiming &b = banks_[bank];
+    const std::uint32_t row = b.openRow();
+    const Cycle open_cycles = now - b.openSince();
+    b.pre(now, counter_update);
+    ++stats_.pres;
+    if (counter_update) {
+        ++stats_.precus;
+        engine_->onPrechargeUpdate(bank, row, now);
+    }
+    engine_->onPrecharge(bank, row, now, open_cycles);
+}
+
+void
+SubChannel::assertAllClosed(const char *what) const
+{
+    for (const auto &b : banks_) {
+        if (b.hasOpenRow()) {
+            panic("{} issued with open row in sub-channel", what);
+        }
+    }
+}
+
+void
+SubChannel::cmdRef(Cycle now)
+{
+    MOPAC_ASSERT(engine_ != nullptr);
+    now_ = now;
+    assertAllClosed("REF");
+    for (auto &b : banks_) {
+        b.blockUntil(now + normal_->tRFC);
+    }
+    ++stats_.refs;
+
+    const std::uint32_t span = geo_.rowsPerRef();
+    const std::uint32_t begin = sweep_row_;
+    const std::uint32_t end =
+        std::min(begin + span, geo_.rows_per_bank);
+    checker_.onSweep(begin, end);
+    engine_->onRefreshSweep(begin, end);
+    sweep_row_ = (end >= geo_.rows_per_bank) ? 0 : end;
+
+    engine_->onRefresh(now);
+}
+
+void
+SubChannel::cmdRfm(Cycle now)
+{
+    MOPAC_ASSERT(engine_ != nullptr);
+    now_ = now;
+    assertAllClosed("RFM");
+    for (auto &b : banks_) {
+        b.blockUntil(now + normal_->tRFM);
+    }
+    ++stats_.rfms;
+
+    engine_->onRfm(now);
+
+    alert_asserted_ = false;
+    acts_since_rfm_ = 0;
+}
+
+void
+SubChannel::requestAlert()
+{
+    if (alert_asserted_) {
+        return;
+    }
+    // The ABO specification requires a non-zero number of activations
+    // between two ALERTs; latch the request until the next ACT if
+    // none has occurred since the last RFM.
+    if (acts_since_rfm_ == 0) {
+        alert_pending_ = true;
+        return;
+    }
+    alert_asserted_ = true;
+    alert_since_ = now_;
+    ++stats_.alerts;
+}
+
+void
+SubChannel::victimRefresh(unsigned bank, std::uint32_t row, unsigned chip)
+{
+    MOPAC_ASSERT(bank < banks_.size());
+    checker_.onVictimRefresh(chip, bank, row, now_);
+    ++stats_.victim_refreshes;
+    // Each refreshed victim row is activated once; the engine's
+    // per-row counters must observe that activation (footnote 5).
+    for (int d : {-2, -1, 1, 2}) {
+        const std::int64_t v = static_cast<std::int64_t>(row) + d;
+        if (v >= 0 && v < static_cast<std::int64_t>(geo_.rows_per_bank)) {
+            engine_->onNeighborRefresh(bank,
+                                       static_cast<std::uint32_t>(v),
+                                       chip);
+        }
+    }
+}
+
+} // namespace mopac

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * DRAM sub-channel device model.
+ *
+ * A SubChannel bundles the per-bank timing machines, the shared data
+ * bus, the sub-channel ACT constraints (tRRD, tFAW), the refresh
+ * sweep, the ALERT/ABO pin, the ground-truth security checker, and
+ * the attached Rowhammer mitigation engine.  The memory controller
+ * drives it by executing commands; the device updates state and
+ * forwards events to the engine.
+ */
+
+#ifndef MOPAC_DRAM_DEVICE_HH
+#define MOPAC_DRAM_DEVICE_HH
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/types.hh"
+#include "dram/bank.hh"
+#include "dram/checker.hh"
+#include "dram/command.hh"
+#include "dram/geometry.hh"
+#include "dram/mitigator.hh"
+#include "dram/timing.hh"
+
+namespace mopac
+{
+
+/** Aggregate command / protocol statistics for one sub-channel. */
+struct SubChannelStats
+{
+    std::uint64_t acts = 0;
+    std::uint64_t pres = 0;
+    std::uint64_t precus = 0;
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t refs = 0;
+    std::uint64_t rfms = 0;
+    std::uint64_t alerts = 0;
+    std::uint64_t victim_refreshes = 0;
+};
+
+/** One DRAM sub-channel (32 banks, sub-channel-wide ALERT). */
+class SubChannel : public DramBackend
+{
+  public:
+    /**
+     * @param geo Memory organization.
+     * @param normal Timing set for regular commands.
+     * @param cu Timing set for counter-update precharges.
+     * @param trh Rowhammer threshold for the security checker.
+     */
+    SubChannel(const Geometry &geo, const TimingSet *normal,
+               const TimingSet *cu, std::uint32_t trh);
+
+    /** Attach the mitigation engine (must be called before use). */
+    void setMitigator(Mitigator *engine);
+
+    Mitigator *mitigator() { return engine_; }
+
+    BankTiming &bank(unsigned i) { return banks_[i]; }
+    const BankTiming &bank(unsigned i) const { return banks_[i]; }
+    unsigned numBanks() const { return static_cast<unsigned>(banks_.size()); }
+
+    /** Earliest ACT issue cycle from sub-channel constraints. */
+    Cycle actAllowedAt() const;
+
+    /** Earliest RD issue cycle from data-bus occupancy. */
+    Cycle readBusAllowedAt() const;
+
+    /** Earliest WR issue cycle from data-bus occupancy. */
+    Cycle writeBusAllowedAt() const;
+
+    /** Execute ACT. */
+    void cmdAct(Cycle now, unsigned bank, std::uint32_t row);
+
+    /** Execute RD. @return Cycle the data burst completes. */
+    Cycle cmdRead(Cycle now, unsigned bank);
+
+    /** Execute WR. @return Cycle the burst completes. */
+    Cycle cmdWrite(Cycle now, unsigned bank);
+
+    /** Execute PRE / PREcu. */
+    void cmdPre(Cycle now, unsigned bank, bool counter_update);
+
+    /** Execute REF (all banks must be precharged). */
+    void cmdRef(Cycle now);
+
+    /** Execute RFM servicing the ABO (all banks precharged). */
+    void cmdRfm(Cycle now);
+
+    /** Is the ALERT pin currently asserted? */
+    bool alertAsserted() const { return alert_asserted_; }
+
+    /** Cycle at which the current ALERT was asserted. */
+    Cycle alertSince() const { return alert_since_; }
+
+    // DramBackend interface (called by the engine).
+    void requestAlert() override;
+    void victimRefresh(unsigned bank, std::uint32_t row,
+                       unsigned chip) override;
+    const Geometry &geometry() const override { return geo_; }
+
+    SecurityChecker &checker() { return checker_; }
+    const SecurityChecker &checker() const { return checker_; }
+
+    const SubChannelStats &stats() const { return stats_; }
+
+    const TimingSet &normalTiming() const { return *normal_; }
+    const TimingSet &cuTiming() const { return *cu_; }
+
+  private:
+    void assertAllClosed(const char *what) const;
+
+    Geometry geo_;
+    const TimingSet *normal_;
+    const TimingSet *cu_;
+    std::vector<BankTiming> banks_;
+    SecurityChecker checker_;
+    Mitigator *engine_ = nullptr;
+
+    // Sub-channel ACT constraints.
+    Cycle last_act_ = 0;
+    std::uint64_t act_count_ = 0;
+    std::array<Cycle, 4> faw_window_{};
+    unsigned faw_idx_ = 0;
+
+    // Shared data bus.
+    Cycle bus_free_at_ = 0;
+
+    // ALERT state.
+    bool alert_asserted_ = false;
+    bool alert_pending_ = false;
+    Cycle alert_since_ = 0;
+    std::uint64_t acts_since_rfm_ = 0;
+
+    // Refresh sweep position (group index).
+    std::uint32_t sweep_row_ = 0;
+
+    // Timestamp of the command currently executing (for backend calls).
+    Cycle now_ = 0;
+
+    SubChannelStats stats_;
+};
+
+} // namespace mopac
+
+#endif // MOPAC_DRAM_DEVICE_HH

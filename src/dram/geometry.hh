@@ -1,0 +1,77 @@
+/**
+ * @file
+ * DRAM organization parameters (Table 3 of the paper).
+ *
+ * Default: 32 GB DDR5, 2 sub-channels x 1 rank x 32 banks, 64K rows
+ * per bank, 8 KB rows, 64 B lines.  ABO/ALERT is sub-channel wide.
+ */
+
+#ifndef MOPAC_DRAM_GEOMETRY_HH
+#define MOPAC_DRAM_GEOMETRY_HH
+
+#include <cstdint>
+
+#include "common/log.hh"
+#include "common/mathutil.hh"
+#include "common/types.hh"
+
+namespace mopac
+{
+
+/** Static description of the memory organization. */
+struct Geometry
+{
+    unsigned num_subchannels = 2;
+    unsigned banks_per_subchannel = 32;
+    std::uint32_t rows_per_bank = 65536;
+    std::uint32_t row_bytes = 8192;
+    std::uint32_t line_bytes = 64;
+    /** Lines mapped consecutively to a row chunk (MOP policy). */
+    std::uint32_t mop_lines = 4;
+    /** DRAM chips per sub-channel (x8 DIMM => 4; Appendix B varies). */
+    unsigned chips = 4;
+
+    /** Lines per row. */
+    std::uint32_t linesPerRow() const { return row_bytes / line_bytes; }
+
+    /** Total capacity in bytes. */
+    std::uint64_t
+    capacityBytes() const
+    {
+        return static_cast<std::uint64_t>(num_subchannels) *
+               banks_per_subchannel * rows_per_bank * row_bytes;
+    }
+
+    /** Rows refreshed per bank by one REF command (8192 REF groups). */
+    std::uint32_t
+    rowsPerRef() const
+    {
+        // One REF every tREFI; tREFW / tREFI = 8192 REFs sweep all rows.
+        constexpr std::uint32_t kRefsPerWindow = 8192;
+        return ceilDiv(rows_per_bank, kRefsPerWindow);
+    }
+
+    /** Validate internal consistency; fatal() on user error. */
+    void
+    check() const
+    {
+        if (num_subchannels == 0 || banks_per_subchannel == 0 ||
+            rows_per_bank == 0 || chips == 0) {
+            fatal("geometry: all dimensions must be non-zero");
+        }
+        if (!isPowerOfTwo(rows_per_bank) || !isPowerOfTwo(row_bytes) ||
+            !isPowerOfTwo(line_bytes) || !isPowerOfTwo(mop_lines) ||
+            !isPowerOfTwo(banks_per_subchannel) ||
+            !isPowerOfTwo(num_subchannels)) {
+            fatal("geometry: dimensions must be powers of two");
+        }
+        if (row_bytes % line_bytes != 0 ||
+            linesPerRow() % mop_lines != 0) {
+            fatal("geometry: row/line/MOP sizes inconsistent");
+        }
+    }
+};
+
+} // namespace mopac
+
+#endif // MOPAC_DRAM_GEOMETRY_HH

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * PracCounters implementation.
+ */
+
+#include "prac.hh"
+
+#include <algorithm>
+
+namespace mopac
+{
+
+namespace
+{
+/** Saturation limit of the in-row counter field. */
+constexpr std::uint32_t kCounterMax = (1u << 22) - 1;
+} // namespace
+
+PracCounters::PracCounters(unsigned banks, std::uint32_t rows,
+                           unsigned chips)
+    : banks_(banks), rows_(rows), chips_(chips),
+      data_(static_cast<std::size_t>(banks) * rows * chips, 0)
+{
+    MOPAC_ASSERT(banks > 0 && rows > 0 && chips > 0);
+}
+
+std::uint32_t
+PracCounters::add(unsigned chip, unsigned bank, std::uint32_t row,
+                  std::uint32_t inc)
+{
+    std::uint32_t &slot = data_[index(chip, bank, row)];
+    slot = std::min<std::uint64_t>(
+        static_cast<std::uint64_t>(slot) + inc, kCounterMax);
+    return slot;
+}
+
+void
+PracCounters::reset(unsigned bank, std::uint32_t row)
+{
+    for (unsigned chip = 0; chip < chips_; ++chip) {
+        data_[index(chip, bank, row)] = 0;
+    }
+}
+
+void
+PracCounters::resetChip(unsigned chip, unsigned bank, std::uint32_t row)
+{
+    data_[index(chip, bank, row)] = 0;
+}
+
+void
+PracCounters::resetRange(unsigned bank, std::uint32_t row_begin,
+                         std::uint32_t row_end)
+{
+    MOPAC_ASSERT(row_begin <= row_end && row_end <= rows_);
+    for (unsigned chip = 0; chip < chips_; ++chip) {
+        auto base = data_.begin() +
+                    static_cast<std::ptrdiff_t>(
+                        index(chip, bank, 0));
+        std::fill(base + row_begin, base + row_end, 0u);
+    }
+}
+
+} // namespace mopac

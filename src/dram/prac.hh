@@ -1,0 +1,94 @@
+/**
+ * @file
+ * PRAC per-row activation counter storage.
+ *
+ * PRAC (Per-Row Activation Counting) extends every DRAM row with a
+ * counter that is read-modified-written during precharge.  Counters
+ * are physically per chip: a deterministic design keeps all chips
+ * synchronized (one logical copy suffices), while MoPAC's
+ * probabilistic updates desynchronize them, so MoPAC-D instantiates
+ * one copy per chip (Appendix B).
+ *
+ * Counters are reset when the row is refreshed: either by the
+ * periodic tREFW sweep or by a mitigation's victim refresh.
+ */
+
+#ifndef MOPAC_DRAM_PRAC_HH
+#define MOPAC_DRAM_PRAC_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/log.hh"
+
+namespace mopac
+{
+
+/** Dense per-chip, per-bank, per-row activation counters. */
+class PracCounters
+{
+  public:
+    /**
+     * @param banks Banks in this sub-channel.
+     * @param rows Rows per bank.
+     * @param chips Independent counter copies (1 when synchronized).
+     */
+    PracCounters(unsigned banks, std::uint32_t rows, unsigned chips = 1);
+
+    unsigned banks() const { return banks_; }
+    std::uint32_t rows() const { return rows_; }
+    unsigned chips() const { return chips_; }
+
+    /** Current counter value. */
+    std::uint32_t
+    get(unsigned chip, unsigned bank, std::uint32_t row) const
+    {
+        return data_[index(chip, bank, row)];
+    }
+
+    /**
+     * Add @p inc to a counter (saturating at 2^22-1, the field width a
+     * 3-byte in-row counter would provide).
+     * @return The post-increment value.
+     */
+    std::uint32_t add(unsigned chip, unsigned bank, std::uint32_t row,
+                      std::uint32_t inc);
+
+    /** Reset one counter (row refreshed / mitigated) on all chips. */
+    void reset(unsigned bank, std::uint32_t row);
+
+    /** Reset one counter on a single chip. */
+    void resetChip(unsigned chip, unsigned bank, std::uint32_t row);
+
+    /**
+     * Reset counters for rows [row_begin, row_end) of @p bank on all
+     * chips (periodic refresh sweep).
+     */
+    void resetRange(unsigned bank, std::uint32_t row_begin,
+                    std::uint32_t row_end);
+
+    /** Storage footprint in bytes (for reporting). */
+    std::uint64_t
+    storageBytes() const
+    {
+        return static_cast<std::uint64_t>(data_.size()) * sizeof(data_[0]);
+    }
+
+  private:
+    std::size_t
+    index(unsigned chip, unsigned bank, std::uint32_t row) const
+    {
+        MOPAC_ASSERT(chip < chips_ && bank < banks_ && row < rows_);
+        return (static_cast<std::size_t>(chip) * banks_ + bank) * rows_ +
+               row;
+    }
+
+    unsigned banks_;
+    std::uint32_t rows_;
+    unsigned chips_;
+    std::vector<std::uint32_t> data_;
+};
+
+} // namespace mopac
+
+#endif // MOPAC_DRAM_PRAC_HH

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Timing parameter sets (values from Table 1 / Table 3 of the paper
+ * and JESD79-5C DDR5-6000 speed bin).
+ */
+
+#include "timing.hh"
+
+namespace mopac
+{
+
+namespace
+{
+
+/** Shared (non-PRAC-affected) parameters. */
+TimingSet
+shared()
+{
+    TimingSet t{};
+    t.tRTP = nsToCycles(7.5);
+    t.tWR = nsToCycles(30.0);
+    t.tCL = nsToCycles(14.0);
+    t.tCWL = nsToCycles(12.0);
+    t.tBL = nsToCycles(16.0 / 6.0);   // BL16 at 6000 MT/s
+    t.tRRD = nsToCycles(2.7);
+    t.tFAW = nsToCycles(13.3);
+    t.tREFI = nsToCycles(3900.0);
+    t.tRFC = nsToCycles(410.0);
+    t.tREFW = nsToCycles(32.0e6);     // 32 ms
+    t.tABO = nsToCycles(180.0);
+    t.tRFM = nsToCycles(350.0);
+    return t;
+}
+
+} // namespace
+
+TimingSet
+TimingSet::base()
+{
+    TimingSet t = shared();
+    t.tRCD = nsToCycles(14.0);
+    t.tRP = nsToCycles(14.0);
+    t.tRAS = nsToCycles(32.0);
+    t.tRC = nsToCycles(46.0);
+    return t;
+}
+
+TimingSet
+TimingSet::prac()
+{
+    TimingSet t = shared();
+    t.tRCD = nsToCycles(16.0);
+    t.tRP = nsToCycles(36.0);
+    t.tRAS = nsToCycles(16.0);
+    t.tRC = nsToCycles(52.0);
+    return t;
+}
+
+TimingSet
+TimingSet::mopacNormal()
+{
+    return base();
+}
+
+} // namespace mopac

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * DRAM timing parameter sets.
+ *
+ * Two sets matter for this paper (Table 1, DDR5-6000AN + JESD79-5C
+ * PRAC):
+ *
+ *   Parameter | Base   | PRAC
+ *   ----------|--------|------
+ *   tRCD      | 14 ns  | 16 ns
+ *   tRP       | 14 ns  | 36 ns
+ *   tRAS      | 32 ns  | 16 ns
+ *   tRC       | 46 ns  | 52 ns
+ *
+ * The remaining parameters (CAS latency, burst, refresh, ABO) are
+ * shared.  All values are stored in CPU cycles (4 GHz), converted from
+ * nanoseconds with ceiling rounding.
+ */
+
+#ifndef MOPAC_DRAM_TIMING_HH
+#define MOPAC_DRAM_TIMING_HH
+
+#include "common/types.hh"
+
+namespace mopac
+{
+
+/** One complete set of DRAM timing constraints, in CPU cycles. */
+struct TimingSet
+{
+    /** ACT to internal read/write (row open). */
+    Cycle tRCD;
+    /** PRE to ACT (precharge period). */
+    Cycle tRP;
+    /** ACT to PRE (minimum row-open time). */
+    Cycle tRAS;
+    /** ACT to ACT, same bank (row cycle). */
+    Cycle tRC;
+    /** RD to PRE, same bank. */
+    Cycle tRTP;
+    /** End of write burst to PRE (write recovery). */
+    Cycle tWR;
+    /** CAS latency (RD command to first data). */
+    Cycle tCL;
+    /** CAS write latency. */
+    Cycle tCWL;
+    /** Burst duration on the data bus (BL16). */
+    Cycle tBL;
+    /** ACT to ACT, different banks, same sub-channel. */
+    Cycle tRRD;
+    /** Four-activate window per sub-channel. */
+    Cycle tFAW;
+    /** Average interval between REF commands. */
+    Cycle tREFI;
+    /** Execution time of one REF command. */
+    Cycle tRFC;
+    /** Refresh window: every row refreshed once per tREFW. */
+    Cycle tREFW;
+    /** ABO: normal operation allowed after ALERT assertion. */
+    Cycle tABO;
+    /** ABO: duration of the RFM issued after the ABO window. */
+    Cycle tRFM;
+
+    /** Baseline DDR5-6000AN timings (Table 1, "Base" column). */
+    static TimingSet base();
+
+    /** PRAC timings (Table 1, "PRAC" column). */
+    static TimingSet prac();
+
+    /**
+     * MoPAC-C timing for non-selected operations: baseline timings
+     * (the paper's PRE command "incurs normal precharge latency").
+     * Selected operations use prac() for tRAS / tRP.
+     */
+    static TimingSet mopacNormal();
+};
+
+} // namespace mopac
+
+#endif // MOPAC_DRAM_TIMING_HH

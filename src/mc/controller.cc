@@ -1,0 +1,370 @@
+/**
+ * @file
+ * Controller implementation.
+ */
+
+#include "controller.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace mopac
+{
+
+Controller::Controller(SubChannel &device, const AddressMap &map,
+                       const ControllerParams &params, MemClient *client)
+    : device_(device), map_(map), params_(params), client_(client),
+      next_ref_at_(device.normalTiming().tREFI)
+{
+    const unsigned nbanks = device_.numBanks();
+    cu_pending_.assign(nbanks, 0);
+    act_claimed_.assign(nbanks, 0);
+    hit_pending_.assign(nbanks, 0);
+    conflict_waiting_.assign(nbanks, 0);
+    read_q_.reserve(params_.read_queue_cap);
+    write_q_.reserve(params_.write_queue_cap);
+    if (params_.wq_drain_high > params_.write_queue_cap ||
+        params_.wq_drain_low >= params_.wq_drain_high) {
+        fatal("controller: bad write-drain watermarks");
+    }
+}
+
+bool
+Controller::enqueue(Request req, Cycle now)
+{
+    const DramCoord coord = map_.decode(req.line_addr);
+    req.bank = coord.bank;
+    req.row = coord.row;
+    req.column = coord.column;
+    req.enqueue_cycle = now;
+    if (req.is_write) {
+        if (!canAcceptWrite()) {
+            return false;
+        }
+        ++stats_.writes_enqueued;
+        write_q_.push_back(req);
+    } else {
+        if (!canAcceptRead()) {
+            return false;
+        }
+        ++stats_.reads_enqueued;
+        read_q_.push_back(req);
+    }
+    next_wake_ = 0;
+    return true;
+}
+
+void
+Controller::consider(Cycle ready)
+{
+    next_wake_ = std::min(next_wake_, ready);
+}
+
+bool
+Controller::allBanksClosed() const
+{
+    for (unsigned i = 0; i < device_.numBanks(); ++i) {
+        if (device_.bank(i).hasOpenRow()) {
+            return false;
+        }
+    }
+    return true;
+}
+
+bool
+Controller::drainOnePre(Cycle now)
+{
+    for (unsigned bank = 0; bank < device_.numBanks(); ++bank) {
+        BankTiming &b = device_.bank(bank);
+        if (!b.hasOpenRow()) {
+            continue;
+        }
+        const bool cu = cu_pending_[bank] != 0;
+        const Cycle ready = b.preReadyAt(cu);
+        if (now >= ready) {
+            device_.cmdPre(now, bank, cu);
+            cu_pending_[bank] = 0;
+            return true;
+        }
+        consider(ready);
+    }
+    return false;
+}
+
+void
+Controller::tick(Cycle now)
+{
+    if (now < next_wake_) {
+        return;
+    }
+    next_wake_ = kNeverCycle;
+
+    // Busy executing REF / RFM.
+    if (state_ == MaintState::kRfmBusy || state_ == MaintState::kRefBusy) {
+        if (now < busy_until_) {
+            consider(busy_until_);
+            return;
+        }
+        state_ = MaintState::kNormal;
+    }
+
+    // ALERT detection (preempts a refresh drain in progress).
+    if (device_.alertAsserted() &&
+        (state_ == MaintState::kNormal ||
+         state_ == MaintState::kRefDrain)) {
+        state_ = MaintState::kAlertWindow;
+        stall_at_ =
+            device_.alertSince() + device_.normalTiming().tABO;
+    }
+    if (state_ == MaintState::kAlertWindow && now >= stall_at_) {
+        state_ = MaintState::kAlertDrain;
+    }
+
+    if (state_ == MaintState::kAlertDrain) {
+        if (allBanksClosed()) {
+            const Cycle trfm = device_.normalTiming().tRFM;
+            device_.cmdRfm(now);
+            ++stats_.rfms_issued;
+            stats_.alert_stall_cycles += (now + trfm) - stall_at_;
+            busy_until_ = now + trfm;
+            state_ = MaintState::kRfmBusy;
+            consider(busy_until_);
+            return;
+        }
+        if (drainOnePre(now)) {
+            consider(now + 1);
+        }
+        return;
+    }
+
+    // Refresh scheduling.
+    if (state_ == MaintState::kNormal && now >= next_ref_at_) {
+        state_ = MaintState::kRefDrain;
+    }
+    if (state_ == MaintState::kRefDrain) {
+        if (allBanksClosed()) {
+            device_.cmdRef(now);
+            ++stats_.refs_issued;
+            busy_until_ = now + device_.normalTiming().tRFC;
+            next_ref_at_ += device_.normalTiming().tREFI;
+            state_ = MaintState::kRefBusy;
+            consider(busy_until_);
+            return;
+        }
+        if (drainOnePre(now)) {
+            consider(now + 1);
+        }
+        return;
+    }
+
+    // Normal operation (also inside the 180 ns ALERT window).
+    consider(next_ref_at_);
+    if (state_ == MaintState::kAlertWindow) {
+        consider(stall_at_);
+    }
+    scheduleOne(now);
+}
+
+void
+Controller::issueCas(std::vector<Request> &queue, std::size_t idx,
+                     bool is_write, Cycle now)
+{
+    Request req = queue[idx];
+    queue.erase(queue.begin() + static_cast<std::ptrdiff_t>(idx));
+
+    if (act_claimed_[req.bank]) {
+        // First CAS after the ACT this controller issued for the
+        // opening request: counts as the row miss.
+        act_claimed_[req.bank] = 0;
+    } else {
+        ++stats_.row_hits;
+    }
+
+    if (is_write) {
+        device_.cmdWrite(now, req.bank);
+        ++stats_.cas_writes;
+    } else {
+        const Cycle done = device_.cmdRead(now, req.bank);
+        ++stats_.cas_reads;
+        stats_.read_latency.add(done - req.enqueue_cycle);
+        if (client_ != nullptr) {
+            client_->memComplete(req, done);
+        }
+    }
+}
+
+bool
+Controller::tryCas(std::vector<Request> &queue, bool is_write, Cycle now)
+{
+    const Cycle bus_ready = is_write ? device_.writeBusAllowedAt()
+                                     : device_.readBusAllowedAt();
+    for (std::size_t i = 0; i < queue.size(); ++i) {
+        const Request &req = queue[i];
+        const BankTiming &b = device_.bank(req.bank);
+        if (!b.hasOpenRow() || b.openRow() != req.row) {
+            continue;
+        }
+        const Cycle ready = std::max(
+            is_write ? b.writeReadyAt() : b.readReadyAt(), bus_ready);
+        if (now >= ready) {
+            issueCas(queue, i, is_write, now);
+            return true;
+        }
+        consider(ready);
+    }
+    return false;
+}
+
+bool
+Controller::tryActs(Cycle now, bool serve_writes)
+{
+    const Cycle subch_ready = device_.actAllowedAt();
+    // Only the oldest request per closed bank is an ACT candidate.
+    auto scan = [&](std::vector<Request> &queue,
+                    std::vector<std::uint8_t> &seen) -> bool {
+        for (auto &req : queue) {
+            const BankTiming &b = device_.bank(req.bank);
+            if (b.hasOpenRow() || seen[req.bank]) {
+                continue;
+            }
+            seen[req.bank] = 1;
+            const Cycle ready = std::max(b.actReadyAt(), subch_ready);
+            if (now >= ready) {
+                device_.cmdAct(now, req.bank, req.row);
+                cu_pending_[req.bank] =
+                    device_.mitigator()->selectForUpdate(req.bank,
+                                                         req.row, now)
+                        ? 1
+                        : 0;
+                act_claimed_[req.bank] = 1;
+                return true;
+            }
+            consider(ready);
+        }
+        return false;
+    };
+
+    std::vector<std::uint8_t> seen(device_.numBanks(), 0);
+    if (serve_writes && drain_mode_) {
+        if (scan(write_q_, seen)) {
+            return true;
+        }
+        return scan(read_q_, seen);
+    }
+    if (scan(read_q_, seen)) {
+        return true;
+    }
+    if (serve_writes) {
+        return scan(write_q_, seen);
+    }
+    return false;
+}
+
+bool
+Controller::tryPres(Cycle now)
+{
+    for (unsigned bank = 0; bank < device_.numBanks(); ++bank) {
+        BankTiming &b = device_.bank(bank);
+        if (!b.hasOpenRow() || hit_pending_[bank]) {
+            continue;
+        }
+        bool want = conflict_waiting_[bank] != 0;
+        if (!want) {
+            switch (params_.page_policy) {
+              case PagePolicy::kOpen:
+                break;
+              case PagePolicy::kClose:
+                // Predictive closure (DRAMsim3-style close page):
+                // precharge as soon as no queued request hits the row.
+                want = true;
+                break;
+              case PagePolicy::kTimeout:
+                if (now >= b.lastCas() + params_.timeout_ton) {
+                    want = true;
+                } else {
+                    consider(b.lastCas() + params_.timeout_ton);
+                }
+                break;
+            }
+        }
+        if (!want) {
+            continue;
+        }
+        const bool cu = cu_pending_[bank] != 0;
+        const Cycle ready = b.preReadyAt(cu);
+        if (now >= ready) {
+            device_.cmdPre(now, bank, cu);
+            cu_pending_[bank] = 0;
+            return true;
+        }
+        consider(ready);
+    }
+    return false;
+}
+
+void
+Controller::scheduleOne(Cycle now)
+{
+    // Write-drain hysteresis.
+    if (write_q_.size() >= params_.wq_drain_high) {
+        drain_mode_ = true;
+    } else if (write_q_.size() <= params_.wq_drain_low) {
+        drain_mode_ = false;
+    }
+    const bool serve_writes = drain_mode_ || read_q_.empty();
+
+    // Per-bank pending-hit / pending-conflict summary.
+    std::fill(hit_pending_.begin(), hit_pending_.end(), 0);
+    std::fill(conflict_waiting_.begin(), conflict_waiting_.end(), 0);
+    auto mark = [&](const std::vector<Request> &queue) {
+        for (const Request &req : queue) {
+            const BankTiming &b = device_.bank(req.bank);
+            if (!b.hasOpenRow()) {
+                continue;
+            }
+            if (b.openRow() == req.row) {
+                hit_pending_[req.bank] = 1;
+            } else {
+                conflict_waiting_[req.bank] = 1;
+            }
+        }
+    };
+    mark(read_q_);
+    if (serve_writes) {
+        mark(write_q_);
+    }
+
+    bool issued = false;
+    if (drain_mode_) {
+        issued = tryCas(write_q_, true, now) ||
+                 tryCas(read_q_, false, now);
+    } else {
+        issued = tryCas(read_q_, false, now);
+        if (!issued && serve_writes) {
+            issued = tryCas(write_q_, true, now);
+        }
+    }
+    if (!issued) {
+        issued = tryActs(now, serve_writes);
+    }
+    if (!issued) {
+        issued = tryPres(now);
+    }
+    if (issued) {
+        consider(now + 1);
+    }
+}
+
+double
+Controller::rowBufferHitRate() const
+{
+    const std::uint64_t cas = stats_.cas_reads + stats_.cas_writes;
+    if (cas == 0) {
+        return 0.0;
+    }
+    return static_cast<double>(stats_.row_hits) /
+           static_cast<double>(cas);
+}
+
+} // namespace mopac

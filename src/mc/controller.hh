@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Per-sub-channel memory controller.
+ *
+ * Scheduling is FR-FCFS with read priority and watermark-based write
+ * draining.  The controller also runs the refresh scheduler (REF
+ * every tREFI after closing all banks), the ABO protocol (on ALERT it
+ * keeps operating for tABO = 180 ns, then stalls, closes all banks
+ * and issues one RFM of 350 ns -- Figure 3 of the paper), and the
+ * row-closure policy (open-page, close-page, or timeout; Appendix C).
+ *
+ * For MoPAC-C the controller keeps one bit per bank recording whether
+ * the mitigation engine selected the open activation for a counter
+ * update; the bit chooses PRE vs PREcu (and their differing tRAS /
+ * tRP) when the row is eventually closed (paper §5.1).
+ */
+
+#ifndef MOPAC_MC_CONTROLLER_HH
+#define MOPAC_MC_CONTROLLER_HH
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "dram/device.hh"
+#include "mc/mapping.hh"
+#include "mc/request.hh"
+
+namespace mopac
+{
+
+/** Row-closure policy (Appendix C, Table 15). */
+enum class PagePolicy
+{
+    kOpen,
+    kClose,
+    kTimeout,
+};
+
+/** Controller tuning parameters. */
+struct ControllerParams
+{
+    unsigned read_queue_cap = 64;
+    unsigned write_queue_cap = 64;
+    /** Enter write-drain mode at this occupancy... */
+    unsigned wq_drain_high = 40;
+    /** ...and leave it at this one. */
+    unsigned wq_drain_low = 32;
+    PagePolicy page_policy = PagePolicy::kOpen;
+    /** Row-open timeout for PagePolicy::kTimeout. */
+    Cycle timeout_ton = nsToCycles(200.0);
+};
+
+/** Controller statistics. */
+struct ControllerStats
+{
+    std::uint64_t reads_enqueued = 0;
+    std::uint64_t writes_enqueued = 0;
+    std::uint64_t cas_reads = 0;
+    std::uint64_t cas_writes = 0;
+    std::uint64_t row_hits = 0;
+    std::uint64_t refs_issued = 0;
+    std::uint64_t rfms_issued = 0;
+    /** Cycles spent from ALERT stall to RFM completion. */
+    std::uint64_t alert_stall_cycles = 0;
+    Histogram read_latency{16, 512};
+};
+
+/** FR-FCFS memory controller for one sub-channel. */
+class Controller
+{
+  public:
+    /**
+     * @param device The sub-channel this controller drives.
+     * @param map Address map (shared across controllers).
+     * @param params Tuning parameters.
+     * @param client Completion sink for reads (may be nullptr for
+     *        fire-and-forget drivers).
+     */
+    Controller(SubChannel &device, const AddressMap &map,
+               const ControllerParams &params, MemClient *client);
+
+    /** Can another read be accepted right now? */
+    bool
+    canAcceptRead() const
+    {
+        return read_q_.size() < params_.read_queue_cap;
+    }
+
+    /** Can another write be accepted right now? */
+    bool
+    canAcceptWrite() const
+    {
+        return write_q_.size() < params_.write_queue_cap;
+    }
+
+    /**
+     * Enqueue a request (coordinates are decoded here).
+     * @return false if the corresponding queue is full.
+     */
+    bool enqueue(Request req, Cycle now);
+
+    /** Advance the controller to cycle @p now (issues <= 1 command). */
+    void tick(Cycle now);
+
+    /** True when no requests are queued. */
+    bool
+    idle() const
+    {
+        return read_q_.empty() && write_q_.empty();
+    }
+
+    /** Current read-queue occupancy. */
+    std::size_t readQueueDepth() const { return read_q_.size(); }
+
+    /** Current write-queue occupancy. */
+    std::size_t writeQueueDepth() const { return write_q_.size(); }
+
+    const ControllerStats &stats() const { return stats_; }
+
+    SubChannel &device() { return device_; }
+
+    /** Measured row-buffer hit rate over all CAS operations. */
+    double rowBufferHitRate() const;
+
+  private:
+    enum class MaintState
+    {
+        kNormal,
+        kAlertWindow,
+        kAlertDrain,
+        kRfmBusy,
+        kRefDrain,
+        kRefBusy,
+    };
+
+    void consider(Cycle ready);
+    bool allBanksClosed() const;
+    /** Try to close one open bank (maintenance drains). @return issued. */
+    bool drainOnePre(Cycle now);
+    void scheduleOne(Cycle now);
+    bool tryCas(std::vector<Request> &queue, bool is_write, Cycle now);
+    bool tryActs(Cycle now, bool serve_writes);
+    bool tryPres(Cycle now);
+    void issueCas(std::vector<Request> &queue, std::size_t idx,
+                  bool is_write, Cycle now);
+
+    SubChannel &device_;
+    const AddressMap &map_;
+    ControllerParams params_;
+    MemClient *client_;
+
+    std::vector<Request> read_q_;
+    std::vector<Request> write_q_;
+
+    MaintState state_ = MaintState::kNormal;
+    Cycle stall_at_ = 0;
+    Cycle busy_until_ = 0;
+    Cycle next_ref_at_;
+    Cycle next_wake_ = 0;
+    bool drain_mode_ = false;
+
+    /** Per-bank: pending counter-update (PREcu) decision. */
+    std::vector<std::uint8_t> cu_pending_;
+    /** Per-bank: the request that opened the current row was a miss. */
+    std::vector<std::uint8_t> act_claimed_;
+
+    // Scratch, rebuilt each scheduling pass.
+    std::vector<std::uint8_t> hit_pending_;
+    std::vector<std::uint8_t> conflict_waiting_;
+
+    ControllerStats stats_;
+};
+
+} // namespace mopac
+
+#endif // MOPAC_MC_CONTROLLER_HH

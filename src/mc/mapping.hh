@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Physical address mapping (Minimalist Open Page, MOP [16]).
+ *
+ * The paper's configuration (Table 3) uses MOP with 4 lines per row
+ * chunk: consecutive cache lines are grouped in fours within a row,
+ * and successive groups stripe across sub-channels and banks before
+ * advancing to the next column group of the same row.  From the LSB
+ * of the line address:
+ *
+ *   [ line-in-group | sub-channel | bank | column-group | row ]
+ *
+ * This gives streaming accesses four-line row bursts with maximal
+ * bank-level parallelism, the behaviour MOP was designed for.
+ */
+
+#ifndef MOPAC_MC_MAPPING_HH
+#define MOPAC_MC_MAPPING_HH
+
+#include <cstdint>
+
+#include "common/mathutil.hh"
+#include "common/types.hh"
+#include "dram/geometry.hh"
+
+namespace mopac
+{
+
+/** Decoded DRAM coordinates of one cache line. */
+struct DramCoord
+{
+    unsigned subchannel;
+    unsigned bank;
+    std::uint32_t row;
+    std::uint32_t column; // line index within the row
+
+    bool
+    operator==(const DramCoord &other) const
+    {
+        return subchannel == other.subchannel && bank == other.bank &&
+               row == other.row && column == other.column;
+    }
+};
+
+/** MOP line-address <-> DRAM-coordinate mapping. */
+class AddressMap
+{
+  public:
+    explicit AddressMap(const Geometry &geo)
+        : geo_(geo),
+          line_bits_(floorLog2(geo.mop_lines)),
+          subch_bits_(floorLog2(geo.num_subchannels)),
+          bank_bits_(floorLog2(geo.banks_per_subchannel)),
+          group_bits_(floorLog2(geo.linesPerRow() / geo.mop_lines)),
+          row_bits_(floorLog2(geo.rows_per_bank))
+    {
+        geo_.check();
+    }
+
+    /** Decode a line address (byte address >> log2(line size)). */
+    DramCoord
+    decode(Addr line_addr) const
+    {
+        DramCoord c{};
+        const std::uint32_t line_in_group =
+            static_cast<std::uint32_t>(line_addr & mask(line_bits_));
+        line_addr >>= line_bits_;
+        c.subchannel =
+            static_cast<unsigned>(line_addr & mask(subch_bits_));
+        line_addr >>= subch_bits_;
+        c.bank = static_cast<unsigned>(line_addr & mask(bank_bits_));
+        line_addr >>= bank_bits_;
+        const std::uint32_t group =
+            static_cast<std::uint32_t>(line_addr & mask(group_bits_));
+        line_addr >>= group_bits_;
+        c.row = static_cast<std::uint32_t>(line_addr & mask(row_bits_));
+        c.column = group * geo_.mop_lines + line_in_group;
+        return c;
+    }
+
+    /** Encode DRAM coordinates back into a line address. */
+    Addr
+    encode(const DramCoord &c) const
+    {
+        const std::uint32_t group = c.column / geo_.mop_lines;
+        const std::uint32_t line_in_group = c.column % geo_.mop_lines;
+        Addr addr = c.row;
+        addr = (addr << group_bits_) | group;
+        addr = (addr << bank_bits_) | c.bank;
+        addr = (addr << subch_bits_) | c.subchannel;
+        addr = (addr << line_bits_) | line_in_group;
+        return addr;
+    }
+
+    /** Total addressable lines. */
+    Addr
+    numLines() const
+    {
+        return static_cast<Addr>(1)
+               << (line_bits_ + subch_bits_ + bank_bits_ + group_bits_ +
+                   row_bits_);
+    }
+
+    const Geometry &geometry() const { return geo_; }
+
+  private:
+    static constexpr Addr
+    mask(unsigned bits)
+    {
+        return (static_cast<Addr>(1) << bits) - 1;
+    }
+
+    Geometry geo_;
+    unsigned line_bits_;
+    unsigned subch_bits_;
+    unsigned bank_bits_;
+    unsigned group_bits_;
+    unsigned row_bits_;
+};
+
+} // namespace mopac
+
+#endif // MOPAC_MC_MAPPING_HH

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Deterministic PRAC + MOAT engine (the paper's "PRAC" baseline).
+ *
+ * Every precharge performs a counter update (the memory controller
+ * therefore runs with the inflated PRAC timing set), each update
+ * increments the row's counter by 1, and ALERT is asserted when the
+ * MOAT-tracked row reaches ATH (Table 2: 975 / 472 / 219 for T_RH of
+ * 1000 / 500 / 250).
+ */
+
+#ifndef MOPAC_MITIGATION_PRAC_MOAT_HH
+#define MOPAC_MITIGATION_PRAC_MOAT_HH
+
+#include "mitigation/counter_engine.hh"
+
+namespace mopac
+{
+
+/** Deterministic PRAC with the MOAT tracker. */
+class PracMoatEngine : public CounterEngineBase
+{
+  public:
+    /** Parameters for one sub-channel engine. */
+    struct Params
+    {
+        /** ALERT threshold (from the MOAT model for the target T_RH). */
+        std::uint32_t ath;
+        /** Eligibility threshold; 0 selects the default ath / 2. */
+        std::uint32_t eth = 0;
+    };
+
+    PracMoatEngine(DramBackend &backend, const Params &params)
+        : CounterEngineBase(backend, params.ath,
+                            params.eth ? params.eth
+                                       : std::max<std::uint32_t>(
+                                             1, params.ath / 2))
+    {
+    }
+
+    std::string name() const override { return "prac-moat"; }
+
+    bool
+    selectForUpdate(unsigned, std::uint32_t, Cycle) override
+    {
+        // Deterministic PRAC: every precharge updates the counter.
+        ++stats_.selected_acts;
+        return true;
+    }
+
+  protected:
+    std::uint32_t updateIncrement() const override { return 1; }
+};
+
+} // namespace mopac
+
+#endif // MOPAC_MITIGATION_PRAC_MOAT_HH

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * AttackRunner implementation.
+ */
+
+#include "attack.hh"
+
+#include "common/log.hh"
+
+namespace mopac
+{
+
+AttackRunner::AttackRunner(const SystemConfig &cfg)
+    : system_(cfg, /*traces=*/{})
+{
+}
+
+AttackResult
+AttackRunner::run(AttackPattern &pattern, Cycle duration,
+                  unsigned max_inflight)
+{
+    MOPAC_ASSERT(duration > 0);
+    Request pending{};
+    bool has_pending = false;
+
+    for (Cycle now = 0; now < duration; ++now) {
+        // Keep the head of the pattern flowing into the target
+        // sub-channel's read queue, preserving pattern order.
+        for (;;) {
+            if (!has_pending) {
+                pending = pattern.next();
+                has_pending = true;
+            }
+            const DramCoord coord =
+                system_.addressMap().decode(pending.line_addr);
+            Controller &mc = system_.controller(coord.subchannel);
+            if (mc.readQueueDepth() >= max_inflight ||
+                !mc.enqueue(pending, now)) {
+                break;
+            }
+            has_pending = false;
+        }
+        system_.tickMemory(now);
+    }
+
+    const RunResult stats = system_.collectStats(duration);
+    AttackResult res;
+    res.cycles = duration;
+    res.acts = stats.acts;
+    res.alerts = stats.alerts;
+    res.rfms = stats.rfms;
+    res.mitigations = stats.mitigations;
+    res.max_unmitigated = stats.max_unmitigated;
+    res.violations = stats.violations;
+    const double us =
+        cyclesToNs(duration) / 1000.0;
+    res.acts_per_us = us > 0.0 ? static_cast<double>(stats.acts) / us
+                               : 0.0;
+    return res;
+}
+
+} // namespace mopac

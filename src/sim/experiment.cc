@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Experiment helper implementation.
+ */
+
+#include "experiment.hh"
+
+#include <cstdlib>
+
+#include "common/log.hh"
+#include "workload/synth.hh"
+
+namespace mopac
+{
+
+std::uint64_t
+defaultInstsPerCore(std::uint64_t base)
+{
+    if (const char *abs = std::getenv("MOPAC_SIM_INSTS")) {
+        const std::uint64_t v = std::strtoull(abs, nullptr, 10);
+        if (v > 0) {
+            return v;
+        }
+        warn("ignoring invalid MOPAC_SIM_INSTS='{}'", abs);
+    }
+    if (const char *scale = std::getenv("MOPAC_SIM_SCALE")) {
+        const double f = std::strtod(scale, nullptr);
+        if (f > 0.0) {
+            return static_cast<std::uint64_t>(
+                static_cast<double>(base) * f);
+        }
+        warn("ignoring invalid MOPAC_SIM_SCALE='{}'", scale);
+    }
+    return base;
+}
+
+RunResult
+runWorkload(const SystemConfig &cfg, const std::string &name)
+{
+    const AddressMap map(cfg.geometry);
+    auto owned =
+        makeWorkloadTraces(name, map, cfg.num_cores, cfg.seed);
+    std::vector<TraceSource *> traces;
+    traces.reserve(owned.size());
+    for (auto &t : owned) {
+        traces.push_back(t.get());
+    }
+    System system(cfg, traces);
+    return system.run();
+}
+
+double
+workloadSlowdown(const SystemConfig &base_cfg,
+                 const SystemConfig &test_cfg, const std::string &name)
+{
+    const RunResult base = runWorkload(base_cfg, name);
+    const RunResult test = runWorkload(test_cfg, name);
+    return weightedSlowdown(base, test);
+}
+
+} // namespace mopac

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Experiment helpers shared by the bench binaries, examples, and the
+ * CLI: building and running named workloads, environment-based run
+ * scaling, and slowdown computation.
+ */
+
+#ifndef MOPAC_SIM_EXPERIMENT_HH
+#define MOPAC_SIM_EXPERIMENT_HH
+
+#include <string>
+
+#include "sim/system.hh"
+
+namespace mopac
+{
+
+/**
+ * Simulation horizon per core, scaled by the MOPAC_SIM_SCALE
+ * environment variable (a float; e.g. 0.25 for quick runs, 4 for
+ * higher fidelity) or overridden outright by MOPAC_SIM_INSTS.
+ */
+std::uint64_t defaultInstsPerCore(std::uint64_t base = 300000);
+
+/**
+ * Run workload @p name (Table 4 single program or "mixN") under
+ * @p cfg.  Traces are derived from cfg.seed only, so two configs with
+ * the same seed replay identical instruction streams -- paired runs
+ * for slowdown measurements.
+ */
+RunResult runWorkload(const SystemConfig &cfg, const std::string &name);
+
+/**
+ * Convenience: slowdown of mitigation @p kind vs the unprotected
+ * baseline on one workload (both runs share the seed).
+ */
+double workloadSlowdown(const SystemConfig &base_cfg,
+                        const SystemConfig &test_cfg,
+                        const std::string &name);
+
+} // namespace mopac
+
+#endif // MOPAC_SIM_EXPERIMENT_HH

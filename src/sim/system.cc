@@ -1,0 +1,406 @@
+/**
+ * @file
+ * System construction and the main simulation loop.
+ */
+
+#include "system.hh"
+
+#include <algorithm>
+
+#include "analysis/moat_model.hh"
+#include "analysis/security.hh"
+#include "common/log.hh"
+#include "mitigation/mopac_c.hh"
+#include "mitigation/none.hh"
+#include "mitigation/prac_moat.hh"
+#include "mitigation/extra_engines.hh"
+#include "mitigation/related.hh"
+
+namespace mopac
+{
+
+std::string
+toString(MitigationKind kind)
+{
+    switch (kind) {
+      case MitigationKind::kNone: return "none";
+      case MitigationKind::kPracMoat: return "prac";
+      case MitigationKind::kMopacC: return "mopac-c";
+      case MitigationKind::kMopacD: return "mopac-d";
+      case MitigationKind::kMint: return "mint";
+      case MitigationKind::kPride: return "pride";
+      case MitigationKind::kTrr: return "trr";
+      case MitigationKind::kPara: return "para";
+      case MitigationKind::kGraphene: return "graphene";
+      case MitigationKind::kQprac: return "qprac";
+    }
+    return "?";
+}
+
+SystemConfig
+makeConfig(MitigationKind kind, std::uint32_t trh)
+{
+    SystemConfig cfg;
+    cfg.mitigation = kind;
+    cfg.trh = trh;
+    return cfg;
+}
+
+double
+RunResult::meanIpc() const
+{
+    if (ipcs.empty()) {
+        return 0.0;
+    }
+    double s = 0.0;
+    for (double v : ipcs) {
+        s += v;
+    }
+    return s / static_cast<double>(ipcs.size());
+}
+
+double
+weightedSlowdown(const RunResult &base, const RunResult &test)
+{
+    MOPAC_ASSERT(base.ipcs.size() == test.ipcs.size());
+    MOPAC_ASSERT(!base.ipcs.empty());
+    double ratio_sum = 0.0;
+    for (std::size_t i = 0; i < base.ipcs.size(); ++i) {
+        MOPAC_ASSERT(base.ipcs[i] > 0.0);
+        ratio_sum += test.ipcs[i] / base.ipcs[i];
+    }
+    return 1.0 - ratio_sum / static_cast<double>(base.ipcs.size());
+}
+
+namespace
+{
+
+/** Select the timing sets implied by a mitigation kind. */
+void
+pickTimings(MitigationKind kind, TimingSet &normal, TimingSet &cu)
+{
+    switch (kind) {
+      case MitigationKind::kPracMoat:
+      case MitigationKind::kQprac:
+        // Deterministic PRAC: every operation pays the PRAC timings.
+        normal = TimingSet::prac();
+        cu = TimingSet::prac();
+        break;
+      case MitigationKind::kMopacC:
+        // §5.1: PRE at base latency, PREcu at PRAC latency.
+        normal = TimingSet::base();
+        cu = TimingSet::prac();
+        break;
+      default:
+        normal = TimingSet::base();
+        cu = TimingSet::base();
+        break;
+    }
+}
+
+} // namespace
+
+System::System(const SystemConfig &cfg, std::vector<TraceSource *> traces)
+    : cfg_(cfg), map_(cfg.geometry)
+{
+    pickTimings(cfg_.mitigation, normal_, cu_);
+
+    Rng seeder(cfg_.seed ^ 0xD0A0C0B0ull);
+    for (unsigned s = 0; s < cfg_.geometry.num_subchannels; ++s) {
+        subch_.push_back(std::make_unique<SubChannel>(
+            cfg_.geometry, &normal_, &cu_, cfg_.trh));
+        SubChannel &dev = *subch_.back();
+
+        std::unique_ptr<Mitigator> engine;
+        switch (cfg_.mitigation) {
+          case MitigationKind::kNone:
+            engine = std::make_unique<NoMitigation>();
+            break;
+          case MitigationKind::kPracMoat: {
+            PracMoatEngine::Params p;
+            p.ath = cfg_.ath_override ? cfg_.ath_override
+                                      : moatAth(cfg_.trh);
+            engine = std::make_unique<PracMoatEngine>(dev, p);
+            break;
+          }
+          case MitigationKind::kMopacC: {
+            const MopacCDerived d =
+                deriveMopacC(cfg_.trh, cfg_.rowpress);
+            MopacCEngine::Params p;
+            p.log2_inv_p = d.log2_inv_p;
+            p.ath_star = cfg_.ath_star_override
+                             ? cfg_.ath_star_override
+                             : d.ath_star;
+            p.seed = seeder.next();
+            engine = std::make_unique<MopacCEngine>(dev, p);
+            break;
+          }
+          case MitigationKind::kMopacD: {
+            const MopacDDerived d = deriveMopacD(
+                cfg_.trh, cfg_.tth, cfg_.rowpress, cfg_.nup);
+            MopacDEngine::Params p;
+            p.log2_inv_p = d.log2_inv_p;
+            p.ath_star = cfg_.ath_star_override
+                             ? cfg_.ath_star_override
+                             : d.ath_star;
+            p.srq_capacity = cfg_.srq_capacity;
+            p.tth = cfg_.tth;
+            p.drain_per_ref = cfg_.drain_per_ref >= 0
+                                  ? static_cast<unsigned>(
+                                        cfg_.drain_per_ref)
+                                  : d.drain_per_ref;
+            p.chips = cfg_.geometry.chips;
+            p.nup = cfg_.nup;
+            p.rowpress = cfg_.rowpress;
+            p.sampler = cfg_.sampler;
+            p.seed = seeder.next();
+            engine = std::make_unique<MopacDEngine>(dev, p);
+            break;
+          }
+          case MitigationKind::kMint: {
+            MintTracker::Params p;
+            p.seed = seeder.next();
+            engine = std::make_unique<MintTracker>(dev, p);
+            break;
+          }
+          case MitigationKind::kPride: {
+            PrideTracker::Params p;
+            p.seed = seeder.next();
+            engine = std::make_unique<PrideTracker>(dev, p);
+            break;
+          }
+          case MitigationKind::kTrr: {
+            TrrTracker::Params p;
+            engine = std::make_unique<TrrTracker>(dev, p);
+            break;
+          }
+          case MitigationKind::kPara: {
+            ParaEngine::Params p;
+            p.q = ParaEngine::deriveQ(cfg_.trh);
+            p.seed = seeder.next();
+            engine = std::make_unique<ParaEngine>(dev, p);
+            break;
+          }
+          case MitigationKind::kGraphene: {
+            GrapheneTracker::Params p;
+            p.mitigation_threshold =
+                std::max<std::uint32_t>(1, cfg_.trh / 2);
+            engine = std::make_unique<GrapheneTracker>(dev, p);
+            break;
+          }
+          case MitigationKind::kQprac: {
+            QpracEngine::Params p;
+            p.ath = cfg_.ath_override ? cfg_.ath_override
+                                      : moatAth(cfg_.trh);
+            engine = std::make_unique<QpracEngine>(dev, p);
+            break;
+          }
+        }
+        dev.setMitigator(engine.get());
+        engines_.push_back(std::move(engine));
+
+        controllers_.push_back(std::make_unique<Controller>(
+            dev, map_, cfg_.mc, /*client=*/nullptr));
+
+        if (cfg_.track_epoch_stats) {
+            const Cycle epoch = cfg_.epoch_cycles
+                                    ? cfg_.epoch_cycles
+                                    : normal_.tREFW;
+            dev.checker().enableEpochTracking(epoch, cfg_.epoch_hi1,
+                                              cfg_.epoch_hi2);
+        }
+    }
+
+    if (!traces.empty()) {
+        if (traces.size() != cfg_.num_cores) {
+            fatal("system: {} traces for {} cores", traces.size(),
+                  cfg_.num_cores);
+        }
+        cpu_ = std::make_unique<Cpu>(cfg_.core, traces,
+                                     cfg_.warmup_insts +
+                                         cfg_.insts_per_core,
+                                     this);
+        // Completions must reach the cores.
+        for (unsigned s = 0; s < subch_.size(); ++s) {
+            controllers_[s] = std::make_unique<Controller>(
+                *subch_[s], map_, cfg_.mc, cpu_.get());
+        }
+    }
+}
+
+System::~System() = default;
+
+bool
+System::trySend(const Request &req, Cycle now)
+{
+    const DramCoord coord = map_.decode(req.line_addr);
+    return controllers_.at(coord.subchannel)->enqueue(req, now);
+}
+
+RunResult
+System::run()
+{
+    MOPAC_ASSERT(cpu_ != nullptr);
+    const std::uint64_t max_cycles =
+        cfg_.max_cycles
+            ? cfg_.max_cycles
+            : (cfg_.warmup_insts + cfg_.insts_per_core) * 400 + 10000000;
+
+    std::vector<bool> measuring(cfg_.num_cores, false);
+    bool timed_out = false;
+
+    Cycle now = 0;
+    while (!cpu_->allDone()) {
+        cpu_->tick(now);
+        for (auto &mc : controllers_) {
+            mc->tick(now);
+        }
+        // Begin each core's measured interval once it clears warmup.
+        for (unsigned i = 0; i < cfg_.num_cores; ++i) {
+            if (!measuring[i] &&
+                cpu_->core(i).retiredInsts() >= cfg_.warmup_insts) {
+                cpu_->core(i).startMeasurement(now);
+                measuring[i] = true;
+            }
+        }
+        ++now;
+        if (now >= max_cycles) {
+            warn("system: hit cycle bound {} before completion",
+                 max_cycles);
+            timed_out = true;
+            break;
+        }
+    }
+
+    // Fold the trailing partial epoch into the hot-row statistics.
+    for (auto &dev : subch_) {
+        dev->checker().finalizeEpoch();
+    }
+
+    RunResult res = collectStats(now);
+    res.timed_out = timed_out;
+    res.ipcs = cpu_->measuredIpcs();
+    return res;
+}
+
+void
+System::registerStats(StatRegistry &registry) const
+{
+    for (unsigned i = 0; i < subch_.size(); ++i) {
+        const std::string prefix = "subch" + std::to_string(i) + ".";
+        const SubChannelStats &ds = subch_[i]->stats();
+        registry.addScalar(prefix + "dram.acts", &ds.acts);
+        registry.addScalar(prefix + "dram.pres", &ds.pres);
+        registry.addScalar(prefix + "dram.precus", &ds.precus);
+        registry.addScalar(prefix + "dram.reads", &ds.reads);
+        registry.addScalar(prefix + "dram.writes", &ds.writes);
+        registry.addScalar(prefix + "dram.refs", &ds.refs);
+        registry.addScalar(prefix + "dram.rfms", &ds.rfms);
+        registry.addScalar(prefix + "dram.alerts", &ds.alerts);
+        registry.addScalar(prefix + "dram.victim_refreshes",
+                           &ds.victim_refreshes);
+
+        const ControllerStats &cs = controllers_[i]->stats();
+        registry.addScalar(prefix + "mc.reads_enqueued",
+                           &cs.reads_enqueued);
+        registry.addScalar(prefix + "mc.writes_enqueued",
+                           &cs.writes_enqueued);
+        registry.addScalar(prefix + "mc.cas_reads", &cs.cas_reads);
+        registry.addScalar(prefix + "mc.cas_writes", &cs.cas_writes);
+        registry.addScalar(prefix + "mc.row_hits", &cs.row_hits);
+        registry.addScalar(prefix + "mc.refs_issued", &cs.refs_issued);
+        registry.addScalar(prefix + "mc.rfms_issued", &cs.rfms_issued);
+        registry.addScalar(prefix + "mc.alert_stall_cycles",
+                           &cs.alert_stall_cycles);
+
+        const EngineStats &es = engines_[i]->engineStats();
+        registry.addScalar(prefix + "engine.counter_updates",
+                           &es.counter_updates);
+        registry.addScalar(prefix + "engine.selected_acts",
+                           &es.selected_acts);
+        registry.addScalar(prefix + "engine.mitigations",
+                           &es.mitigations);
+        registry.addScalar(prefix + "engine.alerts_requested",
+                           &es.alerts_requested);
+        registry.addScalar(prefix + "engine.srq_insertions",
+                           &es.srq_insertions);
+        registry.addScalar(prefix + "engine.srq_drains",
+                           &es.srq_drains);
+        registry.addScalar(prefix + "engine.ref_drains",
+                           &es.ref_drains);
+        registry.addScalar(prefix + "engine.tth_alerts",
+                           &es.tth_alerts);
+        registry.addScalar(prefix + "engine.srq_full_alerts",
+                           &es.srq_full_alerts);
+    }
+}
+
+RunResult
+System::collectStats(Cycle now) const
+{
+    RunResult res;
+    res.cycles = now;
+
+    std::uint64_t cas = 0;
+    std::uint64_t hits = 0;
+    double latency_weighted = 0.0;
+    std::uint64_t latency_count = 0;
+    double act64 = 0.0;
+    double act200 = 0.0;
+
+    for (unsigned s = 0; s < subch_.size(); ++s) {
+        const SubChannelStats &ds = subch_[s]->stats();
+        res.acts += ds.acts;
+        res.reads += ds.reads;
+        res.writes += ds.writes;
+        res.refs += ds.refs;
+        res.rfms += ds.rfms;
+        res.alerts += ds.alerts;
+        cas += ds.reads + ds.writes;
+
+        const ControllerStats &cs = controllers_[s]->stats();
+        hits += cs.row_hits;
+        latency_weighted += cs.read_latency.mean() *
+                            static_cast<double>(
+                                cs.read_latency.count());
+        latency_count += cs.read_latency.count();
+
+        const SecurityChecker &checker = subch_[s]->checker();
+        res.max_unmitigated =
+            std::max(res.max_unmitigated, checker.maxUnmitigated());
+        res.violations += checker.violations();
+        act64 += checker.act64PerBankPerEpoch();
+        act200 += checker.act200PerBankPerEpoch();
+        res.epochs =
+            std::max(res.epochs, checker.epochsCompleted());
+
+        const EngineStats &es = engines_[s]->engineStats();
+        res.counter_updates += es.counter_updates;
+        res.srq_insertions += es.srq_insertions;
+        res.mitigations += es.mitigations;
+        res.ref_drains += es.ref_drains;
+    }
+
+    res.rbhr = cas > 0 ? static_cast<double>(hits) /
+                             static_cast<double>(cas)
+                       : 0.0;
+    if (latency_count > 0) {
+        res.avg_read_latency_ns =
+            cyclesToNs(static_cast<Cycle>(
+                latency_weighted / static_cast<double>(latency_count)));
+    }
+    const double ref_intervals =
+        static_cast<double>(now) / static_cast<double>(normal_.tREFI);
+    const double total_banks =
+        static_cast<double>(subch_.size()) *
+        cfg_.geometry.banks_per_subchannel;
+    if (ref_intervals > 0.0) {
+        res.apri = static_cast<double>(res.acts) /
+                   (total_banks * ref_intervals);
+    }
+    res.act64 = act64 / static_cast<double>(subch_.size());
+    res.act200 = act200 / static_cast<double>(subch_.size());
+    return res;
+}
+
+} // namespace mopac

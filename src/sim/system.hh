@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Full-system simulator: cores -> controllers -> DRAM sub-channels
+ * with the configured Rowhammer mitigation attached.
+ */
+
+#ifndef MOPAC_SIM_SYSTEM_HH
+#define MOPAC_SIM_SYSTEM_HH
+
+#include <memory>
+#include <vector>
+
+#include "common/stats.hh"
+#include "core/cpu.hh"
+#include "dram/device.hh"
+#include "mc/controller.hh"
+#include "mc/mapping.hh"
+#include "sim/config.hh"
+
+namespace mopac
+{
+
+/** Aggregate result of one simulation run. */
+struct RunResult
+{
+    /** Per-core IPC over the measured interval. */
+    std::vector<double> ipcs;
+    /** Total simulated cycles. */
+    Cycle cycles = 0;
+    /** The run hit the safety cycle bound before finishing. */
+    bool timed_out = false;
+
+    // Memory-system aggregates (whole run, both sub-channels).
+    std::uint64_t acts = 0;
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t refs = 0;
+    std::uint64_t rfms = 0;
+    std::uint64_t alerts = 0;
+    double rbhr = 0.0;
+    double apri = 0.0;
+    double avg_read_latency_ns = 0.0;
+
+    // Security ground truth.
+    std::uint32_t max_unmitigated = 0;
+    std::uint64_t violations = 0;
+
+    // Engine aggregates.
+    std::uint64_t counter_updates = 0;
+    std::uint64_t srq_insertions = 0;
+    std::uint64_t mitigations = 0;
+    std::uint64_t ref_drains = 0;
+
+    // Epoch stats (when enabled).
+    double act64 = 0.0;
+    double act200 = 0.0;
+    std::uint64_t epochs = 0;
+
+    /** Mean IPC across cores. */
+    double meanIpc() const;
+};
+
+/**
+ * Paper-style slowdown of @p test relative to @p base on the same
+ * workload: 1 - mean_i(IPC_test,i / IPC_base,i).  In rate mode the
+ * single-core IPC-alone terms of weighted speedup cancel, so this is
+ * exactly the weighted-speedup degradation the paper reports.
+ */
+double weightedSlowdown(const RunResult &base, const RunResult &test);
+
+/** The simulated system. */
+class System : public RequestSink
+{
+  public:
+    /**
+     * @param cfg Configuration.
+     * @param traces One trace per core (not owned; may be empty for
+     *        memory-only / attack studies, in which case run() is
+     *        unavailable and tickMemory() drives the model).
+     */
+    System(const SystemConfig &cfg, std::vector<TraceSource *> traces);
+    ~System() override;
+
+    System(const System &) = delete;
+    System &operator=(const System &) = delete;
+
+    /** Run to completion and collect results. */
+    RunResult run();
+
+    /** Advance only the memory system (attack/driver studies). */
+    void
+    tickMemory(Cycle now)
+    {
+        for (auto &mc : controllers_) {
+            mc->tick(now);
+        }
+    }
+
+    /** Collect current aggregate statistics (memory-only studies). */
+    RunResult collectStats(Cycle now) const;
+
+    /**
+     * Register every component statistic (per sub-channel command
+     * counts, controller service counts, engine counters, security
+     * oracle) under dotted names in @p registry.  The registry holds
+     * references, so dump after run() for final values.
+     */
+    void registerStats(StatRegistry &registry) const;
+
+    // RequestSink: route by sub-channel.
+    bool trySend(const Request &req, Cycle now) override;
+
+    const SystemConfig &config() const { return cfg_; }
+    const AddressMap &addressMap() const { return map_; }
+    unsigned numSubchannels() const
+    {
+        return static_cast<unsigned>(subch_.size());
+    }
+    SubChannel &subchannel(unsigned i) { return *subch_.at(i); }
+    Controller &controller(unsigned i) { return *controllers_.at(i); }
+    Mitigator &engine(unsigned i) { return *engines_.at(i); }
+    Cpu &cpu() { return *cpu_; }
+    bool hasCpu() const { return cpu_ != nullptr; }
+
+  private:
+    SystemConfig cfg_;
+    TimingSet normal_;
+    TimingSet cu_;
+    AddressMap map_;
+    std::vector<std::unique_ptr<SubChannel>> subch_;
+    std::vector<std::unique_ptr<Mitigator>> engines_;
+    std::vector<std::unique_ptr<Controller>> controllers_;
+    std::unique_ptr<Cpu> cpu_;
+};
+
+} // namespace mopac
+
+#endif // MOPAC_SIM_SYSTEM_HH

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Attack pattern construction.
+ */
+
+#include "attack.hh"
+
+#include "common/log.hh"
+
+namespace mopac
+{
+
+AttackPattern::AttackPattern(std::string name, std::vector<Addr> lines)
+    : name_(std::move(name)), lines_(std::move(lines))
+{
+    MOPAC_ASSERT(!lines_.empty());
+}
+
+Request
+AttackPattern::next()
+{
+    Request req;
+    req.line_addr = lines_[pos_];
+    req.is_write = false;
+    req.core_id = 0;
+    req.req_id = next_req_id_++;
+    pos_ = (pos_ + 1) % lines_.size();
+    return req;
+}
+
+AttackPattern
+makeDoubleSidedAttack(const AddressMap &map, unsigned subchannel,
+                      unsigned bank, std::uint32_t victim_row)
+{
+    MOPAC_ASSERT(victim_row >= 1);
+    std::vector<Addr> lines;
+    for (std::uint32_t row : {victim_row - 1, victim_row + 1}) {
+        lines.push_back(map.encode({subchannel, bank, row, 0}));
+    }
+    return AttackPattern("double-sided", std::move(lines));
+}
+
+AttackPattern
+makeMultiBankAttack(const AddressMap &map, unsigned num_banks,
+                    std::uint32_t victim_row)
+{
+    MOPAC_ASSERT(victim_row >= 1);
+    const Geometry &geo = map.geometry();
+    std::vector<Addr> lines;
+    // One full pass over all banks with the left aggressor, then one
+    // with the right: each revisit of a bank is a conflict, and all
+    // banks accumulate activations at the same rate.
+    for (std::uint32_t row : {victim_row - 1, victim_row + 1}) {
+        unsigned used = 0;
+        for (unsigned sc = 0;
+             sc < geo.num_subchannels && used < num_banks; ++sc) {
+            for (unsigned b = 0;
+                 b < geo.banks_per_subchannel && used < num_banks;
+                 ++b, ++used) {
+                lines.push_back(map.encode({sc, b, row, 0}));
+            }
+        }
+    }
+    return AttackPattern("multi-bank", std::move(lines));
+}
+
+AttackPattern
+makeManySidedAttack(const AddressMap &map, unsigned subchannel,
+                    unsigned bank, unsigned num_rows,
+                    std::uint32_t start_row, std::uint32_t row_stride)
+{
+    MOPAC_ASSERT(num_rows >= 2 && row_stride >= 1);
+    std::vector<Addr> lines;
+    for (unsigned i = 0; i < num_rows; ++i) {
+        const std::uint32_t row = start_row + row_stride * i;
+        lines.push_back(map.encode({subchannel, bank, row, 0}));
+    }
+    return AttackPattern("many-sided", std::move(lines));
+}
+
+AttackPattern
+makeTrrEvasionAttack(const AddressMap &map, unsigned subchannel,
+                     unsigned bank, std::uint32_t start_row,
+                     unsigned hammer_per_round,
+                     unsigned decoys_per_round)
+{
+    MOPAC_ASSERT(hammer_per_round >= 1 && decoys_per_round >= 1);
+    const std::uint32_t a = start_row;
+    const std::uint32_t b = start_row + 8; // disjoint blast radii
+    std::vector<Addr> lines;
+    // Alternate the two aggressors (every access conflicts)...
+    for (unsigned i = 0; i < hammer_per_round; ++i) {
+        lines.push_back(map.encode({subchannel, bank,
+                                    (i % 2 == 0) ? a : b, 0}));
+    }
+    // ...then sweep unique decoys to decrement-evict them from the
+    // tracker table before the REF-time mitigation fires.
+    for (unsigned i = 0; i < decoys_per_round; ++i) {
+        const std::uint32_t decoy = start_row + 1000 + 6 * i;
+        lines.push_back(map.encode({subchannel, bank, decoy, 0}));
+    }
+    return AttackPattern("trr-evasion", std::move(lines));
+}
+
+} // namespace mopac

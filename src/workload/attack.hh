@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Rowhammer attack access patterns (paper §2.1, §7, Figure 14).
+ *
+ * Patterns are infinite cyclic streams of read requests.  Aggressor
+ * rows are always visited in an order that forces a row-buffer
+ * conflict in the target bank on every visit (alternating rows within
+ * a bank), so each request costs one ACT -- the unit the paper's
+ * performance-attack analysis counts.
+ */
+
+#ifndef MOPAC_WORKLOAD_ATTACK_HH
+#define MOPAC_WORKLOAD_ATTACK_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mc/mapping.hh"
+#include "mc/request.hh"
+
+namespace mopac
+{
+
+/** A cyclic attack request stream. */
+class AttackPattern
+{
+  public:
+    /**
+     * @param name Pattern label for reports.
+     * @param lines Line addresses visited round-robin.
+     */
+    AttackPattern(std::string name, std::vector<Addr> lines);
+
+    /** Next request in the cycle. */
+    Request next();
+
+    const std::string &name() const { return name_; }
+
+    std::size_t footprint() const { return lines_.size(); }
+
+  private:
+    std::string name_;
+    std::vector<Addr> lines_;
+    std::size_t pos_ = 0;
+    std::uint64_t next_req_id_ = 1;
+};
+
+/**
+ * Double-sided hammer of one victim row in one bank: alternate the
+ * two adjacent aggressor rows (every access conflicts).
+ */
+AttackPattern makeDoubleSidedAttack(const AddressMap &map,
+                                    unsigned subchannel, unsigned bank,
+                                    std::uint32_t victim_row);
+
+/**
+ * Fig 14(b): one aggressor pair per bank across @p num_banks banks of
+ * every sub-channel, visited bank-by-bank so every bank's counter
+ * rises in parallel and the fastest bank triggers the ABO.
+ */
+AttackPattern makeMultiBankAttack(const AddressMap &map,
+                                  unsigned num_banks,
+                                  std::uint32_t victim_row);
+
+/**
+ * Many-sided pattern (also the SRQ-fill attack of §7.4): cycle
+ * @p num_rows distinct aggressor rows in one bank.
+ * @param row_stride Spacing between aggressors; the default of 6
+ *        keeps their blast-radius-2 neighborhoods disjoint.
+ */
+AttackPattern makeManySidedAttack(const AddressMap &map,
+                                  unsigned subchannel, unsigned bank,
+                                  unsigned num_rows,
+                                  std::uint32_t start_row,
+                                  std::uint32_t row_stride = 6);
+
+/**
+ * TRRespass-style evasion of frequency-tracker TRR: hammer two
+ * spaced aggressors, then burst enough unique decoy rows to
+ * decrement-evict them from a Misra-Gries table before the next REF
+ * picks its mitigation target.
+ */
+AttackPattern makeTrrEvasionAttack(const AddressMap &map,
+                                   unsigned subchannel, unsigned bank,
+                                   std::uint32_t start_row,
+                                   unsigned hammer_per_round = 35,
+                                   unsigned decoys_per_round = 40);
+
+} // namespace mopac
+
+#endif // MOPAC_WORKLOAD_ATTACK_HH

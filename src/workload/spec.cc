@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Workload calibration table (values tuned against Table 4; see
+ * bench/tab04_workloads for the measured-vs-paper comparison).
+ */
+
+#include "spec.hh"
+
+#include "common/log.hh"
+
+namespace mopac
+{
+
+namespace
+{
+
+/** Helper to build a spec tersely. */
+WorkloadSpec
+make(std::string name, double mpki, double write_frac, double dep_frac,
+     double burst_len, double cluster, std::uint32_t footprint_rows,
+     std::uint32_t hot_rows, double hot_frac, bool streaming,
+     double ref_mpki, double ref_rbhr, double ref_apri, double ref_act64,
+     double ref_act200)
+{
+    WorkloadSpec s;
+    s.name = std::move(name);
+    s.mpki = mpki;
+    s.write_frac = write_frac;
+    s.dep_frac = dep_frac;
+    s.burst_len = burst_len;
+    s.cluster = cluster;
+    s.footprint_rows = footprint_rows;
+    s.hot_rows = hot_rows;
+    s.hot_frac = hot_frac;
+    s.streaming = streaming;
+    s.ref_mpki = ref_mpki;
+    s.ref_rbhr = ref_rbhr;
+    s.ref_apri = ref_apri;
+    s.ref_act64 = ref_act64;
+    s.ref_act200 = ref_act200;
+    return s;
+}
+
+} // namespace
+
+const std::vector<WorkloadSpec> &
+workloadTable()
+{
+    // name          mpki  wf    dep   burst clst  fp    hot   hfrac stream | Table-4 reference
+    static const std::vector<WorkloadSpec> table = {
+        make("bwaves",    42.3, 0.30, 0.15, 3.0, 5.0, 2048, 0,    0.00, false, 42.3, 0.51, 14.1, 0.0,   0.0),
+        make("parest",    28.9, 0.25, 0.60, 3.6, 2.0, 2048, 1240, 0.20, false, 28.9, 0.61, 12.6, 155.4, 10.5),
+        make("mcf",       28.8, 0.20, 0.45, 2.4, 2.0, 4096, 25,   0.02, false, 28.8, 0.47, 16.9, 3.1,   0.0),
+        make("lbm",       28.2, 0.45, 0.10, 1.6, 6.0, 2048, 106,  0.05, false, 28.2, 0.29, 19.4, 13.3,  0.0),
+        make("fotonik3d", 25.4, 0.30, 0.04, 1.4, 8.0, 2048, 3,    0.005,false, 25.4, 0.23, 19.5, 0.4,   0.0),
+        make("omnetpp",   10.2, 0.20, 0.08, 1.5, 2.2, 2048, 394,  0.25, false, 10.2, 0.25, 19.7, 49.3,  10.1),
+        make("roms",       8.2, 0.30, 0.30, 3.7, 2.5, 1024, 10,   0.01, false,  8.2, 0.62, 10.4, 1.2,   0.0),
+        make("xz",         6.1, 0.15, 0.05, 1.0, 2.2, 2048, 1312, 0.35, false,  6.1, 0.05, 20.7, 164.0, 0.0),
+        make("cactuBSSN",  3.5, 0.30, 0.03, 1.0, 6.0, 4096, 0,    0.00, false,  3.5, 0.00, 16.3, 0.0,   0.0),
+        make("xalancbmk",  2.0, 0.20, 0.55, 2.8, 2.0, 1024, 0,    0.00, false,  2.0, 0.54,  8.7, 0.0,   0.0),
+        make("cam4",       1.6, 0.25, 0.65, 3.2, 2.0, 1024, 0,    0.00, false,  1.6, 0.58,  5.6, 0.0,   0.0),
+        make("blender",    1.5, 0.25, 0.28, 2.0, 2.0, 1024, 0,    0.00, false,  1.5, 0.37,  6.0, 0.0,   0.0),
+        make("masstree",  20.3, 0.20, 0.30, 3.0, 2.2, 4096, 114,  0.08, false, 20.3, 0.55, 13.6, 14.3,  0.0),
+        make("add",       62.5, 0.33, 0.00, 4.0, 1.0, 4096, 0,    0.00, true,  62.5, 0.69, 10.2, 0.0,   0.0),
+        make("triad",     53.6, 0.33, 0.00, 4.0, 1.0, 4096, 0,    0.00, true,  53.6, 0.69, 10.3, 0.0,   0.0),
+        make("copy",      50.0, 0.50, 0.00, 4.0, 1.0, 4096, 0,    0.00, true,  50.0, 0.70,  9.8, 0.0,   0.0),
+        make("scale",     41.7, 0.50, 0.00, 4.0, 1.0, 4096, 0,    0.00, true,  41.7, 0.70,  9.7, 0.0,   0.0),
+    };
+    return table;
+}
+
+const WorkloadSpec &
+findWorkload(const std::string &name)
+{
+    for (const auto &spec : workloadTable()) {
+        if (spec.name == name) {
+            return spec;
+        }
+    }
+    fatal("unknown workload '{}'", name);
+}
+
+const std::vector<std::pair<std::string, std::vector<std::string>>> &
+mixTable()
+{
+    // One fixed random draw per mix (the paper selects randomly from
+    // the SPEC set); hot workloads (parest / xz / omnetpp) appear in
+    // every mix, matching Table 4's non-zero ACT-64+ for all mixes.
+    static const std::vector<
+        std::pair<std::string, std::vector<std::string>>>
+        mixes = {
+            {"mix1",
+             {"parest", "mcf", "omnetpp", "xz", "bwaves", "xalancbmk",
+              "lbm", "cam4"}},
+            {"mix2",
+             {"parest", "xz", "roms", "mcf", "blender", "fotonik3d",
+              "omnetpp", "cactuBSSN"}},
+            {"mix3",
+             {"omnetpp", "xz", "parest", "lbm", "cam4", "mcf", "roms",
+              "blender"}},
+            {"mix4",
+             {"parest", "parest", "xz", "omnetpp", "mcf", "bwaves",
+              "roms", "xalancbmk"}},
+            {"mix5",
+             {"xz", "omnetpp", "parest", "cactuBSSN", "lbm", "cam4",
+              "xalancbmk", "mcf"}},
+            {"mix6",
+             {"parest", "omnetpp", "xz", "blender", "roms", "fotonik3d",
+              "mcf", "cam4"}},
+        };
+    return mixes;
+}
+
+std::vector<std::string>
+allWorkloadNames()
+{
+    // Table 4 ordering: 12 SPEC, 6 mixes, masstree, 4 STREAM kernels.
+    return {
+        "bwaves", "parest",    "mcf",      "lbm",   "fotonik3d",
+        "omnetpp", "roms",     "xz",       "cactuBSSN", "xalancbmk",
+        "cam4",   "blender",   "mix1",     "mix2",  "mix3",
+        "mix4",   "mix5",      "mix6",     "masstree", "add",
+        "triad",  "copy",      "scale",
+    };
+}
+
+} // namespace mopac

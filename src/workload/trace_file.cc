@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Trace file I/O implementation.
+ */
+
+#include "trace_file.hh"
+
+#include <array>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "common/log.hh"
+
+namespace mopac
+{
+
+namespace
+{
+
+constexpr char kMagic[8] = {'M', 'O', 'P', 'A', 'C', 'T', 'R', 'C'};
+constexpr std::uint32_t kVersion = 1;
+
+constexpr std::uint8_t kFlagWrite = 1u << 0;
+constexpr std::uint8_t kFlagDepends = 1u << 1;
+
+/** Packed on-disk record (16 bytes, little-endian host assumed). */
+struct PackedRecord
+{
+    std::uint32_t inst_gap;
+    std::uint8_t flags;
+    std::uint8_t pad[3];
+    std::uint64_t line_addr;
+};
+static_assert(sizeof(PackedRecord) == 16);
+
+} // namespace
+
+TraceData
+captureTrace(TraceSource &source, std::size_t count)
+{
+    TraceData trace;
+    trace.records.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        trace.records.push_back(source.next());
+    }
+    return trace;
+}
+
+void
+writeTraceText(const TraceData &trace, const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out) {
+        fatal("cannot open trace file '{}' for writing", path);
+    }
+    out << "# mopac trace v" << kVersion << ": "
+        << trace.records.size()
+        << " records of <inst_gap> <R|W|D> <hex line addr>\n";
+    for (const TraceRecord &rec : trace.records) {
+        const char kind = rec.is_write ? 'W'
+                          : rec.depends_on_prev ? 'D'
+                                                : 'R';
+        out << rec.inst_gap << ' ' << kind << ' ' << std::hex
+            << rec.line_addr << std::dec << '\n';
+    }
+    if (!out) {
+        fatal("error while writing trace '{}'", path);
+    }
+}
+
+void
+writeTraceBinary(const TraceData &trace, const std::string &path)
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out) {
+        fatal("cannot open trace file '{}' for writing", path);
+    }
+    out.write(kMagic, sizeof(kMagic));
+    const std::uint32_t version = kVersion;
+    const auto count =
+        static_cast<std::uint32_t>(trace.records.size());
+    out.write(reinterpret_cast<const char *>(&version),
+              sizeof(version));
+    out.write(reinterpret_cast<const char *>(&count), sizeof(count));
+    for (const TraceRecord &rec : trace.records) {
+        PackedRecord packed{};
+        packed.inst_gap = rec.inst_gap;
+        packed.flags =
+            static_cast<std::uint8_t>(
+                (rec.is_write ? kFlagWrite : 0) |
+                (rec.depends_on_prev ? kFlagDepends : 0));
+        packed.line_addr = rec.line_addr;
+        out.write(reinterpret_cast<const char *>(&packed),
+                  sizeof(packed));
+    }
+    if (!out) {
+        fatal("error while writing trace '{}'", path);
+    }
+}
+
+namespace
+{
+
+TraceData
+loadBinary(std::ifstream &in, const std::string &path)
+{
+    std::uint32_t version = 0;
+    std::uint32_t count = 0;
+    in.read(reinterpret_cast<char *>(&version), sizeof(version));
+    in.read(reinterpret_cast<char *>(&count), sizeof(count));
+    if (!in) {
+        fatal("trace '{}': truncated binary header", path);
+    }
+    if (version != kVersion) {
+        fatal("trace '{}': unsupported version {}", path, version);
+    }
+    TraceData trace;
+    trace.records.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+        PackedRecord packed;
+        in.read(reinterpret_cast<char *>(&packed), sizeof(packed));
+        if (!in) {
+            fatal("trace '{}': truncated at record {}", path, i);
+        }
+        TraceRecord rec;
+        rec.inst_gap = packed.inst_gap;
+        rec.is_write = (packed.flags & kFlagWrite) != 0;
+        rec.depends_on_prev = (packed.flags & kFlagDepends) != 0;
+        rec.line_addr = packed.line_addr;
+        trace.records.push_back(rec);
+    }
+    return trace;
+}
+
+TraceData
+loadText(std::ifstream &in, const std::string &path)
+{
+    TraceData trace;
+    std::string line;
+    std::size_t line_no = 0;
+    while (std::getline(in, line)) {
+        ++line_no;
+        const auto hash = line.find('#');
+        if (hash != std::string::npos) {
+            line = line.substr(0, hash);
+        }
+        std::istringstream fields(line);
+        TraceRecord rec;
+        std::string kind;
+        std::string addr;
+        if (!(fields >> rec.inst_gap >> kind >> addr)) {
+            // Blank / comment-only line.
+            std::istringstream probe(line);
+            std::string word;
+            if (probe >> word) {
+                fatal("trace '{}': malformed line {}", path, line_no);
+            }
+            continue;
+        }
+        if (kind == "W" || kind == "w") {
+            rec.is_write = true;
+        } else if (kind == "D" || kind == "d") {
+            rec.depends_on_prev = true;
+        } else if (kind != "R" && kind != "r") {
+            fatal("trace '{}': bad record kind '{}' at line {}", path,
+                  kind, line_no);
+        }
+        rec.line_addr = std::strtoull(addr.c_str(), nullptr, 16);
+        trace.records.push_back(rec);
+    }
+    return trace;
+}
+
+} // namespace
+
+TraceData
+loadTrace(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        fatal("cannot open trace file '{}'", path);
+    }
+    std::array<char, sizeof(kMagic)> magic{};
+    in.read(magic.data(), magic.size());
+    if (in && std::memcmp(magic.data(), kMagic, sizeof(kMagic)) == 0) {
+        return loadBinary(in, path);
+    }
+    // Not binary: reopen as text.
+    std::ifstream text(path);
+    if (!text) {
+        fatal("cannot open trace file '{}'", path);
+    }
+    return loadText(text, path);
+}
+
+FileTraceSource::FileTraceSource(TraceData trace)
+    : trace_(std::move(trace))
+{
+    if (trace_.records.empty()) {
+        fatal("trace replay requires a non-empty trace");
+    }
+}
+
+FileTraceSource::FileTraceSource(const std::string &path)
+    : FileTraceSource(loadTrace(path))
+{
+}
+
+TraceRecord
+FileTraceSource::next()
+{
+    const TraceRecord rec = trace_.records[pos_];
+    if (++pos_ == trace_.records.size()) {
+        pos_ = 0;
+        ++loops_;
+    }
+    return rec;
+}
+
+} // namespace mopac

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * NUP Markov-chain tests, including footnote 8's uniform-edge
+ * equivalence with the binomial model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/binomial.hh"
+#include "analysis/markov.hh"
+#include "analysis/security.hh"
+
+namespace mopac
+{
+namespace
+{
+
+TEST(Markov, DistributionSumsToOne)
+{
+    const auto y = nupUpdateDistribution(500, 0.0625, 0.125, 100);
+    long double sum = 0.0L;
+    for (long double v : y) {
+        sum += v;
+    }
+    EXPECT_NEAR(static_cast<double>(sum), 1.0, 1e-12);
+}
+
+TEST(Markov, ZeroStepsIsDeltaAtZero)
+{
+    const auto y = nupUpdateDistribution(0, 0.1, 0.2, 8);
+    EXPECT_DOUBLE_EQ(static_cast<double>(y[0]), 1.0);
+    for (std::size_t i = 1; i < y.size(); ++i) {
+        EXPECT_DOUBLE_EQ(static_cast<double>(y[i]), 0.0);
+    }
+}
+
+TEST(Markov, OneStepSplitsByP0)
+{
+    const auto y = nupUpdateDistribution(1, 0.25, 0.5, 8);
+    EXPECT_NEAR(static_cast<double>(y[0]), 0.75, 1e-12);
+    EXPECT_NEAR(static_cast<double>(y[1]), 0.25, 1e-12);
+}
+
+TEST(Markov, UniformEdgesMatchBinomialExactly)
+{
+    // Footnote 8's sanity check: with p0 = p the chain is binomial.
+    for (double p : {0.25, 0.125, 0.0625}) {
+        const std::uint32_t steps = 440;
+        const auto y = nupUpdateDistribution(steps, p, p, 120);
+        for (unsigned k = 0; k <= 40; ++k) {
+            EXPECT_NEAR(static_cast<double>(y[k]),
+                        static_cast<double>(binomialPmf(steps, k, p)),
+                        1e-15)
+                << "p=" << p << " k=" << k;
+        }
+    }
+}
+
+TEST(Markov, UniformCriticalCMatchesBinomialSearch)
+{
+    for (std::uint32_t trh : {250u, 500u, 1000u}) {
+        const double eps = epsilonFor(trh);
+        const double p =
+            1.0 / (1u << defaultLog2InvP(trh));
+        const std::uint32_t steps = 400;
+        EXPECT_EQ(findCriticalCNup(steps, p, p, eps),
+                  findCriticalC(steps, p, eps));
+    }
+}
+
+TEST(Markov, HalvedP0ShiftsMassDown)
+{
+    // With a slower exit from state 0, small update counts become
+    // more likely: the NUP lower tail dominates the uniform tail.
+    const auto uni = nupUpdateDistribution(472, 0.125, 0.125, 100);
+    const auto nup = nupUpdateDistribution(472, 0.0625, 0.125, 100);
+    long double uni_tail = 0.0L;
+    long double nup_tail = 0.0L;
+    for (unsigned k = 0; k <= 20; ++k) {
+        uni_tail += uni[k];
+        nup_tail += nup[k];
+    }
+    EXPECT_GT(static_cast<double>(nup_tail),
+              static_cast<double>(uni_tail));
+}
+
+TEST(Markov, Table11CriticalCounts)
+{
+    // §8.2 runs the chain for ATH steps: C = 14 / 17 / 18.
+    EXPECT_EQ(findCriticalCNup(219, 0.125, 0.25, epsilonFor(250)),
+              14u);
+    EXPECT_EQ(findCriticalCNup(472, 0.0625, 0.125, epsilonFor(500)),
+              17u);
+    EXPECT_EQ(findCriticalCNup(975, 0.03125, 0.0625, epsilonFor(1000)),
+              18u);
+}
+
+TEST(Markov, AbsorbingBinCollectsOverflow)
+{
+    // Tiny truncation: the final state must hold the excess mass.
+    const auto y = nupUpdateDistribution(100, 0.5, 0.5, 4);
+    EXPECT_GT(static_cast<double>(y[4]), 0.99);
+}
+
+} // namespace
+} // namespace mopac

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * MOAT ATH model tests (Table 2).
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/moat_model.hh"
+
+namespace mopac
+{
+namespace
+{
+
+TEST(MoatModel, Table2PublishedValues)
+{
+    EXPECT_EQ(moatAth(1000), 975u);
+    EXPECT_EQ(moatAth(500), 472u);
+    EXPECT_EQ(moatAth(250), 219u);
+}
+
+TEST(MoatModel, SlippageGrowsAsThresholdShrinks)
+{
+    EXPECT_EQ(moatSlippage(1000), 25u);
+    EXPECT_EQ(moatSlippage(500), 28u);
+    EXPECT_EQ(moatSlippage(250), 31u);
+    EXPECT_GT(moatSlippage(125), moatSlippage(250));
+}
+
+TEST(MoatModel, InterpolatesForHigherThresholds)
+{
+    // Used for Figure 1d's 2K / 4K points: slippage shrinks but stays
+    // positive, and ATH < TRH always.
+    EXPECT_EQ(moatAth(2000), 2000u - 22u);
+    EXPECT_EQ(moatAth(4000), 4000u - 19u);
+    for (std::uint32_t trh : {125u, 250u, 500u, 1000u, 2000u, 4000u}) {
+        EXPECT_LT(moatAth(trh), trh);
+        EXPECT_GT(moatAth(trh), 0u);
+    }
+}
+
+TEST(MoatModel, MonotoneInThreshold)
+{
+    std::uint32_t prev = 0;
+    for (std::uint32_t trh = 125; trh <= 4000; trh += 25) {
+        const std::uint32_t ath = moatAth(trh);
+        EXPECT_GT(ath, prev);
+        prev = ath;
+    }
+}
+
+} // namespace
+} // namespace mopac

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Performance-attack model tests: the Table 9 / Table 10 closed
+ * forms and the alpha Monte Carlo (§7.2).
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/perf_attack.hh"
+#include "analysis/security.hh"
+
+namespace mopac
+{
+namespace
+{
+
+TEST(PerfAttack, SlowdownFormula)
+{
+    // slowdown = 7 / (N + 7) for an ABO every N activations.
+    EXPECT_NEAR(slowdownForAboEvery(7.0), 0.5, 1e-12);
+    EXPECT_NEAR(slowdownForAboEvery(93.0), 0.07, 1e-12);
+    EXPECT_GT(slowdownForAboEvery(10.0), slowdownForAboEvery(100.0));
+}
+
+TEST(PerfAttack, Table10SrqAttack)
+{
+    // SRQ-fill: ABO every 5/p ACTs => 25.9% / 14.9% / 8.1%.
+    EXPECT_NEAR(srqAttackSlowdown(0.25), 0.259, 0.001);
+    EXPECT_NEAR(srqAttackSlowdown(0.125), 0.149, 0.001);
+    EXPECT_NEAR(srqAttackSlowdown(0.0625), 0.081, 0.001);
+}
+
+TEST(PerfAttack, Table10TthAttack)
+{
+    // TTH = 32: ABO every 32 ACTs => 17.9% at every threshold.
+    EXPECT_NEAR(tthAttackSlowdown(32), 0.179, 0.001);
+}
+
+TEST(PerfAttack, Table10MitigationAttack)
+{
+    // MoPAC-D: ATH+ = (C+1)/p = 64 / 160 / 352 with alpha = 0.55
+    // => 16.6% / 7.4% / 3.5%.
+    EXPECT_NEAR(mitigationAttackSlowdown(64, 0.55), 0.166, 0.002);
+    EXPECT_NEAR(mitigationAttackSlowdown(160, 0.55), 0.074, 0.002);
+    EXPECT_NEAR(mitigationAttackSlowdown(352, 0.55), 0.035, 0.001);
+}
+
+TEST(PerfAttack, Table9MitigationAttack)
+{
+    // MoPAC-C: ATH+ = 84 / 184 / 384 with alpha = 0.55
+    // => ~14% / ~6.7% / 3.2% (paper Table 9).
+    EXPECT_NEAR(mitigationAttackSlowdown(84, 0.55), 0.14, 0.015);
+    EXPECT_NEAR(mitigationAttackSlowdown(184, 0.55), 0.067, 0.007);
+    EXPECT_NEAR(mitigationAttackSlowdown(384, 0.55), 0.032, 0.002);
+}
+
+TEST(PerfAttack, AlphaIsWellBelowOneFor32Banks)
+{
+    // §7.2: randomization makes the fastest of 32 banks reach ATH*
+    // early; the paper's Monte Carlo reports alpha ~= 0.55.
+    const MopacCDerived d = deriveMopacC(500);
+    const double alpha =
+        estimateAlpha(32, d.c + 1, d.p, 20000, 99);
+    EXPECT_GT(alpha, 0.45);
+    EXPECT_LT(alpha, 0.75);
+}
+
+TEST(PerfAttack, AlphaApproachesOneForOneBank)
+{
+    const MopacCDerived d = deriveMopacC(500);
+    const double alpha = estimateAlpha(1, d.c + 1, d.p, 20000, 100);
+    EXPECT_NEAR(alpha, 1.0, 0.02);
+}
+
+TEST(PerfAttack, AlphaDecreasesWithMoreBanks)
+{
+    const MopacCDerived d = deriveMopacC(500);
+    const double a8 = estimateAlpha(8, d.c + 1, d.p, 20000, 101);
+    const double a32 = estimateAlpha(32, d.c + 1, d.p, 20000, 102);
+    const double a128 = estimateAlpha(128, d.c + 1, d.p, 20000, 103);
+    EXPECT_GT(a8, a32);
+    EXPECT_GT(a32, a128);
+}
+
+TEST(PerfAttack, AlphaDeterministicForSeed)
+{
+    EXPECT_DOUBLE_EQ(estimateAlpha(32, 20, 0.125, 5000, 7),
+                     estimateAlpha(32, 20, 0.125, 5000, 7));
+}
+
+TEST(PerfAttack, AttackSlowdownsBelowRowBufferAttacks)
+{
+    // §7.4's conclusion: all MoPAC performance attacks stay within
+    // ~26%, far below the 2-3x of classic row-buffer attacks.
+    for (std::uint32_t trh : {250u, 500u, 1000u}) {
+        const MopacDDerived d = deriveMopacD(trh);
+        const std::uint32_t ath_plus = (d.c + 1) * (1u << d.log2_inv_p);
+        EXPECT_LT(mitigationAttackSlowdown(ath_plus, 0.55), 0.27);
+        EXPECT_LT(srqAttackSlowdown(d.p), 0.27);
+        EXPECT_LT(tthAttackSlowdown(d.tth), 0.27);
+    }
+}
+
+} // namespace
+} // namespace mopac

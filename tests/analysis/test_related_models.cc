@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Related-work tolerated-threshold model tests (Table 13).
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/related.hh"
+
+namespace mopac
+{
+namespace
+{
+
+TEST(RelatedModels, ActsPerRefInterval)
+{
+    // tREFI / tRC = 3900 / 46 ~= 84.8 activation opportunities.
+    EXPECT_NEAR(actsPerRefInterval(), 84.8, 0.1);
+}
+
+TEST(RelatedModels, Table13MopacDColumn)
+{
+    EXPECT_EQ(mopacDToleratedTrh(240.0), 250u);
+    EXPECT_EQ(mopacDToleratedTrh(120.0), 500u);
+    EXPECT_EQ(mopacDToleratedTrh(60.0), 1000u);
+}
+
+TEST(RelatedModels, Table13MintColumn)
+{
+    // Published: 1491 / 2920 / 5725 -- the escape model reproduces
+    // them within a few percent.
+    EXPECT_NEAR(mintToleratedTrh(240.0), 1491.0, 1491.0 * 0.05);
+    EXPECT_NEAR(mintToleratedTrh(120.0), 2920.0, 2920.0 * 0.05);
+    EXPECT_NEAR(mintToleratedTrh(60.0), 5725.0, 5725.0 * 0.05);
+}
+
+TEST(RelatedModels, Table13PrideColumn)
+{
+    // Published: 1975 / 3808 / 7474.
+    EXPECT_NEAR(prideToleratedTrh(240.0), 1975.0, 1975.0 * 0.07);
+    EXPECT_NEAR(prideToleratedTrh(120.0), 3808.0, 3808.0 * 0.05);
+    EXPECT_NEAR(prideToleratedTrh(60.0), 7474.0, 7474.0 * 0.05);
+}
+
+TEST(RelatedModels, MopacDTolerates6xLowerThanMint)
+{
+    // The headline of Table 13: for equal REF budget MoPAC-D's
+    // counter updates stretch ~6x further than MINT's mitigations
+    // and ~8x further than PrIDE's.
+    for (double budget : {240.0, 120.0, 60.0}) {
+        const double ratio_mint =
+            mintToleratedTrh(budget) / mopacDToleratedTrh(budget);
+        const double ratio_pride =
+            prideToleratedTrh(budget) / mopacDToleratedTrh(budget);
+        EXPECT_GT(ratio_mint, 5.0);
+        EXPECT_LT(ratio_mint, 7.5);
+        EXPECT_GT(ratio_pride, 6.5);
+        EXPECT_LT(ratio_pride, 9.0);
+    }
+}
+
+TEST(RelatedModels, ToleranceScalesWithBudget)
+{
+    EXPECT_LT(mintToleratedTrh(240.0), mintToleratedTrh(120.0));
+    EXPECT_LT(mintToleratedTrh(120.0), mintToleratedTrh(60.0));
+    EXPECT_LT(prideToleratedTrh(240.0), prideToleratedTrh(120.0));
+}
+
+TEST(RelatedModels, PrideAlwaysWorseThanMint)
+{
+    for (double budget : {240.0, 120.0, 60.0, 30.0}) {
+        EXPECT_GT(prideToleratedTrh(budget), mintToleratedTrh(budget));
+    }
+}
+
+} // namespace
+} // namespace mopac

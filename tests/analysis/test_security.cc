@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Security parameter derivation tests: Tables 5, 7, 8, 11, 14 of the
+ * paper, reproduced exactly.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/security.hh"
+
+namespace mopac
+{
+namespace
+{
+
+TEST(Security, Table5FailureBudgets)
+{
+    // F = T * tRC / 3.2e20 (Eq. 3) and eps = sqrt(F) (Eq. 6).
+    EXPECT_NEAR(failureBudgetF(250), 3.59e-17, 0.02e-17);
+    EXPECT_NEAR(failureBudgetF(500), 7.19e-17, 0.02e-17);
+    EXPECT_NEAR(failureBudgetF(1000), 1.44e-16, 0.01e-16);
+    EXPECT_NEAR(epsilonFor(250), 5.99e-9, 0.01e-9);
+    EXPECT_NEAR(epsilonFor(500), 8.48e-9, 0.01e-9);
+    EXPECT_NEAR(epsilonFor(1000), 1.2e-8, 0.01e-8);
+}
+
+TEST(Security, DefaultPSelection)
+{
+    // §1: p = 1/64, 1/32, 1/16, 1/8, 1/4 for 4K, 2K, 1K, 500, 250.
+    EXPECT_EQ(defaultLog2InvP(250), 2u);
+    EXPECT_EQ(defaultLog2InvP(500), 3u);
+    EXPECT_EQ(defaultLog2InvP(1000), 4u);
+    EXPECT_EQ(defaultLog2InvP(2000), 5u);
+    EXPECT_EQ(defaultLog2InvP(4000), 6u);
+    EXPECT_EQ(defaultLog2InvP(125), 1u);
+}
+
+TEST(Security, Table8DrainRates)
+{
+    EXPECT_EQ(defaultDrainPerRef(250), 4u);
+    EXPECT_EQ(defaultDrainPerRef(500), 2u);
+    EXPECT_EQ(defaultDrainPerRef(1000), 1u);
+}
+
+/** Table 7: MoPAC-C parameters. */
+struct Table7Case
+{
+    std::uint32_t trh;
+    std::uint32_t ath;
+    unsigned k;
+    std::uint32_t c;
+    std::uint32_t ath_star;
+};
+
+class Table7 : public ::testing::TestWithParam<Table7Case>
+{
+};
+
+TEST_P(Table7, MatchesPaper)
+{
+    const auto &tc = GetParam();
+    const MopacCDerived d = deriveMopacC(tc.trh);
+    EXPECT_EQ(d.ath, tc.ath);
+    EXPECT_EQ(d.log2_inv_p, tc.k);
+    EXPECT_EQ(d.c, tc.c);
+    EXPECT_EQ(d.ath_star, tc.ath_star);
+}
+
+INSTANTIATE_TEST_SUITE_P(Paper, Table7,
+                         ::testing::Values(
+                             Table7Case{250, 219, 2, 20, 80},
+                             Table7Case{500, 472, 3, 22, 176},
+                             Table7Case{1000, 975, 4, 23, 368}));
+
+/** Table 8: MoPAC-D parameters. */
+struct Table8Case
+{
+    std::uint32_t trh;
+    std::uint32_t ath;
+    std::uint32_t a_prime;
+    unsigned k;
+    std::uint32_t c;
+    std::uint32_t ath_star;
+    unsigned drain;
+};
+
+class Table8 : public ::testing::TestWithParam<Table8Case>
+{
+};
+
+TEST_P(Table8, MatchesPaper)
+{
+    const auto &tc = GetParam();
+    const MopacDDerived d = deriveMopacD(tc.trh);
+    EXPECT_EQ(d.ath, tc.ath);
+    EXPECT_EQ(d.a_prime, tc.a_prime);
+    EXPECT_EQ(d.log2_inv_p, tc.k);
+    EXPECT_EQ(d.c, tc.c);
+    EXPECT_EQ(d.ath_star, tc.ath_star);
+    EXPECT_EQ(d.drain_per_ref, tc.drain);
+    EXPECT_EQ(d.tth, 32u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Paper, Table8,
+    ::testing::Values(Table8Case{250, 219, 187, 2, 15, 60, 4},
+                      Table8Case{500, 472, 440, 3, 19, 152, 2},
+                      Table8Case{1000, 975, 943, 4, 21, 336, 1}));
+
+TEST(Security, Table11NupAthStar)
+{
+    // §8.2 / Table 11: NUP lowers ATH* to 56 / 136 / 288.
+    EXPECT_EQ(deriveMopacD(250, 32, false, true).ath_star, 56u);
+    EXPECT_EQ(deriveMopacD(500, 32, false, true).ath_star, 136u);
+    EXPECT_EQ(deriveMopacD(1000, 32, false, true).ath_star, 288u);
+}
+
+TEST(Security, Table14RowPressAthStar)
+{
+    // Appendix A, Table 14.
+    EXPECT_EQ(deriveMopacC(500, true).ath_star, 80u);
+    EXPECT_EQ(deriveMopacC(1000, true).ath_star, 160u);
+    EXPECT_EQ(deriveMopacD(500, 32, true).ath_star, 64u);
+    EXPECT_EQ(deriveMopacD(1000, 32, true).ath_star, 144u);
+}
+
+TEST(Security, MttfInvertsTheBudget)
+{
+    // Operating exactly at epsilon yields the 10K-year target MTTF.
+    for (std::uint32_t trh : {250u, 500u, 1000u}) {
+        EXPECT_NEAR(bankMttfYears(trh, epsilonFor(trh)), 10140.0,
+                    200.0);
+    }
+    // A 10x larger escape probability costs 100x of MTTF (squared,
+    // double-sided).
+    EXPECT_NEAR(bankMttfYears(500, 10.0 * epsilonFor(500)) * 100.0,
+                bankMttfYears(500, epsilonFor(500)), 150.0);
+}
+
+TEST(Security, CriticalCGrowsWithAth)
+{
+    const double eps = epsilonFor(500);
+    const std::uint32_t c1 = findCriticalC(200, 0.125, eps);
+    const std::uint32_t c2 = findCriticalC(400, 0.125, eps);
+    const std::uint32_t c3 = findCriticalC(800, 0.125, eps);
+    EXPECT_LT(c1, c2);
+    EXPECT_LT(c2, c3);
+}
+
+TEST(Security, CriticalCShrinksWithTighterEps)
+{
+    const std::uint32_t loose = findCriticalC(472, 0.125, 1e-6);
+    const std::uint32_t tight = findCriticalC(472, 0.125, 1e-12);
+    EXPECT_GT(loose, tight);
+}
+
+TEST(Security, AthStarIsAlwaysBelowAth)
+{
+    // Sampling undercount means the revised threshold must be lower
+    // (otherwise MoPAC would be less safe than MOAT).
+    for (std::uint32_t trh : {250u, 500u, 1000u, 2000u, 4000u}) {
+        EXPECT_LT(deriveMopacC(trh).ath_star, deriveMopacC(trh).ath);
+        EXPECT_LT(deriveMopacD(trh).ath_star, deriveMopacD(trh).ath);
+    }
+}
+
+TEST(Security, NupAthStarNeverExceedsUniform)
+{
+    for (std::uint32_t trh : {250u, 500u, 1000u}) {
+        EXPECT_LE(deriveMopacD(trh, 32, false, true).ath_star,
+                  deriveMopacD(trh, 32, false, false).ath_star);
+    }
+}
+
+TEST(Security, ExpectedUpdatesExceedCriticalCount)
+{
+    // Sanity: at the revised threshold the *expected* number of
+    // updates within A activations is comfortably above C, so benign
+    // heavy rows trip ALERT reliably rather than escaping.
+    for (std::uint32_t trh : {250u, 500u, 1000u}) {
+        const MopacCDerived d = deriveMopacC(trh);
+        EXPECT_GT(d.ath * d.p, static_cast<double>(d.c));
+    }
+}
+
+} // namespace
+} // namespace mopac

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Formatter unit tests (the std::format-subset shim).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/format.hh"
+
+namespace mopac
+{
+namespace
+{
+
+TEST(Format, PlainPlaceholders)
+{
+    EXPECT_EQ(format("a {} b {} c", 1, 2), "a 1 b 2 c");
+    EXPECT_EQ(format("{}", "hello"), "hello");
+    EXPECT_EQ(format("{}", std::string("world")), "world");
+    EXPECT_EQ(format("{}", true), "true");
+    EXPECT_EQ(format("{}", false), "false");
+}
+
+TEST(Format, Integers)
+{
+    EXPECT_EQ(format("{}", -42), "-42");
+    EXPECT_EQ(format("{}", 42u), "42");
+    EXPECT_EQ(format("{}", std::uint64_t(1) << 40), "1099511627776");
+    EXPECT_EQ(format("{:x}", 255), "ff");
+}
+
+TEST(Format, FixedPoint)
+{
+    EXPECT_EQ(format("{:.2f}", 3.14159), "3.14");
+    EXPECT_EQ(format("{:.0f}", 2.7), "3");
+    EXPECT_EQ(format("{:.3f}", -1.0), "-1.000");
+}
+
+TEST(Format, Scientific)
+{
+    EXPECT_EQ(format("{:.2e}", 59900.0), "5.99e+04");
+    EXPECT_EQ(format("{:.2e}", 8.48e-9), "8.48e-09");
+}
+
+TEST(Format, WidthAndAlignment)
+{
+    EXPECT_EQ(format("{:<6}", "ab"), "ab    ");
+    EXPECT_EQ(format("{:>6}", "ab"), "    ab");
+    EXPECT_EQ(format("{:>5}", 42), "   42");
+    // Default: strings left-align, numbers right-align.
+    EXPECT_EQ(format("{:4}", "x"), "x   ");
+    EXPECT_EQ(format("{:4}", 7), "   7");
+}
+
+TEST(Format, DynamicWidth)
+{
+    // std::format ordering: the value precedes its width argument.
+    EXPECT_EQ(format("{:<{}}", "ab", 5), "ab   ");
+    EXPECT_EQ(format("{:>{}}", 1, 4), "   1");
+}
+
+TEST(Format, DynamicPrecision)
+{
+    EXPECT_EQ(format("{:.{}f}", 3.14159, 3), "3.142");
+    EXPECT_EQ(format("{:.{}e}", 1234.5, 1), "1.2e+03");
+}
+
+TEST(Format, EscapedBraces)
+{
+    EXPECT_EQ(format("{{}}"), "{}");
+    EXPECT_EQ(format("a {{{}}} b", 5), "a {5} b");
+}
+
+TEST(Format, NoPlaceholders)
+{
+    EXPECT_EQ(format("plain text"), "plain text");
+}
+
+} // namespace
+} // namespace mopac

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Logging / error-reporting tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/log.hh"
+
+namespace mopac
+{
+namespace
+{
+
+TEST(LogDeathTest, PanicAbortsWithMessage)
+{
+    EXPECT_DEATH(panic("bad state: {}", 42), "bad state: 42");
+}
+
+TEST(LogDeathTest, FatalExitsWithStatusOne)
+{
+    EXPECT_EXIT(fatal("user error: {}", "oops"),
+                ::testing::ExitedWithCode(1), "user error: oops");
+}
+
+TEST(LogDeathTest, AssertMacroReportsConditionAndLocation)
+{
+    const int x = 3;
+    EXPECT_DEATH(MOPAC_ASSERT(x == 4), "x == 4");
+}
+
+TEST(Log, AssertPassesSilently)
+{
+    // Must be a no-op with no output and no side effects.
+    MOPAC_ASSERT(1 + 1 == 2);
+    SUCCEED();
+}
+
+TEST(Log, WarnAndInformDoNotTerminate)
+{
+    warn("this is only a warning: {}", 1);
+    inform("status: {}", "fine");
+    SUCCEED();
+}
+
+} // namespace
+} // namespace mopac

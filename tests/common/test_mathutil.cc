@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Math helper unit tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/mathutil.hh"
+#include "common/types.hh"
+
+namespace mopac
+{
+namespace
+{
+
+TEST(MathUtil, Mean)
+{
+    EXPECT_DOUBLE_EQ(mean({}), 0.0);
+    EXPECT_DOUBLE_EQ(mean({2.0}), 2.0);
+    EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0);
+}
+
+TEST(MathUtil, Geomean)
+{
+    EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+    EXPECT_DOUBLE_EQ(geomean({4.0}), 4.0);
+    EXPECT_NEAR(geomean({1.0, 4.0}), 2.0, 1e-12);
+    EXPECT_NEAR(geomean({2.0, 2.0, 2.0}), 2.0, 1e-12);
+}
+
+TEST(MathUtil, IsPowerOfTwo)
+{
+    EXPECT_FALSE(isPowerOfTwo(0));
+    EXPECT_TRUE(isPowerOfTwo(1));
+    EXPECT_TRUE(isPowerOfTwo(2));
+    EXPECT_FALSE(isPowerOfTwo(3));
+    EXPECT_TRUE(isPowerOfTwo(1ull << 40));
+    EXPECT_FALSE(isPowerOfTwo((1ull << 40) + 1));
+}
+
+TEST(MathUtil, FloorLog2)
+{
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(2), 1u);
+    EXPECT_EQ(floorLog2(3), 1u);
+    EXPECT_EQ(floorLog2(1024), 10u);
+    EXPECT_EQ(floorLog2(1025), 10u);
+}
+
+TEST(MathUtil, CeilDiv)
+{
+    EXPECT_EQ(ceilDiv(10, 5), 2u);
+    EXPECT_EQ(ceilDiv(11, 5), 3u);
+    EXPECT_EQ(ceilDiv(1, 5), 1u);
+}
+
+TEST(Types, NsToCyclesRoundsUp)
+{
+    // 4 GHz: 1 ns = 4 cycles exactly.
+    EXPECT_EQ(nsToCycles(1.0), 4u);
+    EXPECT_EQ(nsToCycles(14.0), 56u);
+    // Fractional nanoseconds round up (never under-constrain DRAM).
+    EXPECT_EQ(nsToCycles(0.1), 1u);
+    EXPECT_EQ(nsToCycles(2.67), 11u); // 10.68 -> 11
+    EXPECT_EQ(nsToCycles(0.0), 0u);
+}
+
+TEST(Types, CyclesToNsInverse)
+{
+    EXPECT_DOUBLE_EQ(cyclesToNs(4), 1.0);
+    EXPECT_DOUBLE_EQ(cyclesToNs(nsToCycles(46.0)), 46.0);
+}
+
+} // namespace
+} // namespace mopac

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Rng unit tests: determinism, uniformity, bounds, Bernoulli rates,
+ * and stream independence.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "common/rng.hh"
+
+namespace mopac
+{
+namespace
+{
+
+TEST(Rng, DeterministicForSeed)
+{
+    Rng a(42);
+    Rng b(42);
+    for (int i = 0; i < 1000; ++i) {
+        EXPECT_EQ(a.next(), b.next());
+    }
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (a.next() == b.next()) {
+            ++same;
+        }
+    }
+    EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, ReseedRestartsStream)
+{
+    Rng a(7);
+    std::vector<std::uint64_t> first;
+    for (int i = 0; i < 16; ++i) {
+        first.push_back(a.next());
+    }
+    a.seed(7);
+    for (int i = 0; i < 16; ++i) {
+        EXPECT_EQ(a.next(), first[i]);
+    }
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(3);
+    double sum = 0.0;
+    for (int i = 0; i < 100000; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 100000.0, 0.5, 0.01);
+}
+
+TEST(Rng, BelowRespectsBound)
+{
+    Rng rng(9);
+    for (std::uint64_t bound : {1ull, 2ull, 7ull, 100ull, 1ull << 40}) {
+        for (int i = 0; i < 1000; ++i) {
+            ASSERT_LT(rng.below(bound), bound);
+        }
+    }
+}
+
+TEST(Rng, BelowCoversAllValues)
+{
+    Rng rng(11);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 2000; ++i) {
+        seen.insert(rng.below(8));
+    }
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, BelowIsApproxUniform)
+{
+    Rng rng(13);
+    std::vector<int> hist(10, 0);
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        ++hist[rng.below(10)];
+    }
+    for (int count : hist) {
+        EXPECT_NEAR(count, n / 10, n / 100);
+    }
+}
+
+TEST(Rng, InRangeInclusive)
+{
+    Rng rng(15);
+    bool saw_lo = false;
+    bool saw_hi = false;
+    for (int i = 0; i < 5000; ++i) {
+        const std::uint64_t v = rng.inRange(3, 6);
+        ASSERT_GE(v, 3u);
+        ASSERT_LE(v, 6u);
+        saw_lo = saw_lo || v == 3;
+        saw_hi = saw_hi || v == 6;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng rng(17);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+    }
+}
+
+TEST(Rng, ChanceRateMatches)
+{
+    Rng rng(19);
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        hits += rng.chance(0.125) ? 1 : 0;
+    }
+    EXPECT_NEAR(hits, n / 8, n / 100);
+}
+
+/** chancePow2 must hit 1/2^k exactly in expectation. */
+class RngChancePow2 : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(RngChancePow2, RateMatches)
+{
+    const unsigned k = GetParam();
+    Rng rng(21 + k);
+    const int n = 200000;
+    int hits = 0;
+    for (int i = 0; i < n; ++i) {
+        hits += rng.chancePow2(k) ? 1 : 0;
+    }
+    const double expect = static_cast<double>(n) / (1u << k);
+    EXPECT_NEAR(hits, expect, 5.0 * std::sqrt(expect) + 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, RngChancePow2,
+                         ::testing::Values(0u, 1u, 2u, 3u, 4u, 6u));
+
+TEST(Rng, ForkedStreamsAreIndependent)
+{
+    Rng parent(23);
+    Rng a = parent.fork();
+    Rng b = parent.fork();
+    int same = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (a.next() == b.next()) {
+            ++same;
+        }
+    }
+    EXPECT_EQ(same, 0);
+}
+
+} // namespace
+} // namespace mopac

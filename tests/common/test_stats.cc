@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Histogram and StatRegistry unit tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/stats.hh"
+
+namespace mopac
+{
+namespace
+{
+
+TEST(Histogram, EmptyIsZero)
+{
+    Histogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.sum(), 0u);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+    EXPECT_EQ(h.quantile(0.5), 0u);
+}
+
+TEST(Histogram, BasicAccounting)
+{
+    Histogram h(1, 16);
+    for (std::uint64_t v : {3u, 1u, 4u, 1u, 5u}) {
+        h.add(v);
+    }
+    EXPECT_EQ(h.count(), 5u);
+    EXPECT_EQ(h.sum(), 14u);
+    EXPECT_DOUBLE_EQ(h.mean(), 2.8);
+    EXPECT_EQ(h.minValue(), 1u);
+    EXPECT_EQ(h.maxValue(), 5u);
+}
+
+TEST(Histogram, OverflowBucketAbsorbsLargeSamples)
+{
+    Histogram h(10, 4); // buckets cover [0, 40) + overflow
+    h.add(1000);
+    EXPECT_EQ(h.count(), 1u);
+    EXPECT_EQ(h.buckets().back(), 1u);
+    EXPECT_EQ(h.maxValue(), 1000u);
+}
+
+TEST(Histogram, QuantileOrdering)
+{
+    Histogram h(1, 128);
+    for (std::uint64_t v = 0; v < 100; ++v) {
+        h.add(v);
+    }
+    EXPECT_LE(h.quantile(0.1), h.quantile(0.5));
+    EXPECT_LE(h.quantile(0.5), h.quantile(0.9));
+    EXPECT_NEAR(static_cast<double>(h.quantile(0.5)), 50.0, 2.0);
+}
+
+TEST(Histogram, ResetClearsEverything)
+{
+    Histogram h(2, 8);
+    h.add(5);
+    h.add(9);
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.sum(), 0u);
+    for (std::uint64_t b : h.buckets()) {
+        EXPECT_EQ(b, 0u);
+    }
+}
+
+TEST(StatRegistry, ScalarAndRealRoundTrip)
+{
+    StatRegistry reg;
+    std::uint64_t acts = 17;
+    double rate = 0.25;
+    reg.addScalar("dram.acts", &acts);
+    reg.addReal("mc.hit_rate", &rate);
+
+    EXPECT_TRUE(reg.has("dram.acts"));
+    EXPECT_FALSE(reg.has("nope"));
+    EXPECT_EQ(reg.scalar("dram.acts"), 17u);
+    EXPECT_DOUBLE_EQ(reg.real("mc.hit_rate"), 0.25);
+
+    acts = 99; // registry holds references, not copies
+    EXPECT_EQ(reg.scalar("dram.acts"), 99u);
+}
+
+TEST(StatRegistry, DumpFormatsAllEntries)
+{
+    StatRegistry reg;
+    std::uint64_t a = 1;
+    double b = 2.5;
+    reg.addScalar("one", &a);
+    reg.addReal("two", &b);
+    std::ostringstream os;
+    reg.dump(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("one"), std::string::npos);
+    EXPECT_NE(out.find("two"), std::string::npos);
+    EXPECT_NE(out.find("2.5"), std::string::npos);
+}
+
+TEST(StatRegistryDeathTest, WrongNamePanics)
+{
+    StatRegistry reg;
+    std::uint64_t a = 1;
+    reg.addScalar("one", &a);
+    EXPECT_DEATH(reg.scalar("missing"), "no scalar stat");
+    EXPECT_DEATH(reg.real("one"), "no real stat");
+}
+
+} // namespace
+} // namespace mopac

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * TextTable unit tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/table.hh"
+
+namespace mopac
+{
+namespace
+{
+
+TEST(TextTable, RendersHeaderAndRows)
+{
+    TextTable t("demo");
+    t.header({"a", "b"});
+    t.row({"1", "22"});
+    t.row({"333", "4"});
+    std::ostringstream os;
+    t.print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("demo"), std::string::npos);
+    EXPECT_NE(out.find("a"), std::string::npos);
+    EXPECT_NE(out.find("333"), std::string::npos);
+    EXPECT_EQ(t.numRows(), 2u);
+}
+
+TEST(TextTable, ColumnsAligned)
+{
+    TextTable t;
+    t.header({"col", "x"});
+    t.row({"longvalue", "1"});
+    t.row({"s", "2"});
+    std::ostringstream os;
+    t.print(os);
+    // Both data rows should have the separator at the same offset.
+    std::istringstream in(os.str());
+    std::string line;
+    std::vector<std::size_t> bars;
+    while (std::getline(in, line)) {
+        const auto pos = line.find('|');
+        if (pos != std::string::npos) {
+            bars.push_back(pos);
+        }
+    }
+    ASSERT_GE(bars.size(), 3u);
+    for (std::size_t i = 1; i < bars.size(); ++i) {
+        EXPECT_EQ(bars[i], bars[0]);
+    }
+}
+
+TEST(TextTable, NotesAppearAfterRows)
+{
+    TextTable t;
+    t.row({"x"});
+    t.note("footnote text");
+    std::ostringstream os;
+    t.print(os);
+    EXPECT_NE(os.str().find("* footnote text"), std::string::npos);
+}
+
+TEST(TextTable, SeparatorDoesNotCountAsRow)
+{
+    TextTable t;
+    t.row({"x"});
+    t.separator();
+    t.row({"y"});
+    EXPECT_EQ(t.numRows(), 2u);
+}
+
+TEST(TextTable, FormatHelpers)
+{
+    EXPECT_EQ(TextTable::fmt(3.14159, 2), "3.14");
+    EXPECT_EQ(TextTable::pct(0.035, 1), "3.5%");
+    EXPECT_EQ(TextTable::pct(0.1, 0), "10%");
+    EXPECT_EQ(TextTable::sci(5.99e-9, 2), "5.99e-09");
+}
+
+TEST(TextTableDeathTest, ArityMismatchPanics)
+{
+    TextTable t;
+    t.header({"a", "b"});
+    EXPECT_DEATH(t.row({"only-one"}), "arity");
+}
+
+} // namespace
+} // namespace mopac

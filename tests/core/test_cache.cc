@@ -1,0 +1,113 @@
+/**
+ * @file
+ * LLC model tests: hits, LRU replacement, writebacks, dirty state.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/cache.hh"
+
+namespace mopac
+{
+namespace
+{
+
+TEST(Cache, ColdMissThenHit)
+{
+    Cache cache(64 * 1024, 4);
+    EXPECT_FALSE(cache.access(100, false).hit);
+    EXPECT_TRUE(cache.access(100, false).hit);
+    EXPECT_EQ(cache.misses(), 1u);
+    EXPECT_EQ(cache.hits(), 1u);
+}
+
+TEST(Cache, GeometryDerived)
+{
+    Cache cache(8 * 1024 * 1024, 16, 64);
+    EXPECT_EQ(cache.numSets(), 8192u);
+    EXPECT_EQ(cache.ways(), 16u);
+}
+
+TEST(Cache, LruEvictsLeastRecentlyUsed)
+{
+    // 4 ways, address stride of numSets keeps us in set 0.
+    Cache cache(4 * 64 * 16, 4); // 16 sets x 4 ways
+    const Addr stride = 16;
+    for (Addr i = 0; i < 4; ++i) {
+        cache.access(i * stride, false);
+    }
+    // Touch line 0 so line 1 becomes LRU; insert a 5th line.
+    cache.access(0, false);
+    cache.access(4 * stride, false);
+    EXPECT_TRUE(cache.contains(0));
+    EXPECT_FALSE(cache.contains(1 * stride));
+    EXPECT_TRUE(cache.contains(2 * stride));
+    EXPECT_TRUE(cache.contains(3 * stride));
+    EXPECT_TRUE(cache.contains(4 * stride));
+}
+
+TEST(Cache, DirtyEvictionReportsWriteback)
+{
+    Cache cache(4 * 64 * 1, 4); // one set, 4 ways
+    cache.access(0, true);      // dirty
+    for (Addr i = 1; i <= 3; ++i) {
+        cache.access(i, false);
+    }
+    const Cache::AccessResult res = cache.access(4, false);
+    EXPECT_FALSE(res.hit);
+    EXPECT_TRUE(res.writeback);
+    EXPECT_EQ(res.victim_line, 0u);
+    EXPECT_EQ(cache.writebacks(), 1u);
+}
+
+TEST(Cache, CleanEvictionHasNoWriteback)
+{
+    Cache cache(4 * 64 * 1, 4);
+    for (Addr i = 0; i <= 3; ++i) {
+        cache.access(i, false);
+    }
+    EXPECT_FALSE(cache.access(4, false).writeback);
+}
+
+TEST(Cache, WriteHitMarksLineDirty)
+{
+    Cache cache(4 * 64 * 1, 4);
+    cache.access(0, false); // clean insert
+    cache.access(0, true);  // dirtied by hit
+    for (Addr i = 1; i <= 3; ++i) {
+        cache.access(i, false);
+    }
+    EXPECT_TRUE(cache.access(4, false).writeback);
+}
+
+TEST(Cache, FlushEmptiesEverything)
+{
+    Cache cache(64 * 1024, 8);
+    cache.access(1, true);
+    cache.access(2, false);
+    cache.flush();
+    EXPECT_FALSE(cache.contains(1));
+    EXPECT_FALSE(cache.contains(2));
+    // A flushed dirty line must not write back on re-allocation.
+    for (Addr i = 0; i < 100; ++i) {
+        EXPECT_FALSE(cache.access(i, false).writeback);
+    }
+}
+
+TEST(Cache, HitRate)
+{
+    Cache cache(64 * 1024, 4);
+    cache.access(1, false);
+    cache.access(1, false);
+    cache.access(1, false);
+    cache.access(2, false);
+    EXPECT_DOUBLE_EQ(cache.hitRate(), 0.5);
+}
+
+TEST(CacheDeathTest, BadGeometryIsFatal)
+{
+    EXPECT_EXIT(Cache(1000, 3), ::testing::ExitedWithCode(1), "cache");
+}
+
+} // namespace
+} // namespace mopac

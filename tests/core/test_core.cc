@@ -1,0 +1,249 @@
+/**
+ * @file
+ * ROB core-model tests: retirement width, load-blocking, MSHR limits,
+ * dependence chains, write backpressure, and IPC measurement.
+ */
+
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <vector>
+
+#include "core/core.hh"
+
+namespace mopac
+{
+namespace
+{
+
+/** Replays scripted records, then endless plain compute. */
+class ScriptTrace : public TraceSource
+{
+  public:
+    explicit ScriptTrace(std::vector<TraceRecord> records)
+        : records_(std::move(records))
+    {
+    }
+
+    TraceRecord
+    next() override
+    {
+        if (pos_ < records_.size()) {
+            return records_[pos_++];
+        }
+        TraceRecord filler;
+        filler.inst_gap = 1000000;
+        filler.line_addr = 0;
+        return filler;
+    }
+
+  private:
+    std::vector<TraceRecord> records_;
+    std::size_t pos_ = 0;
+};
+
+/** Accepts requests and lets the test complete them manually. */
+class ScriptSink : public RequestSink
+{
+  public:
+    bool
+    trySend(const Request &req, Cycle now) override
+    {
+        if (refuse_all) {
+            return false;
+        }
+        sent.push_back({req, now});
+        return true;
+    }
+
+    std::vector<std::pair<Request, Cycle>> sent;
+    bool refuse_all = false;
+};
+
+TraceRecord
+load(std::uint32_t gap, Addr addr, bool dep = false)
+{
+    TraceRecord r;
+    r.inst_gap = gap;
+    r.line_addr = addr;
+    r.depends_on_prev = dep;
+    return r;
+}
+
+TraceRecord
+store(std::uint32_t gap, Addr addr)
+{
+    TraceRecord r;
+    r.inst_gap = gap;
+    r.line_addr = addr;
+    r.is_write = true;
+    return r;
+}
+
+CoreParams
+smallCore()
+{
+    CoreParams p;
+    p.rob_entries = 32;
+    p.width = 4;
+    p.mshrs = 4;
+    return p;
+}
+
+TEST(Core, PureComputeRetiresAtFullWidth)
+{
+    ScriptTrace trace({});
+    ScriptSink sink;
+    Core core(0, smallCore(), &trace, 400, &sink);
+    Cycle now = 0;
+    while (!core.done()) {
+        core.tick(now++);
+        ASSERT_LT(now, 10000u);
+    }
+    // 400 instructions at width 4 => 100 cycles (+1 for the final tick).
+    EXPECT_LE(core.finishCycle(), 101u);
+}
+
+TEST(Core, LoadAtHeadBlocksRetirement)
+{
+    ScriptTrace trace({load(0, 64)});
+    ScriptSink sink;
+    Core core(0, smallCore(), &trace, 100, &sink);
+    Cycle now = 0;
+    for (; now < 50; ++now) {
+        core.tick(now);
+    }
+    ASSERT_EQ(sink.sent.size(), 1u);
+    // The load is instruction 0: nothing can retire past it.
+    EXPECT_EQ(core.retiredInsts(), 0u);
+    core.onReadComplete(sink.sent[0].first.req_id, 60);
+    for (; now < 200; ++now) {
+        core.tick(now);
+    }
+    EXPECT_TRUE(core.done());
+}
+
+TEST(Core, MshrLimitBoundsOutstandingReads)
+{
+    std::vector<TraceRecord> recs;
+    for (int i = 0; i < 8; ++i) {
+        recs.push_back(load(0, 64 * (i + 1)));
+    }
+    ScriptTrace trace(recs);
+    ScriptSink sink;
+    CoreParams p = smallCore();
+    p.mshrs = 3;
+    Core core(0, p, &trace, 100, &sink);
+    for (Cycle now = 0; now < 50; ++now) {
+        core.tick(now);
+    }
+    EXPECT_EQ(sink.sent.size(), 3u);
+    // Completing one (data at cycle 10 <= now) frees an MSHR.
+    core.onReadComplete(sink.sent[0].first.req_id, 10);
+    for (Cycle now = 50; now < 100; ++now) {
+        core.tick(now);
+    }
+    EXPECT_EQ(sink.sent.size(), 4u);
+}
+
+TEST(Core, DependentLoadWaitsForProducer)
+{
+    ScriptTrace trace({load(0, 64), load(0, 128, /*dep=*/true)});
+    ScriptSink sink;
+    Core core(0, smallCore(), &trace, 100, &sink);
+    for (Cycle now = 0; now < 50; ++now) {
+        core.tick(now);
+    }
+    // Only the producer issued; the dependent load is held back.
+    ASSERT_EQ(sink.sent.size(), 1u);
+    core.onReadComplete(sink.sent[0].first.req_id, 60);
+    for (Cycle now = 50; now < 100; ++now) {
+        core.tick(now);
+    }
+    ASSERT_EQ(sink.sent.size(), 2u);
+    // Issue of the consumer happened only after the data returned.
+    EXPECT_GE(sink.sent[1].second, 60u);
+}
+
+TEST(Core, IndependentLoadsOverlap)
+{
+    ScriptTrace trace({load(0, 64), load(0, 128, /*dep=*/false)});
+    ScriptSink sink;
+    Core core(0, smallCore(), &trace, 100, &sink);
+    for (Cycle now = 0; now < 10; ++now) {
+        core.tick(now);
+    }
+    EXPECT_EQ(sink.sent.size(), 2u);
+}
+
+TEST(Core, WriteBackpressureStallsRetirement)
+{
+    ScriptTrace trace({store(0, 64)});
+    ScriptSink sink;
+    sink.refuse_all = true;
+    Core core(0, smallCore(), &trace, 100, &sink);
+    Cycle now = 0;
+    for (; now < 100; ++now) {
+        core.tick(now);
+    }
+    // The store is instruction 0 and cannot retire unissued.
+    EXPECT_EQ(core.retiredInsts(), 0u);
+    sink.refuse_all = false;
+    for (; now < 300; ++now) {
+        core.tick(now);
+    }
+    EXPECT_TRUE(core.done());
+    EXPECT_EQ(sink.sent.size(), 1u);
+}
+
+TEST(Core, RobBoundsFetchAhead)
+{
+    // A blocking load at instruction 0; the core may fetch at most
+    // rob_entries instructions beyond the stalled retirement point,
+    // so a load rob_entries+1 ahead is never dispatched/issued.
+    std::vector<TraceRecord> recs;
+    recs.push_back(load(0, 64));
+    recs.push_back(load(40, 128)); // within the 32-entry ROB? no: 40 > 31
+    ScriptTrace trace(recs);
+    ScriptSink sink;
+    Core core(0, smallCore(), &trace, 100, &sink); // rob = 32
+    for (Cycle now = 0; now < 100; ++now) {
+        core.tick(now);
+    }
+    EXPECT_EQ(sink.sent.size(), 1u);
+}
+
+TEST(Core, SecondLoadInsideRobWindowIssues)
+{
+    std::vector<TraceRecord> recs;
+    recs.push_back(load(0, 64));
+    recs.push_back(load(16, 128)); // within the 32-entry window
+    ScriptTrace trace(recs);
+    ScriptSink sink;
+    Core core(0, smallCore(), &trace, 100, &sink);
+    for (Cycle now = 0; now < 100; ++now) {
+        core.tick(now);
+    }
+    EXPECT_EQ(sink.sent.size(), 2u);
+}
+
+TEST(Core, MeasuredIpcExcludesWarmup)
+{
+    ScriptTrace trace({});
+    ScriptSink sink;
+    Core core(0, smallCore(), &trace, 800, &sink);
+    Cycle now = 0;
+    // Warm up 400 instructions, then measure the rest.
+    while (core.retiredInsts() < 400) {
+        core.tick(now++);
+    }
+    core.startMeasurement(now);
+    while (!core.done()) {
+        core.tick(now++);
+    }
+    EXPECT_EQ(core.measuredInsts(), 800u - 400u);
+    EXPECT_NEAR(core.measuredIpc(), 4.0, 0.2);
+}
+
+} // namespace
+} // namespace mopac

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * BankTiming state-machine tests: every inter-command constraint of
+ * the Table 1 timing sets, for both precharge flavors.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dram/timing.hh"
+#include "dram/bank.hh"
+
+namespace mopac
+{
+namespace
+{
+
+class BankTest : public ::testing::Test
+{
+  protected:
+    BankTest()
+        : base_(TimingSet::base()), prac_(TimingSet::prac()),
+          bank_(&base_, &prac_)
+    {
+    }
+
+    TimingSet base_;
+    TimingSet prac_;
+    BankTiming bank_;
+};
+
+TEST_F(BankTest, StartsClosedAndReady)
+{
+    EXPECT_FALSE(bank_.hasOpenRow());
+    EXPECT_EQ(bank_.actReadyAt(), 0u);
+}
+
+TEST_F(BankTest, ActOpensRow)
+{
+    bank_.act(0, 42);
+    EXPECT_TRUE(bank_.hasOpenRow());
+    EXPECT_EQ(bank_.openRow(), 42u);
+    EXPECT_EQ(bank_.openSince(), 0u);
+}
+
+TEST_F(BankTest, ReadWaitsForTrcd)
+{
+    bank_.act(0, 1);
+    EXPECT_EQ(bank_.readReadyAt(), base_.tRCD);
+    EXPECT_EQ(bank_.writeReadyAt(), base_.tRCD);
+}
+
+TEST_F(BankTest, ReadReturnsBurstCompletion)
+{
+    bank_.act(0, 1);
+    const Cycle done = bank_.read(base_.tRCD);
+    EXPECT_EQ(done, base_.tRCD + base_.tCL + base_.tBL);
+}
+
+TEST_F(BankTest, PreWaitsForTras)
+{
+    bank_.act(0, 1);
+    EXPECT_EQ(bank_.preReadyAt(false), base_.tRAS);
+    // PREcu uses the (shorter) PRAC tRAS (paper §5.1).
+    EXPECT_EQ(bank_.preReadyAt(true), prac_.tRAS);
+}
+
+TEST_F(BankTest, ReadToPreRespectsTrtp)
+{
+    bank_.act(0, 1);
+    const Cycle rd_at = base_.tRAS; // read late so tRTP dominates
+    bank_.read(rd_at);
+    EXPECT_EQ(bank_.preReadyAt(false), rd_at + base_.tRTP);
+}
+
+TEST_F(BankTest, WriteToPreRespectsWriteRecovery)
+{
+    bank_.act(0, 1);
+    const Cycle wr_at = base_.tRCD;
+    bank_.write(wr_at);
+    const Cycle burst_end = wr_at + base_.tCWL + base_.tBL;
+    EXPECT_EQ(bank_.preReadyAt(false),
+              std::max(base_.tRAS, burst_end + base_.tWR));
+}
+
+TEST_F(BankTest, NormalPrechargeGivesBaseRowCycle)
+{
+    bank_.act(0, 1);
+    bank_.pre(base_.tRAS, false);
+    EXPECT_FALSE(bank_.hasOpenRow());
+    // ACT -> PRE (tRAS) -> ACT (tRP) == tRC of the base set.
+    EXPECT_EQ(bank_.actReadyAt(), base_.tRAS + base_.tRP);
+    EXPECT_EQ(bank_.actReadyAt(), base_.tRC);
+}
+
+TEST_F(BankTest, CounterUpdatePrechargeGivesPracRowCycle)
+{
+    bank_.act(0, 1);
+    bank_.pre(prac_.tRAS, true);
+    // PREcu: shorter tRAS but much longer tRP -> 52 ns row cycle.
+    EXPECT_EQ(bank_.actReadyAt(), prac_.tRAS + prac_.tRP);
+    EXPECT_EQ(bank_.actReadyAt(), prac_.tRC);
+}
+
+TEST_F(BankTest, BlockUntilDelaysNextAct)
+{
+    bank_.act(0, 1);
+    bank_.pre(base_.tRAS, false);
+    bank_.blockUntil(10000);
+    EXPECT_EQ(bank_.actReadyAt(), 10000u);
+    // blockUntil never shortens an existing constraint.
+    bank_.blockUntil(5000);
+    EXPECT_EQ(bank_.actReadyAt(), 10000u);
+}
+
+TEST_F(BankTest, LastCasTracksMostRecentAccess)
+{
+    bank_.act(0, 1);
+    bank_.read(base_.tRCD);
+    const Cycle second = base_.tRCD + base_.tBL + 10;
+    bank_.read(second);
+    EXPECT_EQ(bank_.lastCas(), second);
+}
+
+using BankDeathTest = BankTest;
+
+TEST_F(BankDeathTest, EarlyActPanics)
+{
+    bank_.act(0, 1);
+    bank_.pre(base_.tRAS, false);
+    EXPECT_DEATH(bank_.act(base_.tRAS + 1, 2), "violates act_ready");
+}
+
+TEST_F(BankDeathTest, ActWhileOpenPanics)
+{
+    bank_.act(0, 1);
+    EXPECT_DEATH(bank_.act(1000, 2), "open row");
+}
+
+TEST_F(BankDeathTest, EarlyReadPanics)
+{
+    bank_.act(0, 1);
+    EXPECT_DEATH(bank_.read(base_.tRCD - 1), "violates cas_ready");
+}
+
+TEST_F(BankDeathTest, ReadClosedPanics)
+{
+    EXPECT_DEATH(bank_.read(100), "closed bank");
+}
+
+TEST_F(BankDeathTest, EarlyPrePanics)
+{
+    bank_.act(0, 1);
+    EXPECT_DEATH(bank_.pre(base_.tRAS - 1, false),
+                 "violates pre_ready");
+}
+
+TEST_F(BankDeathTest, PreClosedPanics)
+{
+    EXPECT_DEATH(bank_.pre(100, false), "closed bank");
+}
+
+} // namespace
+} // namespace mopac

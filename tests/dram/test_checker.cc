@@ -1,0 +1,153 @@
+/**
+ * @file
+ * SecurityChecker tests: oracle counting, sweep/victim resets,
+ * per-chip exposure, violation detection, epoch tracking.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dram/checker.hh"
+
+namespace mopac
+{
+namespace
+{
+
+TEST(Checker, CountsActivations)
+{
+    SecurityChecker c(2, 64, 1, 100);
+    for (int i = 0; i < 5; ++i) {
+        c.onActivate(0, 7, i);
+    }
+    EXPECT_EQ(c.count(0, 0, 7), 5u);
+    EXPECT_EQ(c.maxUnmitigated(), 5u);
+    EXPECT_EQ(c.violations(), 0u);
+}
+
+TEST(Checker, ViolationsBeyondTrh)
+{
+    SecurityChecker c(1, 16, 1, 10);
+    for (int i = 0; i < 13; ++i) {
+        c.onActivate(0, 3, i);
+    }
+    EXPECT_EQ(c.maxUnmitigated(), 13u);
+    EXPECT_EQ(c.violations(), 3u); // acts 11, 12, 13
+}
+
+TEST(Checker, SweepResetsRange)
+{
+    SecurityChecker c(2, 64, 1, 1000);
+    c.onActivate(0, 10, 0);
+    c.onActivate(1, 20, 0);
+    c.onSweep(8, 16);
+    EXPECT_EQ(c.count(0, 0, 10), 0u);
+    EXPECT_EQ(c.count(0, 1, 20), 1u);
+}
+
+TEST(Checker, VictimRefreshResetsAggressorAndCountsVictimActs)
+{
+    SecurityChecker c(1, 64, 1, 1000);
+    for (int i = 0; i < 50; ++i) {
+        c.onActivate(0, 30, i);
+    }
+    c.onVictimRefresh(kAllChips, 0, 30, 100);
+    EXPECT_EQ(c.count(0, 0, 30), 0u);
+    // Blast radius 2: each neighbor was activated once by the refresh.
+    EXPECT_EQ(c.count(0, 0, 28), 1u);
+    EXPECT_EQ(c.count(0, 0, 29), 1u);
+    EXPECT_EQ(c.count(0, 0, 31), 1u);
+    EXPECT_EQ(c.count(0, 0, 32), 1u);
+    EXPECT_EQ(c.count(0, 0, 33), 0u);
+}
+
+TEST(Checker, VictimRefreshRestartsRefreshedNeighbors)
+{
+    // A refreshed victim's own exposure restarts: refresh is an
+    // "intervening event" for that row per the threat model.
+    SecurityChecker c(1, 64, 1, 1000);
+    for (int i = 0; i < 40; ++i) {
+        c.onActivate(0, 31, i); // neighbor of the future aggressor
+    }
+    c.onVictimRefresh(kAllChips, 0, 30, 100);
+    // Row 31 was refreshed (blast radius of 30) and then activated
+    // once by the refresh itself.
+    EXPECT_EQ(c.count(0, 0, 31), 1u);
+}
+
+TEST(Checker, VictimRefreshAtRowZeroClampsNeighbors)
+{
+    SecurityChecker c(1, 64, 1, 1000);
+    c.onActivate(0, 0, 0);
+    EXPECT_NO_FATAL_FAILURE(c.onVictimRefresh(kAllChips, 0, 0, 1));
+    EXPECT_EQ(c.count(0, 0, 0), 0u);
+    EXPECT_EQ(c.count(0, 0, 1), 1u);
+    EXPECT_EQ(c.count(0, 0, 2), 1u);
+}
+
+TEST(Checker, PerChipExposureIsIndependent)
+{
+    SecurityChecker c(1, 64, 4, 1000);
+    for (int i = 0; i < 10; ++i) {
+        c.onActivate(0, 5, i);
+    }
+    // Only chip 2 mitigates: the other chips stay exposed.
+    c.onVictimRefresh(2, 0, 5, 50);
+    EXPECT_EQ(c.count(2, 0, 5), 0u);
+    EXPECT_EQ(c.count(0, 0, 5), 10u);
+    EXPECT_EQ(c.count(1, 0, 5), 10u);
+    EXPECT_EQ(c.count(3, 0, 5), 10u);
+    // Victim activations land only in the mitigating chip.
+    EXPECT_EQ(c.count(2, 0, 6), 1u);
+    EXPECT_EQ(c.count(0, 0, 6), 0u); // row 6 never activated
+}
+
+TEST(Checker, MaxUnmitigatedIsGlobalHighWater)
+{
+    SecurityChecker c(2, 64, 1, 1000);
+    for (int i = 0; i < 9; ++i) {
+        c.onActivate(0, 1, i);
+    }
+    c.onSweep(0, 64);
+    for (int i = 0; i < 4; ++i) {
+        c.onActivate(1, 2, i);
+    }
+    EXPECT_EQ(c.maxUnmitigated(), 9u);
+}
+
+TEST(Checker, EpochTrackingCountsHotRows)
+{
+    SecurityChecker c(1, 256, 1, 100000);
+    c.enableEpochTracking(1000, 64, 200);
+    // Row 9: 250 acts, row 10: 100 acts, row 11: 10 acts, all in
+    // the first epoch.
+    for (int i = 0; i < 250; ++i) {
+        c.onActivate(0, 9, 1);
+    }
+    for (int i = 0; i < 100; ++i) {
+        c.onActivate(0, 10, 2);
+    }
+    for (int i = 0; i < 10; ++i) {
+        c.onActivate(0, 11, 3);
+    }
+    // Crossing the epoch boundary rolls the stats.
+    c.onActivate(0, 12, 1500);
+    EXPECT_EQ(c.epochsCompleted(), 1u);
+    EXPECT_DOUBLE_EQ(c.act64PerBankPerEpoch(), 2.0);   // rows 9, 10
+    EXPECT_DOUBLE_EQ(c.act200PerBankPerEpoch(), 1.0);  // row 9
+}
+
+TEST(Checker, FinalizeEpochFlushesPartial)
+{
+    SecurityChecker c(1, 64, 1, 100000);
+    c.enableEpochTracking(1000000, 2, 7);
+    for (int i = 0; i < 5; ++i) {
+        c.onActivate(0, 3, i);
+    }
+    EXPECT_EQ(c.epochsCompleted(), 0u);
+    c.finalizeEpoch();
+    EXPECT_EQ(c.epochsCompleted(), 1u);
+    EXPECT_DOUBLE_EQ(c.act64PerBankPerEpoch(), 1.0);
+}
+
+} // namespace
+} // namespace mopac

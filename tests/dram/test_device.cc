@@ -1,0 +1,248 @@
+/**
+ * @file
+ * SubChannel device tests: sub-channel ACT constraints, the data bus,
+ * refresh sweeping, the ALERT/ABO pin rules, and engine event
+ * plumbing, observed through a recording stub engine.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "dram/device.hh"
+
+namespace mopac
+{
+namespace
+{
+
+/** Records every event the device forwards. */
+class RecordingEngine : public Mitigator
+{
+  public:
+    std::string name() const override { return "recording"; }
+
+    bool
+    selectForUpdate(unsigned, std::uint32_t, Cycle) override
+    {
+        return select_result;
+    }
+
+    void
+    onActivate(unsigned bank, std::uint32_t row, Cycle) override
+    {
+        acts.push_back({bank, row});
+    }
+
+    void
+    onPrechargeUpdate(unsigned bank, std::uint32_t row, Cycle) override
+    {
+        updates.push_back({bank, row});
+    }
+
+    void
+    onPrecharge(unsigned, std::uint32_t, Cycle,
+                Cycle open_cycles) override
+    {
+        open_times.push_back(open_cycles);
+    }
+
+    void
+    onRefreshSweep(std::uint32_t begin, std::uint32_t end) override
+    {
+        sweeps.push_back({begin, end});
+    }
+
+    void onRefresh(Cycle) override { ++refreshes; }
+    void onRfm(Cycle) override { ++rfms; }
+
+    void
+    onNeighborRefresh(unsigned bank, std::uint32_t row,
+                      unsigned chip) override
+    {
+        neighbor_refreshes.push_back({bank, row});
+        last_chip = chip;
+    }
+
+    const EngineStats &engineStats() const override { return stats_; }
+
+    bool select_result = false;
+    std::vector<std::pair<unsigned, std::uint32_t>> acts;
+    std::vector<std::pair<unsigned, std::uint32_t>> updates;
+    std::vector<Cycle> open_times;
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> sweeps;
+    std::vector<std::pair<unsigned, std::uint32_t>> neighbor_refreshes;
+    unsigned last_chip = 0;
+    int refreshes = 0;
+    int rfms = 0;
+    EngineStats stats_;
+};
+
+class DeviceTest : public ::testing::Test
+{
+  protected:
+    DeviceTest()
+        : base_(TimingSet::base()), prac_(TimingSet::prac())
+    {
+        geo_.rows_per_bank = 1024;
+        geo_.banks_per_subchannel = 4;
+        geo_.num_subchannels = 1;
+        geo_.chips = 1;
+        dev_ = std::make_unique<SubChannel>(geo_, &base_, &prac_, 500);
+        dev_->setMitigator(&engine_);
+    }
+
+    /** Close all banks legally at/after @p from. @return a safe time. */
+    Cycle
+    closeAll(Cycle from)
+    {
+        Cycle t = from;
+        for (unsigned b = 0; b < dev_->numBanks(); ++b) {
+            if (dev_->bank(b).hasOpenRow()) {
+                t = std::max(t, dev_->bank(b).preReadyAt(false));
+                dev_->cmdPre(t, b, false);
+            }
+        }
+        return t;
+    }
+
+    Geometry geo_;
+    TimingSet base_;
+    TimingSet prac_;
+    std::unique_ptr<SubChannel> dev_;
+    RecordingEngine engine_;
+};
+
+TEST_F(DeviceTest, ActForwardsToEngineAndChecker)
+{
+    dev_->cmdAct(0, 1, 99);
+    ASSERT_EQ(engine_.acts.size(), 1u);
+    EXPECT_EQ(engine_.acts[0], (std::pair<unsigned, std::uint32_t>{1, 99}));
+    EXPECT_EQ(dev_->checker().count(0, 1, 99), 1u);
+    EXPECT_EQ(dev_->stats().acts, 1u);
+}
+
+TEST_F(DeviceTest, TrrdSeparatesActsAcrossBanks)
+{
+    dev_->cmdAct(0, 0, 1);
+    EXPECT_EQ(dev_->actAllowedAt(), base_.tRRD);
+}
+
+TEST_F(DeviceTest, FawLimitsBurstOfActivations)
+{
+    Cycle t = 0;
+    for (unsigned b = 0; b < 4; ++b) {
+        t = std::max(t, dev_->actAllowedAt());
+        dev_->cmdAct(t, b, 1);
+    }
+    // The 5th ACT must wait until the 1st leaves the tFAW window.
+    EXPECT_GE(dev_->actAllowedAt(), base_.tFAW);
+}
+
+TEST_F(DeviceTest, PreCuTriggersCounterUpdateEvent)
+{
+    dev_->cmdAct(0, 2, 50);
+    dev_->cmdPre(prac_.tRAS, 2, true);
+    ASSERT_EQ(engine_.updates.size(), 1u);
+    EXPECT_EQ(engine_.updates[0].second, 50u);
+    EXPECT_EQ(dev_->stats().precus, 1u);
+    EXPECT_EQ(dev_->stats().pres, 1u);
+}
+
+TEST_F(DeviceTest, PlainPreReportsOpenInterval)
+{
+    dev_->cmdAct(0, 2, 50);
+    dev_->cmdPre(base_.tRAS + 20, 2, false);
+    ASSERT_EQ(engine_.open_times.size(), 1u);
+    EXPECT_EQ(engine_.open_times[0], base_.tRAS + 20);
+    EXPECT_TRUE(engine_.updates.empty());
+}
+
+TEST_F(DeviceTest, DataBusSerializesReads)
+{
+    dev_->cmdAct(0, 0, 1);
+    Cycle t = dev_->actAllowedAt();
+    dev_->cmdAct(t, 1, 1);
+    const Cycle rd0 = base_.tRCD;
+    dev_->cmdRead(rd0, 0);
+    // Second read must not overlap the first burst on the bus.
+    EXPECT_EQ(dev_->readBusAllowedAt(), rd0 + base_.tBL);
+}
+
+TEST_F(DeviceTest, RefSweepsRowsAndNotifiesEngine)
+{
+    Cycle t = closeAll(0);
+    dev_->cmdRef(t);
+    ASSERT_EQ(engine_.sweeps.size(), 1u);
+    EXPECT_EQ(engine_.sweeps[0].first, 0u);
+    EXPECT_EQ(engine_.sweeps[0].second, geo_.rowsPerRef());
+    EXPECT_EQ(engine_.refreshes, 1);
+    // Banks are busy for tRFC.
+    EXPECT_EQ(dev_->bank(0).actReadyAt(), t + base_.tRFC);
+
+    dev_->cmdRef(t + base_.tRFC);
+    EXPECT_EQ(engine_.sweeps[1].first, geo_.rowsPerRef());
+}
+
+TEST_F(DeviceTest, RefResetsCheckerForSweptRows)
+{
+    // With 1024 rows per bank each REF sweeps rowsPerRef() = 1 row,
+    // so only row 0 is covered by the first REF.
+    ASSERT_EQ(geo_.rowsPerRef(), 1u);
+    dev_->cmdAct(0, 0, 0);
+    Cycle t = closeAll(0);
+    dev_->cmdRef(t);
+    EXPECT_EQ(dev_->checker().count(0, 0, 0), 0u);
+}
+
+TEST_F(DeviceTest, AlertNeedsActivationFirst)
+{
+    // No ACT since the last RFM: the request is latched, not raised.
+    dev_->requestAlert();
+    EXPECT_FALSE(dev_->alertAsserted());
+    dev_->cmdAct(0, 0, 1);
+    EXPECT_TRUE(dev_->alertAsserted());
+    EXPECT_EQ(dev_->alertSince(), 0u);
+}
+
+TEST_F(DeviceTest, AlertClearsOnRfmAndEngineServices)
+{
+    dev_->cmdAct(0, 0, 1);
+    dev_->requestAlert();
+    EXPECT_TRUE(dev_->alertAsserted());
+    Cycle t = closeAll(0);
+    dev_->cmdRfm(t);
+    EXPECT_FALSE(dev_->alertAsserted());
+    EXPECT_EQ(engine_.rfms, 1);
+    EXPECT_EQ(dev_->bank(0).actReadyAt(), t + base_.tRFM);
+    EXPECT_EQ(dev_->stats().rfms, 1u);
+    EXPECT_EQ(dev_->stats().alerts, 1u);
+}
+
+TEST_F(DeviceTest, VictimRefreshFeedsCheckerAndEngineCounters)
+{
+    dev_->cmdAct(0, 0, 100);
+    dev_->victimRefresh(0, 100, kAllChips);
+    EXPECT_EQ(dev_->checker().count(0, 0, 100), 0u);
+    // 4 victims (blast radius 2) reported back to the engine.
+    EXPECT_EQ(engine_.neighbor_refreshes.size(), 4u);
+    EXPECT_EQ(engine_.last_chip, kAllChips);
+    EXPECT_EQ(dev_->stats().victim_refreshes, 1u);
+}
+
+using DeviceDeathTest = DeviceTest;
+
+TEST_F(DeviceDeathTest, RefWithOpenRowPanics)
+{
+    dev_->cmdAct(0, 0, 1);
+    EXPECT_DEATH(dev_->cmdRef(base_.tRAS), "open row");
+}
+
+TEST_F(DeviceDeathTest, SubChannelActConstraintEnforced)
+{
+    dev_->cmdAct(0, 0, 1);
+    EXPECT_DEATH(dev_->cmdAct(1, 1, 1), "sub-channel constraint");
+}
+
+} // namespace
+} // namespace mopac

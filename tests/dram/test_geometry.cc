@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Geometry tests: the Table 3 organization and validation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dram/geometry.hh"
+
+namespace mopac
+{
+namespace
+{
+
+TEST(Geometry, DefaultsMatchTable3)
+{
+    Geometry g;
+    EXPECT_EQ(g.num_subchannels, 2u);
+    EXPECT_EQ(g.banks_per_subchannel, 32u);
+    EXPECT_EQ(g.rows_per_bank, 65536u);
+    EXPECT_EQ(g.row_bytes, 8192u);
+    EXPECT_EQ(g.chips, 4u);
+    // 2 sub-channels x 32 banks x 64K rows x 8 KB = 32 GB.
+    EXPECT_EQ(g.capacityBytes(), 32ull << 30);
+}
+
+TEST(Geometry, LinesPerRow)
+{
+    Geometry g;
+    EXPECT_EQ(g.linesPerRow(), 128u);
+}
+
+TEST(Geometry, RowsPerRefCoversWholeBankIn8192Refs)
+{
+    Geometry g;
+    EXPECT_EQ(g.rowsPerRef(), 8u);
+    EXPECT_EQ(g.rowsPerRef() * 8192, g.rows_per_bank);
+}
+
+TEST(Geometry, SmallConfigsValidate)
+{
+    Geometry g;
+    g.rows_per_bank = 1024;
+    g.banks_per_subchannel = 4;
+    g.num_subchannels = 1;
+    EXPECT_NO_FATAL_FAILURE(g.check());
+}
+
+TEST(GeometryDeathTest, NonPowerOfTwoRejected)
+{
+    Geometry g;
+    g.rows_per_bank = 1000;
+    EXPECT_EXIT(g.check(), ::testing::ExitedWithCode(1),
+                "powers of two");
+}
+
+TEST(GeometryDeathTest, ZeroDimensionRejected)
+{
+    Geometry g;
+    g.chips = 0;
+    EXPECT_EXIT(g.check(), ::testing::ExitedWithCode(1), "non-zero");
+}
+
+} // namespace
+} // namespace mopac

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Configuration fuzzing: drive short runs through randomized
+ * configuration corners of the full stack.  Every DRAM timing rule is
+ * enforced by panic() inside the bank/device state machines, so
+ * merely completing a run proves command legality; the security
+ * oracle and IPC sanity are asserted on top.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "sim/experiment.hh"
+
+namespace mopac
+{
+namespace
+{
+
+const char *kWorkloads[] = {"mcf", "xz", "add", "parest", "mix2"};
+
+MitigationKind kKinds[] = {
+    MitigationKind::kNone,    MitigationKind::kPracMoat,
+    MitigationKind::kMopacC,  MitigationKind::kMopacD,
+    MitigationKind::kMint,    MitigationKind::kPride,
+    MitigationKind::kTrr,     MitigationKind::kPara,
+    MitigationKind::kGraphene, MitigationKind::kQprac,
+};
+
+class ConfigFuzz : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(ConfigFuzz, RandomizedConfigsRunClean)
+{
+    Rng rng(GetParam());
+    for (int trial = 0; trial < 4; ++trial) {
+        const MitigationKind kind =
+            kKinds[rng.below(std::size(kKinds))];
+        const std::uint32_t trh =
+            std::uint32_t(250) << rng.below(3); // 250 / 500 / 1000
+
+        SystemConfig cfg = makeConfig(kind, trh);
+        cfg.seed = rng.next();
+        cfg.num_cores = 1u << rng.below(4); // 1 / 2 / 4 / 8
+        cfg.insts_per_core = 8000 + rng.below(12000);
+        cfg.warmup_insts = cfg.insts_per_core / 10;
+        cfg.core.rob_entries = 32u << rng.below(4);
+        cfg.core.mshrs = 4u << rng.below(3);
+        cfg.srq_capacity = 4u << rng.below(3);
+        cfg.geometry.chips = 1u << rng.below(3);
+        cfg.nup = rng.chancePow2(1);
+        switch (rng.below(3)) {
+          case 0:
+            cfg.mc.page_policy = PagePolicy::kOpen;
+            break;
+          case 1:
+            cfg.mc.page_policy = PagePolicy::kClose;
+            break;
+          default:
+            cfg.mc.page_policy = PagePolicy::kTimeout;
+            cfg.mc.timeout_ton =
+                nsToCycles(50.0 + 50.0 * rng.below(5));
+            break;
+        }
+
+        const char *workload =
+            kWorkloads[rng.below(std::size(kWorkloads))];
+        const RunResult r = runWorkload(cfg, workload);
+
+        EXPECT_FALSE(r.timed_out)
+            << toString(kind) << " " << workload;
+        EXPECT_EQ(r.violations, 0u)
+            << toString(kind) << " " << workload;
+        for (double ipc : r.ipcs) {
+            EXPECT_GT(ipc, 0.0);
+            EXPECT_LE(ipc, 4.0);
+        }
+        EXPECT_GT(r.acts, 0u);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConfigFuzz,
+                         ::testing::Values(11ull, 22ull, 33ull, 44ull,
+                                           55ull, 66ull));
+
+} // namespace
+} // namespace mopac

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Maintenance-path interplay tests: ALERT preempting a refresh drain,
+ * refresh catching up afterwards, back-to-back ALERTs requiring
+ * activations in between, and long-run refresh cadence under load.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/attack.hh"
+#include "sim/experiment.hh"
+
+namespace mopac
+{
+namespace
+{
+
+TEST(MaintenanceInterplay, RefreshCadenceHoldsUnderAttackLoad)
+{
+    // Even while ALERTs throttle the attacker, REF must keep its
+    // tREFI cadence (the controller defers, never drops).
+    SystemConfig cfg = makeConfig(MitigationKind::kPracMoat, 500);
+    AttackRunner runner(cfg);
+    AttackPattern p =
+        makeDoubleSidedAttack(runner.system().addressMap(), 0, 0, 1000);
+    const Cycle duration = nsToCycles(2.0e6);
+    const AttackResult res = runner.run(p, duration, 8);
+    ASSERT_GT(res.alerts, 0u);
+
+    const double expected_refs =
+        cyclesToNs(duration) / 3900.0 *
+        runner.system().numSubchannels();
+    const RunResult stats = runner.system().collectStats(duration);
+    EXPECT_NEAR(static_cast<double>(stats.refs), expected_refs,
+                expected_refs * 0.05);
+}
+
+TEST(MaintenanceInterplay, AlertsRequireInterveningActivations)
+{
+    // The ABO spec demands non-zero ACTs between ALERTs; under a
+    // continuous hammer the realized ALERT spacing must never be
+    // back-to-back.
+    SystemConfig cfg = makeConfig(MitigationKind::kMopacD, 250);
+    cfg.drain_per_ref = 0; // maximize ALERT pressure
+    AttackRunner runner(cfg);
+    AttackPattern p = makeManySidedAttack(
+        runner.system().addressMap(), 0, 0, 48, 3000);
+    const AttackResult res = runner.run(p, nsToCycles(2.0e6), 8);
+    ASSERT_GT(res.alerts, 10u);
+    // Each ALERT costs >= (180 + 350) ns plus at least one ACT; the
+    // ACT count must therefore exceed the ALERT count.
+    EXPECT_GT(res.acts, res.alerts);
+    // And the wall-clock lower bound must hold.
+    const double min_ns = static_cast<double>(res.alerts) * 530.0;
+    EXPECT_LT(min_ns, cyclesToNs(res.cycles));
+}
+
+TEST(MaintenanceInterplay, BenignRunsSeeNoAlertsAtHighTrh)
+{
+    // Figure 2's premise: at T_RH 4000 the ABO rate on benign
+    // workloads is essentially zero even for the hottest hot-row
+    // workload in the table.
+    SystemConfig cfg = makeConfig(MitigationKind::kPracMoat, 4000);
+    cfg.insts_per_core = 60000;
+    cfg.warmup_insts = 6000;
+    const RunResult r = runWorkload(cfg, "parest");
+    EXPECT_EQ(r.alerts, 0u);
+}
+
+TEST(MaintenanceInterplay, MopacDSchedulesDrainsWithoutAlertsOnBenign)
+{
+    // §6.2's steady state: at T_RH 500 drain-on-REF absorbs benign
+    // insertion pressure, so SRQ-full ALERTs stay (near) zero while
+    // REF drains do the counter updates.
+    SystemConfig cfg = makeConfig(MitigationKind::kMopacD, 500);
+    cfg.insts_per_core = 60000;
+    cfg.warmup_insts = 6000;
+    const RunResult r = runWorkload(cfg, "mcf");
+    EXPECT_GT(r.ref_drains, 0u);
+    EXPECT_LE(r.alerts, 2u);
+    // Every drain removes one inserted entry: updates can never
+    // exceed insertions.
+    EXPECT_LE(r.counter_updates, r.srq_insertions);
+}
+
+} // namespace
+} // namespace mopac

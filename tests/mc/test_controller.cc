@@ -1,0 +1,285 @@
+/**
+ * @file
+ * Controller tests: request service latency, row-buffer management,
+ * FR-FCFS hit priority, write draining, refresh scheduling, page
+ * policies, and the ABO stall sequence.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "mc/controller.hh"
+#include "mitigation/none.hh"
+
+namespace mopac
+{
+namespace
+{
+
+/** Captures read completions. */
+class CaptureClient : public MemClient
+{
+  public:
+    void
+    memComplete(const Request &req, Cycle done) override
+    {
+        completions.push_back({req.req_id, done});
+    }
+
+    std::vector<std::pair<std::uint64_t, Cycle>> completions;
+};
+
+/** A null engine whose ALERT we can pull from the test. */
+class PuppetEngine : public NoMitigation
+{
+  public:
+    explicit PuppetEngine(DramBackend &backend) : backend_(backend) {}
+
+    void pullAlert() { backend_.requestAlert(); }
+
+    void onRfm(Cycle) override { ++rfm_count; }
+
+    int rfm_count = 0;
+
+  private:
+    DramBackend &backend_;
+};
+
+class ControllerTest : public ::testing::Test
+{
+  protected:
+    ControllerTest() : base_(TimingSet::base()), prac_(TimingSet::prac())
+    {
+        geo_.rows_per_bank = 1024;
+        geo_.banks_per_subchannel = 4;
+        geo_.num_subchannels = 1;
+        geo_.chips = 1;
+        dev_ = std::make_unique<SubChannel>(geo_, &base_, &prac_, 500);
+        engine_ = std::make_unique<PuppetEngine>(*dev_);
+        dev_->setMitigator(engine_.get());
+        map_ = std::make_unique<AddressMap>(geo_);
+        mc_ = std::make_unique<Controller>(*dev_, *map_, params_,
+                                           &client_);
+    }
+
+    Request
+    readReq(unsigned bank, std::uint32_t row, std::uint32_t col = 0)
+    {
+        Request r;
+        r.line_addr = map_->encode({0, bank, row, col});
+        r.is_write = false;
+        r.req_id = next_id_++;
+        return r;
+    }
+
+    Request
+    writeReq(unsigned bank, std::uint32_t row, std::uint32_t col = 0)
+    {
+        Request r = readReq(bank, row, col);
+        r.is_write = true;
+        return r;
+    }
+
+    void
+    runUntil(Cycle end)
+    {
+        for (; now_ < end; ++now_) {
+            mc_->tick(now_);
+        }
+    }
+
+    Geometry geo_;
+    TimingSet base_;
+    TimingSet prac_;
+    ControllerParams params_;
+    std::unique_ptr<SubChannel> dev_;
+    std::unique_ptr<PuppetEngine> engine_;
+    std::unique_ptr<AddressMap> map_;
+    CaptureClient client_;
+    std::unique_ptr<Controller> mc_;
+    Cycle now_ = 0;
+    std::uint64_t next_id_ = 1;
+};
+
+TEST_F(ControllerTest, IdleReadLatencyIsActPlusCas)
+{
+    ASSERT_TRUE(mc_->enqueue(readReq(0, 5), 0));
+    runUntil(1000);
+    ASSERT_EQ(client_.completions.size(), 1u);
+    // ACT at cycle 0 is not possible (tick happens at cycle 0 with
+    // the request already queued): ACT@0, RD@tRCD, data at +CL+BL.
+    EXPECT_EQ(client_.completions[0].second,
+              base_.tRCD + base_.tCL + base_.tBL);
+}
+
+TEST_F(ControllerTest, RowHitSkipsActivation)
+{
+    ASSERT_TRUE(mc_->enqueue(readReq(0, 5, 0), 0));
+    ASSERT_TRUE(mc_->enqueue(readReq(0, 5, 1), 0));
+    runUntil(2000);
+    ASSERT_EQ(client_.completions.size(), 2u);
+    EXPECT_EQ(dev_->stats().acts, 1u);
+    EXPECT_EQ(mc_->stats().row_hits, 1u);
+    // Second read is spaced by the burst, not by a new row cycle.
+    EXPECT_EQ(client_.completions[1].second -
+                  client_.completions[0].second,
+              base_.tBL);
+}
+
+TEST_F(ControllerTest, ConflictPaysPrechargePlusActivate)
+{
+    ASSERT_TRUE(mc_->enqueue(readReq(0, 5), 0));
+    runUntil(500);
+    ASSERT_TRUE(mc_->enqueue(readReq(0, 9), now_));
+    const Cycle enq = now_;
+    runUntil(enq + 2000);
+    ASSERT_EQ(client_.completions.size(), 2u);
+    // PRE (already past tRAS) + tRP + tRCD + CL + BL.
+    EXPECT_EQ(client_.completions[1].second - enq,
+              base_.tRP + base_.tRCD + base_.tCL + base_.tBL);
+    EXPECT_EQ(dev_->stats().acts, 2u);
+    EXPECT_EQ(mc_->stats().row_hits, 0u);
+}
+
+TEST_F(ControllerTest, HitUnderConflictServedFirst)
+{
+    // Open row 5, then enqueue conflict (row 9) before a hit (row 5):
+    // FR-FCFS serves the younger hit first.
+    ASSERT_TRUE(mc_->enqueue(readReq(0, 5, 0), 0));
+    runUntil(500);
+    Request conflict = readReq(0, 9);
+    Request hit = readReq(0, 5, 3);
+    ASSERT_TRUE(mc_->enqueue(conflict, now_));
+    ASSERT_TRUE(mc_->enqueue(hit, now_));
+    runUntil(now_ + 3000);
+    ASSERT_EQ(client_.completions.size(), 3u);
+    EXPECT_EQ(client_.completions[1].first, hit.req_id);
+    EXPECT_EQ(client_.completions[2].first, conflict.req_id);
+}
+
+TEST_F(ControllerTest, WritesAreEventuallyDrained)
+{
+    for (int i = 0; i < 8; ++i) {
+        ASSERT_TRUE(
+            mc_->enqueue(writeReq(i % 4, 2, i), 0));
+    }
+    runUntil(5000);
+    EXPECT_EQ(dev_->stats().writes, 8u);
+    EXPECT_TRUE(mc_->idle());
+}
+
+TEST_F(ControllerTest, ReadsPrioritizedOverWritesBelowWatermark)
+{
+    ASSERT_TRUE(mc_->enqueue(writeReq(0, 2), 0));
+    ASSERT_TRUE(mc_->enqueue(readReq(1, 3), 0));
+    runUntil(300);
+    // The read completed while the write may still be queued.
+    ASSERT_EQ(client_.completions.size(), 1u);
+}
+
+TEST_F(ControllerTest, RefreshIssuesEveryTrefi)
+{
+    runUntil(base_.tREFI * 3 + base_.tRFC + 10);
+    EXPECT_EQ(mc_->stats().refs_issued, 3u);
+    EXPECT_EQ(dev_->stats().refs, 3u);
+}
+
+TEST_F(ControllerTest, RefreshClosesOpenRowsFirst)
+{
+    ASSERT_TRUE(mc_->enqueue(readReq(0, 5), 0));
+    runUntil(base_.tREFI + base_.tRFC + 100);
+    EXPECT_EQ(mc_->stats().refs_issued, 1u);
+    EXPECT_FALSE(dev_->bank(0).hasOpenRow());
+}
+
+TEST_F(ControllerTest, AlertStallsAndIssuesRfm)
+{
+    ASSERT_TRUE(mc_->enqueue(readReq(0, 5), 0));
+    runUntil(200);
+    engine_->pullAlert(); // pending until the next ACT
+    ASSERT_TRUE(mc_->enqueue(readReq(0, 9), now_));
+    runUntil(now_ + 4 * (base_.tABO + base_.tRFM));
+    EXPECT_EQ(mc_->stats().rfms_issued, 1u);
+    EXPECT_EQ(engine_->rfm_count, 1);
+    EXPECT_FALSE(dev_->alertAsserted());
+    EXPECT_GT(mc_->stats().alert_stall_cycles, base_.tRFM);
+}
+
+TEST_F(ControllerTest, ServiceContinuesDuringAboWindow)
+{
+    // A hit enqueued right after ALERT assertion completes within the
+    // 180 ns window (Figure 3: normal operation until the stall).
+    ASSERT_TRUE(mc_->enqueue(readReq(0, 5, 0), 0));
+    runUntil(300);
+    Request hit = readReq(0, 5, 1);
+    ASSERT_TRUE(mc_->enqueue(hit, now_));
+    engine_->pullAlert();
+    runUntil(now_ + 10000);
+    ASSERT_EQ(client_.completions.size(), 2u);
+    const Cycle alert_at = dev_->alertSince();
+    (void)alert_at;
+    EXPECT_EQ(engine_->rfm_count, 1);
+}
+
+TEST_F(ControllerTest, QueueCapacityEnforced)
+{
+    ControllerParams small;
+    small.read_queue_cap = 2;
+    Controller mc(*dev_, *map_, small, &client_);
+    EXPECT_TRUE(mc.enqueue(readReq(0, 1), 0));
+    EXPECT_TRUE(mc.enqueue(readReq(0, 2), 0));
+    EXPECT_FALSE(mc.enqueue(readReq(0, 3), 0));
+    EXPECT_EQ(mc.readQueueDepth(), 2u);
+}
+
+TEST_F(ControllerTest, ClosePagePolicyClosesIdleRows)
+{
+    ControllerParams close = params_;
+    close.page_policy = PagePolicy::kClose;
+    Controller mc(*dev_, *map_, close, &client_);
+    ASSERT_TRUE(mc.enqueue(readReq(0, 5), 0));
+    for (Cycle t = 0; t < 1000; ++t) {
+        mc.tick(t);
+    }
+    EXPECT_FALSE(dev_->bank(0).hasOpenRow());
+}
+
+TEST_F(ControllerTest, TimeoutPolicyClosesAfterTon)
+{
+    ControllerParams to = params_;
+    to.page_policy = PagePolicy::kTimeout;
+    to.timeout_ton = nsToCycles(100.0);
+    Controller mc(*dev_, *map_, to, &client_);
+    ASSERT_TRUE(mc.enqueue(readReq(0, 5), 0));
+    for (Cycle t = 0; t < base_.tRCD + 10; ++t) {
+        mc.tick(t);
+    }
+    EXPECT_TRUE(dev_->bank(0).hasOpenRow());
+    for (Cycle t = base_.tRCD + 10; t < base_.tRCD + to.timeout_ton + 50;
+         ++t) {
+        mc.tick(t);
+    }
+    EXPECT_FALSE(dev_->bank(0).hasOpenRow());
+}
+
+TEST_F(ControllerTest, OpenPageKeepsIdleRowOpen)
+{
+    ASSERT_TRUE(mc_->enqueue(readReq(0, 5), 0));
+    runUntil(base_.tREFI - 100); // before the first refresh
+    EXPECT_TRUE(dev_->bank(0).hasOpenRow());
+}
+
+TEST_F(ControllerTest, RowBufferHitRateComputed)
+{
+    ASSERT_TRUE(mc_->enqueue(readReq(0, 5, 0), 0));
+    ASSERT_TRUE(mc_->enqueue(readReq(0, 5, 1), 0));
+    ASSERT_TRUE(mc_->enqueue(readReq(0, 5, 2), 0));
+    ASSERT_TRUE(mc_->enqueue(readReq(0, 9, 0), 0));
+    runUntil(3000);
+    EXPECT_DOUBLE_EQ(mc_->rowBufferHitRate(), 0.5);
+}
+
+} // namespace
+} // namespace mopac

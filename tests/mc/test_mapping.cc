@@ -1,0 +1,108 @@
+/**
+ * @file
+ * MOP address-mapping tests: bijectivity, field extraction, and the
+ * MOP striping property (4 lines per row chunk, then next bank).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "mc/mapping.hh"
+
+namespace mopac
+{
+namespace
+{
+
+class MappingTest : public ::testing::Test
+{
+  protected:
+    MappingTest() : map_(Geometry{}) {}
+    AddressMap map_;
+};
+
+TEST_F(MappingTest, NumLinesMatchesCapacity)
+{
+    const Geometry &g = map_.geometry();
+    EXPECT_EQ(map_.numLines() * g.line_bytes, g.capacityBytes());
+}
+
+TEST_F(MappingTest, RoundTripIsIdentity)
+{
+    Rng rng(5);
+    for (int i = 0; i < 10000; ++i) {
+        const Addr line = rng.below(map_.numLines());
+        EXPECT_EQ(map_.encode(map_.decode(line)), line);
+    }
+}
+
+TEST_F(MappingTest, DecodeFieldsInRange)
+{
+    Rng rng(6);
+    const Geometry &g = map_.geometry();
+    for (int i = 0; i < 10000; ++i) {
+        const DramCoord c = map_.decode(rng.below(map_.numLines()));
+        EXPECT_LT(c.subchannel, g.num_subchannels);
+        EXPECT_LT(c.bank, g.banks_per_subchannel);
+        EXPECT_LT(c.row, g.rows_per_bank);
+        EXPECT_LT(c.column, g.linesPerRow());
+    }
+}
+
+TEST_F(MappingTest, MopGroupsFourLinesPerRowChunk)
+{
+    // Lines 0..3 share (subchannel, bank, row) and have consecutive
+    // columns; line 4 moves to the next sub-channel/bank.
+    const DramCoord c0 = map_.decode(0);
+    for (Addr l = 1; l < 4; ++l) {
+        const DramCoord c = map_.decode(l);
+        EXPECT_EQ(c.subchannel, c0.subchannel);
+        EXPECT_EQ(c.bank, c0.bank);
+        EXPECT_EQ(c.row, c0.row);
+        EXPECT_EQ(c.column, c0.column + l);
+    }
+    const DramCoord c4 = map_.decode(4);
+    EXPECT_TRUE(c4.subchannel != c0.subchannel ||
+                c4.bank != c0.bank);
+    EXPECT_EQ(c4.row, c0.row);
+}
+
+TEST_F(MappingTest, SequentialSpanCyclesAllBanksBeforeRowAdvances)
+{
+    const Geometry &g = map_.geometry();
+    const Addr group = g.mop_lines;
+    const Addr banks_span =
+        group * g.num_subchannels * g.banks_per_subchannel;
+    // Within one full bank rotation the row index never changes.
+    const std::uint32_t row0 = map_.decode(0).row;
+    for (Addr l = 0; l < banks_span; l += group) {
+        EXPECT_EQ(map_.decode(l).row, row0);
+    }
+    // After exhausting the row's column groups, the row advances.
+    const Addr row_span = banks_span * (g.linesPerRow() / g.mop_lines);
+    EXPECT_EQ(map_.decode(row_span).row, row0 + 1);
+}
+
+TEST_F(MappingTest, EncodePlacesRequestedCoordinates)
+{
+    const DramCoord want{1, 17, 4321, 77};
+    const DramCoord got = map_.decode(map_.encode(want));
+    EXPECT_EQ(got, want);
+}
+
+TEST(MappingSmall, WorksForReducedGeometry)
+{
+    Geometry g;
+    g.rows_per_bank = 256;
+    g.banks_per_subchannel = 8;
+    g.num_subchannels = 1;
+    AddressMap map(g);
+    Rng rng(7);
+    for (int i = 0; i < 2000; ++i) {
+        const Addr line = rng.below(map.numLines());
+        EXPECT_EQ(map.encode(map.decode(line)), line);
+    }
+}
+
+} // namespace
+} // namespace mopac

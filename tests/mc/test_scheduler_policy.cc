@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Scheduler-policy tests beyond the basic controller suite: write
+ * drain hysteresis, bank-level parallelism, FCFS fairness among
+ * conflicting requests, and PREcu plumbing for MoPAC-C's per-bank
+ * bit.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "mc/controller.hh"
+#include "mitigation/none.hh"
+
+namespace mopac
+{
+namespace
+{
+
+class CaptureClient : public MemClient
+{
+  public:
+    void
+    memComplete(const Request &req, Cycle done) override
+    {
+        order.push_back(req.req_id);
+        done_at.push_back(done);
+    }
+
+    std::vector<std::uint64_t> order;
+    std::vector<Cycle> done_at;
+};
+
+/** Engine that selects every activation for PREcu. */
+class AlwaysCu : public NoMitigation
+{
+  public:
+    bool
+    selectForUpdate(unsigned, std::uint32_t, Cycle) override
+    {
+        return true;
+    }
+};
+
+class SchedulerTest : public ::testing::Test
+{
+  protected:
+    SchedulerTest() : base_(TimingSet::base()), prac_(TimingSet::prac())
+    {
+        geo_.rows_per_bank = 1024;
+        geo_.banks_per_subchannel = 8;
+        geo_.num_subchannels = 1;
+        geo_.chips = 1;
+        dev_ = std::make_unique<SubChannel>(geo_, &base_, &prac_, 500);
+        dev_->setMitigator(&engine_);
+        map_ = std::make_unique<AddressMap>(geo_);
+        mc_ = std::make_unique<Controller>(*dev_, *map_, params_,
+                                           &client_);
+    }
+
+    Request
+    readReq(unsigned bank, std::uint32_t row, std::uint32_t col = 0)
+    {
+        Request r;
+        r.line_addr = map_->encode({0, bank, row, col});
+        r.req_id = next_id_++;
+        return r;
+    }
+
+    Request
+    writeReq(unsigned bank, std::uint32_t row, std::uint32_t col = 0)
+    {
+        Request r = readReq(bank, row, col);
+        r.is_write = true;
+        return r;
+    }
+
+    void
+    runUntil(Cycle end)
+    {
+        for (; now_ < end; ++now_) {
+            mc_->tick(now_);
+        }
+    }
+
+    Geometry geo_;
+    TimingSet base_;
+    TimingSet prac_;
+    ControllerParams params_;
+    std::unique_ptr<SubChannel> dev_;
+    NoMitigation engine_;
+    std::unique_ptr<AddressMap> map_;
+    CaptureClient client_;
+    std::unique_ptr<Controller> mc_;
+    Cycle now_ = 0;
+    std::uint64_t next_id_ = 1;
+};
+
+TEST_F(SchedulerTest, BankLevelParallelismOverlapsActivations)
+{
+    // Four reads to four banks: total service time is far below four
+    // serialized row cycles.
+    for (unsigned b = 0; b < 4; ++b) {
+        ASSERT_TRUE(mc_->enqueue(readReq(b, 5), 0));
+    }
+    runUntil(2000);
+    ASSERT_EQ(client_.done_at.size(), 4u);
+    const Cycle last = *std::max_element(client_.done_at.begin(),
+                                         client_.done_at.end());
+    EXPECT_LT(last, 2 * base_.tRC);
+}
+
+TEST_F(SchedulerTest, ConflictingReadsServedFcfs)
+{
+    // Three conflicting rows in one bank: completion order matches
+    // arrival order (no starvation / reordering without hits).
+    ASSERT_TRUE(mc_->enqueue(readReq(0, 1), 0));
+    ASSERT_TRUE(mc_->enqueue(readReq(0, 2), 0));
+    ASSERT_TRUE(mc_->enqueue(readReq(0, 3), 0));
+    runUntil(4000);
+    ASSERT_EQ(client_.order.size(), 3u);
+    EXPECT_EQ(client_.order, (std::vector<std::uint64_t>{1, 2, 3}));
+}
+
+TEST_F(SchedulerTest, WriteDrainHysteresis)
+{
+    // Fill the write queue past the high watermark with a read
+    // stream present: the controller must switch to writes and drain
+    // down to the low watermark.
+    for (unsigned i = 0; i < params_.wq_drain_high; ++i) {
+        ASSERT_TRUE(mc_->enqueue(writeReq(i % 8, 2 + i / 8), 0));
+    }
+    ASSERT_TRUE(mc_->enqueue(readReq(0, 900), 0));
+    runUntil(10000);
+    EXPECT_LE(mc_->writeQueueDepth(), params_.wq_drain_low);
+    EXPECT_EQ(client_.order.size(), 1u); // the read completed too
+}
+
+TEST_F(SchedulerTest, WritesDoNotStarveWithoutReads)
+{
+    for (int i = 0; i < 6; ++i) {
+        ASSERT_TRUE(mc_->enqueue(writeReq(0, 10 + i), 0));
+    }
+    runUntil(5000);
+    EXPECT_EQ(mc_->writeQueueDepth(), 0u);
+    EXPECT_EQ(dev_->stats().writes, 6u);
+}
+
+TEST_F(SchedulerTest, PreCuBitFollowsEngineDecision)
+{
+    AlwaysCu cu_engine;
+    dev_->setMitigator(&cu_engine);
+    ASSERT_TRUE(mc_->enqueue(readReq(0, 5), 0));
+    runUntil(300);
+    ASSERT_TRUE(mc_->enqueue(readReq(0, 9), now_)); // forces PRE
+    runUntil(now_ + 1000);
+    // Both activations were selected: the conflict PRE was a PREcu.
+    EXPECT_EQ(dev_->stats().precus, 1u);
+    EXPECT_EQ(dev_->stats().pres, 1u);
+}
+
+TEST_F(SchedulerTest, ReadLatencyHistogramPopulated)
+{
+    for (unsigned b = 0; b < 4; ++b) {
+        ASSERT_TRUE(mc_->enqueue(readReq(b, 5), 0));
+    }
+    runUntil(2000);
+    EXPECT_EQ(mc_->stats().read_latency.count(), 4u);
+    EXPECT_GT(mc_->stats().read_latency.mean(),
+              static_cast<double>(base_.tRCD));
+}
+
+} // namespace
+} // namespace mopac

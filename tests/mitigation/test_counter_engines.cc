@@ -1,0 +1,205 @@
+/**
+ * @file
+ * PRAC+MOAT and MoPAC-C engine tests against a scripted backend.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "mitigation/mopac_c.hh"
+#include "mitigation/prac_moat.hh"
+
+namespace mopac
+{
+namespace
+{
+
+/** Minimal backend recording engine actions. */
+class FakeBackend : public DramBackend
+{
+  public:
+    FakeBackend()
+    {
+        geo_.rows_per_bank = 1024;
+        geo_.banks_per_subchannel = 4;
+        geo_.num_subchannels = 1;
+        geo_.chips = 1;
+    }
+
+    void requestAlert() override { ++alerts; }
+
+    void
+    victimRefresh(unsigned bank, std::uint32_t row, unsigned chip)
+        override
+    {
+        refreshes.push_back({bank, row, chip});
+    }
+
+    const Geometry &geometry() const override { return geo_; }
+
+    Geometry geo_;
+    int alerts = 0;
+    std::vector<std::tuple<unsigned, std::uint32_t, unsigned>> refreshes;
+};
+
+TEST(PracMoat, SelectsEveryActivation)
+{
+    FakeBackend backend;
+    PracMoatEngine engine(backend, {.ath = 100});
+    for (int i = 0; i < 10; ++i) {
+        EXPECT_TRUE(engine.selectForUpdate(0, 5, i));
+    }
+    EXPECT_EQ(engine.engineStats().selected_acts, 10u);
+}
+
+TEST(PracMoat, CounterIncrementsByOne)
+{
+    FakeBackend backend;
+    PracMoatEngine engine(backend, {.ath = 100});
+    for (int i = 0; i < 7; ++i) {
+        engine.onPrechargeUpdate(1, 42, i);
+    }
+    EXPECT_EQ(engine.counter(1, 42), 7u);
+    EXPECT_EQ(engine.engineStats().counter_updates, 7u);
+}
+
+TEST(PracMoat, AlertAtAth)
+{
+    FakeBackend backend;
+    PracMoatEngine engine(backend, {.ath = 10});
+    for (int i = 0; i < 9; ++i) {
+        engine.onPrechargeUpdate(0, 5, i);
+    }
+    EXPECT_EQ(backend.alerts, 0);
+    engine.onPrechargeUpdate(0, 5, 9);
+    EXPECT_EQ(backend.alerts, 1);
+}
+
+TEST(PracMoat, RfmMitigatesEligibleTrackedRow)
+{
+    FakeBackend backend;
+    PracMoatEngine engine(backend, {.ath = 10}); // eth = 5
+    for (int i = 0; i < 10; ++i) {
+        engine.onPrechargeUpdate(2, 77, i);
+    }
+    engine.onRfm(100);
+    ASSERT_EQ(backend.refreshes.size(), 1u);
+    EXPECT_EQ(std::get<0>(backend.refreshes[0]), 2u);
+    EXPECT_EQ(std::get<1>(backend.refreshes[0]), 77u);
+    EXPECT_EQ(std::get<2>(backend.refreshes[0]), kAllChips);
+    // Mitigation reset the counter; tracking restarts.
+    EXPECT_EQ(engine.counter(2, 77), 0u);
+    EXPECT_EQ(engine.engineStats().mitigations, 1u);
+}
+
+TEST(PracMoat, RfmSkipsIneligibleRows)
+{
+    FakeBackend backend;
+    PracMoatEngine engine(backend, {.ath = 100}); // eth = 50
+    for (int i = 0; i < 10; ++i) {
+        engine.onPrechargeUpdate(0, 5, i);
+    }
+    engine.onRfm(100);
+    EXPECT_TRUE(backend.refreshes.empty());
+}
+
+TEST(PracMoat, AllBanksMitigateOnOneRfm)
+{
+    FakeBackend backend;
+    PracMoatEngine engine(backend, {.ath = 10});
+    for (unsigned bank = 0; bank < 4; ++bank) {
+        for (int i = 0; i < 8; ++i) { // >= eth = 5
+            engine.onPrechargeUpdate(bank, 50 + bank, i);
+        }
+    }
+    engine.onRfm(100);
+    EXPECT_EQ(backend.refreshes.size(), 4u);
+}
+
+TEST(PracMoat, RefreshSweepResetsCountersAndTracking)
+{
+    FakeBackend backend;
+    PracMoatEngine engine(backend, {.ath = 100});
+    for (int i = 0; i < 8; ++i) {
+        engine.onPrechargeUpdate(0, 5, i);
+    }
+    engine.onRefreshSweep(0, 16);
+    EXPECT_EQ(engine.counter(0, 5), 0u);
+    engine.onRfm(100); // nothing tracked anymore
+    EXPECT_TRUE(backend.refreshes.empty());
+}
+
+TEST(PracMoat, NeighborRefreshCountsAsOneActivation)
+{
+    FakeBackend backend;
+    PracMoatEngine engine(backend, {.ath = 100});
+    engine.onNeighborRefresh(0, 9, kAllChips);
+    EXPECT_EQ(engine.counter(0, 9), 1u);
+}
+
+TEST(MopacC, SelectionRateMatchesP)
+{
+    FakeBackend backend;
+    MopacCEngine engine(backend,
+                        {.log2_inv_p = 3, .ath_star = 176, .seed = 9});
+    const int n = 80000;
+    int selected = 0;
+    for (int i = 0; i < n; ++i) {
+        selected += engine.selectForUpdate(0, 1, i) ? 1 : 0;
+    }
+    EXPECT_NEAR(selected, n / 8, 400);
+    EXPECT_DOUBLE_EQ(engine.probability(), 0.125);
+}
+
+TEST(MopacC, UpdateIncrementsByInverseP)
+{
+    FakeBackend backend;
+    MopacCEngine engine(backend,
+                        {.log2_inv_p = 3, .ath_star = 176, .seed = 9});
+    engine.onPrechargeUpdate(0, 7, 0);
+    EXPECT_EQ(engine.counter(0, 7), 8u);
+    engine.onPrechargeUpdate(0, 7, 1);
+    EXPECT_EQ(engine.counter(0, 7), 16u);
+}
+
+TEST(MopacC, AlertAtAthStar)
+{
+    FakeBackend backend;
+    MopacCEngine engine(backend,
+                        {.log2_inv_p = 3, .ath_star = 32, .seed = 9});
+    for (int i = 0; i < 3; ++i) { // counter: 8, 16, 24
+        engine.onPrechargeUpdate(0, 7, i);
+    }
+    EXPECT_EQ(backend.alerts, 0);
+    engine.onPrechargeUpdate(0, 7, 3); // 32 == ATH*
+    EXPECT_EQ(backend.alerts, 1);
+    EXPECT_EQ(engine.engineStats().ath_alerts, 1u);
+}
+
+TEST(MopacC, VictimRefreshAddsOneNotInverseP)
+{
+    // Footnote 5: the victim-refresh activation increments by 1.
+    FakeBackend backend;
+    MopacCEngine engine(backend,
+                        {.log2_inv_p = 3, .ath_star = 176, .seed = 9});
+    engine.onNeighborRefresh(0, 9, kAllChips);
+    EXPECT_EQ(engine.counter(0, 9), 1u);
+}
+
+TEST(MopacC, DeterministicAcrossSeeds)
+{
+    FakeBackend backend;
+    MopacCEngine a(backend,
+                   {.log2_inv_p = 2, .ath_star = 80, .seed = 1234});
+    MopacCEngine b(backend,
+                   {.log2_inv_p = 2, .ath_star = 80, .seed = 1234});
+    for (int i = 0; i < 1000; ++i) {
+        EXPECT_EQ(a.selectForUpdate(0, 1, i),
+                  b.selectForUpdate(0, 1, i));
+    }
+}
+
+} // namespace
+} // namespace mopac

@@ -1,0 +1,250 @@
+/**
+ * @file
+ * PARA / Graphene / QPRAC engine tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "analysis/moat_model.hh"
+#include "analysis/security.hh"
+#include "mitigation/extra_engines.hh"
+
+namespace mopac
+{
+namespace
+{
+
+class FakeBackend : public DramBackend
+{
+  public:
+    FakeBackend()
+    {
+        geo_.rows_per_bank = 4096;
+        geo_.banks_per_subchannel = 2;
+        geo_.num_subchannels = 1;
+        geo_.chips = 1;
+    }
+
+    void requestAlert() override { ++alerts; }
+
+    void
+    victimRefresh(unsigned bank, std::uint32_t row, unsigned chip)
+        override
+    {
+        refreshes.push_back({bank, row, chip});
+    }
+
+    const Geometry &geometry() const override { return geo_; }
+
+    Geometry geo_;
+    int alerts = 0;
+    std::vector<std::tuple<unsigned, std::uint32_t, unsigned>> refreshes;
+};
+
+// ----------------------------------------------------------------- PARA
+
+TEST(Para, DerivedQMeetsBudget)
+{
+    for (std::uint32_t trh : {250u, 500u, 1000u}) {
+        const double q = ParaEngine::deriveQ(trh);
+        ASSERT_GT(q, 0.0);
+        ASSERT_LT(q, 1.0);
+        // (1-q)^T must be at (just under) epsilon.
+        const double escape =
+            std::pow(1.0 - q, static_cast<double>(trh));
+        EXPECT_LE(escape, epsilonFor(trh) * 1.0001);
+        EXPECT_GT(escape, epsilonFor(trh) * 0.9);
+    }
+}
+
+TEST(Para, MitigationRateMatchesQ)
+{
+    FakeBackend backend;
+    ParaEngine para(backend, {.q = 0.05, .seed = 3});
+    const int acts = 40000;
+    for (int i = 0; i < acts; ++i) {
+        para.onActivate(0, static_cast<std::uint32_t>(i % 100), i);
+    }
+    EXPECT_NEAR(static_cast<double>(backend.refreshes.size()),
+                acts * 0.05, acts * 0.05 * 0.15);
+    EXPECT_EQ(para.engineStats().mitigations,
+              backend.refreshes.size());
+}
+
+TEST(Para, NeverAlerts)
+{
+    FakeBackend backend;
+    ParaEngine para(backend, {.q = 0.05, .seed = 3});
+    for (int i = 0; i < 1000; ++i) {
+        para.onActivate(0, 7, i);
+    }
+    EXPECT_EQ(backend.alerts, 0);
+}
+
+// ------------------------------------------------------------- Graphene
+
+TEST(Graphene, DerivedEntriesMatchSramStory)
+{
+    // §2.4: an optimal tracker needs hundreds-to-thousands of entries
+    // per bank (e.g. ~1400 at T_RH 1K => threshold ~500).
+    const unsigned entries = GrapheneTracker::deriveEntries(500);
+    EXPECT_GT(entries, 1000u);
+    EXPECT_LT(entries, 2000u);
+    // Halving the threshold doubles the SRAM bill.
+    EXPECT_NEAR(GrapheneTracker::deriveEntries(250), 2 * entries,
+                4.0);
+}
+
+TEST(Graphene, MitigatesAtThreshold)
+{
+    FakeBackend backend;
+    GrapheneTracker tracker(backend,
+                            {.mitigation_threshold = 50,
+                             .entries = 16});
+    for (int i = 0; i < 49; ++i) {
+        tracker.onActivate(0, 7, i);
+    }
+    EXPECT_TRUE(backend.refreshes.empty());
+    tracker.onActivate(0, 7, 49);
+    ASSERT_EQ(backend.refreshes.size(), 1u);
+    EXPECT_EQ(std::get<1>(backend.refreshes[0]), 7u);
+    // The row restarts and must be hammered again to re-trigger.
+    for (int i = 0; i < 49; ++i) {
+        tracker.onActivate(0, 7, 100 + i);
+    }
+    EXPECT_EQ(backend.refreshes.size(), 1u);
+}
+
+TEST(Graphene, SurvivesDecoyFlood)
+{
+    // Unlike the 16-entry TRR table, the provable entry count means
+    // decoys cannot evict a hot aggressor before it reaches the
+    // threshold: the aggressor is always mitigated in time.
+    FakeBackend backend;
+    GrapheneTracker tracker(backend,
+                            {.mitigation_threshold = 50,
+                             .entries = 0}); // provable size
+    int hammered = 0;
+    std::uint32_t decoy = 100;
+    for (int round = 0; round < 200; ++round) {
+        for (int i = 0; i < 10; ++i) {
+            tracker.onActivate(0, 7, round);
+            ++hammered;
+        }
+        for (int i = 0; i < 40; ++i) {
+            tracker.onActivate(0, decoy++, round);
+        }
+    }
+    // 2000 activations at threshold 50: ~40 mitigations of row 7.
+    int row7_mitigations = 0;
+    for (const auto &r : backend.refreshes) {
+        row7_mitigations += std::get<1>(r) == 7 ? 1 : 0;
+    }
+    EXPECT_GE(row7_mitigations, hammered / 50 - 2);
+}
+
+TEST(Graphene, WindowResetOnSweepWrap)
+{
+    FakeBackend backend;
+    GrapheneTracker tracker(backend,
+                            {.mitigation_threshold = 50,
+                             .entries = 16});
+    for (int i = 0; i < 40; ++i) {
+        tracker.onActivate(0, 7, i);
+    }
+    tracker.onRefreshSweep(0, 8); // wrap: new refresh window
+    for (int i = 0; i < 40; ++i) {
+        tracker.onActivate(0, 7, 100 + i);
+    }
+    // 40 + 40 spans two windows: never reaches 50 within one.
+    EXPECT_TRUE(backend.refreshes.empty());
+}
+
+// ---------------------------------------------------------------- QPRAC
+
+TEST(Qprac, EnqueuesAtEthAndServicesAtRef)
+{
+    FakeBackend backend;
+    QpracEngine qprac(backend, {.ath = 100}); // eth = 50
+    for (int i = 0; i < 60; ++i) {
+        qprac.onPrechargeUpdate(0, 7, i);
+    }
+    EXPECT_EQ(backend.alerts, 0); // below ATH: no ABO needed
+    qprac.onRefresh(1000);
+    ASSERT_EQ(backend.refreshes.size(), 1u);
+    EXPECT_EQ(std::get<1>(backend.refreshes[0]), 7u);
+    EXPECT_EQ(qprac.counter(0, 7), 0u);
+}
+
+TEST(Qprac, AlertsOnlyAtAth)
+{
+    FakeBackend backend;
+    QpracEngine qprac(backend, {.ath = 100});
+    for (int i = 0; i < 99; ++i) {
+        qprac.onPrechargeUpdate(0, 7, i);
+    }
+    EXPECT_EQ(backend.alerts, 0);
+    qprac.onPrechargeUpdate(0, 7, 99);
+    EXPECT_EQ(backend.alerts, 1);
+    qprac.onRfm(200);
+    ASSERT_EQ(backend.refreshes.size(), 1u);
+}
+
+TEST(Qprac, QueueKeepsHottestCandidates)
+{
+    FakeBackend backend;
+    QpracEngine qprac(backend,
+                      {.ath = 1000, .eth = 10, .queue_entries = 2});
+    // Three rows above ETH with different heat.
+    for (int i = 0; i < 20; ++i) {
+        qprac.onPrechargeUpdate(0, 1, i);
+    }
+    for (int i = 0; i < 30; ++i) {
+        qprac.onPrechargeUpdate(0, 2, i);
+    }
+    for (int i = 0; i < 40; ++i) {
+        qprac.onPrechargeUpdate(0, 3, i);
+    }
+    qprac.onRefresh(100); // services the hottest first
+    ASSERT_EQ(backend.refreshes.size(), 1u);
+    EXPECT_EQ(std::get<1>(backend.refreshes[0]), 3u);
+}
+
+TEST(Qprac, FewerAlertsThanSingleEntryUnderMultiRowHammer)
+{
+    // Two hot rows in one bank: MOAT (single entry) must ABO for
+    // each; QPRAC's queue catches both at REF time.
+    FakeBackend backend;
+    QpracEngine qprac(backend, {.ath = 200, .eth = 100});
+    // Each round adds 60 updates per row; a row crosses ETH every
+    // other round and is serviced at REF, so it never reaches ATH.
+    for (int round = 0; round < 5; ++round) {
+        for (int i = 0; i < 60; ++i) {
+            qprac.onPrechargeUpdate(0, 1, i);
+            qprac.onPrechargeUpdate(0, 2, i);
+        }
+        qprac.onRefresh(round);
+        qprac.onRefresh(round); // one service per row
+    }
+    EXPECT_EQ(backend.alerts, 0);
+    EXPECT_GE(backend.refreshes.size(), 4u);
+}
+
+TEST(Qprac, SweepDropsStaleCandidates)
+{
+    FakeBackend backend;
+    QpracEngine qprac(backend, {.ath = 100, .eth = 10});
+    for (int i = 0; i < 20; ++i) {
+        qprac.onPrechargeUpdate(0, 7, i);
+    }
+    qprac.onRefreshSweep(0, 16); // row 7 refreshed: candidate stale
+    qprac.onRefresh(100);
+    EXPECT_TRUE(backend.refreshes.empty());
+    EXPECT_EQ(qprac.counter(0, 7), 0u);
+}
+
+} // namespace
+} // namespace mopac

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * MINT sampler tests: exactly-one-selection-per-window, emission at
+ * window close, uniformity of the sampled position, and candidate
+ * rejection (NUP hook).
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "mitigation/mint_sampler.hh"
+
+namespace mopac
+{
+namespace
+{
+
+TEST(MintSampler, EmitsExactlyOncePerWindow)
+{
+    MintSampler sampler(8, Rng(1));
+    int emissions = 0;
+    int selections = 0;
+    for (std::uint32_t i = 0; i < 8 * 100; ++i) {
+        const auto res = sampler.step(i);
+        selections += res.at_selection ? 1 : 0;
+        if (res.window_closed) {
+            ++emissions;
+            EXPECT_NE(res.emitted_row, kInvalid32);
+        }
+    }
+    EXPECT_EQ(emissions, 100);
+    EXPECT_EQ(selections, 100);
+}
+
+TEST(MintSampler, WindowClosesEveryWindowActs)
+{
+    MintSampler sampler(4, Rng(2));
+    for (int w = 0; w < 50; ++w) {
+        for (unsigned i = 0; i < 4; ++i) {
+            const auto res = sampler.step(1000 + i);
+            EXPECT_EQ(res.window_closed, i == 3);
+        }
+    }
+}
+
+TEST(MintSampler, EmittedRowIsTheSelectedOne)
+{
+    MintSampler sampler(16, Rng(3));
+    for (int w = 0; w < 200; ++w) {
+        std::uint32_t selected = kInvalid32;
+        for (std::uint32_t i = 0; i < 16; ++i) {
+            const std::uint32_t row = w * 100 + i;
+            const auto res = sampler.step(row);
+            if (res.at_selection) {
+                selected = row;
+            }
+            if (res.window_closed) {
+                EXPECT_EQ(res.emitted_row, selected);
+            }
+        }
+    }
+}
+
+TEST(MintSampler, SelectedPositionIsUniform)
+{
+    MintSampler sampler(8, Rng(4));
+    std::vector<int> hist(8, 0);
+    const int windows = 40000;
+    for (int w = 0; w < windows; ++w) {
+        for (std::uint32_t i = 0; i < 8; ++i) {
+            if (sampler.step(i).at_selection) {
+                ++hist[i];
+            }
+        }
+    }
+    for (int count : hist) {
+        EXPECT_NEAR(count, windows / 8, windows / 80);
+    }
+}
+
+TEST(MintSampler, GapBetweenSelectionsBounded)
+{
+    // MINT's security property (footnote 6): after a selection, the
+    // next selection is at most 2 * window - 1 activations away and
+    // never in the same activation.
+    MintSampler sampler(8, Rng(5));
+    int since_last = -1;
+    for (std::uint32_t i = 0; i < 8 * 5000; ++i) {
+        const auto res = sampler.step(i);
+        if (since_last >= 0) {
+            ++since_last;
+        }
+        if (res.at_selection) {
+            if (since_last >= 0) {
+                EXPECT_GE(since_last, 1);
+                EXPECT_LE(since_last, 2 * 8 - 1);
+            }
+            since_last = 0;
+        }
+    }
+}
+
+TEST(MintSampler, RejectedSelectionsSuppressEmission)
+{
+    // NUP acceptance: stepping with accept = false never emits, even
+    // when the sampled position is the one that closes the window.
+    MintSampler sampler(4, Rng(6));
+    int emitted_valid = 0;
+    for (std::uint32_t i = 0; i < 4 * 100; ++i) {
+        const auto res = sampler.step(i, /*accept=*/false);
+        if (res.window_closed && res.emitted_row != kInvalid32) {
+            ++emitted_valid;
+        }
+    }
+    EXPECT_EQ(emitted_valid, 0);
+}
+
+TEST(MintSampler, AcceptanceOnlyAffectsSelectedPosition)
+{
+    // Rejecting every non-selected step changes nothing.
+    MintSampler a(8, Rng(11));
+    MintSampler b(8, Rng(11));
+    for (std::uint32_t i = 0; i < 8 * 50; ++i) {
+        const auto ra = a.step(i, true);
+        // Mirror: accept exactly when b is at its selected position.
+        const auto rb = b.step(i, true);
+        EXPECT_EQ(ra.at_selection, rb.at_selection);
+        EXPECT_EQ(ra.emitted_row, rb.emitted_row);
+    }
+}
+
+TEST(MintSampler, WindowOfOneSelectsEverything)
+{
+    MintSampler sampler(1, Rng(7));
+    for (std::uint32_t i = 0; i < 100; ++i) {
+        const auto res = sampler.step(i);
+        EXPECT_TRUE(res.at_selection);
+        EXPECT_TRUE(res.window_closed);
+        EXPECT_EQ(res.emitted_row, i);
+    }
+}
+
+} // namespace
+} // namespace mopac

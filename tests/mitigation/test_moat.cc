@@ -1,0 +1,91 @@
+/**
+ * @file
+ * MoatEntry tracker tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mitigation/moat.hh"
+
+namespace mopac
+{
+namespace
+{
+
+TEST(MoatEntry, StartsInvalid)
+{
+    MoatEntry e;
+    EXPECT_FALSE(e.valid());
+    EXPECT_EQ(e.count(), 0u);
+}
+
+TEST(MoatEntry, TracksFirstObservation)
+{
+    MoatEntry e;
+    e.observe(10, 3);
+    EXPECT_TRUE(e.valid());
+    EXPECT_EQ(e.row(), 10u);
+    EXPECT_EQ(e.count(), 3u);
+}
+
+TEST(MoatEntry, HigherCountReplaces)
+{
+    MoatEntry e;
+    e.observe(10, 3);
+    e.observe(20, 5);
+    EXPECT_EQ(e.row(), 20u);
+    EXPECT_EQ(e.count(), 5u);
+}
+
+TEST(MoatEntry, LowerCountIgnored)
+{
+    MoatEntry e;
+    e.observe(10, 5);
+    e.observe(20, 3);
+    EXPECT_EQ(e.row(), 10u);
+    EXPECT_EQ(e.count(), 5u);
+}
+
+TEST(MoatEntry, EqualCountReplaces)
+{
+    // MOAT's ">=" rule: a row matching the tracked count takes over
+    // (essential for the same row updating its own count).
+    MoatEntry e;
+    e.observe(10, 5);
+    e.observe(20, 5);
+    EXPECT_EQ(e.row(), 20u);
+}
+
+TEST(MoatEntry, SameRowCountGrows)
+{
+    MoatEntry e;
+    e.observe(10, 5);
+    e.observe(10, 9);
+    EXPECT_EQ(e.row(), 10u);
+    EXPECT_EQ(e.count(), 9u);
+}
+
+TEST(MoatEntry, InvalidateClears)
+{
+    MoatEntry e;
+    e.observe(10, 5);
+    e.invalidate();
+    EXPECT_FALSE(e.valid());
+    // A small count is tracked again after invalidation.
+    e.observe(11, 1);
+    EXPECT_TRUE(e.valid());
+    EXPECT_EQ(e.row(), 11u);
+}
+
+TEST(MoatEntry, RangeInvalidation)
+{
+    MoatEntry e;
+    e.observe(10, 5);
+    e.invalidateIfInRange(20, 30);
+    EXPECT_TRUE(e.valid());
+    e.invalidateIfInRange(8, 11);
+    EXPECT_FALSE(e.valid());
+}
+
+} // namespace
+} // namespace mopac

@@ -1,0 +1,274 @@
+/**
+ * @file
+ * MoPAC-D engine tests: MINT-driven SRQ insertion, coalescing,
+ * SRQ-full / tardiness ALERTs, drain priorities, drain-on-REF, the
+ * 1 + SCtr/p increment, NUP sampling, and per-chip independence.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "mitigation/mopac_d.hh"
+
+namespace mopac
+{
+namespace
+{
+
+class FakeBackend : public DramBackend
+{
+  public:
+    FakeBackend()
+    {
+        geo_.rows_per_bank = 1024;
+        geo_.banks_per_subchannel = 2;
+        geo_.num_subchannels = 1;
+        geo_.chips = 1;
+    }
+
+    void requestAlert() override { ++alerts; }
+
+    void
+    victimRefresh(unsigned bank, std::uint32_t row, unsigned chip)
+        override
+    {
+        refreshes.push_back({bank, row, chip});
+    }
+
+    const Geometry &geometry() const override { return geo_; }
+
+    Geometry geo_;
+    int alerts = 0;
+    std::vector<std::tuple<unsigned, std::uint32_t, unsigned>> refreshes;
+};
+
+MopacDEngine::Params
+baseParams()
+{
+    MopacDEngine::Params p;
+    p.log2_inv_p = 2; // p = 1/4 -> 4-ACT windows
+    p.ath_star = 60;
+    p.srq_capacity = 4;
+    p.tth = 16;
+    p.drain_per_ref = 0;
+    p.chips = 1;
+    p.seed = 77;
+    return p;
+}
+
+/** Hammer distinct rows so every MINT window selects a unique row. */
+void
+feedUniqueRows(MopacDEngine &engine, unsigned bank, int acts,
+               std::uint32_t base_row = 0)
+{
+    for (int i = 0; i < acts; ++i) {
+        engine.onActivate(bank, base_row + i, i);
+    }
+}
+
+TEST(MopacD, NeverRequestsPreCu)
+{
+    FakeBackend backend;
+    MopacDEngine engine(backend, baseParams());
+    EXPECT_FALSE(engine.selectForUpdate(0, 1, 0));
+}
+
+TEST(MopacD, OneInsertionPerWindow)
+{
+    FakeBackend backend;
+    MopacDEngine engine(backend, baseParams());
+    feedUniqueRows(engine, 0, 8); // two 4-ACT windows
+    EXPECT_EQ(engine.engineStats().srq_insertions, 2u);
+    EXPECT_EQ(engine.srqOccupancy(0, 0), 2u);
+}
+
+TEST(MopacD, RepeatSelectionsCoalesceIntoSctr)
+{
+    FakeBackend backend;
+    MopacDEngine engine(backend, baseParams());
+    // Hammer one row: every window selects the same row.
+    for (int i = 0; i < 16; ++i) {
+        engine.onActivate(0, 5, i);
+    }
+    EXPECT_EQ(engine.srqOccupancy(0, 0), 1u);
+    EXPECT_EQ(engine.engineStats().srq_insertions, 1u);
+    EXPECT_EQ(engine.engineStats().srq_coalesced, 3u);
+}
+
+TEST(MopacD, SrqFullTriggersAlert)
+{
+    FakeBackend backend;
+    MopacDEngine engine(backend, baseParams()); // capacity 4
+    feedUniqueRows(engine, 0, 4 * 4);           // fills 4 entries
+    EXPECT_EQ(engine.srqOccupancy(0, 0), 4u);
+    EXPECT_GE(backend.alerts, 1);
+    EXPECT_EQ(engine.engineStats().srq_full_alerts, 1u);
+}
+
+TEST(MopacD, TardinessTriggersAlert)
+{
+    FakeBackend backend;
+    MopacDEngine::Params p = baseParams();
+    p.tth = 8;
+    MopacDEngine engine(backend, p);
+    // Get row 5 into the SRQ...
+    for (int i = 0; i < 4; ++i) {
+        engine.onActivate(0, 5, i);
+    }
+    ASSERT_EQ(engine.srqOccupancy(0, 0), 1u);
+    backend.alerts = 0;
+    // ...then hammer it past the tardiness threshold.
+    for (int i = 0; i < 16; ++i) {
+        engine.onActivate(0, 5, 10 + i);
+    }
+    EXPECT_GE(engine.engineStats().tth_alerts, 1u);
+    EXPECT_GE(backend.alerts, 1);
+}
+
+TEST(MopacD, RfmDrainsUpToFiveEntries)
+{
+    FakeBackend backend;
+    MopacDEngine::Params p = baseParams();
+    p.srq_capacity = 8;
+    MopacDEngine engine(backend, p);
+    feedUniqueRows(engine, 0, 4 * 6); // 6 entries queued
+    ASSERT_EQ(engine.srqOccupancy(0, 0), 6u);
+    engine.onRfm(1000);
+    EXPECT_EQ(engine.srqOccupancy(0, 0), 1u);
+    EXPECT_EQ(engine.engineStats().srq_drains, 5u);
+    EXPECT_EQ(engine.engineStats().counter_updates, 5u);
+}
+
+TEST(MopacD, DrainIncrementIsOnePlusSctrOverP)
+{
+    FakeBackend backend;
+    MopacDEngine engine(backend, baseParams()); // p = 1/4
+    // Row 5 selected in 3 consecutive windows -> SCtr = 3.
+    for (int i = 0; i < 12; ++i) {
+        engine.onActivate(0, 5, i);
+    }
+    engine.onRfm(100);
+    // increment = 1 + SCtr * (1/p) = 1 + 3 * 4 = 13.
+    EXPECT_EQ(engine.counter(0, 0, 5), 13u);
+}
+
+TEST(MopacD, CounterAtAthStarRequestsMitigationAlert)
+{
+    FakeBackend backend;
+    MopacDEngine::Params p = baseParams();
+    p.ath_star = 12; // one drained entry with SCtr 3 reaches it
+    MopacDEngine engine(backend, p);
+    for (int i = 0; i < 12; ++i) {
+        engine.onActivate(0, 5, i);
+    }
+    backend.alerts = 0;
+    engine.onRfm(100);
+    EXPECT_GE(engine.engineStats().ath_alerts, 1u);
+    // The next RFM (SRQ now empty) mitigates the tracked row.
+    engine.onRfm(200);
+    ASSERT_EQ(backend.refreshes.size(), 1u);
+    EXPECT_EQ(std::get<1>(backend.refreshes[0]), 5u);
+    EXPECT_EQ(std::get<2>(backend.refreshes[0]), 0u); // chip-local
+    EXPECT_EQ(engine.counter(0, 0, 5), 0u);
+}
+
+TEST(MopacD, DrainOnRefEmptiesQueueWithoutAlert)
+{
+    FakeBackend backend;
+    MopacDEngine::Params p = baseParams();
+    p.drain_per_ref = 2;
+    MopacDEngine engine(backend, p);
+    feedUniqueRows(engine, 0, 4 * 3); // 3 entries
+    ASSERT_EQ(engine.srqOccupancy(0, 0), 3u);
+    engine.onRefresh(1000);
+    EXPECT_EQ(engine.srqOccupancy(0, 0), 1u);
+    EXPECT_EQ(engine.engineStats().ref_drains, 2u);
+}
+
+TEST(MopacD, RefreshSweepResetsCounters)
+{
+    FakeBackend backend;
+    MopacDEngine engine(backend, baseParams());
+    for (int i = 0; i < 12; ++i) {
+        engine.onActivate(0, 5, i);
+    }
+    engine.onRfm(100); // counter(5) = 13
+    ASSERT_GT(engine.counter(0, 0, 5), 0u);
+    engine.onRefreshSweep(0, 16);
+    EXPECT_EQ(engine.counter(0, 0, 5), 0u);
+}
+
+TEST(MopacD, ChipsSampleIndependently)
+{
+    FakeBackend backend;
+    MopacDEngine::Params p = baseParams();
+    p.chips = 4;
+    p.srq_capacity = 16;
+    MopacDEngine engine(backend, p);
+    feedUniqueRows(engine, 0, 4 * 8);
+    // Every chip inserted one entry per window.
+    for (unsigned chip = 0; chip < 4; ++chip) {
+        EXPECT_EQ(engine.srqOccupancy(chip, 0), 8u) << chip;
+    }
+    // But they selected different rows (independent streams): compare
+    // drained counters -- at least one row differs across chips.
+    engine.onRfm(100);
+    int diffs = 0;
+    for (std::uint32_t row = 0; row < 32; ++row) {
+        for (unsigned chip = 1; chip < 4; ++chip) {
+            if (engine.counter(chip, 0, row) !=
+                engine.counter(0, 0, row)) {
+                ++diffs;
+            }
+        }
+    }
+    EXPECT_GT(diffs, 0);
+}
+
+TEST(MopacD, NupHalvesInsertionsForColdRows)
+{
+    FakeBackend backend;
+    MopacDEngine::Params p = baseParams();
+    p.srq_capacity = 1024;
+    p.tth = 1u << 30;
+    p.nup = true;
+    MopacDEngine nup(backend, p);
+
+    const int acts = 40000;
+    for (int i = 0; i < acts; ++i) {
+        // All rows stay cold (counter 0): NUP samples at p/2.
+        nup.onActivate(0, static_cast<std::uint32_t>(i % 900), i);
+    }
+    const double uniform_expect = acts / 4.0;
+    EXPECT_NEAR(static_cast<double>(nup.engineStats().srq_insertions +
+                                    nup.engineStats().srq_coalesced),
+                uniform_expect / 2.0, uniform_expect * 0.06);
+}
+
+TEST(MopacD, ParaSamplerInsertsImmediately)
+{
+    FakeBackend backend;
+    MopacDEngine::Params p = baseParams();
+    p.sampler = MopacDEngine::SamplerKind::kPara;
+    p.srq_capacity = 1024;
+    MopacDEngine engine(backend, p);
+    const int acts = 40000;
+    feedUniqueRows(engine, 0, acts);
+    const double expect = acts / 4.0;
+    const double got = static_cast<double>(
+        engine.engineStats().srq_insertions +
+        engine.engineStats().srq_coalesced);
+    EXPECT_NEAR(got, expect, expect * 0.06);
+}
+
+TEST(MopacDDeathTest, PreCuIsAProtocolViolation)
+{
+    FakeBackend backend;
+    MopacDEngine engine(backend, baseParams());
+    EXPECT_DEATH(engine.onPrechargeUpdate(0, 1, 0), "PREcu");
+}
+
+} // namespace
+} // namespace mopac

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * AttackRunner tests: throughput accounting and basic engine
+ * reactions under attack streams.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/attack.hh"
+
+namespace mopac
+{
+namespace
+{
+
+SystemConfig
+attackConfig(MitigationKind kind, std::uint32_t trh = 500)
+{
+    SystemConfig cfg = makeConfig(kind, trh);
+    return cfg;
+}
+
+TEST(AttackRunner, BaselineThroughputNearRowCycle)
+{
+    AttackRunner runner(attackConfig(MitigationKind::kNone));
+    AttackPattern p =
+        makeDoubleSidedAttack(runner.system().addressMap(), 0, 0, 1000);
+    const Cycle duration = nsToCycles(200000.0); // 200 us
+    const AttackResult res = runner.run(p, duration);
+    // One bank hammered flat out: one ACT per ~tRC (46 ns) minus
+    // refresh overhead (~10%).
+    const double ns_per_act =
+        cyclesToNs(duration) / static_cast<double>(res.acts);
+    EXPECT_GT(ns_per_act, 44.0);
+    EXPECT_LT(ns_per_act, 58.0);
+    EXPECT_EQ(res.alerts, 0u);
+}
+
+TEST(AttackRunner, UnprotectedBaselineIsHammerable)
+{
+    AttackRunner runner(attackConfig(MitigationKind::kNone, 500));
+    AttackPattern p =
+        makeDoubleSidedAttack(runner.system().addressMap(), 0, 0, 1000);
+    const AttackResult res = runner.run(p, nsToCycles(100000.0));
+    // ~2000 activations per aggressor in 100 us with T_RH 500:
+    // the oracle must report violations.
+    EXPECT_GT(res.max_unmitigated, 500u);
+    EXPECT_GT(res.violations, 0u);
+}
+
+TEST(AttackRunner, PracTriggersAlertsUnderAttack)
+{
+    AttackRunner runner(attackConfig(MitigationKind::kPracMoat, 500));
+    AttackPattern p =
+        makeDoubleSidedAttack(runner.system().addressMap(), 0, 0, 1000);
+    const AttackResult res = runner.run(p, nsToCycles(200000.0));
+    EXPECT_GT(res.alerts, 0u);
+    EXPECT_GT(res.mitigations, 0u);
+    EXPECT_EQ(res.violations, 0u);
+    EXPECT_LE(res.max_unmitigated, 500u);
+}
+
+TEST(AttackRunner, AlertsThrottleThroughput)
+{
+    const Cycle duration = nsToCycles(200000.0);
+    AttackRunner free_runner(attackConfig(MitigationKind::kNone, 500));
+    AttackPattern p1 = makeDoubleSidedAttack(
+        free_runner.system().addressMap(), 0, 0, 1000);
+    const AttackResult free_res = free_runner.run(p1, duration);
+
+    AttackRunner prac_runner(
+        attackConfig(MitigationKind::kPracMoat, 500));
+    AttackPattern p2 = makeDoubleSidedAttack(
+        prac_runner.system().addressMap(), 0, 0, 1000);
+    const AttackResult prac_res = prac_runner.run(p2, duration);
+
+    EXPECT_LT(prac_res.acts, free_res.acts);
+}
+
+TEST(AttackRunner, MultiBankAttackSpreadsAlerts)
+{
+    AttackRunner runner(attackConfig(MitigationKind::kMopacC, 500));
+    AttackPattern p =
+        makeMultiBankAttack(runner.system().addressMap(), 64, 1000);
+    const AttackResult res = runner.run(p, nsToCycles(500000.0), 8);
+    EXPECT_GT(res.alerts, 0u);
+    EXPECT_EQ(res.violations, 0u);
+}
+
+} // namespace
+} // namespace mopac

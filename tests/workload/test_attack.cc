@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Attack pattern tests: conflict discipline and coverage.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workload/attack.hh"
+
+namespace mopac
+{
+namespace
+{
+
+class AttackTest : public ::testing::Test
+{
+  protected:
+    AttackTest() : map_(Geometry{}) {}
+    AddressMap map_;
+};
+
+TEST_F(AttackTest, DoubleSidedAlternatesAggressors)
+{
+    AttackPattern p = makeDoubleSidedAttack(map_, 0, 3, 1000);
+    EXPECT_EQ(p.footprint(), 2u);
+    const DramCoord a = map_.decode(p.next().line_addr);
+    const DramCoord b = map_.decode(p.next().line_addr);
+    const DramCoord c = map_.decode(p.next().line_addr);
+    EXPECT_EQ(a.row, 999u);
+    EXPECT_EQ(b.row, 1001u);
+    EXPECT_EQ(c.row, 999u); // cyclic
+    EXPECT_EQ(a.bank, 3u);
+    EXPECT_EQ(b.bank, 3u);
+    // Consecutive requests always conflict in the bank.
+    EXPECT_NE(a.row, b.row);
+}
+
+TEST_F(AttackTest, MultiBankCoversRequestedBanks)
+{
+    AttackPattern p = makeMultiBankAttack(map_, 64, 1000);
+    EXPECT_EQ(p.footprint(), 128u); // 2 rows x 64 banks
+    std::set<std::pair<unsigned, unsigned>> banks;
+    std::set<std::uint32_t> rows;
+    for (std::size_t i = 0; i < p.footprint(); ++i) {
+        const DramCoord c = map_.decode(p.next().line_addr);
+        banks.insert({c.subchannel, c.bank});
+        rows.insert(c.row);
+    }
+    EXPECT_EQ(banks.size(), 64u);
+    EXPECT_EQ(rows, (std::set<std::uint32_t>{999u, 1001u}));
+}
+
+TEST_F(AttackTest, MultiBankRevisitsConflict)
+{
+    AttackPattern p = makeMultiBankAttack(map_, 4, 1000);
+    // Track per-bank row sequence: each bank's successive visits must
+    // alternate rows (conflict per visit).
+    std::map<unsigned, std::uint32_t> last_row;
+    for (int i = 0; i < 64; ++i) {
+        const DramCoord c = map_.decode(p.next().line_addr);
+        const unsigned key = c.subchannel * 100 + c.bank;
+        if (last_row.count(key)) {
+            EXPECT_NE(last_row[key], c.row);
+        }
+        last_row[key] = c.row;
+    }
+}
+
+TEST_F(AttackTest, ManySidedUsesDistinctSpacedRows)
+{
+    AttackPattern p = makeManySidedAttack(map_, 1, 7, 24, 5000);
+    EXPECT_EQ(p.footprint(), 24u);
+    std::set<std::uint32_t> rows;
+    for (int i = 0; i < 24; ++i) {
+        const DramCoord c = map_.decode(p.next().line_addr);
+        EXPECT_EQ(c.bank, 7u);
+        EXPECT_EQ(c.subchannel, 1u);
+        rows.insert(c.row);
+    }
+    EXPECT_EQ(rows.size(), 24u);
+    EXPECT_EQ(*rows.begin(), 5000u);
+    EXPECT_EQ(*rows.rbegin(), 5000u + 6 * 23);
+}
+
+TEST_F(AttackTest, TrrEvasionRoundStructure)
+{
+    AttackPattern p = makeTrrEvasionAttack(map_, 0, 2, 4000, 10, 12);
+    EXPECT_EQ(p.footprint(), 22u);
+    std::set<std::uint32_t> hammer_rows;
+    std::set<std::uint32_t> decoy_rows;
+    for (int i = 0; i < 10; ++i) {
+        hammer_rows.insert(map_.decode(p.next().line_addr).row);
+    }
+    for (int i = 0; i < 12; ++i) {
+        decoy_rows.insert(map_.decode(p.next().line_addr).row);
+    }
+    EXPECT_EQ(hammer_rows.size(), 2u);   // two aggressors alternate
+    EXPECT_EQ(decoy_rows.size(), 12u);   // decoys are all unique
+    for (std::uint32_t d : decoy_rows) {
+        EXPECT_EQ(hammer_rows.count(d), 0u);
+    }
+}
+
+TEST_F(AttackTest, RequestsAreReadsWithUniqueIds)
+{
+    AttackPattern p = makeDoubleSidedAttack(map_, 0, 0, 10);
+    std::set<std::uint64_t> ids;
+    for (int i = 0; i < 100; ++i) {
+        const Request r = p.next();
+        EXPECT_FALSE(r.is_write);
+        EXPECT_TRUE(ids.insert(r.req_id).second);
+    }
+}
+
+} // namespace
+} // namespace mopac

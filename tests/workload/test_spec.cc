@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Workload table tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workload/spec.hh"
+
+namespace mopac
+{
+namespace
+{
+
+TEST(WorkloadSpec, TableHasAllPaperWorkloads)
+{
+    // 12 SPEC + masstree + 4 STREAM kernels = 17 single programs.
+    EXPECT_EQ(workloadTable().size(), 17u);
+    for (const char *name :
+         {"bwaves", "parest", "mcf", "lbm", "fotonik3d", "omnetpp",
+          "roms", "xz", "cactuBSSN", "xalancbmk", "cam4", "blender",
+          "masstree", "add", "triad", "copy", "scale"}) {
+        EXPECT_NO_FATAL_FAILURE(findWorkload(name)) << name;
+    }
+}
+
+TEST(WorkloadSpec, AllNamesListsTwentyThree)
+{
+    const auto names = allWorkloadNames();
+    EXPECT_EQ(names.size(), 23u);
+    std::set<std::string> unique(names.begin(), names.end());
+    EXPECT_EQ(unique.size(), 23u);
+}
+
+TEST(WorkloadSpec, SixMixesOfEightMembers)
+{
+    EXPECT_EQ(mixTable().size(), 6u);
+    for (const auto &[name, members] : mixTable()) {
+        EXPECT_EQ(members.size(), 8u) << name;
+        for (const auto &member : members) {
+            EXPECT_NO_FATAL_FAILURE(findWorkload(member));
+        }
+    }
+}
+
+TEST(WorkloadSpec, KnobsAreSane)
+{
+    for (const auto &spec : workloadTable()) {
+        EXPECT_GT(spec.mpki, 0.0) << spec.name;
+        EXPECT_GE(spec.write_frac, 0.0);
+        EXPECT_LE(spec.write_frac, 1.0);
+        EXPECT_GE(spec.dep_frac, 0.0);
+        EXPECT_LE(spec.dep_frac, 1.0);
+        EXPECT_GE(spec.burst_len, 1.0);
+        EXPECT_GE(spec.cluster, 1.0);
+        EXPECT_GT(spec.footprint_rows, 0u);
+        EXPECT_LE(spec.hot_frac, 1.0);
+        if (spec.hot_rows > 0) {
+            EXPECT_GT(spec.hot_frac, 0.0) << spec.name;
+        }
+    }
+}
+
+TEST(WorkloadSpec, ReferenceValuesMatchPaperTable4Spots)
+{
+    EXPECT_DOUBLE_EQ(findWorkload("bwaves").ref_mpki, 42.3);
+    EXPECT_DOUBLE_EQ(findWorkload("parest").ref_act64, 155.4);
+    EXPECT_DOUBLE_EQ(findWorkload("xz").ref_rbhr, 0.05);
+    EXPECT_DOUBLE_EQ(findWorkload("scale").ref_apri, 9.7);
+    EXPECT_DOUBLE_EQ(findWorkload("omnetpp").ref_act200, 10.1);
+}
+
+TEST(WorkloadSpec, StreamsAreStreaming)
+{
+    for (const char *name : {"add", "triad", "copy", "scale"}) {
+        EXPECT_TRUE(findWorkload(name).streaming) << name;
+        EXPECT_DOUBLE_EQ(findWorkload(name).dep_frac, 0.0) << name;
+    }
+    EXPECT_FALSE(findWorkload("mcf").streaming);
+}
+
+TEST(WorkloadSpecDeathTest, UnknownNameIsFatal)
+{
+    EXPECT_EXIT(findWorkload("not-a-workload"),
+                ::testing::ExitedWithCode(1), "unknown workload");
+}
+
+} // namespace
+} // namespace mopac

@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Synthetic trace generator tests: rate, locality, dependence, and
+ * address-space discipline properties.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workload/spec.hh"
+#include "workload/synth.hh"
+
+namespace mopac
+{
+namespace
+{
+
+class SynthTest : public ::testing::Test
+{
+  protected:
+    SynthTest() : map_(Geometry{}) {}
+    AddressMap map_;
+};
+
+TEST_F(SynthTest, MpkiMatchesGapRate)
+{
+    const WorkloadSpec &spec = findWorkload("mcf");
+    auto gen = makeTraceSource(spec, map_, 0, 8, 1);
+    std::uint64_t insts = 0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i) {
+        const TraceRecord rec = gen->next();
+        insts += rec.inst_gap + 1;
+    }
+    const double mpki =
+        n / (static_cast<double>(insts) / 1000.0);
+    EXPECT_NEAR(mpki, spec.mpki, spec.mpki * 0.05);
+}
+
+TEST_F(SynthTest, WriteFractionMatches)
+{
+    const WorkloadSpec &spec = findWorkload("lbm");
+    auto gen = makeTraceSource(spec, map_, 0, 8, 2);
+    int writes = 0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i) {
+        writes += gen->next().is_write ? 1 : 0;
+    }
+    EXPECT_NEAR(writes / static_cast<double>(n), spec.write_frac,
+                0.02);
+}
+
+TEST_F(SynthTest, DependenceFractionMatches)
+{
+    // Dependence attaches to burst starts (row-crossing pointer
+    // jumps); with burst_len = 1 every record is a burst start, so
+    // the read-dependence rate equals dep_frac exactly.
+    WorkloadSpec spec = findWorkload("mcf");
+    spec.burst_len = 1.0;
+    spec.dep_frac = 0.4;
+    auto gen = makeTraceSource(spec, map_, 0, 8, 3);
+    int deps = 0;
+    int reads = 0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i) {
+        const TraceRecord rec = gen->next();
+        if (!rec.is_write) {
+            ++reads;
+            deps += rec.depends_on_prev ? 1 : 0;
+        }
+    }
+    EXPECT_NEAR(deps / static_cast<double>(reads), spec.dep_frac,
+                0.02);
+}
+
+TEST_F(SynthTest, DependenceOnlyOnBurstStarts)
+{
+    WorkloadSpec spec = findWorkload("roms");
+    spec.dep_frac = 1.0;
+    spec.write_frac = 0.0;
+    auto gen = makeTraceSource(spec, map_, 0, 8, 4);
+    // A record in the middle of a same-row run must never be
+    // dependent; row-crossing records always are (dep_frac = 1).
+    TraceRecord prev = gen->next();
+    DramCoord prev_c = map_.decode(prev.line_addr);
+    for (int i = 0; i < 20000; ++i) {
+        const TraceRecord rec = gen->next();
+        const DramCoord c = map_.decode(rec.line_addr);
+        const bool same_row = c.row == prev_c.row &&
+                              c.bank == prev_c.bank &&
+                              c.subchannel == prev_c.subchannel &&
+                              c.column ==
+                                  (prev_c.column + 1) %
+                                      map_.geometry().linesPerRow();
+        if (same_row) {
+            EXPECT_FALSE(rec.depends_on_prev);
+        }
+        prev_c = c;
+    }
+}
+
+TEST_F(SynthTest, AddressesStayInCoreSlice)
+{
+    const Geometry &geo = map_.geometry();
+    const std::uint32_t rows_per_core = geo.rows_per_bank / 8;
+    for (unsigned core : {0u, 3u, 7u}) {
+        auto gen =
+            makeTraceSource(findWorkload("parest"), map_, core, 8, 4);
+        for (int i = 0; i < 20000; ++i) {
+            const DramCoord c = map_.decode(gen->next().line_addr);
+            EXPECT_GE(c.row, core * rows_per_core);
+            EXPECT_LT(c.row, (core + 1) * rows_per_core);
+        }
+    }
+}
+
+TEST_F(SynthTest, CoresDoNotShareRows)
+{
+    auto g0 = makeTraceSource(findWorkload("mcf"), map_, 0, 8, 5);
+    auto g1 = makeTraceSource(findWorkload("mcf"), map_, 1, 8, 6);
+    std::set<std::uint32_t> rows0;
+    for (int i = 0; i < 5000; ++i) {
+        rows0.insert(map_.decode(g0->next().line_addr).row);
+    }
+    for (int i = 0; i < 5000; ++i) {
+        EXPECT_EQ(rows0.count(map_.decode(g1->next().line_addr).row),
+                  0u);
+    }
+}
+
+TEST_F(SynthTest, BurstsStayInOneRow)
+{
+    // Consecutive same-row records of a burst generator share the
+    // full (subchannel, bank, row) coordinate.
+    const WorkloadSpec &spec = findWorkload("roms"); // burst 3.7
+    auto gen = makeTraceSource(spec, map_, 0, 8, 7);
+    int same_row_pairs = 0;
+    int pairs = 0;
+    DramCoord prev = map_.decode(gen->next().line_addr);
+    for (int i = 0; i < 20000; ++i) {
+        const DramCoord cur = map_.decode(gen->next().line_addr);
+        ++pairs;
+        if (cur.row == prev.row && cur.bank == prev.bank &&
+            cur.subchannel == prev.subchannel) {
+            ++same_row_pairs;
+        }
+        prev = cur;
+    }
+    // Mean burst length B => about (B-1)/B of consecutive pairs stay
+    // in-row.
+    const double expect = (spec.burst_len - 1.0) / spec.burst_len;
+    EXPECT_NEAR(same_row_pairs / static_cast<double>(pairs), expect,
+                0.05);
+}
+
+TEST_F(SynthTest, HotRowsPinToFixedBank)
+{
+    const WorkloadSpec &spec = findWorkload("xz");
+    auto gen = makeTraceSource(spec, map_, 0, 8, 8);
+    // Map row -> set of banks observed.  Rows inside the hot region
+    // (the first hot_rows indexes of the core slice) must always land
+    // in one fixed (subchannel, bank); cold rows roam banks freely.
+    std::map<std::uint32_t, std::set<unsigned>> banks_by_row;
+    for (int i = 0; i < 60000; ++i) {
+        const DramCoord c = map_.decode(gen->next().line_addr);
+        banks_by_row[c.row].insert(c.subchannel * 100 + c.bank);
+    }
+    int hot_multi_bank = 0;
+    int hot_seen = 0;
+    for (const auto &[row, banks] : banks_by_row) {
+        if (row < spec.hot_rows) { // core 0: row_base == 0
+            ++hot_seen;
+            if (banks.size() > 1) {
+                ++hot_multi_bank;
+            }
+        }
+    }
+    EXPECT_GT(hot_seen, 100);
+    EXPECT_EQ(hot_multi_bank, 0);
+}
+
+TEST_F(SynthTest, StreamIsSequentialLines)
+{
+    auto gen = makeTraceSource(findWorkload("add"), map_, 0, 8, 9);
+    Addr prev = gen->next().line_addr;
+    for (int i = 0; i < 1000; ++i) {
+        const Addr cur = gen->next().line_addr;
+        if (cur != 0) { // wrap point
+            EXPECT_EQ(cur, prev + 1);
+        }
+        prev = cur;
+    }
+}
+
+TEST_F(SynthTest, MixAssignsDifferentSpecsPerCore)
+{
+    auto traces = makeWorkloadTraces("mix1", map_, 8, 10);
+    EXPECT_EQ(traces.size(), 8u);
+    // Core 0 (parest, MPKI 28.9) misses far more often than core 5
+    // (xalancbmk, MPKI 2.0): compare observed gaps.
+    auto mean_gap = [](TraceSource &src) {
+        std::uint64_t insts = 0;
+        for (int i = 0; i < 5000; ++i) {
+            insts += src.next().inst_gap + 1;
+        }
+        return static_cast<double>(insts) / 5000.0;
+    };
+    EXPECT_LT(mean_gap(*traces[0]), mean_gap(*traces[5]) / 4.0);
+}
+
+TEST_F(SynthTest, DeterministicForSeed)
+{
+    auto a = makeTraceSource(findWorkload("mcf"), map_, 0, 8, 42);
+    auto b = makeTraceSource(findWorkload("mcf"), map_, 0, 8, 42);
+    for (int i = 0; i < 2000; ++i) {
+        const TraceRecord ra = a->next();
+        const TraceRecord rb = b->next();
+        EXPECT_EQ(ra.line_addr, rb.line_addr);
+        EXPECT_EQ(ra.inst_gap, rb.inst_gap);
+        EXPECT_EQ(ra.is_write, rb.is_write);
+        EXPECT_EQ(ra.depends_on_prev, rb.depends_on_prev);
+    }
+}
+
+} // namespace
+} // namespace mopac

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * mopac_sim: config-driven single-run simulator CLI.
+ *
+ * Usage:
+ *   mopac_sim [key=value ...] [--config FILE]
+ *
+ * Keys (defaults in parentheses):
+ *   workload   = Table-4 name or mixN        (mcf)
+ *   mitigation = none|prac|mopac-c|mopac-d|mint|pride|trr|para|graphene|qprac (none)
+ *   trh        = Rowhammer threshold          (500)
+ *   insts      = instructions per core        (300000)
+ *   warmup     = warmup instructions per core (30000)
+ *   cores      = number of cores              (8)
+ *   seed       = RNG seed                     (12345)
+ *   nup        = true|false                   (false)
+ *   rowpress   = true|false                   (false)
+ *   srq        = SRQ capacity                 (16)
+ *   drain      = drain-on-REF (-1 = derived)  (-1)
+ *   chips      = chips per sub-channel        (4)
+ *   page       = open|close|timeout           (open)
+ *   ton_ns     = timeout policy tON in ns     (200)
+ *   baseline   = also run the unprotected baseline and report
+ *                the weighted slowdown        (false)
+ */
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/log.hh"
+#include "common/table.hh"
+#include "sim/experiment.hh"
+
+namespace
+{
+
+using namespace mopac;
+
+MitigationKind
+parseMitigation(const std::string &name)
+{
+    if (name == "none") return MitigationKind::kNone;
+    if (name == "prac") return MitigationKind::kPracMoat;
+    if (name == "mopac-c") return MitigationKind::kMopacC;
+    if (name == "mopac-d") return MitigationKind::kMopacD;
+    if (name == "mint") return MitigationKind::kMint;
+    if (name == "pride") return MitigationKind::kPride;
+    if (name == "trr") return MitigationKind::kTrr;
+    if (name == "para") return MitigationKind::kPara;
+    if (name == "graphene") return MitigationKind::kGraphene;
+    if (name == "qprac") return MitigationKind::kQprac;
+    fatal("unknown mitigation '{}'", name);
+}
+
+PagePolicy
+parsePolicy(const std::string &name)
+{
+    if (name == "open") return PagePolicy::kOpen;
+    if (name == "close") return PagePolicy::kClose;
+    if (name == "timeout") return PagePolicy::kTimeout;
+    fatal("unknown page policy '{}'", name);
+}
+
+void
+report(const char *label, const RunResult &r)
+{
+    TextTable t(std::string("mopac_sim results: ") + label);
+    t.header({"metric", "value"});
+    t.row({"cycles", std::to_string(r.cycles)});
+    t.row({"mean IPC", TextTable::fmt(r.meanIpc(), 4)});
+    t.row({"ACTs", std::to_string(r.acts)});
+    t.row({"reads", std::to_string(r.reads)});
+    t.row({"writes", std::to_string(r.writes)});
+    t.row({"row-buffer hit rate", TextTable::fmt(r.rbhr, 3)});
+    t.row({"ACTs/bank/tREFI (APRI)", TextTable::fmt(r.apri, 2)});
+    t.row({"avg read latency (ns)",
+           TextTable::fmt(r.avg_read_latency_ns, 1)});
+    t.row({"REFs", std::to_string(r.refs)});
+    t.row({"ALERTs", std::to_string(r.alerts)});
+    t.row({"RFMs", std::to_string(r.rfms)});
+    t.row({"counter updates", std::to_string(r.counter_updates)});
+    t.row({"SRQ insertions", std::to_string(r.srq_insertions)});
+    t.row({"mitigations", std::to_string(r.mitigations)});
+    t.row({"max unmitigated ACTs", std::to_string(r.max_unmitigated)});
+    t.row({"TRH violations", std::to_string(r.violations)});
+    t.print(std::cout);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Config conf;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--config" && i + 1 < argc) {
+            conf.parseFile(argv[++i]);
+        } else if (arg == "--help" || arg == "-h") {
+            std::puts("usage: mopac_sim [key=value ...] [--config FILE]"
+                      " (see tools/mopac_sim.cc header for keys)");
+            return 0;
+        } else {
+            conf.parseLine(arg);
+        }
+    }
+
+    SystemConfig cfg = makeConfig(
+        parseMitigation(conf.getString("mitigation", "none")),
+        static_cast<std::uint32_t>(conf.getUint("trh", 500)));
+    cfg.insts_per_core =
+        conf.getUint("insts", defaultInstsPerCore());
+    cfg.warmup_insts = conf.getUint("warmup", cfg.insts_per_core / 10);
+    cfg.num_cores =
+        static_cast<unsigned>(conf.getUint("cores", 8));
+    cfg.seed = conf.getUint("seed", 12345);
+    cfg.nup = conf.getBool("nup", false);
+    cfg.rowpress = conf.getBool("rowpress", false);
+    cfg.srq_capacity =
+        static_cast<unsigned>(conf.getUint("srq", 16));
+    cfg.drain_per_ref =
+        static_cast<int>(conf.getInt("drain", -1));
+    cfg.geometry.chips =
+        static_cast<unsigned>(conf.getUint("chips", 4));
+    cfg.mc.page_policy = parsePolicy(conf.getString("page", "open"));
+    cfg.mc.timeout_ton = nsToCycles(conf.getDouble("ton_ns", 200.0));
+
+    const std::string workload = conf.getString("workload", "mcf");
+
+    inform("running workload '{}' with mitigation '{}' at TRH {}",
+           workload, toString(cfg.mitigation), cfg.trh);
+    const RunResult result = runWorkload(cfg, workload);
+    report(toString(cfg.mitigation).c_str(), result);
+
+    if (conf.getBool("baseline", false) &&
+        cfg.mitigation != MitigationKind::kNone) {
+        SystemConfig base = cfg;
+        base.mitigation = MitigationKind::kNone;
+        const RunResult base_result = runWorkload(base, workload);
+        report("baseline (none)", base_result);
+        std::printf("weighted slowdown vs baseline: %.2f%%\n",
+                    weightedSlowdown(base_result, result) * 100.0);
+    }
+    return 0;
+}

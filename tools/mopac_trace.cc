@@ -1,0 +1,133 @@
+/**
+ * @file
+ * mopac_trace: capture, convert, and inspect trace files.
+ *
+ * Usage:
+ *   mopac_trace gen  <workload> <records> <out.mtr|out.mtb> [core] [seed]
+ *   mopac_trace conv <in> <out>           (format by extension: .mtb
+ *                                          is binary, anything else text)
+ *   mopac_trace info <in>
+ *
+ * Traces use the formats documented in src/workload/trace_file.hh and
+ * replay through FileTraceSource (see examples/trace_replay.cpp).
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/log.hh"
+#include "mc/mapping.hh"
+#include "workload/spec.hh"
+#include "workload/synth.hh"
+#include "workload/trace_file.hh"
+
+namespace
+{
+
+using namespace mopac;
+
+bool
+isBinaryPath(const std::string &path)
+{
+    return path.size() > 4 &&
+           path.compare(path.size() - 4, 4, ".mtb") == 0;
+}
+
+void
+write(const TraceData &trace, const std::string &path)
+{
+    if (isBinaryPath(path)) {
+        writeTraceBinary(trace, path);
+    } else {
+        writeTraceText(trace, path);
+    }
+}
+
+int
+cmdGen(int argc, char **argv)
+{
+    if (argc < 4) {
+        fatal("gen needs: <workload> <records> <out> [core] [seed]");
+    }
+    const std::string workload = argv[1];
+    const std::size_t records = std::strtoull(argv[2], nullptr, 10);
+    const std::string out = argv[3];
+    const unsigned core =
+        argc > 4 ? static_cast<unsigned>(std::atoi(argv[4])) : 0;
+    const std::uint64_t seed =
+        argc > 5 ? std::strtoull(argv[5], nullptr, 10) : 1;
+
+    AddressMap map{Geometry{}};
+    auto gen = makeTraceSource(findWorkload(workload), map, core, 8,
+                               seed);
+    const TraceData trace = captureTrace(*gen, records);
+    write(trace, out);
+    std::printf("wrote %zu records of '%s' (core %u, seed %llu) to "
+                "%s\n",
+                trace.records.size(), workload.c_str(), core,
+                static_cast<unsigned long long>(seed), out.c_str());
+    return 0;
+}
+
+int
+cmdConv(int argc, char **argv)
+{
+    if (argc < 3) {
+        fatal("conv needs: <in> <out>");
+    }
+    const TraceData trace = loadTrace(argv[1]);
+    write(trace, argv[2]);
+    std::printf("converted %zu records: %s -> %s\n",
+                trace.records.size(), argv[1], argv[2]);
+    return 0;
+}
+
+int
+cmdInfo(int argc, char **argv)
+{
+    if (argc < 2) {
+        fatal("info needs: <in>");
+    }
+    const TraceData trace = loadTrace(argv[1]);
+    std::uint64_t insts = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t deps = 0;
+    for (const TraceRecord &rec : trace.records) {
+        insts += rec.inst_gap + 1;
+        writes += rec.is_write ? 1 : 0;
+        deps += rec.depends_on_prev ? 1 : 0;
+    }
+    const double n = static_cast<double>(trace.records.size());
+    std::printf("%s: %zu records, %llu instructions\n", argv[1],
+                trace.records.size(),
+                static_cast<unsigned long long>(insts));
+    std::printf("  MPKI       %.2f\n",
+                n / (static_cast<double>(insts) / 1000.0));
+    std::printf("  write frac %.3f\n", writes / n);
+    std::printf("  dep frac   %.3f\n", deps / n);
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        std::puts("usage: mopac_trace gen|conv|info ... "
+                  "(see tools/mopac_trace.cc)");
+        return 1;
+    }
+    const std::string cmd = argv[1];
+    if (cmd == "gen") {
+        return cmdGen(argc - 1, argv + 1);
+    }
+    if (cmd == "conv") {
+        return cmdConv(argc - 1, argv + 1);
+    }
+    if (cmd == "info") {
+        return cmdInfo(argc - 1, argv + 1);
+    }
+    mopac::fatal("unknown command '{}'", cmd);
+}
