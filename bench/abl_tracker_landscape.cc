@@ -74,9 +74,21 @@ sramPerBank(MitigationKind kind)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    SlowdownLab lab(benchConfig(MitigationKind::kNone, 500));
+    SlowdownLab lab(benchConfig(MitigationKind::kNone, 500),
+                    parseBenchArgs(argc, argv));
+
+    std::vector<SystemConfig> sweep;
+    for (MitigationKind kind :
+         {MitigationKind::kNone, MitigationKind::kTrr,
+          MitigationKind::kPara, MitigationKind::kMint,
+          MitigationKind::kPride, MitigationKind::kGraphene,
+          MitigationKind::kPracMoat, MitigationKind::kQprac,
+          MitigationKind::kMopacC, MitigationKind::kMopacD}) {
+        sweep.push_back(benchConfig(kind, 500));
+    }
+    lab.precompute(sweep, {"mcf"});
 
     TextTable table("Tracker landscape at T_RH 500 "
                     "(benign cost vs security vs SRAM)");
@@ -91,7 +103,7 @@ main()
           MitigationKind::kMopacC, MitigationKind::kMopacD}) {
         SystemConfig cfg = benchConfig(kind, 500);
         const double slowdown = lab.slowdown(cfg, "mcf");
-        const RunResult run = runWorkload(cfg, "mcf");
+        const RunResult run = lab.run(cfg, "mcf");
         const auto [worst, violations] = attackBattery(kind);
         table.row({toString(kind), TextTable::pct(slowdown, 1),
                    std::to_string(run.alerts),

@@ -6,18 +6,31 @@
  * Simulation horizon defaults to 200K instructions per core
  * (MOPAC_SIM_SCALE / MOPAC_SIM_INSTS rescale it); EXPERIMENTS.md
  * records the fidelity implications.
+ *
+ * The simulation-driven drivers all funnel through SlowdownLab, which
+ * executes its sweep on the parallel sim::Runner: declare the full
+ * (config x workload) grid with precompute(), then read slowdowns out
+ * of the cache.  `--jobs N` picks the worker count and `--replay ID`
+ * re-runs one point single-threaded with a full stats dump; per-point
+ * results are bit-identical at any job count (see EXPERIMENTS.md,
+ * "Parallel sweeps and determinism").
  */
 
 #ifndef MOPAC_BENCH_BENCH_UTIL_HH
 #define MOPAC_BENCH_BENCH_UTIL_HH
 
+#include <cctype>
+#include <cstdlib>
+#include <iostream>
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "common/mathutil.hh"
 #include "common/table.hh"
 #include "sim/experiment.hh"
+#include "sim/runner.hh"
 #include "workload/spec.hh"
 
 namespace mopac::bench
@@ -28,6 +41,77 @@ inline std::uint64_t
 benchInsts()
 {
     return defaultInstsPerCore(200000);
+}
+
+/**
+ * Command-line options shared by every bench driver.
+ *
+ *   --jobs N     worker threads for the sweep (default: MOPAC_JOBS
+ *                env var, else hardware concurrency)
+ *   --replay ID  re-run one experiment point single-threaded with a
+ *                full stats dump, then exit (point ids are printed
+ *                when a point fails, or enumerable via --list-points)
+ *   --list-points  print the expanded point table, then exit
+ */
+struct BenchOptions
+{
+    unsigned jobs = 0;
+    std::int64_t replay = -1;
+    bool list_points = false;
+};
+
+/** Parse the shared bench flags; fatal() on malformed input. */
+inline BenchOptions
+parseBenchArgs(int argc, char **argv)
+{
+    auto number = [](const std::string &flag,
+                     const std::string &text) -> std::uint64_t {
+        char *end = nullptr;
+        const std::uint64_t v =
+            std::strtoull(text.c_str(), &end, 10);
+        // strtoull silently negates "-5"; require plain digits.
+        if (text.empty() || !std::isdigit(static_cast<unsigned char>(text.front())) ||
+            end == nullptr || *end != '\0') {
+            fatal("{} expects a non-negative number, got '{}'", flag,
+                  text);
+        }
+        return v;
+    };
+    BenchOptions opts;
+    if (const char *env = std::getenv("MOPAC_JOBS")) {
+        opts.jobs =
+            static_cast<unsigned>(number("MOPAC_JOBS", env));
+    }
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&](const std::string &flag) -> std::string {
+            if (arg.size() > flag.size() &&
+                arg.compare(0, flag.size() + 1, flag + "=") == 0) {
+                return arg.substr(flag.size() + 1);
+            }
+            if (i + 1 >= argc) {
+                fatal("{} requires a value", flag);
+            }
+            return argv[++i];
+        };
+        if (arg == "--jobs" || arg.rfind("--jobs=", 0) == 0) {
+            opts.jobs = static_cast<unsigned>(
+                number("--jobs", value("--jobs")));
+        } else if (arg == "--replay" ||
+                   arg.rfind("--replay=", 0) == 0) {
+            opts.replay = static_cast<std::int64_t>(
+                number("--replay", value("--replay")));
+        } else if (arg == "--list-points") {
+            opts.list_points = true;
+        } else if (arg == "--help" || arg == "-h") {
+            std::puts("usage: <bench> [--jobs N] [--replay ID] "
+                      "[--list-points]");
+            std::exit(0);
+        } else {
+            fatal("unknown bench argument '{}'", arg);
+        }
+    }
+    return opts;
 }
 
 /**
@@ -53,17 +137,129 @@ benchConfig(MitigationKind kind, std::uint32_t trh)
 }
 
 /**
+ * Execute @p points on the parallel Runner, honoring the shared bench
+ * flags: `--list-points` prints the expanded table and exits,
+ * `--replay ID` re-runs one point inline with a stats dump and exits,
+ * `--jobs` picks the worker count.  Failed / timed-out points are
+ * quarantined and reported (with their replay id and seed) instead of
+ * aborting the sweep.
+ */
+inline std::vector<PointResult>
+runBenchPoints(const std::vector<ExperimentPoint> &points,
+               const BenchOptions &opts)
+{
+    if (opts.list_points) {
+        TextTable table("experiment points");
+        table.header({"id", "config", "workload", "seed"});
+        for (const ExperimentPoint &p : points) {
+            table.row({std::to_string(p.point_id), p.config_label,
+                       p.workload, std::to_string(p.cfg.seed)});
+        }
+        table.print(std::cout);
+        std::exit(0);
+    }
+    if (opts.replay >= 0) {
+        const auto id = static_cast<std::uint64_t>(opts.replay);
+        if (id >= points.size()) {
+            fatal("--replay {}: this sweep has only {} points",
+                  id, points.size());
+        }
+        const ExperimentPoint &point = points[id];
+        inform("replaying point {}: {} / {} (seed {})", id,
+               point.config_label, point.workload, point.cfg.seed);
+        const PointResult result = Runner::replay(point);
+        inform("point {} finished: {} in {:.2f}s", id,
+               toString(result.status), result.wall_seconds);
+        if (result.status == PointStatus::kFailed) {
+            std::cout << "error: " << result.error << "\n";
+        } else {
+            result.stats.dump(std::cout);
+        }
+        std::exit(0);
+    }
+
+    RunnerOptions ropts;
+    ropts.jobs = opts.jobs;
+    const std::vector<PointResult> results =
+        Runner(ropts).run(points);
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const PointResult &r = results[i];
+        if (r.status != PointStatus::kOk) {
+            warn("point {} ({} / {}) {}: {} -- replay with "
+                 "--replay {} (seed {})",
+                 r.point_id, points[i].config_label,
+                 points[i].workload, toString(r.status), r.error,
+                 r.point_id, r.seed);
+        }
+    }
+    return results;
+}
+
+/**
  * Runs workloads under test configs and caches the matching baseline
  * runs, so sweeps that share a baseline do not re-simulate it.
+ *
+ * Call precompute() with the full grid first: it expands every
+ * (config, workload, seed) cell -- plus the baselines they pair with
+ * -- into sim::ExperimentPoints, executes them on the work-stealing
+ * Runner, and fills the cache.  slowdown() / baseline() then read the
+ * cache; any cell missed by precompute() falls back to a serial run,
+ * so partial precomputation degrades gracefully instead of failing.
  */
 class SlowdownLab
 {
   public:
     /** @param base_template Baseline config (mitigation forced off). */
-    explicit SlowdownLab(SystemConfig base_template)
-        : base_(std::move(base_template))
+    explicit SlowdownLab(SystemConfig base_template,
+                         BenchOptions opts = {})
+        : base_(std::move(base_template)), opts_(opts)
     {
         base_.mitigation = MitigationKind::kNone;
+    }
+
+    /**
+     * Expand and execute the full sweep grid in parallel.  Failed or
+     * timed-out points are quarantined: they are reported with their
+     * point id and seed (for `--replay`) and their cells fall back to
+     * serial runs on first use.
+     */
+    void
+    precompute(const std::vector<SystemConfig> &cfgs,
+               const std::vector<std::string> &workloads)
+    {
+        std::vector<ExperimentPoint> points;
+        for (const std::string &name : workloads) {
+            for (const SystemConfig &cfg : cfgs) {
+                for (std::uint64_t seed : seedsFor(cfg, name)) {
+                    SystemConfig test_cfg = cfg;
+                    test_cfg.seed = seed;
+                    addPoint(points, test_cfg, name);
+                    SystemConfig base_cfg = base_;
+                    base_cfg.seed = seed;
+                    addPoint(points, base_cfg, name);
+                }
+            }
+        }
+        execute(points);
+    }
+
+    /**
+     * Like precompute(), but runs exactly the given (config x
+     * workload) cells with no automatic baseline pairing -- for
+     * drivers that consume raw RunResults (or pair baselines
+     * themselves, e.g. per-geometry baselines).
+     */
+    void
+    precomputeRuns(const std::vector<SystemConfig> &cfgs,
+                   const std::vector<std::string> &workloads)
+    {
+        std::vector<ExperimentPoint> points;
+        for (const std::string &name : workloads) {
+            for (const SystemConfig &cfg : cfgs) {
+                addPoint(points, cfg, name);
+            }
+        }
+        execute(points);
     }
 
     /** Baseline result for @p workload at the template seed. */
@@ -84,19 +280,13 @@ class SlowdownLab
     double
     slowdown(const SystemConfig &cfg, const std::string &workload)
     {
-        const bool streaming =
-            workload.rfind("mix", 0) != 0 &&
-            findWorkload(workload).streaming;
-        const std::vector<std::uint64_t> seeds =
-            streaming ? std::vector<std::uint64_t>{cfg.seed,
-                                                   cfg.seed + 777,
-                                                   cfg.seed + 1555}
-                      : std::vector<std::uint64_t>{cfg.seed};
         double sum = 0.0;
+        const std::vector<std::uint64_t> seeds =
+            seedsFor(cfg, workload);
         for (std::uint64_t seed : seeds) {
             SystemConfig test_cfg = cfg;
             test_cfg.seed = seed;
-            const RunResult test = runWorkload(test_cfg, workload);
+            const RunResult &test = cachedRun(test_cfg, workload);
             sum += weightedSlowdown(baseline(workload, seed), test);
         }
         return sum / static_cast<double>(seeds.size());
@@ -104,26 +294,98 @@ class SlowdownLab
 
     const SystemConfig &baseConfig() const { return base_; }
 
-  private:
-    /** Baseline for a specific seed (cached). */
+    /** Merged per-point stats of the last precompute() sweep. */
+    const StatSnapshot &mergedStats() const { return merged_stats_; }
+
+    /**
+     * Raw run of @p cfg on @p workload: from the precomputed cache
+     * when available, serial fallback otherwise.
+     */
     const RunResult &
-    baseline(const std::string &workload, std::uint64_t seed)
+    run(const SystemConfig &cfg, const std::string &workload)
     {
-        const std::string key =
-            workload + "#" + std::to_string(seed);
-        auto it = base_results_.find(key);
-        if (it == base_results_.end()) {
-            SystemConfig cfg = base_;
-            cfg.seed = seed;
-            it = base_results_
-                     .emplace(key, runWorkload(cfg, workload))
+        return cachedRun(cfg, workload);
+    }
+
+  private:
+    /** Run queued points through the shared bench runner path. */
+    void
+    execute(const std::vector<ExperimentPoint> &points)
+    {
+        const std::vector<PointResult> results =
+            runBenchPoints(points, opts_);
+        for (std::size_t i = 0; i < results.size(); ++i) {
+            if (results[i].status == PointStatus::kOk) {
+                results_.emplace(cacheKey(points[i].cfg,
+                                          points[i].workload),
+                                 results[i].run);
+            }
+        }
+        merged_stats_ = Runner::mergeStats(results);
+    }
+    /** Seeds slowdown() averages over for this (config, workload). */
+    std::vector<std::uint64_t>
+    seedsFor(const SystemConfig &cfg, const std::string &workload) const
+    {
+        const bool streaming = workload.rfind("mix", 0) != 0 &&
+                               findWorkload(workload).streaming;
+        if (streaming) {
+            return {cfg.seed, cfg.seed + 777, cfg.seed + 1555};
+        }
+        return {cfg.seed};
+    }
+
+    std::string
+    cacheKey(const SystemConfig &cfg, const std::string &workload) const
+    {
+        return configSignature(cfg) + "#" + workload;
+    }
+
+    /** Append a point unless an identical cell is already queued. */
+    void
+    addPoint(std::vector<ExperimentPoint> &points,
+             const SystemConfig &cfg, const std::string &workload)
+    {
+        const std::string key = cacheKey(cfg, workload);
+        if (!queued_.insert(key).second) {
+            return;
+        }
+        ExperimentPoint point;
+        point.point_id = points.size();
+        point.config_label = toString(cfg.mitigation) + "@" +
+                             std::to_string(cfg.trh);
+        point.workload = workload;
+        point.cfg = cfg;
+        points.push_back(std::move(point));
+    }
+
+    /** Cache lookup with a serial-run fallback. */
+    const RunResult &
+    cachedRun(const SystemConfig &cfg, const std::string &workload)
+    {
+        const std::string key = cacheKey(cfg, workload);
+        auto it = results_.find(key);
+        if (it == results_.end()) {
+            it = results_.emplace(key, runWorkload(cfg, workload))
                      .first;
         }
         return it->second;
     }
 
+    /** Baseline for a specific seed (cached). */
+    const RunResult &
+    baseline(const std::string &workload, std::uint64_t seed)
+    {
+        SystemConfig cfg = base_;
+        cfg.seed = seed;
+        return cachedRun(cfg, workload);
+    }
+
     SystemConfig base_;
-    std::map<std::string, RunResult> base_results_;
+    BenchOptions opts_;
+    std::set<std::string> queued_;
+    std::map<std::string, RunResult> results_;
+    StatSnapshot merged_stats_;
 };
 
 /** Arithmetic mean of per-workload slowdowns (the paper's "average"). */

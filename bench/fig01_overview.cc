@@ -12,13 +12,24 @@
 #include "bench_util.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace mopac;
     using namespace mopac::bench;
 
-    SlowdownLab lab(benchConfig(MitigationKind::kNone, 500));
+    SlowdownLab lab(benchConfig(MitigationKind::kNone, 500),
+                    parseBenchArgs(argc, argv));
     const std::vector<std::string> names = allWorkloadNames();
+
+    const std::vector<std::uint32_t> sweep_trhs = {4000, 2000, 1000,
+                                                   500,  250,  125};
+    std::vector<SystemConfig> sweep{
+        benchConfig(MitigationKind::kPracMoat, 500)};
+    for (std::uint32_t trh : sweep_trhs) {
+        sweep.push_back(benchConfig(MitigationKind::kMopacC, trh));
+        sweep.push_back(benchConfig(MitigationKind::kMopacD, trh));
+    }
+    lab.precompute(sweep, names);
 
     // PRAC is threshold-independent: measure once.
     std::vector<double> prac_series;

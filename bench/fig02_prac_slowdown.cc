@@ -11,17 +11,24 @@
 #include "bench_util.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace mopac;
     using namespace mopac::bench;
 
-    SlowdownLab lab(benchConfig(MitigationKind::kNone, 500));
+    SlowdownLab lab(benchConfig(MitigationKind::kNone, 500),
+                    parseBenchArgs(argc, argv));
 
     TextTable table("Figure 2: PRAC slowdown at T_RH 4000 / 500 / 100");
     table.header({"workload", "T_RH=4000", "T_RH=500", "T_RH=100"});
 
     const std::vector<std::uint32_t> trhs = {4000, 500, 100};
+    std::vector<SystemConfig> sweep;
+    for (std::uint32_t trh : trhs) {
+        sweep.push_back(benchConfig(MitigationKind::kPracMoat, trh));
+    }
+    lab.precompute(sweep, allWorkloadNames());
+
     std::vector<std::vector<double>> per_trh(trhs.size());
 
     for (const std::string &name : allWorkloadNames()) {

@@ -10,12 +10,13 @@
 #include "bench_util.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace mopac;
     using namespace mopac::bench;
 
-    SlowdownLab lab(benchConfig(MitigationKind::kNone, 500));
+    SlowdownLab lab(benchConfig(MitigationKind::kNone, 500),
+                    parseBenchArgs(argc, argv));
 
     TextTable table(
         "Figure 11: PRAC vs MoPAC-D slowdown (T_RH 1000/500/250)");
@@ -23,6 +24,13 @@ main()
                   "MoPAC-D@250"});
 
     const std::vector<std::uint32_t> trhs = {1000, 500, 250};
+    std::vector<SystemConfig> sweep{
+        benchConfig(MitigationKind::kPracMoat, 500)};
+    for (std::uint32_t trh : trhs) {
+        sweep.push_back(benchConfig(MitigationKind::kMopacD, trh));
+    }
+    lab.precompute(sweep, allWorkloadNames());
+
     std::vector<double> prac_series;
     std::vector<std::vector<double>> mopac_series(trhs.size());
 

@@ -11,13 +11,25 @@
 #include "bench_util.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace mopac;
     using namespace mopac::bench;
 
-    SlowdownLab lab(benchConfig(MitigationKind::kNone, 500));
+    SlowdownLab lab(benchConfig(MitigationKind::kNone, 500),
+                    parseBenchArgs(argc, argv));
     const std::vector<std::string> names = sensitivitySubset();
+
+    std::vector<SystemConfig> sweep;
+    for (std::uint32_t trh : {1000u, 500u, 250u}) {
+        for (int drain : {0, 1, 2, 4}) {
+            SystemConfig cfg =
+                benchConfig(MitigationKind::kMopacD, trh);
+            cfg.drain_per_ref = drain;
+            sweep.push_back(cfg);
+        }
+    }
+    lab.precompute(sweep, names);
 
     TextTable table(
         "Figure 12: MoPAC-D slowdown vs drain-on-REF rate");

@@ -10,13 +10,25 @@
 #include "bench_util.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace mopac;
     using namespace mopac::bench;
 
-    SlowdownLab lab(benchConfig(MitigationKind::kNone, 500));
+    SlowdownLab lab(benchConfig(MitigationKind::kNone, 500),
+                    parseBenchArgs(argc, argv));
     const std::vector<std::string> names = sensitivitySubset();
+
+    std::vector<SystemConfig> sweep;
+    for (std::uint32_t trh : {1000u, 500u, 250u}) {
+        for (unsigned srq : {8u, 16u, 32u}) {
+            SystemConfig cfg =
+                benchConfig(MitigationKind::kMopacD, trh);
+            cfg.srq_capacity = srq;
+            sweep.push_back(cfg);
+        }
+    }
+    lab.precompute(sweep, names);
 
     TextTable table("Figure 13: MoPAC-D slowdown vs SRQ size");
     table.header({"T_RH", "SRQ=8", "SRQ=16", "SRQ=32",

@@ -10,13 +10,23 @@
 #include "bench_util.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace mopac;
     using namespace mopac::bench;
 
-    SlowdownLab lab(benchConfig(MitigationKind::kNone, 500));
+    SlowdownLab lab(benchConfig(MitigationKind::kNone, 500),
+                    parseBenchArgs(argc, argv));
     const std::vector<std::string> names = sensitivitySubset();
+
+    std::vector<SystemConfig> sweep;
+    for (std::uint32_t trh : {1000u, 500u, 250u}) {
+        sweep.push_back(benchConfig(MitigationKind::kMopacD, trh));
+        SystemConfig nup = benchConfig(MitigationKind::kMopacD, trh);
+        nup.nup = true;
+        sweep.push_back(nup);
+    }
+    lab.precompute(sweep, names);
 
     TextTable table(
         "Figure 17: MoPAC-D slowdown with and without NUP");

@@ -12,10 +12,12 @@
 #include "bench_util.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace mopac;
     using namespace mopac::bench;
+
+    const BenchOptions opts = parseBenchArgs(argc, argv);
 
     // --- Table 14: adjusted ATH* -------------------------------------
     TextTable params("Table 14: ATH* modified for Row-Press");
@@ -40,8 +42,24 @@ main()
     params.print(std::cout);
 
     // --- Figure 18: slowdowns ----------------------------------------
-    SlowdownLab lab(benchConfig(MitigationKind::kNone, 500));
+    SlowdownLab lab(benchConfig(MitigationKind::kNone, 500), opts);
     const std::vector<std::string> names = sensitivitySubset();
+
+    std::vector<SystemConfig> sweep;
+    for (std::uint32_t trh : {1000u, 500u}) {
+        for (MitigationKind kind :
+             {MitigationKind::kMopacC, MitigationKind::kMopacD}) {
+            sweep.push_back(benchConfig(kind, trh));
+            SystemConfig rp = benchConfig(kind, trh);
+            rp.rowpress = true;
+            if (kind == MitigationKind::kMopacC) {
+                rp.mc.page_policy = PagePolicy::kTimeout;
+                rp.mc.timeout_ton = nsToCycles(180.0);
+            }
+            sweep.push_back(rp);
+        }
+    }
+    lab.precompute(sweep, names);
 
     TextTable table("Figure 18: slowdown with and without Row-Press "
                     "(RP) protection");

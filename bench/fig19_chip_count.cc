@@ -12,12 +12,32 @@
 #include "bench_util.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace mopac;
     using namespace mopac::bench;
 
     const std::vector<std::string> names = sensitivitySubset();
+
+    // Baselines are geometry-matched (chips vary), so pair them by
+    // hand via precomputeRuns() instead of precompute()'s automatic
+    // fixed-geometry baseline.
+    SlowdownLab lab(benchConfig(MitigationKind::kNone, 500),
+                    parseBenchArgs(argc, argv));
+    std::vector<SystemConfig> sweep;
+    for (std::uint32_t trh : {250u, 500u, 1000u}) {
+        for (unsigned chips : {1u, 2u, 4u, 8u, 16u}) {
+            SystemConfig base =
+                benchConfig(MitigationKind::kNone, trh);
+            base.geometry.chips = chips;
+            sweep.push_back(base);
+            SystemConfig cfg =
+                benchConfig(MitigationKind::kMopacD, trh);
+            cfg.geometry.chips = chips;
+            sweep.push_back(cfg);
+        }
+    }
+    lab.precomputeRuns(sweep, names);
 
     TextTable table("Figure 19: MoPAC-D slowdown vs chips per "
                     "sub-channel");
@@ -41,9 +61,8 @@ main()
                 SystemConfig cfg =
                     benchConfig(MitigationKind::kMopacD, ref.trh);
                 cfg.geometry.chips = chips;
-                const RunResult b = runWorkload(base, name);
-                const RunResult t = runWorkload(cfg, name);
-                series.push_back(weightedSlowdown(b, t));
+                series.push_back(weightedSlowdown(
+                    lab.run(base, name), lab.run(cfg, name)));
             }
             cells.push_back(TextTable::pct(meanSlowdown(series), 1));
         }

@@ -17,7 +17,7 @@
 #include "bench_util.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace mopac;
     using namespace mopac::bench;
@@ -27,20 +27,26 @@ main()
         std::max<std::uint64_t>(benchInsts() * 5, 1000000);
     const Cycle epoch = nsToCycles(2.0e6);
 
+    SystemConfig epoch_cfg = benchConfig(MitigationKind::kNone, 500);
+    epoch_cfg.insts_per_core = insts;
+    epoch_cfg.warmup_insts = insts / 10;
+    epoch_cfg.track_epoch_stats = true;
+    epoch_cfg.epoch_cycles = epoch;
+    epoch_cfg.epoch_hi1 = 4;
+    epoch_cfg.epoch_hi2 = 13;
+
+    SlowdownLab lab(benchConfig(MitigationKind::kNone, 500),
+                    parseBenchArgs(argc, argv));
+    lab.precomputeRuns({epoch_cfg}, allWorkloadNames());
+
     TextTable table(
         "Table 4: workload characteristics (measured | paper)");
     table.header({"workload", "MPKI", "RBHR", "APRI", "ACT-64+",
                   "ACT-200+"});
 
     for (const std::string &name : allWorkloadNames()) {
-        SystemConfig cfg = benchConfig(MitigationKind::kNone, 500);
-        cfg.insts_per_core = insts;
-        cfg.warmup_insts = insts / 10;
-        cfg.track_epoch_stats = true;
-        cfg.epoch_cycles = epoch;
-        cfg.epoch_hi1 = 4;
-        cfg.epoch_hi2 = 13;
-        const RunResult r = runWorkload(cfg, name);
+        const SystemConfig &cfg = epoch_cfg;
+        const RunResult r = lab.run(cfg, name);
 
         const double total_insts =
             static_cast<double>(insts + cfg.warmup_insts) *

@@ -18,14 +18,14 @@ using namespace mopac::bench;
 
 /** Per-chip SRQ selections per 100 ACTs across the workload set. */
 double
-selectionsPer100Acts(std::uint32_t trh, bool nup,
+selectionsPer100Acts(SlowdownLab &lab, std::uint32_t trh, bool nup,
                      const std::vector<std::string> &names)
 {
     double sum = 0.0;
     for (const std::string &name : names) {
         SystemConfig cfg = benchConfig(MitigationKind::kMopacD, trh);
         cfg.nup = nup;
-        const RunResult r = runWorkload(cfg, name);
+        const RunResult &r = lab.run(cfg, name);
         const double per_chip =
             static_cast<double>(r.srq_insertions) /
             cfg.geometry.chips;
@@ -37,9 +37,22 @@ selectionsPer100Acts(std::uint32_t trh, bool nup,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     const std::vector<std::string> names = sensitivitySubset();
+
+    SlowdownLab lab(benchConfig(MitigationKind::kNone, 500),
+                    parseBenchArgs(argc, argv));
+    std::vector<SystemConfig> sweep;
+    for (std::uint32_t trh : {1000u, 500u, 250u}) {
+        for (bool nup : {false, true}) {
+            SystemConfig cfg =
+                benchConfig(MitigationKind::kMopacD, trh);
+            cfg.nup = nup;
+            sweep.push_back(cfg);
+        }
+    }
+    lab.precomputeRuns(sweep, names);
 
     TextTable table(
         "Table 12: SRQ insertions per 100 ACTs (lower is better)");
@@ -53,8 +66,10 @@ main()
     for (const Ref &ref : {Ref{1000, "6.2 / 3.1 (0.5x)"},
                            Ref{500, "12.5 / 6.3 (0.5x)"},
                            Ref{250, "25.0 / 13.4 (0.54x)"}}) {
-        const double uni = selectionsPer100Acts(ref.trh, false, names);
-        const double nup = selectionsPer100Acts(ref.trh, true, names);
+        const double uni =
+            selectionsPer100Acts(lab, ref.trh, false, names);
+        const double nup =
+            selectionsPer100Acts(lab, ref.trh, true, names);
         const unsigned inv_p =
             1u << deriveMopacD(ref.trh).log2_inv_p;
         table.row({mopac::format("{} (p=1/{})", ref.trh, inv_p),

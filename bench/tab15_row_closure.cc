@@ -40,9 +40,10 @@ applyPolicy(SystemConfig &cfg, int policy_idx)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     const std::vector<std::string> names = sensitivitySubset();
+    const BenchOptions opts = parseBenchArgs(argc, argv);
     const char *policy_names[4] = {"Open-Page", "Close-Page",
                                    "tON = 100ns", "tON = 200ns"};
     const char *paper[4] = {
@@ -58,7 +59,23 @@ main()
         // configuration to a baseline with the same closure policy.
         SystemConfig base = benchConfig(MitigationKind::kNone, 500);
         applyPolicy(base, policy);
-        SlowdownLab lab(base);
+        // Each policy is its own sweep; --replay / --list-points
+        // address the first (open-page) sweep.
+        BenchOptions lab_opts = opts;
+        if (policy > 0) {
+            lab_opts.replay = -1;
+            lab_opts.list_points = false;
+        }
+        SlowdownLab lab(base, lab_opts);
+        std::vector<SystemConfig> sweep{
+            benchConfig(MitigationKind::kPracMoat, 500)};
+        for (std::uint32_t trh : {1000u, 500u, 250u}) {
+            sweep.push_back(benchConfig(MitigationKind::kMopacD, trh));
+        }
+        for (SystemConfig &cfg : sweep) {
+            applyPolicy(cfg, policy);
+        }
+        lab.precompute(sweep, names);
 
         std::vector<std::string> cells{policy_names[policy]};
         {

@@ -6,19 +6,42 @@
 #include "binomial.hh"
 
 #include <cmath>
+#include <math.h>
 
 #include "common/log.hh"
 
 namespace mopac
 {
 
+namespace
+{
+
+/**
+ * Thread-safe log-gamma.  std::lgammal writes its sign to the libm
+ * *global* `signgam`, which is a data race when experiment points
+ * evaluate the model concurrently on the runner's thread pool; the
+ * reentrant variant returns the sign through a local instead.
+ */
+long double
+logGammal(long double x)
+{
+#if defined(__GLIBC__)
+    int sign = 0;
+    return ::lgammal_r(x, &sign);
+#else
+    return std::lgammal(x);
+#endif
+}
+
+} // namespace
+
 long double
 logBinomCoef(std::uint64_t n, std::uint64_t k)
 {
     MOPAC_ASSERT(k <= n);
-    return std::lgammal(static_cast<long double>(n) + 1.0L) -
-           std::lgammal(static_cast<long double>(k) + 1.0L) -
-           std::lgammal(static_cast<long double>(n - k) + 1.0L);
+    return logGammal(static_cast<long double>(n) + 1.0L) -
+           logGammal(static_cast<long double>(k) + 1.0L) -
+           logGammal(static_cast<long double>(n - k) + 1.0L);
 }
 
 long double

@@ -16,11 +16,15 @@ namespace detail
 namespace
 {
 bool quiet_warnings = false;
+thread_local int error_trap_depth = 0;
 } // namespace
 
 void
 panicImpl(std::string_view where, const std::string &msg)
 {
+    if (ErrorTrap::active()) {
+        throw SimError(std::string(where) + ": " + msg);
+    }
     std::fprintf(stderr, "%s: %s\n", std::string(where).c_str(),
                  msg.c_str());
     std::fflush(stderr);
@@ -30,6 +34,9 @@ panicImpl(std::string_view where, const std::string &msg)
 void
 fatalImpl(const std::string &msg)
 {
+    if (ErrorTrap::active()) {
+        throw SimError("fatal: " + msg);
+    }
     std::fprintf(stderr, "fatal: %s\n", msg.c_str());
     std::fflush(stderr);
     std::exit(1);
@@ -50,4 +57,21 @@ informImpl(const std::string &msg)
 }
 
 } // namespace detail
+
+ErrorTrap::ErrorTrap()
+{
+    ++detail::error_trap_depth;
+}
+
+ErrorTrap::~ErrorTrap()
+{
+    --detail::error_trap_depth;
+}
+
+bool
+ErrorTrap::active()
+{
+    return detail::error_trap_depth > 0;
+}
+
 } // namespace mopac

@@ -15,6 +15,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <stdexcept>
 #include <string>
 #include <string_view>
 
@@ -22,6 +23,36 @@
 
 namespace mopac
 {
+
+/**
+ * Thrown in place of abort()/exit() while an ErrorTrap is active on
+ * the calling thread, so a sweep runner can quarantine one failing
+ * experiment point instead of losing the whole sweep.
+ */
+class SimError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/**
+ * RAII guard converting panic()/fatal() on this thread into SimError
+ * exceptions for its lifetime.  Nests; the outermost destructor
+ * restores abort/exit semantics.  Use only around code that is safe
+ * to unwind and discard (e.g. one self-contained experiment point).
+ */
+class ErrorTrap
+{
+  public:
+    ErrorTrap();
+    ~ErrorTrap();
+
+    ErrorTrap(const ErrorTrap &) = delete;
+    ErrorTrap &operator=(const ErrorTrap &) = delete;
+
+    /** True when the calling thread has an active trap. */
+    static bool active();
+};
 
 namespace detail
 {

@@ -124,6 +124,28 @@ Rng::chancePow2(unsigned k)
     return (next() & mask) == 0;
 }
 
+std::uint64_t
+Rng::streamSeed(std::uint64_t master_seed, std::uint64_t stream_id)
+{
+    // Counter mode: advance a SplitMix64-style state by the stream
+    // index, then scramble twice.  Every step is bijective in z, so
+    // for one master the streams occupy distinct seeds.
+    std::uint64_t z =
+        master_seed + 0x9E3779B97F4A7C15ull * (stream_id + 1);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    z ^= z >> 31;
+    z = (z ^ (z >> 33)) * 0xFF51AFD7ED558CCDull;
+    z = (z ^ (z >> 33)) * 0xC4CEB9FE1A85EC53ull;
+    return z ^ (z >> 33);
+}
+
+Rng
+Rng::forStream(std::uint64_t master_seed, std::uint64_t stream_id)
+{
+    return Rng(streamSeed(master_seed, stream_id));
+}
+
 Rng
 Rng::fork()
 {

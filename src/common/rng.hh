@@ -72,6 +72,23 @@ class Rng
      */
     Rng fork();
 
+    /**
+     * Counter-mode stream splitting: the seed of stream @p stream_id
+     * under @p master_seed.  For a fixed master seed the map
+     * stream_id -> seed is injective (the finalizer is bijective), so
+     * no two streams of one sweep can collide; the double SplitMix64
+     * finalization decorrelates adjacent masters and adjacent streams.
+     * Unlike fork(), the result depends only on the two inputs -- not
+     * on how many streams were split before -- so parallel sweeps get
+     * identical per-point streams regardless of expansion order.
+     */
+    static std::uint64_t streamSeed(std::uint64_t master_seed,
+                                    std::uint64_t stream_id);
+
+    /** Generator for stream @p stream_id of @p master_seed. */
+    static Rng forStream(std::uint64_t master_seed,
+                         std::uint64_t stream_id);
+
   private:
     std::array<std::uint64_t, 4> state_;
 };

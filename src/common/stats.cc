@@ -138,4 +138,105 @@ StatRegistry::has(const std::string &name) const
     return find(name) != nullptr;
 }
 
+StatSnapshot::StatSnapshot(const StatRegistry &registry)
+{
+    entries_.reserve(registry.size());
+    registry.forEach([this](const std::string &name,
+                            std::uint64_t const *u, double const *d) {
+        if (u != nullptr) {
+            entries_.push_back({name, *u});
+        } else {
+            entries_.push_back({name, *d});
+        }
+    });
+}
+
+void
+StatSnapshot::merge(const StatSnapshot &other)
+{
+    for (const Entry &e : other.entries_) {
+        Entry *mine = nullptr;
+        for (Entry &candidate : entries_) {
+            if (candidate.name == e.name) {
+                mine = &candidate;
+                break;
+            }
+        }
+        if (mine == nullptr) {
+            entries_.push_back(e);
+            continue;
+        }
+        if (std::holds_alternative<std::uint64_t>(mine->value) &&
+            std::holds_alternative<std::uint64_t>(e.value)) {
+            mine->value = std::get<std::uint64_t>(mine->value) +
+                          std::get<std::uint64_t>(e.value);
+        } else if (std::holds_alternative<double>(mine->value) &&
+                   std::holds_alternative<double>(e.value)) {
+            mine->value =
+                std::get<double>(mine->value) + std::get<double>(e.value);
+        } else {
+            panic("stat '{}' merged with mismatched type", e.name);
+        }
+    }
+}
+
+void
+StatSnapshot::dump(std::ostream &os) const
+{
+    for (const Entry &entry : entries_) {
+        if (std::holds_alternative<std::uint64_t>(entry.value)) {
+            os << mopac::format("{:<48} {}\n", entry.name,
+                                std::get<std::uint64_t>(entry.value));
+        } else {
+            os << mopac::format("{:<48} {:.6g}\n", entry.name,
+                                std::get<double>(entry.value));
+        }
+    }
+}
+
+const StatSnapshot::Entry *
+StatSnapshot::find(const std::string &name) const
+{
+    for (const Entry &entry : entries_) {
+        if (entry.name == name) {
+            return &entry;
+        }
+    }
+    return nullptr;
+}
+
+std::uint64_t
+StatSnapshot::scalar(const std::string &name) const
+{
+    const Entry *entry = find(name);
+    if (entry == nullptr ||
+        !std::holds_alternative<std::uint64_t>(entry->value)) {
+        panic("no scalar stat named '{}' in snapshot", name);
+    }
+    return std::get<std::uint64_t>(entry->value);
+}
+
+double
+StatSnapshot::real(const std::string &name) const
+{
+    const Entry *entry = find(name);
+    if (entry == nullptr ||
+        !std::holds_alternative<double>(entry->value)) {
+        panic("no real stat named '{}' in snapshot", name);
+    }
+    return std::get<double>(entry->value);
+}
+
+bool
+StatSnapshot::has(const std::string &name) const
+{
+    return find(name) != nullptr;
+}
+
+bool
+StatSnapshot::operator==(const StatSnapshot &other) const
+{
+    return entries_ == other.entries_;
+}
+
 } // namespace mopac

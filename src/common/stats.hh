@@ -101,11 +101,92 @@ class StatRegistry
 
     std::size_t size() const { return entries_.size(); }
 
+    /**
+     * Visit every entry in registration order; exactly one of the two
+     * pointers is non-null per entry.
+     */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        for (const Entry &entry : entries_) {
+            if (std::holds_alternative<const std::uint64_t *>(
+                    entry.value)) {
+                fn(entry.name,
+                   std::get<const std::uint64_t *>(entry.value),
+                   static_cast<const double *>(nullptr));
+            } else {
+                fn(entry.name,
+                   static_cast<const std::uint64_t *>(nullptr),
+                   std::get<const double *>(entry.value));
+            }
+        }
+    }
+
   private:
     struct Entry
     {
         std::string name;
         std::variant<const std::uint64_t *, const double *> value;
+    };
+
+    const Entry *find(const std::string &name) const;
+
+    std::vector<Entry> entries_;
+};
+
+/**
+ * Immutable *value* copy of a StatRegistry, safe to move across
+ * threads.  A registry holds references into live components; a
+ * snapshot taken just before the owning System is destroyed freezes
+ * the final values, so a parallel sweep can collect one snapshot per
+ * experiment point and merge them into the final table after the
+ * workers have joined -- no component outlives its thread and no
+ * merge touches shared mutable state.
+ */
+class StatSnapshot
+{
+  public:
+    StatSnapshot() = default;
+
+    /** Capture the current values of every stat in @p registry. */
+    explicit StatSnapshot(const StatRegistry &registry);
+
+    /**
+     * Fold @p other into this snapshot: stats present in both are
+     * summed (scalars exactly, reals in IEEE order of merging), stats
+     * only in @p other are appended.  Merging in point-id order makes
+     * the result independent of worker scheduling.
+     */
+    void merge(const StatSnapshot &other);
+
+    /** Render "name value" lines, registration order. */
+    void dump(std::ostream &os) const;
+
+    /** Scalar value by name; panics if absent or wrong type. */
+    std::uint64_t scalar(const std::string &name) const;
+
+    /** Real value by name; panics if absent or wrong type. */
+    double real(const std::string &name) const;
+
+    bool has(const std::string &name) const;
+
+    std::size_t size() const { return entries_.size(); }
+
+    /** Exact equality (names, order, bit-identical values). */
+    bool operator==(const StatSnapshot &other) const;
+    bool operator!=(const StatSnapshot &other) const
+    {
+        return !(*this == other);
+    }
+
+  private:
+    struct Entry
+    {
+        std::string name;
+        std::variant<std::uint64_t, double> value;
+
+        bool operator==(const Entry &other) const = default;
     };
 
     const Entry *find(const std::string &name) const;

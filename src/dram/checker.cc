@@ -154,4 +154,112 @@ SecurityChecker::act200PerBankPerEpoch() const
            (static_cast<double>(banks_) * static_cast<double>(epochs_));
 }
 
+
+ProtocolChecker::ProtocolChecker(const TimingSet &normal,
+                                 const TimingSet &cu, unsigned banks)
+    : normal_(normal), cu_(cu), banks_(banks)
+{
+    MOPAC_ASSERT(banks > 0);
+}
+
+void
+ProtocolChecker::report(DramCommand cmd, unsigned bank, Cycle now,
+                        Cycle earliest, const char *rule)
+{
+    violations_.push_back({cmd, bank, now, earliest, rule});
+}
+
+std::uint64_t
+ProtocolChecker::countRule(const std::string &rule) const
+{
+    std::uint64_t n = 0;
+    for (const TimingViolation &v : violations_) {
+        if (v.rule == rule) {
+            ++n;
+        }
+    }
+    return n;
+}
+
+void
+ProtocolChecker::onCommand(DramCommand cmd, unsigned bank, Cycle now)
+{
+    MOPAC_ASSERT(bank < banks_.size());
+    BankState &state = banks_[bank];
+    ++commands_;
+
+    switch (cmd) {
+      case DramCommand::kAct: {
+        if (state.open) {
+            report(cmd, bank, now, now, "state:ACT-to-open-bank");
+        }
+        if (state.ever_activated &&
+            now < state.last_act + normal_.tRC) {
+            report(cmd, bank, now, state.last_act + normal_.tRC,
+                   "tRC");
+        }
+        if (state.ever_precharged) {
+            const Cycle trp =
+                state.last_pre_was_cu ? cu_.tRP : normal_.tRP;
+            if (now < state.last_pre + trp) {
+                report(cmd, bank, now, state.last_pre + trp, "tRP");
+            }
+        }
+        state.open = true;
+        state.last_act = now;
+        state.ever_activated = true;
+        break;
+      }
+      case DramCommand::kRead:
+      case DramCommand::kWrite: {
+        if (!state.open) {
+            report(cmd, bank, now, now, "state:CAS-to-closed-bank");
+        } else if (now < state.last_act + normal_.tRCD) {
+            report(cmd, bank, now, state.last_act + normal_.tRCD,
+                   "tRCD");
+        }
+        if (cmd == DramCommand::kRead) {
+            state.last_read = now;
+            state.ever_read = true;
+        } else {
+            state.last_write_end = now + normal_.tCWL + normal_.tBL;
+            state.ever_written = true;
+        }
+        break;
+      }
+      case DramCommand::kPre:
+      case DramCommand::kPreCu: {
+        // PRE to a closed bank is a legal no-op; only an open bank
+        // has constraints to violate.
+        if (state.open) {
+            const bool is_cu = cmd == DramCommand::kPreCu;
+            const Cycle tras = is_cu ? cu_.tRAS : normal_.tRAS;
+            if (now < state.last_act + tras) {
+                report(cmd, bank, now, state.last_act + tras, "tRAS");
+            }
+            if (state.ever_read &&
+                now < state.last_read + normal_.tRTP) {
+                report(cmd, bank, now,
+                       state.last_read + normal_.tRTP, "tRTP");
+            }
+            if (state.ever_written &&
+                now < state.last_write_end + normal_.tWR) {
+                report(cmd, bank, now,
+                       state.last_write_end + normal_.tWR, "tWR");
+            }
+            state.open = false;
+            state.last_pre = now;
+            state.last_pre_was_cu = is_cu;
+            state.ever_precharged = true;
+        }
+        break;
+      }
+      case DramCommand::kRef:
+      case DramCommand::kRfm:
+        // Maintenance commands block the bank elsewhere; the
+        // intra-bank rules above are unaffected.
+        break;
+    }
+}
+
 } // namespace mopac

@@ -26,10 +26,13 @@
 #define MOPAC_DRAM_CHECKER_HH
 
 #include <cstdint>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "common/types.hh"
+#include "dram/command.hh"
+#include "dram/timing.hh"
 
 namespace mopac
 {
@@ -130,6 +133,91 @@ class SecurityChecker
     std::uint64_t epochs_ = 0;
     std::uint64_t rows_act64_ = 0;
     std::uint64_t rows_act200_ = 0;
+};
+
+/** One recorded DRAM protocol (timing) violation. */
+struct TimingViolation
+{
+    /** The offending command. */
+    DramCommand cmd = DramCommand::kAct;
+    unsigned bank = 0;
+    /** Cycle the command was issued. */
+    Cycle at = 0;
+    /** Earliest cycle it would have been legal. */
+    Cycle earliest = 0;
+    /** The violated rule, e.g. "tRP" or "tRC". */
+    std::string rule;
+};
+
+/**
+ * DRAM protocol (timing) oracle for one sub-channel's command stream.
+ *
+ * Independently of the scheduler's own BankTiming bookkeeping, the
+ * checker re-derives the earliest legal issue cycle of every command
+ * from the raw TimingSet and records a TimingViolation whenever a
+ * command arrives early (or in an illegal bank state, e.g. ACT to an
+ * open bank).  Unlike BankTiming it never panics, so property tests
+ * can feed it deliberately broken traces and count exactly which
+ * rules fired.
+ *
+ * Checked intra-bank rules: tRC (ACT->ACT), tRP (PRE->ACT),
+ * tRAS (ACT->PRE), tRCD (ACT->RD/WR), tRTP (RD->PRE) and write
+ * recovery (WR->PRE), plus open/closed-state validity.  Precharge
+ * flavors use their own timing set (PRE vs PREcu), mirroring
+ * BankTiming's dual-set model.
+ */
+class ProtocolChecker
+{
+  public:
+    /**
+     * @param normal Timing set for regular commands.
+     * @param cu Timing set used by counter-update precharges (PREcu);
+     *        pass @p normal for designs without PREcu.
+     * @param banks Banks in the sub-channel.
+     */
+    ProtocolChecker(const TimingSet &normal, const TimingSet &cu,
+                    unsigned banks);
+
+    /** Record command @p cmd to @p bank at cycle @p now. */
+    void onCommand(DramCommand cmd, unsigned bank, Cycle now);
+
+    /** All violations recorded so far, in command order. */
+    const std::vector<TimingViolation> &violations() const
+    {
+        return violations_;
+    }
+
+    /** Total commands checked. */
+    std::uint64_t commands() const { return commands_; }
+
+    /** Violations of one specific rule. */
+    std::uint64_t countRule(const std::string &rule) const;
+
+  private:
+    /** Per-bank protocol state, re-derived from scratch. */
+    struct BankState
+    {
+        bool open = false;
+        /** Which precharge flavor closed the bank last. */
+        bool last_pre_was_cu = false;
+        Cycle last_act = 0;
+        Cycle last_pre = 0;
+        Cycle last_read = 0;
+        Cycle last_write_end = 0;
+        bool ever_activated = false;
+        bool ever_precharged = false;
+        bool ever_read = false;
+        bool ever_written = false;
+    };
+
+    void report(DramCommand cmd, unsigned bank, Cycle now,
+                Cycle earliest, const char *rule);
+
+    TimingSet normal_;
+    TimingSet cu_;
+    std::vector<BankState> banks_;
+    std::vector<TimingViolation> violations_;
+    std::uint64_t commands_ = 0;
 };
 
 } // namespace mopac

@@ -35,7 +35,8 @@ defaultInstsPerCore(std::uint64_t base)
 }
 
 RunResult
-runWorkload(const SystemConfig &cfg, const std::string &name)
+runWorkload(const SystemConfig &cfg, const std::string &name,
+            StatSnapshot *stats_out)
 {
     const AddressMap map(cfg.geometry);
     auto owned =
@@ -46,7 +47,31 @@ runWorkload(const SystemConfig &cfg, const std::string &name)
         traces.push_back(t.get());
     }
     System system(cfg, traces);
-    return system.run();
+    RunResult result = system.run();
+    if (stats_out != nullptr) {
+        StatRegistry registry;
+        system.registerStats(registry);
+        *stats_out = StatSnapshot(registry);
+    }
+    return result;
+}
+
+RunOutcome
+tryRunWorkload(const SystemConfig &cfg, const std::string &name,
+               bool capture_stats)
+{
+    RunOutcome outcome;
+    const ErrorTrap trap;
+    try {
+        outcome.result = runWorkload(
+            cfg, name, capture_stats ? &outcome.stats : nullptr);
+        outcome.ok = true;
+    } catch (const std::exception &e) {
+        outcome.error = e.what();
+    } catch (...) {
+        outcome.error = "unknown exception";
+    }
+    return outcome;
 }
 
 double

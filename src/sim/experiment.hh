@@ -27,8 +27,35 @@ std::uint64_t defaultInstsPerCore(std::uint64_t base = 300000);
  * @p cfg.  Traces are derived from cfg.seed only, so two configs with
  * the same seed replay identical instruction streams -- paired runs
  * for slowdown measurements.
+ *
+ * @param stats_out When non-null, receives a value snapshot of every
+ *        component statistic (taken after the run, before the System
+ *        is destroyed); this is what the parallel runner merges.
  */
-RunResult runWorkload(const SystemConfig &cfg, const std::string &name);
+RunResult runWorkload(const SystemConfig &cfg, const std::string &name,
+                      StatSnapshot *stats_out = nullptr);
+
+/** Result-or-error of one guarded workload run. */
+struct RunOutcome
+{
+    /** True when @c result (and @c stats) are valid. */
+    bool ok = false;
+    RunResult result;
+    StatSnapshot stats;
+    /** Failure description when !ok. */
+    std::string error;
+};
+
+/**
+ * runWorkload with the failure path made structural: panic(), fatal(),
+ * and any exception thrown while building or running the point are
+ * captured into RunOutcome::error instead of propagating (or calling
+ * abort()/exit()).  This is what lets a sweep quarantine one broken
+ * point and keep the other results.
+ */
+RunOutcome tryRunWorkload(const SystemConfig &cfg,
+                          const std::string &name,
+                          bool capture_stats = false);
 
 /**
  * Convenience: slowdown of mitigation @p kind vs the unprotected

@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Work-stealing runner implementation.
+ *
+ * Concurrency notes (the TSan preset runs the determinism test against
+ * exactly this code):
+ *  - Shard deques are each guarded by their own mutex; pops from the
+ *    owner take the front, steals take the back, so owner and thief
+ *    contend only on the lock, never on an element.
+ *  - results[] is pre-sized and each slot is written by exactly one
+ *    worker before the join; readers only touch it after join(), so
+ *    the join is the only synchronization the results need.
+ */
+
+#include "runner.hh"
+
+#include <chrono>
+#include <deque>
+#include <mutex>
+#include <thread>
+
+#include "common/log.hh"
+
+namespace mopac
+{
+
+const char *
+toString(PointStatus status)
+{
+    switch (status) {
+      case PointStatus::kOk: return "OK";
+      case PointStatus::kFailed: return "FAILED";
+      case PointStatus::kTimedOut: return "TIMEOUT";
+    }
+    return "?";
+}
+
+Runner::Runner(RunnerOptions opts) : opts_(opts) {}
+
+unsigned
+Runner::jobs() const
+{
+    if (opts_.jobs > 0) {
+        return opts_.jobs;
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+PointResult
+Runner::executePoint(const ExperimentPoint &point) const
+{
+    const auto start = std::chrono::steady_clock::now();
+
+    ExperimentPoint guarded = point;
+    if (guarded.cfg.max_cycles == 0 && opts_.point_max_cycles > 0) {
+        guarded.cfg.max_cycles = opts_.point_max_cycles;
+    }
+
+    PointResult result;
+    result.point_id = point.point_id;
+    result.seed = guarded.cfg.seed;
+
+    RunOutcome outcome = tryRunWorkload(guarded.cfg, guarded.workload,
+                                        /*capture_stats=*/true);
+    result.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+
+    if (!outcome.ok) {
+        result.status = PointStatus::kFailed;
+        result.error = outcome.error;
+        return result;
+    }
+    result.run = std::move(outcome.result);
+    result.stats = std::move(outcome.stats);
+    if (result.run.timed_out) {
+        result.status = PointStatus::kTimedOut;
+        result.error = "hit the max_cycles guard";
+    } else if (opts_.point_timeout_sec > 0.0 &&
+               result.wall_seconds > opts_.point_timeout_sec) {
+        result.status = PointStatus::kTimedOut;
+        result.error = format("exceeded the {:.1f}s wall-clock budget",
+                              opts_.point_timeout_sec);
+    } else {
+        result.status = PointStatus::kOk;
+    }
+    return result;
+}
+
+std::vector<PointResult>
+Runner::run(const std::vector<ExperimentPoint> &points,
+            const ProgressFn &progress) const
+{
+    std::vector<PointResult> results(points.size());
+    if (points.empty()) {
+        return results;
+    }
+
+    const unsigned num_workers = static_cast<unsigned>(
+        std::min<std::size_t>(jobs(), points.size()));
+
+    // Worker-local shards; stealing keeps the tail balanced.
+    struct Shard
+    {
+        std::mutex mutex;
+        std::deque<std::size_t> queue;
+    };
+    std::vector<Shard> shards(num_workers);
+    const auto assignment =
+        shardRoundRobin(points.size(), num_workers);
+    for (unsigned s = 0; s < num_workers; ++s) {
+        shards[s].queue.assign(assignment[s].begin(),
+                               assignment[s].end());
+    }
+
+    auto worker = [&](unsigned self) {
+        for (;;) {
+            std::size_t idx = 0;
+            bool found = false;
+            {
+                // Own shard first, front pop (sweep order).
+                Shard &mine = shards[self];
+                std::lock_guard<std::mutex> lock(mine.mutex);
+                if (!mine.queue.empty()) {
+                    idx = mine.queue.front();
+                    mine.queue.pop_front();
+                    found = true;
+                }
+            }
+            if (!found) {
+                // Steal from the back of the fullest other shard.
+                unsigned victim = num_workers;
+                std::size_t victim_size = 0;
+                for (unsigned v = 0; v < num_workers; ++v) {
+                    if (v == self) {
+                        continue;
+                    }
+                    std::lock_guard<std::mutex> lock(shards[v].mutex);
+                    if (shards[v].queue.size() > victim_size) {
+                        victim_size = shards[v].queue.size();
+                        victim = v;
+                    }
+                }
+                if (victim < num_workers) {
+                    Shard &target = shards[victim];
+                    std::lock_guard<std::mutex> lock(target.mutex);
+                    if (!target.queue.empty()) {
+                        idx = target.queue.back();
+                        target.queue.pop_back();
+                        found = true;
+                    }
+                }
+            }
+            if (!found) {
+                return; // Every shard drained.
+            }
+            results[idx] = executePoint(points[idx]);
+            if (progress) {
+                progress(points[idx], results[idx]);
+            }
+        }
+    };
+
+    if (num_workers == 1) {
+        // --jobs 1: run inline, no thread at all (simplest replay /
+        // debugging environment, and the determinism reference).
+        worker(0);
+        return results;
+    }
+
+    std::vector<std::thread> threads;
+    threads.reserve(num_workers);
+    for (unsigned w = 0; w < num_workers; ++w) {
+        threads.emplace_back(worker, w);
+    }
+    for (std::thread &t : threads) {
+        t.join();
+    }
+    return results;
+}
+
+PointResult
+Runner::replay(const ExperimentPoint &point, const RunnerOptions &opts)
+{
+    RunnerOptions single = opts;
+    single.jobs = 1;
+    return Runner(single).executePoint(point);
+}
+
+StatSnapshot
+Runner::mergeStats(const std::vector<PointResult> &results)
+{
+    StatSnapshot merged;
+    for (const PointResult &result : results) {
+        if (result.status == PointStatus::kOk) {
+            merged.merge(result.stats);
+        }
+    }
+    return merged;
+}
+
+} // namespace mopac

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Work-stealing parallel experiment runner.
+ *
+ * Every figure/table of the paper sweeps many independent
+ * (workload x config) points; the Runner executes them on a
+ * std::thread pool while keeping each point bit-for-bit deterministic:
+ *
+ *  - Each ExperimentPoint carries its own counter-mode RNG stream
+ *    (Rng::streamSeed over (master_seed, stream id), assigned at sweep
+ *    expansion), so results do not depend on thread count or
+ *    scheduling order.
+ *  - Points are sharded round-robin over worker-local deques; an idle
+ *    worker steals from the back of the fullest other shard, so a few
+ *    slow points cannot serialize the tail of the sweep.
+ *  - A crashing point (exception, panic(), fatal()) is quarantined:
+ *    it reports PointStatus::kFailed with its seed for single-threaded
+ *    replay instead of killing the sweep.  A point that hits its cycle
+ *    guard or wall-clock budget reports kTimedOut the same way.
+ *  - Per-point StatSnapshots are merged in point-id order after the
+ *    workers join, so the final stats table is also schedule
+ *    independent and free of data races.
+ */
+
+#ifndef MOPAC_SIM_RUNNER_HH
+#define MOPAC_SIM_RUNNER_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "sim/experiment.hh"
+#include "sim/sharding.hh"
+
+namespace mopac
+{
+
+/** Runner tuning knobs. */
+struct RunnerOptions
+{
+    /** Worker threads; 0 selects std::thread::hardware_concurrency. */
+    unsigned jobs = 0;
+    /**
+     * Wall-clock budget per point in seconds (0 = none).  The
+     * simulator is single-threadedly cooperative, so the budget is
+     * enforced through the cycle guard below plus post-hoc
+     * classification: a point whose wall time exceeds the budget is
+     * reported as kTimedOut even if it eventually produced a result.
+     */
+    double point_timeout_sec = 0.0;
+    /**
+     * Cycle guard applied to points whose config leaves max_cycles at
+     * 0 (0 = keep the config's own generous automatic bound).  This is
+     * what actually stops a livelocked point.
+     */
+    std::uint64_t point_max_cycles = 0;
+};
+
+/** Terminal state of one executed point. */
+enum class PointStatus
+{
+    kOk,
+    kFailed,
+    kTimedOut,
+};
+
+/** Printable name of a point status. */
+const char *toString(PointStatus status);
+
+/** Everything the sweep keeps about one executed point. */
+struct PointResult
+{
+    std::uint64_t point_id = 0;
+    PointStatus status = PointStatus::kFailed;
+    /** The exact seed the point ran with (replay handle). */
+    std::uint64_t seed = 0;
+    /** Wall-clock execution time of the point, seconds. */
+    double wall_seconds = 0.0;
+    /** Failure / timeout description (empty when kOk). */
+    std::string error;
+    /** Simulation result (valid when status == kOk). */
+    RunResult run;
+    /** Component statistics snapshot (valid when status == kOk). */
+    StatSnapshot stats;
+};
+
+/** Executes sweeps; see the file comment for the guarantees. */
+class Runner
+{
+  public:
+    /** Called after each point completes (from the worker thread). */
+    using ProgressFn =
+        std::function<void(const ExperimentPoint &, const PointResult &)>;
+
+    explicit Runner(RunnerOptions opts = {});
+
+    /**
+     * Execute every point and return results indexed like @p points.
+     * @p progress (optional) is invoked once per finished point; it
+     * must be thread-safe, as workers call it concurrently.
+     */
+    std::vector<PointResult> run(
+        const std::vector<ExperimentPoint> &points,
+        const ProgressFn &progress = nullptr) const;
+
+    /**
+     * Re-run one point on the calling thread with stats captured --
+     * the `--replay point_id` debugging path.
+     */
+    static PointResult replay(const ExperimentPoint &point,
+                              const RunnerOptions &opts = {});
+
+    /**
+     * Merge the stat snapshots of all kOk points, in point-id order,
+     * into one table.
+     */
+    static StatSnapshot mergeStats(
+        const std::vector<PointResult> &results);
+
+    /** Resolved worker count. */
+    unsigned jobs() const;
+
+  private:
+    PointResult executePoint(const ExperimentPoint &point) const;
+
+    RunnerOptions opts_;
+};
+
+} // namespace mopac
+
+#endif // MOPAC_SIM_RUNNER_HH

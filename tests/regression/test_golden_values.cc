@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Golden-value regression: re-evaluate the downscaled figure/table
+ * points of golden_points.hh and compare against the checked-in
+ * numbers.  Exact integers must match exactly; reals may drift by
+ * the usual 4-ulp EXPECT_DOUBLE_EQ margin (they are stored as
+ * hexfloats, so on the generating platform they match bit-for-bit).
+ *
+ * A failure here means simulated behavior changed.  If the change is
+ * intentional, regenerate (see the header of golden_values.hh) and
+ * explain the shift in the commit message; if not, it is a real
+ * regression caught before any full-scale figure run.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+
+#include "golden_points.hh"
+#include "golden_values.hh"
+
+namespace mopac
+{
+namespace
+{
+
+TEST(GoldenValues, DownscaledPointsMatchCheckedInNumbers)
+{
+    const auto fresh = golden::computeGoldenValues();
+    constexpr std::size_t kGoldenCount =
+        sizeof(golden::kGoldenValues) /
+        sizeof(golden::kGoldenValues[0]);
+    ASSERT_EQ(fresh.size(), kGoldenCount)
+        << "golden point set changed; regenerate golden_values.hh";
+
+    for (std::size_t i = 0; i < kGoldenCount; ++i) {
+        const golden::GoldenEntry &want = golden::kGoldenValues[i];
+        const golden::GoldenValue &got = fresh[i];
+        ASSERT_EQ(got.name, want.name)
+            << "entry " << i
+            << " renamed; regenerate golden_values.hh";
+        ASSERT_EQ(got.is_real, want.is_real) << got.name;
+        if (want.is_real) {
+            EXPECT_DOUBLE_EQ(got.d, want.d) << got.name;
+        } else {
+            EXPECT_EQ(got.u, want.u) << got.name;
+        }
+    }
+}
+
+TEST(GoldenValues, Tab06CriticalCsMatchThePaper)
+{
+    // Independent of the golden file: the paper's bold entries.
+    const auto fresh = golden::computeGoldenValues();
+    auto find = [&](const std::string &name) -> std::uint64_t {
+        for (const auto &v : fresh) {
+            if (v.name == name) {
+                return v.u;
+            }
+        }
+        ADD_FAILURE() << name << " not evaluated";
+        return 0;
+    };
+    EXPECT_EQ(find("tab06.critical_c.trh250"), 20u);
+    EXPECT_EQ(find("tab06.critical_c.trh500"), 22u);
+    EXPECT_EQ(find("tab06.critical_c.trh1000"), 23u);
+}
+
+} // namespace
+} // namespace mopac
