@@ -168,11 +168,15 @@ runBenchPoints(const std::vector<ExperimentPoint> &points,
         inform("replaying point {}: {} / {} (seed {})", id,
                point.config_label, point.workload, point.cfg.seed);
         const PointResult result = Runner::replay(point);
-        inform("point {} finished: {} in {:.2f}s", id,
-               toString(result.status), result.wall_seconds);
-        if (result.status == PointStatus::kFailed) {
+        inform("point {} finished: {} ({}) in {:.2f}s", id,
+               toString(result.status), toString(result.outcome),
+               result.wall_seconds);
+        if (!result.error.empty()) {
             std::cout << "error: " << result.error << "\n";
-        } else {
+        }
+        // A crashed point has no stats; a kFaulted point whose last
+        // attempt completed (e.g. VIOLATED) dumps them like kOk.
+        if (result.status != PointStatus::kFailed) {
             result.stats.dump(std::cout);
         }
         std::exit(0);

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_mint_vs_para.dir/abl_mint_vs_para.cc.o"
+  "CMakeFiles/abl_mint_vs_para.dir/abl_mint_vs_para.cc.o.d"
+  "abl_mint_vs_para"
+  "abl_mint_vs_para.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_mint_vs_para.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for abl_mint_vs_para.
+# This may be replaced when dependencies are built.

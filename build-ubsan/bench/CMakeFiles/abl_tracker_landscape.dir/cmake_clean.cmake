@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_tracker_landscape.dir/abl_tracker_landscape.cc.o"
+  "CMakeFiles/abl_tracker_landscape.dir/abl_tracker_landscape.cc.o.d"
+  "abl_tracker_landscape"
+  "abl_tracker_landscape.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_tracker_landscape.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_tth_sweep.dir/abl_tth_sweep.cc.o"
+  "CMakeFiles/abl_tth_sweep.dir/abl_tth_sweep.cc.o.d"
+  "abl_tth_sweep"
+  "abl_tth_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_tth_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chaos_soak.dir/chaos_soak.cc.o"
+  "CMakeFiles/chaos_soak.dir/chaos_soak.cc.o.d"
+  "chaos_soak"
+  "chaos_soak.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chaos_soak.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

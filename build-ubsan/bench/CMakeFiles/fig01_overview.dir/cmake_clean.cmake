@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_overview.dir/fig01_overview.cc.o"
+  "CMakeFiles/fig01_overview.dir/fig01_overview.cc.o.d"
+  "fig01_overview"
+  "fig01_overview.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_overview.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

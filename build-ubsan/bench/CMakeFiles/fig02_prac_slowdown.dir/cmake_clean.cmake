@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_prac_slowdown.dir/fig02_prac_slowdown.cc.o"
+  "CMakeFiles/fig02_prac_slowdown.dir/fig02_prac_slowdown.cc.o.d"
+  "fig02_prac_slowdown"
+  "fig02_prac_slowdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_prac_slowdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_mopac_c_perf.dir/fig09_mopac_c_perf.cc.o"
+  "CMakeFiles/fig09_mopac_c_perf.dir/fig09_mopac_c_perf.cc.o.d"
+  "fig09_mopac_c_perf"
+  "fig09_mopac_c_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_mopac_c_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

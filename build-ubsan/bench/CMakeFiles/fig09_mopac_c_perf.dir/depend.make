@@ -1,0 +1,2 @@
+# Empty dependencies file for fig09_mopac_c_perf.
+# This may be replaced when dependencies are built.

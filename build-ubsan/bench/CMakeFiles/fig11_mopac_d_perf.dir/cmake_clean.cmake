@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_mopac_d_perf.dir/fig11_mopac_d_perf.cc.o"
+  "CMakeFiles/fig11_mopac_d_perf.dir/fig11_mopac_d_perf.cc.o.d"
+  "fig11_mopac_d_perf"
+  "fig11_mopac_d_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_mopac_d_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_drain_on_ref.dir/fig12_drain_on_ref.cc.o"
+  "CMakeFiles/fig12_drain_on_ref.dir/fig12_drain_on_ref.cc.o.d"
+  "fig12_drain_on_ref"
+  "fig12_drain_on_ref.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_drain_on_ref.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

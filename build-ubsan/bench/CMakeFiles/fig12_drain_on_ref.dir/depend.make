@@ -1,0 +1,2 @@
+# Empty dependencies file for fig12_drain_on_ref.
+# This may be replaced when dependencies are built.

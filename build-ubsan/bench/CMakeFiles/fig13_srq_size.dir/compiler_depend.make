@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig13_srq_size.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_nup_perf.dir/fig17_nup_perf.cc.o"
+  "CMakeFiles/fig17_nup_perf.dir/fig17_nup_perf.cc.o.d"
+  "fig17_nup_perf"
+  "fig17_nup_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_nup_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

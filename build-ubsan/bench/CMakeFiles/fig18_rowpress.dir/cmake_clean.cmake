@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_rowpress.dir/fig18_rowpress.cc.o"
+  "CMakeFiles/fig18_rowpress.dir/fig18_rowpress.cc.o.d"
+  "fig18_rowpress"
+  "fig18_rowpress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_rowpress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig19_chip_count.dir/fig19_chip_count.cc.o"
+  "CMakeFiles/fig19_chip_count.dir/fig19_chip_count.cc.o.d"
+  "fig19_chip_count"
+  "fig19_chip_count.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_chip_count.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab02_moat_ath.dir/tab02_moat_ath.cc.o"
+  "CMakeFiles/tab02_moat_ath.dir/tab02_moat_ath.cc.o.d"
+  "tab02_moat_ath"
+  "tab02_moat_ath.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab02_moat_ath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for tab02_moat_ath.
+# This may be replaced when dependencies are built.

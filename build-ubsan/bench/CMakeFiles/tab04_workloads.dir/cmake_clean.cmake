@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab04_workloads.dir/tab04_workloads.cc.o"
+  "CMakeFiles/tab04_workloads.dir/tab04_workloads.cc.o.d"
+  "tab04_workloads"
+  "tab04_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab04_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab05_failure_budget.dir/tab05_failure_budget.cc.o"
+  "CMakeFiles/tab05_failure_budget.dir/tab05_failure_budget.cc.o.d"
+  "tab05_failure_budget"
+  "tab05_failure_budget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab05_failure_budget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab06_pe1_vs_c.dir/tab06_pe1_vs_c.cc.o"
+  "CMakeFiles/tab06_pe1_vs_c.dir/tab06_pe1_vs_c.cc.o.d"
+  "tab06_pe1_vs_c"
+  "tab06_pe1_vs_c.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab06_pe1_vs_c.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for tab06_pe1_vs_c.
+# This may be replaced when dependencies are built.

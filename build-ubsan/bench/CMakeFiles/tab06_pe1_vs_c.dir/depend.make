@@ -1,0 +1,2 @@
+# Empty dependencies file for tab06_pe1_vs_c.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab07_mopac_c_params.dir/tab07_mopac_c_params.cc.o"
+  "CMakeFiles/tab07_mopac_c_params.dir/tab07_mopac_c_params.cc.o.d"
+  "tab07_mopac_c_params"
+  "tab07_mopac_c_params.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab07_mopac_c_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

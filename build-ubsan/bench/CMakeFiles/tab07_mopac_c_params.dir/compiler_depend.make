@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for tab07_mopac_c_params.
+# This may be replaced when dependencies are built.

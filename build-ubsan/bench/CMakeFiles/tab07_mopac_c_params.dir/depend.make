@@ -1,0 +1,2 @@
+# Empty dependencies file for tab07_mopac_c_params.
+# This may be replaced when dependencies are built.

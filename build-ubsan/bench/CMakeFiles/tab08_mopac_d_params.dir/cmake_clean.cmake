@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab08_mopac_d_params.dir/tab08_mopac_d_params.cc.o"
+  "CMakeFiles/tab08_mopac_d_params.dir/tab08_mopac_d_params.cc.o.d"
+  "tab08_mopac_d_params"
+  "tab08_mopac_d_params.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab08_mopac_d_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

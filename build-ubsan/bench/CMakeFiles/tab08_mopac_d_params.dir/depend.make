@@ -1,0 +1,2 @@
+# Empty dependencies file for tab08_mopac_d_params.
+# This may be replaced when dependencies are built.

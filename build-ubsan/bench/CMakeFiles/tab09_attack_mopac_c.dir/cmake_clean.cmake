@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab09_attack_mopac_c.dir/tab09_attack_mopac_c.cc.o"
+  "CMakeFiles/tab09_attack_mopac_c.dir/tab09_attack_mopac_c.cc.o.d"
+  "tab09_attack_mopac_c"
+  "tab09_attack_mopac_c.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab09_attack_mopac_c.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab10_attack_mopac_d.dir/tab10_attack_mopac_d.cc.o"
+  "CMakeFiles/tab10_attack_mopac_d.dir/tab10_attack_mopac_d.cc.o.d"
+  "tab10_attack_mopac_d"
+  "tab10_attack_mopac_d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab10_attack_mopac_d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

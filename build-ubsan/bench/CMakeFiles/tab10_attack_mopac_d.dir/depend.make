@@ -1,0 +1,2 @@
+# Empty dependencies file for tab10_attack_mopac_d.
+# This may be replaced when dependencies are built.

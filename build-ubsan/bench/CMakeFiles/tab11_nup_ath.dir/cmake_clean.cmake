@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab11_nup_ath.dir/tab11_nup_ath.cc.o"
+  "CMakeFiles/tab11_nup_ath.dir/tab11_nup_ath.cc.o.d"
+  "tab11_nup_ath"
+  "tab11_nup_ath.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab11_nup_ath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

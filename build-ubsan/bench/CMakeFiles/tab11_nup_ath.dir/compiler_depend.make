@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for tab11_nup_ath.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for tab11_nup_ath.
+# This may be replaced when dependencies are built.

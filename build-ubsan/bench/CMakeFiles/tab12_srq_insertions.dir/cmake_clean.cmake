@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab12_srq_insertions.dir/tab12_srq_insertions.cc.o"
+  "CMakeFiles/tab12_srq_insertions.dir/tab12_srq_insertions.cc.o.d"
+  "tab12_srq_insertions"
+  "tab12_srq_insertions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab12_srq_insertions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for tab12_srq_insertions.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/tab13_related_trh.cc" "bench/CMakeFiles/tab13_related_trh.dir/tab13_related_trh.cc.o" "gcc" "bench/CMakeFiles/tab13_related_trh.dir/tab13_related_trh.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-ubsan/src/sim/CMakeFiles/mopac_sim.dir/DependInfo.cmake"
+  "/root/repo/build-ubsan/src/mitigation/CMakeFiles/mopac_mitigation.dir/DependInfo.cmake"
+  "/root/repo/build-ubsan/src/analysis/CMakeFiles/mopac_analysis.dir/DependInfo.cmake"
+  "/root/repo/build-ubsan/src/workload/CMakeFiles/mopac_workload.dir/DependInfo.cmake"
+  "/root/repo/build-ubsan/src/core/CMakeFiles/mopac_core.dir/DependInfo.cmake"
+  "/root/repo/build-ubsan/src/mc/CMakeFiles/mopac_mc.dir/DependInfo.cmake"
+  "/root/repo/build-ubsan/src/dram/CMakeFiles/mopac_dram.dir/DependInfo.cmake"
+  "/root/repo/build-ubsan/src/common/CMakeFiles/mopac_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

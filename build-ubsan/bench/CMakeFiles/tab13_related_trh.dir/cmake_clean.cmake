@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab13_related_trh.dir/tab13_related_trh.cc.o"
+  "CMakeFiles/tab13_related_trh.dir/tab13_related_trh.cc.o.d"
+  "tab13_related_trh"
+  "tab13_related_trh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab13_related_trh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for tab13_related_trh.
+# This may be replaced when dependencies are built.

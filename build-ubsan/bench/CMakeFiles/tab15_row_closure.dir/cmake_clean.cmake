@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab15_row_closure.dir/tab15_row_closure.cc.o"
+  "CMakeFiles/tab15_row_closure.dir/tab15_row_closure.cc.o.d"
+  "tab15_row_closure"
+  "tab15_row_closure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab15_row_closure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

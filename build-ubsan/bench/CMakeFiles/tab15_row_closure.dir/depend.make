@@ -1,0 +1,2 @@
+# Empty dependencies file for tab15_row_closure.
+# This may be replaced when dependencies are built.

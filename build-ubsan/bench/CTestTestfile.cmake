@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/bench
+# Build directory: /root/repo/build-ubsan/bench
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test([=[chaos_soak_smoke]=] "/root/repo/build-ubsan/bench/chaos_soak" "--smoke")
+set_tests_properties([=[chaos_soak_smoke]=] PROPERTIES  ENVIRONMENT "MOPAC_SIM_SCALE=0.1" LABELS "tier1;faults" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;37;add_test;/root/repo/bench/CMakeLists.txt;0;")

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/binomial.cc" "src/analysis/CMakeFiles/mopac_analysis.dir/binomial.cc.o" "gcc" "src/analysis/CMakeFiles/mopac_analysis.dir/binomial.cc.o.d"
+  "/root/repo/src/analysis/markov.cc" "src/analysis/CMakeFiles/mopac_analysis.dir/markov.cc.o" "gcc" "src/analysis/CMakeFiles/mopac_analysis.dir/markov.cc.o.d"
+  "/root/repo/src/analysis/moat_model.cc" "src/analysis/CMakeFiles/mopac_analysis.dir/moat_model.cc.o" "gcc" "src/analysis/CMakeFiles/mopac_analysis.dir/moat_model.cc.o.d"
+  "/root/repo/src/analysis/perf_attack.cc" "src/analysis/CMakeFiles/mopac_analysis.dir/perf_attack.cc.o" "gcc" "src/analysis/CMakeFiles/mopac_analysis.dir/perf_attack.cc.o.d"
+  "/root/repo/src/analysis/related.cc" "src/analysis/CMakeFiles/mopac_analysis.dir/related.cc.o" "gcc" "src/analysis/CMakeFiles/mopac_analysis.dir/related.cc.o.d"
+  "/root/repo/src/analysis/security.cc" "src/analysis/CMakeFiles/mopac_analysis.dir/security.cc.o" "gcc" "src/analysis/CMakeFiles/mopac_analysis.dir/security.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-ubsan/src/common/CMakeFiles/mopac_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

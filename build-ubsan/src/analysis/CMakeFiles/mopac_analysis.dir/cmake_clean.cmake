@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mopac_analysis.dir/binomial.cc.o"
+  "CMakeFiles/mopac_analysis.dir/binomial.cc.o.d"
+  "CMakeFiles/mopac_analysis.dir/markov.cc.o"
+  "CMakeFiles/mopac_analysis.dir/markov.cc.o.d"
+  "CMakeFiles/mopac_analysis.dir/moat_model.cc.o"
+  "CMakeFiles/mopac_analysis.dir/moat_model.cc.o.d"
+  "CMakeFiles/mopac_analysis.dir/perf_attack.cc.o"
+  "CMakeFiles/mopac_analysis.dir/perf_attack.cc.o.d"
+  "CMakeFiles/mopac_analysis.dir/related.cc.o"
+  "CMakeFiles/mopac_analysis.dir/related.cc.o.d"
+  "CMakeFiles/mopac_analysis.dir/security.cc.o"
+  "CMakeFiles/mopac_analysis.dir/security.cc.o.d"
+  "libmopac_analysis.a"
+  "libmopac_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mopac_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mopac_common.dir/config.cc.o"
+  "CMakeFiles/mopac_common.dir/config.cc.o.d"
+  "CMakeFiles/mopac_common.dir/format.cc.o"
+  "CMakeFiles/mopac_common.dir/format.cc.o.d"
+  "CMakeFiles/mopac_common.dir/log.cc.o"
+  "CMakeFiles/mopac_common.dir/log.cc.o.d"
+  "CMakeFiles/mopac_common.dir/rng.cc.o"
+  "CMakeFiles/mopac_common.dir/rng.cc.o.d"
+  "CMakeFiles/mopac_common.dir/stats.cc.o"
+  "CMakeFiles/mopac_common.dir/stats.cc.o.d"
+  "CMakeFiles/mopac_common.dir/table.cc.o"
+  "CMakeFiles/mopac_common.dir/table.cc.o.d"
+  "libmopac_common.a"
+  "libmopac_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mopac_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

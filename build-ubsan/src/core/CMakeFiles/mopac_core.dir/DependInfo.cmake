@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cache.cc" "src/core/CMakeFiles/mopac_core.dir/cache.cc.o" "gcc" "src/core/CMakeFiles/mopac_core.dir/cache.cc.o.d"
+  "/root/repo/src/core/core.cc" "src/core/CMakeFiles/mopac_core.dir/core.cc.o" "gcc" "src/core/CMakeFiles/mopac_core.dir/core.cc.o.d"
+  "/root/repo/src/core/cpu.cc" "src/core/CMakeFiles/mopac_core.dir/cpu.cc.o" "gcc" "src/core/CMakeFiles/mopac_core.dir/cpu.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-ubsan/src/mc/CMakeFiles/mopac_mc.dir/DependInfo.cmake"
+  "/root/repo/build-ubsan/src/common/CMakeFiles/mopac_common.dir/DependInfo.cmake"
+  "/root/repo/build-ubsan/src/dram/CMakeFiles/mopac_dram.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mopac_core.dir/cache.cc.o"
+  "CMakeFiles/mopac_core.dir/cache.cc.o.d"
+  "CMakeFiles/mopac_core.dir/core.cc.o"
+  "CMakeFiles/mopac_core.dir/core.cc.o.d"
+  "CMakeFiles/mopac_core.dir/cpu.cc.o"
+  "CMakeFiles/mopac_core.dir/cpu.cc.o.d"
+  "libmopac_core.a"
+  "libmopac_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mopac_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

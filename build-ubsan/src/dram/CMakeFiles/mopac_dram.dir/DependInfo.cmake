@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dram/bank.cc" "src/dram/CMakeFiles/mopac_dram.dir/bank.cc.o" "gcc" "src/dram/CMakeFiles/mopac_dram.dir/bank.cc.o.d"
+  "/root/repo/src/dram/checker.cc" "src/dram/CMakeFiles/mopac_dram.dir/checker.cc.o" "gcc" "src/dram/CMakeFiles/mopac_dram.dir/checker.cc.o.d"
+  "/root/repo/src/dram/device.cc" "src/dram/CMakeFiles/mopac_dram.dir/device.cc.o" "gcc" "src/dram/CMakeFiles/mopac_dram.dir/device.cc.o.d"
+  "/root/repo/src/dram/prac.cc" "src/dram/CMakeFiles/mopac_dram.dir/prac.cc.o" "gcc" "src/dram/CMakeFiles/mopac_dram.dir/prac.cc.o.d"
+  "/root/repo/src/dram/timing.cc" "src/dram/CMakeFiles/mopac_dram.dir/timing.cc.o" "gcc" "src/dram/CMakeFiles/mopac_dram.dir/timing.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-ubsan/src/common/CMakeFiles/mopac_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

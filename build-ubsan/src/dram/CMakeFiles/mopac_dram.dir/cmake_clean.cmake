@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mopac_dram.dir/bank.cc.o"
+  "CMakeFiles/mopac_dram.dir/bank.cc.o.d"
+  "CMakeFiles/mopac_dram.dir/checker.cc.o"
+  "CMakeFiles/mopac_dram.dir/checker.cc.o.d"
+  "CMakeFiles/mopac_dram.dir/device.cc.o"
+  "CMakeFiles/mopac_dram.dir/device.cc.o.d"
+  "CMakeFiles/mopac_dram.dir/prac.cc.o"
+  "CMakeFiles/mopac_dram.dir/prac.cc.o.d"
+  "CMakeFiles/mopac_dram.dir/timing.cc.o"
+  "CMakeFiles/mopac_dram.dir/timing.cc.o.d"
+  "libmopac_dram.a"
+  "libmopac_dram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mopac_dram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mopac_mc.dir/controller.cc.o"
+  "CMakeFiles/mopac_mc.dir/controller.cc.o.d"
+  "libmopac_mc.a"
+  "libmopac_mc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mopac_mc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

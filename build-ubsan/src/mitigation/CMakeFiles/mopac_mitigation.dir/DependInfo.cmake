@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mitigation/counter_engine.cc" "src/mitigation/CMakeFiles/mopac_mitigation.dir/counter_engine.cc.o" "gcc" "src/mitigation/CMakeFiles/mopac_mitigation.dir/counter_engine.cc.o.d"
+  "/root/repo/src/mitigation/extra_engines.cc" "src/mitigation/CMakeFiles/mopac_mitigation.dir/extra_engines.cc.o" "gcc" "src/mitigation/CMakeFiles/mopac_mitigation.dir/extra_engines.cc.o.d"
+  "/root/repo/src/mitigation/mopac_d.cc" "src/mitigation/CMakeFiles/mopac_mitigation.dir/mopac_d.cc.o" "gcc" "src/mitigation/CMakeFiles/mopac_mitigation.dir/mopac_d.cc.o.d"
+  "/root/repo/src/mitigation/related.cc" "src/mitigation/CMakeFiles/mopac_mitigation.dir/related.cc.o" "gcc" "src/mitigation/CMakeFiles/mopac_mitigation.dir/related.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-ubsan/src/dram/CMakeFiles/mopac_dram.dir/DependInfo.cmake"
+  "/root/repo/build-ubsan/src/analysis/CMakeFiles/mopac_analysis.dir/DependInfo.cmake"
+  "/root/repo/build-ubsan/src/common/CMakeFiles/mopac_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

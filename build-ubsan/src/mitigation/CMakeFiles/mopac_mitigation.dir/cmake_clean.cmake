@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mopac_mitigation.dir/counter_engine.cc.o"
+  "CMakeFiles/mopac_mitigation.dir/counter_engine.cc.o.d"
+  "CMakeFiles/mopac_mitigation.dir/extra_engines.cc.o"
+  "CMakeFiles/mopac_mitigation.dir/extra_engines.cc.o.d"
+  "CMakeFiles/mopac_mitigation.dir/mopac_d.cc.o"
+  "CMakeFiles/mopac_mitigation.dir/mopac_d.cc.o.d"
+  "CMakeFiles/mopac_mitigation.dir/related.cc.o"
+  "CMakeFiles/mopac_mitigation.dir/related.cc.o.d"
+  "libmopac_mitigation.a"
+  "libmopac_mitigation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mopac_mitigation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

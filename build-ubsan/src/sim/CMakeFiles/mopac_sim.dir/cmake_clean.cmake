@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mopac_sim.dir/attack.cc.o"
+  "CMakeFiles/mopac_sim.dir/attack.cc.o.d"
+  "CMakeFiles/mopac_sim.dir/experiment.cc.o"
+  "CMakeFiles/mopac_sim.dir/experiment.cc.o.d"
+  "CMakeFiles/mopac_sim.dir/faults.cc.o"
+  "CMakeFiles/mopac_sim.dir/faults.cc.o.d"
+  "CMakeFiles/mopac_sim.dir/runner.cc.o"
+  "CMakeFiles/mopac_sim.dir/runner.cc.o.d"
+  "CMakeFiles/mopac_sim.dir/sharding.cc.o"
+  "CMakeFiles/mopac_sim.dir/sharding.cc.o.d"
+  "CMakeFiles/mopac_sim.dir/system.cc.o"
+  "CMakeFiles/mopac_sim.dir/system.cc.o.d"
+  "libmopac_sim.a"
+  "libmopac_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mopac_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/attack.cc" "src/workload/CMakeFiles/mopac_workload.dir/attack.cc.o" "gcc" "src/workload/CMakeFiles/mopac_workload.dir/attack.cc.o.d"
+  "/root/repo/src/workload/spec.cc" "src/workload/CMakeFiles/mopac_workload.dir/spec.cc.o" "gcc" "src/workload/CMakeFiles/mopac_workload.dir/spec.cc.o.d"
+  "/root/repo/src/workload/synth.cc" "src/workload/CMakeFiles/mopac_workload.dir/synth.cc.o" "gcc" "src/workload/CMakeFiles/mopac_workload.dir/synth.cc.o.d"
+  "/root/repo/src/workload/trace_file.cc" "src/workload/CMakeFiles/mopac_workload.dir/trace_file.cc.o" "gcc" "src/workload/CMakeFiles/mopac_workload.dir/trace_file.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-ubsan/src/core/CMakeFiles/mopac_core.dir/DependInfo.cmake"
+  "/root/repo/build-ubsan/src/mc/CMakeFiles/mopac_mc.dir/DependInfo.cmake"
+  "/root/repo/build-ubsan/src/common/CMakeFiles/mopac_common.dir/DependInfo.cmake"
+  "/root/repo/build-ubsan/src/dram/CMakeFiles/mopac_dram.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

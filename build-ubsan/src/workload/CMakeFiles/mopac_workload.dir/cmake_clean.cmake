@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mopac_workload.dir/attack.cc.o"
+  "CMakeFiles/mopac_workload.dir/attack.cc.o.d"
+  "CMakeFiles/mopac_workload.dir/spec.cc.o"
+  "CMakeFiles/mopac_workload.dir/spec.cc.o.d"
+  "CMakeFiles/mopac_workload.dir/synth.cc.o"
+  "CMakeFiles/mopac_workload.dir/synth.cc.o.d"
+  "CMakeFiles/mopac_workload.dir/trace_file.cc.o"
+  "CMakeFiles/mopac_workload.dir/trace_file.cc.o.d"
+  "libmopac_workload.a"
+  "libmopac_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mopac_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

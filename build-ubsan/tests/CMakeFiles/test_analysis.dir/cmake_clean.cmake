@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_analysis.dir/analysis/test_binomial.cc.o"
+  "CMakeFiles/test_analysis.dir/analysis/test_binomial.cc.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/test_markov.cc.o"
+  "CMakeFiles/test_analysis.dir/analysis/test_markov.cc.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/test_moat_model.cc.o"
+  "CMakeFiles/test_analysis.dir/analysis/test_moat_model.cc.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/test_perf_attack.cc.o"
+  "CMakeFiles/test_analysis.dir/analysis/test_perf_attack.cc.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/test_related_models.cc.o"
+  "CMakeFiles/test_analysis.dir/analysis/test_related_models.cc.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/test_security.cc.o"
+  "CMakeFiles/test_analysis.dir/analysis/test_security.cc.o.d"
+  "test_analysis"
+  "test_analysis.pdb"
+  "test_analysis[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

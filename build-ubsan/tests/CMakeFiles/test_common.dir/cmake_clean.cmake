@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_common.dir/common/test_config.cc.o"
+  "CMakeFiles/test_common.dir/common/test_config.cc.o.d"
+  "CMakeFiles/test_common.dir/common/test_format.cc.o"
+  "CMakeFiles/test_common.dir/common/test_format.cc.o.d"
+  "CMakeFiles/test_common.dir/common/test_log.cc.o"
+  "CMakeFiles/test_common.dir/common/test_log.cc.o.d"
+  "CMakeFiles/test_common.dir/common/test_mathutil.cc.o"
+  "CMakeFiles/test_common.dir/common/test_mathutil.cc.o.d"
+  "CMakeFiles/test_common.dir/common/test_rng.cc.o"
+  "CMakeFiles/test_common.dir/common/test_rng.cc.o.d"
+  "CMakeFiles/test_common.dir/common/test_rng_streams.cc.o"
+  "CMakeFiles/test_common.dir/common/test_rng_streams.cc.o.d"
+  "CMakeFiles/test_common.dir/common/test_stats.cc.o"
+  "CMakeFiles/test_common.dir/common/test_stats.cc.o.d"
+  "CMakeFiles/test_common.dir/common/test_table.cc.o"
+  "CMakeFiles/test_common.dir/common/test_table.cc.o.d"
+  "test_common"
+  "test_common.pdb"
+  "test_common[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

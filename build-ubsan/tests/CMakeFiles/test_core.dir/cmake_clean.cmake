@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/test_cache.cc.o"
+  "CMakeFiles/test_core.dir/core/test_cache.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_core.cc.o"
+  "CMakeFiles/test_core.dir/core/test_core.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_cpu.cc.o"
+  "CMakeFiles/test_core.dir/core/test_cpu.cc.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dram.dir/dram/test_bank.cc.o"
+  "CMakeFiles/test_dram.dir/dram/test_bank.cc.o.d"
+  "CMakeFiles/test_dram.dir/dram/test_checker.cc.o"
+  "CMakeFiles/test_dram.dir/dram/test_checker.cc.o.d"
+  "CMakeFiles/test_dram.dir/dram/test_checker_property.cc.o"
+  "CMakeFiles/test_dram.dir/dram/test_checker_property.cc.o.d"
+  "CMakeFiles/test_dram.dir/dram/test_device.cc.o"
+  "CMakeFiles/test_dram.dir/dram/test_device.cc.o.d"
+  "CMakeFiles/test_dram.dir/dram/test_geometry.cc.o"
+  "CMakeFiles/test_dram.dir/dram/test_geometry.cc.o.d"
+  "CMakeFiles/test_dram.dir/dram/test_prac.cc.o"
+  "CMakeFiles/test_dram.dir/dram/test_prac.cc.o.d"
+  "CMakeFiles/test_dram.dir/dram/test_timing.cc.o"
+  "CMakeFiles/test_dram.dir/dram/test_timing.cc.o.d"
+  "test_dram"
+  "test_dram.pdb"
+  "test_dram[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

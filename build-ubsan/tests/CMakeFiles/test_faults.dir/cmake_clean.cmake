@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_faults.dir/integration/test_chaos.cc.o"
+  "CMakeFiles/test_faults.dir/integration/test_chaos.cc.o.d"
+  "CMakeFiles/test_faults.dir/sim/test_error_trap.cc.o"
+  "CMakeFiles/test_faults.dir/sim/test_error_trap.cc.o.d"
+  "CMakeFiles/test_faults.dir/sim/test_faults.cc.o"
+  "CMakeFiles/test_faults.dir/sim/test_faults.cc.o.d"
+  "test_faults"
+  "test_faults.pdb"
+  "test_faults[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

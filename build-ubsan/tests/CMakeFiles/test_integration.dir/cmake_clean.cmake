@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration.dir/integration/test_abo_protocol.cc.o"
+  "CMakeFiles/test_integration.dir/integration/test_abo_protocol.cc.o.d"
+  "CMakeFiles/test_integration.dir/integration/test_config_fuzz.cc.o"
+  "CMakeFiles/test_integration.dir/integration/test_config_fuzz.cc.o.d"
+  "CMakeFiles/test_integration.dir/integration/test_maintenance_interplay.cc.o"
+  "CMakeFiles/test_integration.dir/integration/test_maintenance_interplay.cc.o.d"
+  "CMakeFiles/test_integration.dir/integration/test_performance.cc.o"
+  "CMakeFiles/test_integration.dir/integration/test_performance.cc.o.d"
+  "CMakeFiles/test_integration.dir/integration/test_security_e2e.cc.o"
+  "CMakeFiles/test_integration.dir/integration/test_security_e2e.cc.o.d"
+  "test_integration"
+  "test_integration.pdb"
+  "test_integration[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

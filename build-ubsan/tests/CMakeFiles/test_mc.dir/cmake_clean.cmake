@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mc.dir/mc/test_controller.cc.o"
+  "CMakeFiles/test_mc.dir/mc/test_controller.cc.o.d"
+  "CMakeFiles/test_mc.dir/mc/test_mapping.cc.o"
+  "CMakeFiles/test_mc.dir/mc/test_mapping.cc.o.d"
+  "CMakeFiles/test_mc.dir/mc/test_scheduler_policy.cc.o"
+  "CMakeFiles/test_mc.dir/mc/test_scheduler_policy.cc.o.d"
+  "test_mc"
+  "test_mc.pdb"
+  "test_mc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

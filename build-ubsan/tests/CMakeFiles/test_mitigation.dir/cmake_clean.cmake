@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mitigation.dir/mitigation/test_counter_engines.cc.o"
+  "CMakeFiles/test_mitigation.dir/mitigation/test_counter_engines.cc.o.d"
+  "CMakeFiles/test_mitigation.dir/mitigation/test_extra_engines.cc.o"
+  "CMakeFiles/test_mitigation.dir/mitigation/test_extra_engines.cc.o.d"
+  "CMakeFiles/test_mitigation.dir/mitigation/test_mint_sampler.cc.o"
+  "CMakeFiles/test_mitigation.dir/mitigation/test_mint_sampler.cc.o.d"
+  "CMakeFiles/test_mitigation.dir/mitigation/test_moat.cc.o"
+  "CMakeFiles/test_mitigation.dir/mitigation/test_moat.cc.o.d"
+  "CMakeFiles/test_mitigation.dir/mitigation/test_mopac_d.cc.o"
+  "CMakeFiles/test_mitigation.dir/mitigation/test_mopac_d.cc.o.d"
+  "CMakeFiles/test_mitigation.dir/mitigation/test_related.cc.o"
+  "CMakeFiles/test_mitigation.dir/mitigation/test_related.cc.o.d"
+  "test_mitigation"
+  "test_mitigation.pdb"
+  "test_mitigation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mitigation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

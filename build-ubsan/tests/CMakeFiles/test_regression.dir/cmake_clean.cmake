@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_regression.dir/regression/test_golden_values.cc.o"
+  "CMakeFiles/test_regression.dir/regression/test_golden_values.cc.o.d"
+  "CMakeFiles/test_regression.dir/regression/test_runner_determinism.cc.o"
+  "CMakeFiles/test_regression.dir/regression/test_runner_determinism.cc.o.d"
+  "test_regression"
+  "test_regression.pdb"
+  "test_regression[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_regression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

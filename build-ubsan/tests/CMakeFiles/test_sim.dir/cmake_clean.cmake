@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim.dir/sim/test_attack_runner.cc.o"
+  "CMakeFiles/test_sim.dir/sim/test_attack_runner.cc.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_runner.cc.o"
+  "CMakeFiles/test_sim.dir/sim/test_runner.cc.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_stats_registry.cc.o"
+  "CMakeFiles/test_sim.dir/sim/test_stats_registry.cc.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_system.cc.o"
+  "CMakeFiles/test_sim.dir/sim/test_system.cc.o.d"
+  "test_sim"
+  "test_sim.pdb"
+  "test_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_workload.dir/workload/test_attack.cc.o"
+  "CMakeFiles/test_workload.dir/workload/test_attack.cc.o.d"
+  "CMakeFiles/test_workload.dir/workload/test_spec.cc.o"
+  "CMakeFiles/test_workload.dir/workload/test_spec.cc.o.d"
+  "CMakeFiles/test_workload.dir/workload/test_synth.cc.o"
+  "CMakeFiles/test_workload.dir/workload/test_synth.cc.o.d"
+  "CMakeFiles/test_workload.dir/workload/test_trace_file.cc.o"
+  "CMakeFiles/test_workload.dir/workload/test_trace_file.cc.o.d"
+  "test_workload"
+  "test_workload.pdb"
+  "test_workload[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-ubsan/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-ubsan/tests/test_common[1]_include.cmake")
+include("/root/repo/build-ubsan/tests/test_dram[1]_include.cmake")
+include("/root/repo/build-ubsan/tests/test_mc[1]_include.cmake")
+include("/root/repo/build-ubsan/tests/test_core[1]_include.cmake")
+include("/root/repo/build-ubsan/tests/test_mitigation[1]_include.cmake")
+include("/root/repo/build-ubsan/tests/test_workload[1]_include.cmake")
+include("/root/repo/build-ubsan/tests/test_analysis[1]_include.cmake")
+include("/root/repo/build-ubsan/tests/test_sim[1]_include.cmake")
+include("/root/repo/build-ubsan/tests/test_faults[1]_include.cmake")
+include("/root/repo/build-ubsan/tests/test_integration[1]_include.cmake")
+include("/root/repo/build-ubsan/tests/test_regression[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mopac_calibrate.dir/mopac_calibrate.cc.o"
+  "CMakeFiles/mopac_calibrate.dir/mopac_calibrate.cc.o.d"
+  "mopac_calibrate"
+  "mopac_calibrate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mopac_calibrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mopac_regen_golden.dir/mopac_regen_golden.cc.o"
+  "CMakeFiles/mopac_regen_golden.dir/mopac_regen_golden.cc.o.d"
+  "mopac_regen_golden"
+  "mopac_regen_golden.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mopac_regen_golden.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for mopac_regen_golden.
+# This may be replaced when dependencies are built.

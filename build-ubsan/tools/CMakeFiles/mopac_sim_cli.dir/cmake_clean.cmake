@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mopac_sim_cli.dir/mopac_sim.cc.o"
+  "CMakeFiles/mopac_sim_cli.dir/mopac_sim.cc.o.d"
+  "mopac_sim"
+  "mopac_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mopac_sim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mopac_trace.dir/mopac_trace.cc.o"
+  "CMakeFiles/mopac_trace.dir/mopac_trace.cc.o.d"
+  "mopac_trace"
+  "mopac_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mopac_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

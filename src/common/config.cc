@@ -37,7 +37,7 @@ void
 Config::parseArgs(const std::vector<std::string> &tokens)
 {
     for (const auto &tok : tokens) {
-        parseLine(tok);
+        parseLine(tok, "'" + tok + "'");
     }
 }
 
@@ -49,13 +49,21 @@ Config::parseFile(const std::string &path)
         fatal("cannot open config file '{}'", path);
     }
     std::string line;
+    unsigned lineno = 0;
     while (std::getline(in, line)) {
-        parseLine(line);
+        ++lineno;
+        parseLine(line, path + ":" + std::to_string(lineno));
     }
 }
 
 void
 Config::parseLine(const std::string &line)
+{
+    parseLine(line, "'" + trim(line) + "'");
+}
+
+void
+Config::parseLine(const std::string &line, const std::string &origin)
 {
     std::string body = line;
     if (const auto hash = body.find('#'); hash != std::string::npos) {
@@ -74,26 +82,49 @@ Config::parseLine(const std::string &line)
     if (key.empty()) {
         fatal("malformed config entry '{}': empty key", line);
     }
-    values_[key] = value;
+    insert(key, value, origin);
+}
+
+void
+Config::insert(const std::string &key, const std::string &value,
+               const std::string &origin)
+{
+    const auto [it, fresh] = values_.emplace(key, Entry{value, origin});
+    if (!fresh) {
+        fatal("config key '{}' set twice: first at {}, again at {} "
+              "(drop one; later-wins is not supported)",
+              key, it->second.origin, origin);
+    }
 }
 
 void
 Config::set(const std::string &key, const std::string &value)
 {
-    values_[key] = value;
+    Entry &e = values_[key];
+    e.value = value;
+    e.origin = "set()";
 }
 
 bool
 Config::has(const std::string &key) const
 {
-    return values_.count(key) != 0;
+    const auto it = values_.find(key);
+    if (it == values_.end()) {
+        return false;
+    }
+    it->second.consumed = true;
+    return true;
 }
 
 std::string
 Config::getString(const std::string &key, const std::string &def) const
 {
     const auto it = values_.find(key);
-    return it == values_.end() ? def : it->second;
+    if (it == values_.end()) {
+        return def;
+    }
+    it->second.consumed = true;
+    return it->second.value;
 }
 
 std::int64_t
@@ -103,10 +134,12 @@ Config::getInt(const std::string &key, std::int64_t def) const
     if (it == values_.end()) {
         return def;
     }
+    it->second.consumed = true;
     char *end = nullptr;
-    const std::int64_t v = std::strtoll(it->second.c_str(), &end, 0);
-    if (end == it->second.c_str() || *end != '\0') {
-        fatal("config key '{}': '{}' is not an integer", key, it->second);
+    const std::int64_t v = std::strtoll(it->second.value.c_str(), &end, 0);
+    if (end == it->second.value.c_str() || *end != '\0') {
+        fatal("config key '{}': '{}' is not an integer", key,
+              it->second.value);
     }
     return v;
 }
@@ -118,11 +151,13 @@ Config::getUint(const std::string &key, std::uint64_t def) const
     if (it == values_.end()) {
         return def;
     }
+    it->second.consumed = true;
     char *end = nullptr;
-    const std::uint64_t v = std::strtoull(it->second.c_str(), &end, 0);
-    if (end == it->second.c_str() || *end != '\0') {
+    const std::uint64_t v =
+        std::strtoull(it->second.value.c_str(), &end, 0);
+    if (end == it->second.value.c_str() || *end != '\0') {
         fatal("config key '{}': '{}' is not an unsigned integer", key,
-              it->second);
+              it->second.value);
     }
     return v;
 }
@@ -134,10 +169,12 @@ Config::getDouble(const std::string &key, double def) const
     if (it == values_.end()) {
         return def;
     }
+    it->second.consumed = true;
     char *end = nullptr;
-    const double v = std::strtod(it->second.c_str(), &end);
-    if (end == it->second.c_str() || *end != '\0') {
-        fatal("config key '{}': '{}' is not a number", key, it->second);
+    const double v = std::strtod(it->second.value.c_str(), &end);
+    if (end == it->second.value.c_str() || *end != '\0') {
+        fatal("config key '{}': '{}' is not a number", key,
+              it->second.value);
     }
     return v;
 }
@@ -149,7 +186,8 @@ Config::getBool(const std::string &key, bool def) const
     if (it == values_.end()) {
         return def;
     }
-    const std::string &v = it->second;
+    it->second.consumed = true;
+    const std::string &v = it->second.value;
     if (v == "true" || v == "1" || v == "yes" || v == "on") {
         return true;
     }
@@ -168,6 +206,34 @@ Config::keys() const
         out.push_back(k);
     }
     return out;
+}
+
+std::vector<std::string>
+Config::unconsumedKeys() const
+{
+    std::vector<std::string> out;
+    for (const auto &[k, e] : values_) {
+        if (!e.consumed) {
+            out.push_back(k);
+        }
+    }
+    return out;
+}
+
+void
+Config::rejectUnknownKeys(const std::string &context) const
+{
+    const std::vector<std::string> unknown = unconsumedKeys();
+    if (unknown.empty()) {
+        return;
+    }
+    std::string list;
+    for (const std::string &key : unknown) {
+        list += format("\n  {} (from {})", key,
+                       values_.at(key).origin);
+    }
+    fatal("{}: unknown config key{}:{}", context,
+          unknown.size() == 1 ? "" : "s", list);
 }
 
 } // namespace mopac

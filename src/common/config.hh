@@ -5,6 +5,12 @@
  * Syntax (one entry per line or per command-line token):
  *     key = value        # comment
  * Section headers are not needed; keys are dotted ("dram.trh = 500").
+ *
+ * The store is strict: setting the same key twice through parsing is
+ * fatal (the message names both origins), and consumers can call
+ * rejectUnknownKeys() after reading their keys to make any typo'd /
+ * unrecognized key fatal too -- a misspelled fault-plan key must not
+ * yield a clean run.
  */
 
 #ifndef MOPAC_COMMON_CONFIG_HH
@@ -24,21 +30,28 @@ class Config
   public:
     Config() = default;
 
-    /** Parse "key=value" tokens (e.g. from argv); later wins. */
+    /** Parse "key=value" tokens (e.g. from argv); duplicates fatal. */
     void parseArgs(const std::vector<std::string> &tokens);
 
-    /** Parse a config file; fatal() on I/O error. */
+    /** Parse a config file; fatal() on I/O error or duplicate keys. */
     void parseFile(const std::string &path);
 
     /** Parse a single "key=value" line; ignores blanks and comments. */
     void parseLine(const std::string &line);
 
-    /** Set a key explicitly. */
+    /**
+     * Set a key explicitly (programmatic override): unlike parsing,
+     * replacing an existing value is allowed.
+     */
     void set(const std::string &key, const std::string &value);
 
+    /** Is the key present?  Marks it consumed. */
     bool has(const std::string &key) const;
 
-    /** Typed getters returning @p def when the key is absent. */
+    /**
+     * Typed getters returning @p def when the key is absent.  Every
+     * lookup marks the key consumed (see rejectUnknownKeys()).
+     */
     std::string getString(const std::string &key,
                           const std::string &def = "") const;
     std::int64_t getInt(const std::string &key, std::int64_t def = 0) const;
@@ -50,8 +63,33 @@ class Config
     /** All keys in sorted order (for dumping the effective config). */
     std::vector<std::string> keys() const;
 
+    /** Keys never consumed by any getter / has(), sorted. */
+    std::vector<std::string> unconsumedKeys() const;
+
+    /**
+     * fatal() if any key was parsed but never consumed, naming each
+     * offending key and where it came from.  Call after all getters.
+     */
+    void rejectUnknownKeys(const std::string &context) const;
+
   private:
-    std::map<std::string, std::string> values_;
+    struct Entry
+    {
+        std::string value;
+        /** "file:line", "'token'", or "set()" -- for error messages. */
+        std::string origin;
+        /** Touched by a getter / has() (mutable: getters are const). */
+        mutable bool consumed = false;
+    };
+
+    /** Shared insert path; fatal() on duplicates from parsing. */
+    void insert(const std::string &key, const std::string &value,
+                const std::string &origin);
+
+    /** Parse one line with a named origin (for error messages). */
+    void parseLine(const std::string &line, const std::string &origin);
+
+    std::map<std::string, Entry> values_;
 };
 
 } // namespace mopac

@@ -8,6 +8,8 @@
 #include <algorithm>
 
 #include "common/log.hh"
+// Header-only hooks; no link dependency on mopac_sim (see faults.hh).
+#include "sim/faults.hh"
 
 namespace mopac
 {
@@ -76,6 +78,7 @@ SubChannel::cmdAct(Cycle now, unsigned bank, std::uint32_t row)
               actAllowedAt());
     }
     now_ = now;
+    record(DramCommand::kAct, bank, row, now);
     banks_[bank].act(now, row);
     last_act_ = now;
     ++act_count_;
@@ -125,6 +128,14 @@ SubChannel::cmdPre(Cycle now, unsigned bank, bool counter_update)
     BankTiming &b = banks_[bank];
     const std::uint32_t row = b.openRow();
     const Cycle open_cycles = now - b.openSince();
+    record(counter_update ? DramCommand::kPreCu : DramCommand::kPre,
+           bank, row, now);
+    if (faults_ != nullptr && faults_->stickBankOpen(bank, now)) {
+        // The precharge silently fails: the row stays open and the
+        // engine sees nothing.  The controller will retry (and stall)
+        // until the stuck window passes.
+        return;
+    }
     b.pre(now, counter_update);
     ++stats_.pres;
     if (counter_update) {
@@ -149,6 +160,7 @@ SubChannel::cmdRef(Cycle now)
 {
     MOPAC_ASSERT(engine_ != nullptr);
     now_ = now;
+    record(DramCommand::kRef, 0, 0, now);
     assertAllClosed("REF");
     for (auto &b : banks_) {
         b.blockUntil(now + normal_->tRFC);
@@ -171,6 +183,7 @@ SubChannel::cmdRfm(Cycle now)
 {
     MOPAC_ASSERT(engine_ != nullptr);
     now_ = now;
+    record(DramCommand::kRfm, 0, 0, now);
     assertAllClosed("RFM");
     for (auto &b : banks_) {
         b.blockUntil(now + normal_->tRFM);
@@ -189,6 +202,9 @@ SubChannel::requestAlert()
     if (alert_asserted_) {
         return;
     }
+    if (faults_ != nullptr && faults_->dropAlert(now_)) {
+        return;
+    }
     // The ABO specification requires a non-zero number of activations
     // between two ALERTs; latch the request until the next ACT if
     // none has occurred since the last RFM.
@@ -197,7 +213,11 @@ SubChannel::requestAlert()
         return;
     }
     alert_asserted_ = true;
-    alert_since_ = now_;
+    // A delayed ALERT reaches the controller late: alertSince() (which
+    // anchors the tABO window) moves into the future.
+    alert_since_ =
+        now_ + (faults_ != nullptr ? faults_->alertAssertDelay(now_)
+                                   : 0);
     ++stats_.alerts;
 }
 
@@ -205,6 +225,14 @@ void
 SubChannel::victimRefresh(unsigned bank, std::uint32_t row, unsigned chip)
 {
     MOPAC_ASSERT(bank < banks_.size());
+    if (faults_ != nullptr &&
+        faults_->suppressVictimRefresh(chip, now_)) {
+        // Weak-sampler chip: the mitigation silently does not happen.
+        // The engine has already reset its own counters believing it
+        // did, but the ground-truth checker keeps counting -- the
+        // injector cannot fool the oracle.
+        return;
+    }
     checker_.onVictimRefresh(chip, bank, row, now_);
     ++stats_.victim_refreshes;
     // Each refreshed victim row is activated once; the engine's
@@ -217,6 +245,21 @@ SubChannel::victimRefresh(unsigned bank, std::uint32_t row, unsigned chip)
                                        chip);
         }
     }
+}
+
+std::vector<CommandRecord>
+SubChannel::commandTail(unsigned k) const
+{
+    const std::uint64_t have =
+        std::min<std::uint64_t>(cmd_ring_count_, kCmdRingCapacity);
+    const std::uint64_t take = std::min<std::uint64_t>(k, have);
+    std::vector<CommandRecord> out;
+    out.reserve(take);
+    for (std::uint64_t i = cmd_ring_count_ - take;
+         i < cmd_ring_count_; ++i) {
+        out.push_back(cmd_ring_[i % kCmdRingCapacity]);
+    }
+    return out;
 }
 
 } // namespace mopac

@@ -43,6 +43,15 @@ struct SubChannelStats
     std::uint64_t victim_refreshes = 0;
 };
 
+/** One entry of the always-on command-trace ring (watchdog dumps). */
+struct CommandRecord
+{
+    DramCommand cmd = DramCommand::kAct;
+    unsigned bank = 0;
+    std::uint32_t row = 0;
+    Cycle at = 0;
+};
+
 /** One DRAM sub-channel (32 banks, sub-channel-wide ALERT). */
 class SubChannel : public DramBackend
 {
@@ -60,6 +69,12 @@ class SubChannel : public DramBackend
     void setMitigator(Mitigator *engine);
 
     Mitigator *mitigator() { return engine_; }
+
+    /**
+     * Attach a fault injector (optional; nullptr = fault-free).  The
+     * injector is owned by the System, one per sub-channel.
+     */
+    void setFaults(FaultInjector *faults) { faults_ = faults; }
 
     BankTiming &bank(unsigned i) { return banks_[i]; }
     const BankTiming &bank(unsigned i) const { return banks_[i]; }
@@ -103,6 +118,14 @@ class SubChannel : public DramBackend
     void victimRefresh(unsigned bank, std::uint32_t row,
                        unsigned chip) override;
     const Geometry &geometry() const override { return geo_; }
+    FaultInjector *faults() override { return faults_; }
+    Cycle now() const override { return now_; }
+
+    /**
+     * The last K executed commands, oldest first (bounded by the ring
+     * capacity).  Fuel for the forward-progress watchdog's diagnostic.
+     */
+    std::vector<CommandRecord> commandTail(unsigned k) const;
 
     SecurityChecker &checker() { return checker_; }
     const SecurityChecker &checker() const { return checker_; }
@@ -121,6 +144,7 @@ class SubChannel : public DramBackend
     std::vector<BankTiming> banks_;
     SecurityChecker checker_;
     Mitigator *engine_ = nullptr;
+    FaultInjector *faults_ = nullptr;
 
     // Sub-channel ACT constraints.
     Cycle last_act_ = 0;
@@ -142,6 +166,19 @@ class SubChannel : public DramBackend
 
     // Timestamp of the command currently executing (for backend calls).
     Cycle now_ = 0;
+
+    // Always-on command-trace ring (fixed cost, no heap churn).
+    static constexpr unsigned kCmdRingCapacity = 64;
+    std::array<CommandRecord, kCmdRingCapacity> cmd_ring_{};
+    std::uint64_t cmd_ring_count_ = 0;
+
+    void
+    record(DramCommand cmd, unsigned bank, std::uint32_t row, Cycle at)
+    {
+        cmd_ring_[cmd_ring_count_ % kCmdRingCapacity] = {cmd, bank,
+                                                         row, at};
+        ++cmd_ring_count_;
+    }
 
     SubChannelStats stats_;
 };

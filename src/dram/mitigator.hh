@@ -22,6 +22,8 @@
 namespace mopac
 {
 
+class FaultInjector;
+
 /** Counters every mitigation engine maintains (unused fields stay 0). */
 struct EngineStats
 {
@@ -77,6 +79,16 @@ class DramBackend
 
     /** Memory organization. */
     virtual const Geometry &geometry() const = 0;
+
+    /**
+     * Active fault injector, or nullptr (the default, and the
+     * universal case for an all-zero FaultPlan): engines must treat
+     * nullptr as "no faults" and take their exact normal path.
+     */
+    virtual FaultInjector *faults() { return nullptr; }
+
+    /** Timestamp of the command currently executing. */
+    virtual Cycle now() const { return 0; }
 };
 
 /**

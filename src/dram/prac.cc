@@ -10,12 +10,6 @@
 namespace mopac
 {
 
-namespace
-{
-/** Saturation limit of the in-row counter field. */
-constexpr std::uint32_t kCounterMax = (1u << 22) - 1;
-} // namespace
-
 PracCounters::PracCounters(unsigned banks, std::uint32_t rows,
                            unsigned chips)
     : banks_(banks), rows_(rows), chips_(chips),
@@ -30,7 +24,7 @@ PracCounters::add(unsigned chip, unsigned bank, std::uint32_t row,
 {
     std::uint32_t &slot = data_[index(chip, bank, row)];
     slot = std::min<std::uint64_t>(
-        static_cast<std::uint64_t>(slot) + inc, kCounterMax);
+        static_cast<std::uint64_t>(slot) + inc, kMax);
     return slot;
 }
 

@@ -35,6 +35,9 @@ class PracCounters
      */
     PracCounters(unsigned banks, std::uint32_t rows, unsigned chips = 1);
 
+    /** Saturation limit of the in-row counter field (22 bits). */
+    static constexpr std::uint32_t kMax = (1u << 22) - 1;
+
     unsigned banks() const { return banks_; }
     std::uint32_t rows() const { return rows_; }
     unsigned chips() const { return chips_; }
@@ -53,6 +56,17 @@ class PracCounters
      */
     std::uint32_t add(unsigned chip, unsigned bank, std::uint32_t row,
                       std::uint32_t inc);
+
+    /**
+     * Overwrite a counter (clamped to kMax).  Normal operation only
+     * ever adds or resets; this models corruption (fault injection).
+     */
+    void
+    set(unsigned chip, unsigned bank, std::uint32_t row,
+        std::uint32_t value)
+    {
+        data_[index(chip, bank, row)] = value < kMax ? value : kMax;
+    }
 
     /** Reset one counter (row refreshed / mitigated) on all chips. */
     void reset(unsigned bank, std::uint32_t row);

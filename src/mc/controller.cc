@@ -8,6 +8,7 @@
 #include <algorithm>
 
 #include "common/log.hh"
+#include "sim/faults.hh"
 
 namespace mopac
 {
@@ -116,6 +117,12 @@ Controller::tick(Cycle now)
         state_ = MaintState::kAlertWindow;
         stall_at_ =
             device_.alertSince() + device_.normalTiming().tABO;
+        // RFM starvation: a faulty MC keeps serving demand traffic
+        // past the tABO deadline before honoring the drain.  One
+        // query per ALERT episode.
+        if (FaultInjector *inj = device_.faults(); inj != nullptr) {
+            stall_at_ += inj->rfmStarveDelay(now);
+        }
     }
     if (state_ == MaintState::kAlertWindow && now >= stall_at_) {
         state_ = MaintState::kAlertDrain;

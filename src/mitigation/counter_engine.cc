@@ -6,6 +6,7 @@
 #include "counter_engine.hh"
 
 #include "common/log.hh"
+#include "sim/faults.hh"
 
 namespace mopac
 {
@@ -25,7 +26,17 @@ void
 CounterEngineBase::update(unsigned bank, std::uint32_t row,
                           std::uint32_t inc)
 {
-    const std::uint32_t value = prac_.add(0, bank, row, inc);
+    std::uint32_t value = prac_.add(0, bank, row, inc);
+    if (FaultInjector *inj = backend_.faults(); inj != nullptr) {
+        // Counter corruption (bit-flip / saturate / reset) lands on
+        // the read-modify-write, after the legitimate increment.
+        std::uint32_t corrupted = value;
+        if (inj->corruptCounter(/*chip=*/0, corrupted,
+                                backend_.now())) {
+            prac_.set(0, bank, row, corrupted);
+            value = corrupted;
+        }
+    }
     ++stats_.counter_updates;
     moat_[bank].observe(row, value);
     if (value >= ath_) {
@@ -54,8 +65,15 @@ CounterEngineBase::onRefreshSweep(std::uint32_t row_begin,
 }
 
 void
-CounterEngineBase::onRfm(Cycle)
+CounterEngineBase::onRfm(Cycle now)
 {
+    if (FaultInjector *inj = backend_.faults();
+        inj != nullptr && inj->truncateAboService(now)) {
+        // Truncated ABO drain: the RFM clears the ALERT (the device
+        // already did) but no mitigation work happens this round; the
+        // tracked rows stay hot and re-alert later.
+        return;
+    }
     // All banks of the sub-channel mitigate their tracked row (if
     // eligible) during the RFM triggered by the ALERT.
     const unsigned banks = backend_.geometry().banks_per_subchannel;

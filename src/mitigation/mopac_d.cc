@@ -9,6 +9,7 @@
 
 #include "common/log.hh"
 #include "common/mathutil.hh"
+#include "sim/faults.hh"
 
 namespace mopac
 {
@@ -160,7 +161,14 @@ MopacDEngine::applyUpdate(unsigned chip, unsigned bank,
     // each selection stands for 1/p activations.
     const std::uint32_t inc =
         1 + entry.sctr * (1u << params_.log2_inv_p);
-    const std::uint32_t value = prac_.add(chip, bank, entry.row, inc);
+    std::uint32_t value = prac_.add(chip, bank, entry.row, inc);
+    if (FaultInjector *inj = backend_.faults(); inj != nullptr) {
+        std::uint32_t corrupted = value;
+        if (inj->corruptCounter(chip, corrupted, backend_.now())) {
+            prac_.set(chip, bank, entry.row, corrupted);
+            value = corrupted;
+        }
+    }
     ++stats_.counter_updates;
     ChipBank &cb = state(chip, bank);
     cb.moat.observe(entry.row, value);
@@ -244,8 +252,19 @@ MopacDEngine::onRefresh(Cycle)
 }
 
 void
-MopacDEngine::onRfm(Cycle)
+MopacDEngine::onRfm(Cycle now)
 {
+    // Truncated ABO drain: the RFM window is cut short -- one drained
+    // entry per bank instead of drain_per_abo, and no time left for
+    // mitigations.
+    bool truncated = false;
+    unsigned budget = params_.drain_per_abo;
+    if (FaultInjector *inj = backend_.faults();
+        inj != nullptr && inj->truncateAboService(now)) {
+        truncated = true;
+        budget = 1;
+    }
+
     // §6.1 priority order per bank: a full SRQ (or a tardy entry)
     // drains first; otherwise a row at ATH* is mitigated; otherwise a
     // non-empty SRQ drains; otherwise an eligible tracked row is
@@ -261,13 +280,13 @@ MopacDEngine::onRfm(Cycle)
                     return e.actr > params_.tth;
                 });
             if (full || tardy) {
-                drain(chip, bank, params_.drain_per_abo, false);
-            } else if (cb.moat.valid() &&
+                drain(chip, bank, budget, false);
+            } else if (!truncated && cb.moat.valid() &&
                        cb.moat.count() >= params_.ath_star) {
                 mitigate(chip, bank);
             } else if (!cb.srq.empty()) {
-                drain(chip, bank, params_.drain_per_abo, false);
-            } else if (cb.moat.valid() &&
+                drain(chip, bank, budget, false);
+            } else if (!truncated && cb.moat.valid() &&
                        cb.moat.count() >= eth_star_) {
                 mitigate(chip, bank);
             }

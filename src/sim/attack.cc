@@ -52,6 +52,7 @@ AttackRunner::run(AttackPattern &pattern, Cycle duration,
     res.mitigations = stats.mitigations;
     res.max_unmitigated = stats.max_unmitigated;
     res.violations = stats.violations;
+    res.faults_injected = stats.faults_injected;
     const double us =
         cyclesToNs(duration) / 1000.0;
     res.acts_per_us = us > 0.0 ? static_cast<double>(stats.acts) / us

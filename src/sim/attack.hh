@@ -27,6 +27,8 @@ struct AttackResult
     std::uint32_t max_unmitigated = 0;
     /** Ground truth: activations beyond T_RH (must be 0 if secure). */
     std::uint64_t violations = 0;
+    /** Faults fired during the run (0 unless a FaultPlan is active). */
+    std::uint64_t faults_injected = 0;
     /** Attack throughput. */
     double acts_per_us = 0.0;
 };

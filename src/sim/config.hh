@@ -13,6 +13,7 @@
 #include "dram/geometry.hh"
 #include "mc/controller.hh"
 #include "mitigation/mopac_d.hh"
+#include "sim/faults.hh"
 
 namespace mopac
 {
@@ -61,6 +62,21 @@ struct SystemConfig
     std::uint64_t seed = 12345;
     /** Abort guard; 0 selects a generous automatic bound. */
     std::uint64_t max_cycles = 0;
+
+    /**
+     * Forward-progress watchdog: if no core retires an instruction
+     * for this many cycles, the run stops with a structured SimError
+     * carrying a command-trace tail (instead of spinning until the
+     * cycle guard).  0 disables.  The default sits far above any
+     * legitimate stall (tRFC, an ALERT storm), so fault-free runs
+     * never trip it.
+     */
+    std::uint64_t watchdog_cycles = 2000000;
+    /** Commands listed in the watchdog diagnostic (per sub-channel). */
+    unsigned watchdog_tail = 16;
+
+    /** Fault-injection schedule (defaults to no faults). */
+    FaultPlan faults{};
 
     /** Track Table 4's per-epoch hot-row statistics. */
     bool track_epoch_stats = false;

@@ -56,6 +56,21 @@ runWorkload(const SystemConfig &cfg, const std::string &name,
     return result;
 }
 
+OutcomeClass
+classifyRun(const RunResult &result)
+{
+    if (result.violations > 0) {
+        return OutcomeClass::kViolated;
+    }
+    if (result.timed_out) {
+        return OutcomeClass::kHung;
+    }
+    if (result.faults_injected > 0) {
+        return OutcomeClass::kDegraded;
+    }
+    return OutcomeClass::kOk;
+}
+
 RunOutcome
 tryRunWorkload(const SystemConfig &cfg, const std::string &name,
                bool capture_stats)
@@ -66,10 +81,16 @@ tryRunWorkload(const SystemConfig &cfg, const std::string &name,
         outcome.result = runWorkload(
             cfg, name, capture_stats ? &outcome.stats : nullptr);
         outcome.ok = true;
+        outcome.outcome = classifyRun(outcome.result);
     } catch (const std::exception &e) {
         outcome.error = e.what();
+        outcome.outcome =
+            outcome.error.find(kWatchdogMarker) != std::string::npos
+                ? OutcomeClass::kHung
+                : OutcomeClass::kViolated;
     } catch (...) {
         outcome.error = "unknown exception";
+        outcome.outcome = OutcomeClass::kViolated;
     }
     return outcome;
 }

@@ -35,6 +35,16 @@ std::uint64_t defaultInstsPerCore(std::uint64_t base = 300000);
 RunResult runWorkload(const SystemConfig &cfg, const std::string &name,
                       StatSnapshot *stats_out = nullptr);
 
+/**
+ * Substring of the forward-progress watchdog's panic message; a
+ * captured error containing it classifies as HUNG.
+ */
+inline constexpr const char *kWatchdogMarker =
+    "forward-progress watchdog";
+
+/** Fault-aware severity of a completed (or crashed) run. */
+OutcomeClass classifyRun(const RunResult &result);
+
 /** Result-or-error of one guarded workload run. */
 struct RunOutcome
 {
@@ -44,6 +54,13 @@ struct RunOutcome
     StatSnapshot stats;
     /** Failure description when !ok. */
     std::string error;
+    /**
+     * Severity class: OK / DEGRADED / VIOLATED / HUNG.  Valid in both
+     * branches -- a crash classifies from its error text (a watchdog
+     * panic is HUNG, anything else VIOLATED), a completed run from
+     * its RunResult.
+     */
+    OutcomeClass outcome = OutcomeClass::kOk;
 };
 
 /**

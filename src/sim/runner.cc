@@ -20,6 +20,7 @@
 #include <thread>
 
 #include "common/log.hh"
+#include "common/rng.hh"
 
 namespace mopac
 {
@@ -31,6 +32,7 @@ toString(PointStatus status)
       case PointStatus::kOk: return "OK";
       case PointStatus::kFailed: return "FAILED";
       case PointStatus::kTimedOut: return "TIMEOUT";
+      case PointStatus::kFaulted: return "FAULTED";
     }
     return "?";
 }
@@ -61,23 +63,54 @@ Runner::executePoint(const ExperimentPoint &point) const
     result.point_id = point.point_id;
     result.seed = guarded.cfg.seed;
 
-    RunOutcome outcome = tryRunWorkload(guarded.cfg, guarded.workload,
-                                        /*capture_stats=*/true);
+    // Fault-plan points: a VIOLATED / HUNG attempt may be retried with
+    // a reseeded fault stream (deterministic: attempt n always draws
+    // streamSeed(base, n)).  Fault-free points never loop.
+    const bool faulted_cfg = guarded.cfg.faults.enabled();
+    const std::uint64_t base_fault_seed =
+        guarded.cfg.faults.seed != 0 ? guarded.cfg.faults.seed
+                                     : guarded.cfg.seed;
+
+    RunOutcome outcome;
+    unsigned attempt = 0;
+    for (;;) {
+        ++attempt;
+        outcome = tryRunWorkload(guarded.cfg, guarded.workload,
+                                 /*capture_stats=*/true);
+        const bool bad = outcome.outcome == OutcomeClass::kViolated ||
+                         outcome.outcome == OutcomeClass::kHung;
+        if (!faulted_cfg || !bad || attempt > opts_.fault_retries) {
+            break;
+        }
+        guarded.cfg.faults.seed =
+            Rng::streamSeed(base_fault_seed, attempt);
+    }
+    result.attempts = attempt;
+    result.outcome = outcome.outcome;
     result.wall_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       start)
             .count();
 
     if (!outcome.ok) {
-        result.status = PointStatus::kFailed;
+        result.status =
+            faulted_cfg ? PointStatus::kFaulted : PointStatus::kFailed;
         result.error = outcome.error;
         return result;
     }
     result.run = std::move(outcome.result);
     result.stats = std::move(outcome.stats);
     if (result.run.timed_out) {
-        result.status = PointStatus::kTimedOut;
+        result.status =
+            faulted_cfg ? PointStatus::kFaulted : PointStatus::kTimedOut;
         result.error = "hit the max_cycles guard";
+    } else if (faulted_cfg &&
+               outcome.outcome == OutcomeClass::kViolated) {
+        result.status = PointStatus::kFaulted;
+        result.error = format(
+            "security violated under fault plan ({} violations, max "
+            "unmitigated {})",
+            result.run.violations, result.run.max_unmitigated);
     } else if (opts_.point_timeout_sec > 0.0 &&
                result.wall_seconds > opts_.point_timeout_sec) {
         result.status = PointStatus::kTimedOut;

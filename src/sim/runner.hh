@@ -56,6 +56,16 @@ struct RunnerOptions
      * what actually stops a livelocked point.
      */
     std::uint64_t point_max_cycles = 0;
+    /**
+     * Bounded retry-with-reseed for fault-plan points: when a point
+     * whose config carries an active FaultPlan classifies VIOLATED or
+     * HUNG, re-run it up to this many extra times with a reseeded
+     * fault stream (Rng::streamSeed over the plan seed and the attempt
+     * number -- still fully deterministic).  A transiently-unlucky
+     * schedule recovers; a systematic failure exhausts its retries and
+     * is quarantined as kFaulted.  0 = no retries.
+     */
+    unsigned fault_retries = 0;
 };
 
 /** Terminal state of one executed point. */
@@ -64,6 +74,12 @@ enum class PointStatus
     kOk,
     kFailed,
     kTimedOut,
+    /**
+     * The point ran under an active FaultPlan and classified VIOLATED
+     * or HUNG (after exhausting any fault_retries).  Quarantined like
+     * kFailed: excluded from merged stats, replayable by id.
+     */
+    kFaulted,
 };
 
 /** Printable name of a point status. */
@@ -80,9 +96,16 @@ struct PointResult
     double wall_seconds = 0.0;
     /** Failure / timeout description (empty when kOk). */
     std::string error;
-    /** Simulation result (valid when status == kOk). */
+    /** Fault-aware severity of the (last) attempt. */
+    OutcomeClass outcome = OutcomeClass::kOk;
+    /** Executions of this point (1 unless fault_retries kicked in). */
+    unsigned attempts = 1;
+    /**
+     * Simulation result (valid when status == kOk, and for kFaulted
+     * points whose last attempt completed -- e.g. a VIOLATED run).
+     */
     RunResult run;
-    /** Component statistics snapshot (valid when status == kOk). */
+    /** Component statistics snapshot (valid like @c run). */
     StatSnapshot stats;
 };
 

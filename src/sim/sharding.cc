@@ -41,7 +41,8 @@ configSignature(const SystemConfig &cfg)
     return format(
         "m={} trh={} ath={} ath*={} srq={} tth={} drain={} nup={} "
         "rp={} smp={} mc={}/{}/{}/{}/{}/{} core={}/{}/{} n={} i={} "
-        "w={} s={} mx={} ep={}/{}/{}/{} g={}/{}/{}/{}/{}/{}/{}",
+        "w={} s={} mx={} ep={}/{}/{}/{} g={}/{}/{}/{}/{}/{}/{} "
+        "wd={}/{}",
         toString(cfg.mitigation), cfg.trh, cfg.ath_override,
         cfg.ath_star_override, cfg.srq_capacity, cfg.tth,
         cfg.drain_per_ref, cfg.nup ? 1 : 0, cfg.rowpress ? 1 : 0,
@@ -55,7 +56,9 @@ configSignature(const SystemConfig &cfg)
         cfg.epoch_hi2, cfg.geometry.num_subchannels,
         cfg.geometry.banks_per_subchannel, cfg.geometry.rows_per_bank,
         cfg.geometry.row_bytes, cfg.geometry.line_bytes,
-        cfg.geometry.mop_lines, cfg.geometry.chips);
+        cfg.geometry.mop_lines, cfg.geometry.chips,
+        cfg.watchdog_cycles, cfg.watchdog_tail) +
+        " " + cfg.faults.signature();
 }
 
 std::vector<std::vector<std::size_t>>

@@ -111,6 +111,15 @@ System::System(const SystemConfig &cfg, std::vector<TraceSource *> traces)
             cfg_.geometry, &normal_, &cu_, cfg_.trh));
         SubChannel &dev = *subch_.back();
 
+        // Attach a fault injector only when the plan can ever fire:
+        // an idle plan leaves every hook on its exact pre-fault path
+        // (zero-intensity runs are byte-identical to fault-free ones).
+        if (cfg_.faults.enabled()) {
+            faults_.push_back(std::make_unique<FaultInjector>(
+                cfg_.faults, cfg_.seed, s));
+            dev.setFaults(faults_.back().get());
+        }
+
         std::unique_ptr<Mitigator> engine;
         switch (cfg_.mitigation) {
           case MitigationKind::kNone:
@@ -249,6 +258,10 @@ System::run()
     std::vector<bool> measuring(cfg_.num_cores, false);
     bool timed_out = false;
 
+    // Forward-progress watchdog state (probed every 1024 cycles).
+    std::uint64_t last_retired = 0;
+    Cycle last_progress = 0;
+
     Cycle now = 0;
     while (!cpu_->allDone()) {
         cpu_->tick(now);
@@ -261,6 +274,18 @@ System::run()
                 cpu_->core(i).retiredInsts() >= cfg_.warmup_insts) {
                 cpu_->core(i).startMeasurement(now);
                 measuring[i] = true;
+            }
+        }
+        if (cfg_.watchdog_cycles > 0 && (now & 1023) == 0) {
+            std::uint64_t retired = 0;
+            for (unsigned i = 0; i < cfg_.num_cores; ++i) {
+                retired += cpu_->core(i).retiredInsts();
+            }
+            if (retired != last_retired) {
+                last_retired = retired;
+                last_progress = now;
+            } else if (now - last_progress >= cfg_.watchdog_cycles) {
+                reportStall(now, retired);
             }
         }
         ++now;
@@ -281,6 +306,35 @@ System::run()
     res.timed_out = timed_out;
     res.ipcs = cpu_->measuredIpcs();
     return res;
+}
+
+std::uint64_t
+System::faultsInjected() const
+{
+    std::uint64_t total = 0;
+    for (const auto &inj : faults_) {
+        total += inj->stats().total();
+    }
+    return total;
+}
+
+void
+System::reportStall(Cycle now, std::uint64_t retired) const
+{
+    // Classified as HUNG by tryRunWorkload (it matches this marker).
+    std::string tail;
+    for (unsigned s = 0; s < subch_.size(); ++s) {
+        for (const CommandRecord &rec :
+             subch_[s]->commandTail(cfg_.watchdog_tail)) {
+            tail += format("\n  subch{} @{:>12} {:<5} bank {:>2} row {}",
+                           s, rec.at, toString(rec.cmd), rec.bank,
+                           rec.row);
+        }
+    }
+    panic("forward-progress watchdog: no instruction retired in {} "
+          "cycles (now {}, {} retired total); last commands:{}",
+          cfg_.watchdog_cycles, now, retired,
+          tail.empty() ? "\n  (none)" : tail.c_str());
 }
 
 void
@@ -332,6 +386,16 @@ System::registerStats(StatRegistry &registry) const
                            &es.tth_alerts);
         registry.addScalar(prefix + "engine.srq_full_alerts",
                            &es.srq_full_alerts);
+
+        if (i < faults_.size()) {
+            const FaultStats &fs = faults_[i]->stats();
+            for (unsigned k = 0; k < kNumFaultKinds; ++k) {
+                registry.addScalar(
+                    prefix + "faults." +
+                        toString(static_cast<FaultKind>(k)),
+                    &fs.fired[k]);
+            }
+        }
     }
 }
 
@@ -380,6 +444,7 @@ System::collectStats(Cycle now) const
         res.mitigations += es.mitigations;
         res.ref_drains += es.ref_drains;
     }
+    res.faults_injected = faultsInjected();
 
     res.rbhr = cas > 0 ? static_cast<double>(hits) /
                              static_cast<double>(cas)

@@ -45,6 +45,9 @@ struct RunResult
     std::uint32_t max_unmitigated = 0;
     std::uint64_t violations = 0;
 
+    /** Faults that fired (0 unless a FaultPlan is active). */
+    std::uint64_t faults_injected = 0;
+
     // Engine aggregates.
     std::uint64_t counter_updates = 0;
     std::uint64_t srq_insertions = 0;
@@ -122,12 +125,20 @@ class System : public RequestSink
     Cpu &cpu() { return *cpu_; }
     bool hasCpu() const { return cpu_ != nullptr; }
 
+    /** Total faults fired so far across all sub-channels. */
+    std::uint64_t faultsInjected() const;
+
   private:
+    /** Watchdog trip: panic with a command-trace tail. */
+    [[noreturn]] void reportStall(Cycle now,
+                                  std::uint64_t retired) const;
+
     SystemConfig cfg_;
     TimingSet normal_;
     TimingSet cu_;
     AddressMap map_;
     std::vector<std::unique_ptr<SubChannel>> subch_;
+    std::vector<std::unique_ptr<FaultInjector>> faults_;
     std::vector<std::unique_ptr<Mitigator>> engines_;
     std::vector<std::unique_ptr<Controller>> controllers_;
     std::unique_ptr<Cpu> cpu_;

@@ -37,11 +37,55 @@ TEST(Config, CommentsAndBlanksIgnored)
     EXPECT_EQ(c.keys().size(), 1u);
 }
 
-TEST(Config, LaterValueWins)
+TEST(Config, SetOverridesParsedValue)
 {
     Config c;
-    c.parseArgs({"a=1", "a=2"});
+    c.parseArgs({"a=1"});
+    c.set("a", "2"); // Programmatic override is allowed...
     EXPECT_EQ(c.getInt("a"), 2);
+}
+
+TEST(ConfigDeathTest, DuplicateParsedKeyIsFatal)
+{
+    Config c;
+    // ...but parsing the same key twice is a config bug.
+    EXPECT_EXIT(c.parseArgs({"a=1", "a=2"}),
+                ::testing::ExitedWithCode(1), "'a' set twice");
+}
+
+TEST(ConfigDeathTest, DuplicateNamesBothOrigins)
+{
+    const std::string path = ::testing::TempDir() + "/mopac_cfg_dup";
+    {
+        std::ofstream out(path);
+        out << "x = 1\n"
+            << "x = 2\n";
+    }
+    Config c;
+    EXPECT_EXIT(c.parseFile(path), ::testing::ExitedWithCode(1),
+                ":1.*:2");
+    std::remove(path.c_str());
+}
+
+TEST(Config, RejectUnknownKeysPassesWhenAllConsumed)
+{
+    Config c;
+    c.parseArgs({"a=1", "b=2"});
+    (void)c.getInt("a");
+    EXPECT_TRUE(c.has("b"));
+    EXPECT_TRUE(c.unconsumedKeys().empty());
+    c.rejectUnknownKeys("test"); // Must not exit.
+}
+
+TEST(ConfigDeathTest, RejectUnknownKeysIsFatal)
+{
+    Config c;
+    c.parseArgs({"good=1", "tpyo=2"});
+    (void)c.getInt("good");
+    ASSERT_EQ(c.unconsumedKeys(),
+              std::vector<std::string>{"tpyo"});
+    EXPECT_EXIT(c.rejectUnknownKeys("test"),
+                ::testing::ExitedWithCode(1), "unknown config key.*tpyo");
 }
 
 TEST(Config, Defaults)

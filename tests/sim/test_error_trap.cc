@@ -1,0 +1,157 @@
+/**
+ * @file
+ * ErrorTrap exception-safety tests: nesting, per-thread isolation,
+ * and survival of panics on sim::Runner worker threads.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "common/log.hh"
+#include "sim/runner.hh"
+
+namespace mopac
+{
+namespace
+{
+
+TEST(ErrorTrap, ConvertsPanicAndFatalToExceptions)
+{
+    const ErrorTrap trap;
+    EXPECT_THROW(panic("boom {}", 1), SimError);
+    EXPECT_THROW(fatal("bad key {}", "x"), SimError);
+    try {
+        panic("with details {}", 42);
+    } catch (const SimError &e) {
+        EXPECT_NE(std::string(e.what()).find("with details 42"),
+                  std::string::npos);
+    }
+}
+
+TEST(ErrorTrap, NestsAndUnwindsInOrder)
+{
+    EXPECT_FALSE(ErrorTrap::active());
+    {
+        const ErrorTrap outer;
+        EXPECT_TRUE(ErrorTrap::active());
+        {
+            const ErrorTrap inner;
+            EXPECT_TRUE(ErrorTrap::active());
+            EXPECT_THROW(panic("inner"), SimError);
+        }
+        // The inner destructor must not have disarmed the outer trap.
+        EXPECT_TRUE(ErrorTrap::active());
+        EXPECT_THROW(panic("outer"), SimError);
+    }
+    EXPECT_FALSE(ErrorTrap::active());
+}
+
+TEST(ErrorTrap, SurvivesThrowThroughNestedScopes)
+{
+    const ErrorTrap outer;
+    try {
+        const ErrorTrap inner; // Unwound by the throw below.
+        panic("thrown through inner scope");
+    } catch (const SimError &) {
+    }
+    EXPECT_TRUE(ErrorTrap::active());
+}
+
+TEST(ErrorTrap, IsPerThread)
+{
+    const ErrorTrap trap;
+    std::atomic<bool> other_active{true};
+    std::thread probe(
+        [&] { other_active = ErrorTrap::active(); });
+    probe.join();
+    // The main thread's trap must not leak into other threads.
+    EXPECT_FALSE(other_active);
+    EXPECT_TRUE(ErrorTrap::active());
+}
+
+TEST(ErrorTrap, IndependentTrapsOnManyThreads)
+{
+    constexpr unsigned kThreads = 8;
+    std::atomic<unsigned> caught{0};
+    std::vector<std::thread> threads;
+    for (unsigned t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&] {
+            for (int i = 0; i < 50; ++i) {
+                const ErrorTrap trap;
+                try {
+                    panic("thread-local failure");
+                } catch (const SimError &) {
+                    ++caught;
+                }
+            }
+            // No trap must survive the loop on this thread.
+            if (!ErrorTrap::active()) {
+                return;
+            }
+            caught = 0;
+        });
+    }
+    for (std::thread &t : threads) {
+        t.join();
+    }
+    EXPECT_EQ(caught.load(), kThreads * 50);
+}
+
+/** A point whose construction fatal()s (unknown workload name). */
+ExperimentPoint
+poisonPoint(std::uint64_t id)
+{
+    ExperimentPoint p;
+    p.point_id = id;
+    p.config_label = "poison";
+    p.workload = "no_such_workload";
+    p.cfg = makeConfig(MitigationKind::kNone, 500);
+    p.cfg.seed = 3;
+    p.cfg.insts_per_core = 2000;
+    p.cfg.warmup_insts = 200;
+    p.cfg.num_cores = 1;
+    return p;
+}
+
+ExperimentPoint
+healthyPoint(std::uint64_t id)
+{
+    ExperimentPoint p = poisonPoint(id);
+    p.config_label = "healthy";
+    p.workload = "add";
+    return p;
+}
+
+TEST(ErrorTrapRunner, WorkersQuarantineFailuresAndContinue)
+{
+    // Interleave crashing and healthy points across worker threads:
+    // each crash must be trapped on its own worker, quarantined as
+    // kFailed, and must not poison the points that follow it.
+    std::vector<ExperimentPoint> points;
+    for (std::uint64_t id = 0; id < 8; ++id) {
+        points.push_back(id % 2 == 0 ? poisonPoint(id)
+                                     : healthyPoint(id));
+        points.back().point_id = id;
+    }
+    RunnerOptions opts;
+    opts.jobs = 4;
+    const auto results = Runner(opts).run(points);
+    ASSERT_EQ(results.size(), points.size());
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        if (i % 2 == 0) {
+            EXPECT_EQ(results[i].status, PointStatus::kFailed) << i;
+            EXPECT_FALSE(results[i].error.empty()) << i;
+        } else {
+            EXPECT_EQ(results[i].status, PointStatus::kOk)
+                << i << ": " << results[i].error;
+        }
+    }
+    // All traps were scoped to their points.
+    EXPECT_FALSE(ErrorTrap::active());
+}
+
+} // namespace
+} // namespace mopac

@@ -22,6 +22,15 @@
  *   ton_ns     = timeout policy tON in ns     (200)
  *   baseline   = also run the unprotected baseline and report
  *                the weighted slowdown        (false)
+ *   watchdog   = forward-progress watchdog budget in cycles; a run
+ *                retiring nothing for that long is aborted with the
+ *                last commands listed (0 = off)    (2000000)
+ *   watchdog_tail = commands listed on a watchdog trip   (16)
+ *   faults.*   = fault-injection plan; see src/sim/faults.hh
+ *                (faults.seed, faults.intensity, faults.<kind>,
+ *                 faults.<kind>.at/.cycles/.chip)
+ *
+ * Unknown or duplicated keys are fatal.
  */
 
 #include <cstdio>
@@ -33,6 +42,7 @@
 #include "common/log.hh"
 #include "common/table.hh"
 #include "sim/experiment.hh"
+#include "sim/faults.hh"
 
 namespace
 {
@@ -65,7 +75,7 @@ parsePolicy(const std::string &name)
 }
 
 void
-report(const char *label, const RunResult &r)
+report(const char *label, const RunResult &r, bool faulted)
 {
     TextTable t(std::string("mopac_sim results: ") + label);
     t.header({"metric", "value"});
@@ -86,6 +96,10 @@ report(const char *label, const RunResult &r)
     t.row({"mitigations", std::to_string(r.mitigations)});
     t.row({"max unmitigated ACTs", std::to_string(r.max_unmitigated)});
     t.row({"TRH violations", std::to_string(r.violations)});
+    if (faulted) {
+        t.row({"faults injected", std::to_string(r.faults_injected)});
+        t.row({"outcome", toString(classifyRun(r))});
+    }
     t.print(std::cout);
 }
 
@@ -127,22 +141,40 @@ main(int argc, char **argv)
         static_cast<unsigned>(conf.getUint("chips", 4));
     cfg.mc.page_policy = parsePolicy(conf.getString("page", "open"));
     cfg.mc.timeout_ton = nsToCycles(conf.getDouble("ton_ns", 200.0));
+    cfg.watchdog_cycles = conf.getUint("watchdog", cfg.watchdog_cycles);
+    cfg.watchdog_tail = static_cast<unsigned>(
+        conf.getUint("watchdog_tail", cfg.watchdog_tail));
+    cfg.faults = FaultPlan::fromConfig(conf);
 
     const std::string workload = conf.getString("workload", "mcf");
+    const bool baseline = conf.getBool("baseline", false);
+    conf.rejectUnknownKeys("mopac_sim");
 
+    const bool faulted = cfg.faults.enabled();
     inform("running workload '{}' with mitigation '{}' at TRH {}",
            workload, toString(cfg.mitigation), cfg.trh);
-    const RunResult result = runWorkload(cfg, workload);
-    report(toString(cfg.mitigation).c_str(), result);
+    if (faulted) {
+        inform("fault plan: {}", cfg.faults.summary());
+    }
 
-    if (conf.getBool("baseline", false) &&
-        cfg.mitigation != MitigationKind::kNone) {
+    // tryRunWorkload so a watchdog trip / panic prints a clean
+    // diagnostic (with the command-trace tail) instead of aborting.
+    const RunOutcome outcome = tryRunWorkload(cfg, workload);
+    if (!outcome.ok) {
+        std::fprintf(stderr, "mopac_sim: run %s: %s\n",
+                     toString(outcome.outcome), outcome.error.c_str());
+        return 1;
+    }
+    report(toString(cfg.mitigation).c_str(), outcome.result, faulted);
+
+    if (baseline && cfg.mitigation != MitigationKind::kNone) {
         SystemConfig base = cfg;
         base.mitigation = MitigationKind::kNone;
         const RunResult base_result = runWorkload(base, workload);
-        report("baseline (none)", base_result);
+        report("baseline (none)", base_result, faulted);
         std::printf("weighted slowdown vs baseline: %.2f%%\n",
-                    weightedSlowdown(base_result, result) * 100.0);
+                    weightedSlowdown(base_result, outcome.result) *
+                        100.0);
     }
     return 0;
 }
