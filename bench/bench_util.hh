@@ -30,7 +30,9 @@
 #include "common/mathutil.hh"
 #include "common/table.hh"
 #include "sim/experiment.hh"
+#include "sim/journal.hh"
 #include "sim/runner.hh"
+#include "sim/stop.hh"
 #include "workload/spec.hh"
 
 namespace mopac::bench
@@ -52,12 +54,23 @@ benchInsts()
  *                full stats dump, then exit (point ids are printed
  *                when a point fails, or enumerable via --list-points)
  *   --list-points  print the expanded point table, then exit
+ *   --journal DIR  journal each finished point to DIR (crash-safe);
+ *                SIGINT/SIGTERM pause the sweep at the next point
+ *                boundary and exit with status 75 (resumable)
+ *   --resume DIR  alias for --journal: finished points in DIR are
+ *                skipped and only the remainder re-runs
+ *   --drain-deadline SEC  with --journal: seconds in-flight points
+ *                get to finish after a stop request before a hard
+ *                abort abandons them (default 30; 0 = wait forever)
  */
 struct BenchOptions
 {
     unsigned jobs = 0;
     std::int64_t replay = -1;
     bool list_points = false;
+    /** Journal directory ("" = plain, non-resumable sweep). */
+    std::string journal;
+    double drain_deadline_sec = 30.0;
 };
 
 /** Parse the shared bench flags; fatal() on malformed input. */
@@ -103,9 +116,26 @@ parseBenchArgs(int argc, char **argv)
                 number("--replay", value("--replay")));
         } else if (arg == "--list-points") {
             opts.list_points = true;
+        } else if (arg == "--journal" ||
+                   arg.rfind("--journal=", 0) == 0) {
+            opts.journal = value("--journal");
+        } else if (arg == "--resume" ||
+                   arg.rfind("--resume=", 0) == 0) {
+            opts.journal = value("--resume");
+        } else if (arg == "--drain-deadline" ||
+                   arg.rfind("--drain-deadline=", 0) == 0) {
+            const std::string text = value("--drain-deadline");
+            char *end = nullptr;
+            opts.drain_deadline_sec = std::strtod(text.c_str(), &end);
+            if (end == nullptr || *end != '\0' ||
+                opts.drain_deadline_sec < 0.0) {
+                fatal("--drain-deadline expects a non-negative "
+                      "number of seconds, got '{}'", text);
+            }
         } else if (arg == "--help" || arg == "-h") {
             std::puts("usage: <bench> [--jobs N] [--replay ID] "
-                      "[--list-points]");
+                      "[--list-points] [--journal DIR] "
+                      "[--resume DIR] [--drain-deadline SEC]");
             std::exit(0);
         } else {
             fatal("unknown bench argument '{}'", arg);
@@ -184,8 +214,35 @@ runBenchPoints(const std::vector<ExperimentPoint> &points,
 
     RunnerOptions ropts;
     ropts.jobs = opts.jobs;
-    const std::vector<PointResult> results =
-        Runner(ropts).run(points);
+
+    std::vector<PointResult> results;
+    if (!opts.journal.empty()) {
+        // Journaled (resumable) sweep: finished points come from the
+        // journal, new ones are recorded atomically, and a signal
+        // pauses at the next point boundary with the resumable exit
+        // status.
+        sweepstop::installSignalHandlers();
+        ropts.drain_deadline_sec = opts.drain_deadline_sec;
+        JournaledSweepResult sweep;
+        try {
+            sweep = Runner(ropts).runJournaled(points, opts.journal);
+        } catch (const SerializeError &e) {
+            fatal("journal {}: {}", opts.journal, e.what());
+        }
+        if (sweep.reused > 0) {
+            inform("journal {}: reused {} finished points, ran {}",
+                   opts.journal, sweep.reused, sweep.executed);
+        }
+        if (!sweep.complete()) {
+            warn("sweep interrupted: {} points pending -- resume "
+                 "with --resume {}",
+                 sweep.pending, opts.journal);
+            std::exit(sweepstop::kResumableExit);
+        }
+        results = std::move(sweep.results);
+    } else {
+        results = Runner(ropts).run(points);
+    }
     for (std::size_t i = 0; i < results.size(); ++i) {
         const PointResult &r = results[i];
         if (r.status != PointStatus::kOk) {

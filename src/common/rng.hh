@@ -21,6 +21,9 @@
 namespace mopac
 {
 
+class Serializer;
+class Deserializer;
+
 /**
  * xoshiro256** pseudo-random generator with convenience draws.
  *
@@ -88,6 +91,12 @@ class Rng
     /** Generator for stream @p stream_id of @p master_seed. */
     static Rng forStream(std::uint64_t master_seed,
                          std::uint64_t stream_id);
+
+    /** Checkpoint the stream position (exact xoshiro state). */
+    void saveState(Serializer &ser) const;
+
+    /** Restore a stream position saved by saveState(). */
+    void loadState(Deserializer &des);
 
   private:
     std::array<std::uint64_t, 4> state_;

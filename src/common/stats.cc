@@ -9,6 +9,7 @@
 
 #include "format.hh"
 #include "log.hh"
+#include "serialize.hh"
 
 namespace mopac
 {
@@ -237,6 +238,77 @@ bool
 StatSnapshot::operator==(const StatSnapshot &other) const
 {
     return entries_ == other.entries_;
+}
+
+void
+Histogram::saveState(Serializer &ser) const
+{
+    ser.putU64(bucket_width_);
+    ser.putVecU64(buckets_);
+    ser.putU64(count_);
+    ser.putU64(sum_);
+    ser.putU64(min_);
+    ser.putU64(max_);
+}
+
+void
+Histogram::loadState(Deserializer &des)
+{
+    const std::uint64_t width = des.getU64();
+    std::vector<std::uint64_t> buckets = des.getVecU64();
+    if (width != bucket_width_ || buckets.size() != buckets_.size()) {
+        throw SerializeError(
+            format("histogram shape mismatch (saved width {} x {} "
+                   "buckets, live width {} x {})",
+                   width, buckets.size(), bucket_width_,
+                   buckets_.size()));
+    }
+    buckets_ = std::move(buckets);
+    count_ = des.getU64();
+    sum_ = des.getU64();
+    min_ = des.getU64();
+    max_ = des.getU64();
+}
+
+void
+StatSnapshot::saveState(Serializer &ser) const
+{
+    ser.putU64(entries_.size());
+    for (const Entry &entry : entries_) {
+        ser.putStr(entry.name);
+        if (std::holds_alternative<std::uint64_t>(entry.value)) {
+            ser.putU8(0);
+            ser.putU64(std::get<std::uint64_t>(entry.value));
+        } else {
+            ser.putU8(1);
+            ser.putF64(std::get<double>(entry.value));
+        }
+    }
+}
+
+void
+StatSnapshot::loadState(Deserializer &des)
+{
+    const std::uint64_t n = des.getU64();
+    if (n > (1ull << 32)) {
+        throw SerializeError(format("implausible stat count {}", n));
+    }
+    entries_.clear();
+    entries_.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+        Entry entry;
+        entry.name = des.getStr();
+        const std::uint8_t kind = des.getU8();
+        if (kind == 0) {
+            entry.value = des.getU64();
+        } else if (kind == 1) {
+            entry.value = des.getF64();
+        } else {
+            throw SerializeError(
+                format("bad stat entry kind {}", kind));
+        }
+        entries_.push_back(std::move(entry));
+    }
 }
 
 } // namespace mopac

@@ -21,6 +21,9 @@
 namespace mopac
 {
 
+class Serializer;
+class Deserializer;
+
 /**
  * A streaming histogram over unsigned samples with fixed-width
  * buckets, also tracking exact count / sum / min / max.
@@ -64,6 +67,12 @@ class Histogram
 
     /** Reset all recorded data. */
     void reset();
+
+    /** Checkpoint the recorded data (shape must match on load). */
+    void saveState(Serializer &ser) const;
+
+    /** Restore data saved by saveState(); throws on a shape mismatch. */
+    void loadState(Deserializer &des);
 
   private:
     std::uint64_t bucket_width_;
@@ -179,6 +188,12 @@ class StatSnapshot
     {
         return !(*this == other);
     }
+
+    /** Serialize the snapshot (bit-exact, including doubles). */
+    void saveState(Serializer &ser) const;
+
+    /** Replace this snapshot with one saved by saveState(). */
+    void loadState(Deserializer &des);
 
   private:
     struct Entry

@@ -8,6 +8,7 @@
 #include <algorithm>
 
 #include "common/log.hh"
+#include "common/serialize.hh"
 
 namespace mopac
 {
@@ -193,6 +194,80 @@ Core::measuredIpc() const
     }
     return static_cast<double>(measuredInsts()) /
            static_cast<double>(end - measure_start_cycle_);
+}
+
+void
+Core::saveState(Serializer &ser) const
+{
+    ser.putU64(fetch_inst_);
+    ser.putU64(retire_inst_);
+    ser.putU32(static_cast<std::uint32_t>(ops_.size()));
+    for (const MemOp &op : ops_) {
+        ser.putU64(op.inst_idx);
+        ser.putU64(op.line_addr);
+        ser.putU8(op.is_write ? 1 : 0);
+        ser.putU8(op.depends_on_prev ? 1 : 0);
+        ser.putU8(op.issued ? 1 : 0);
+        ser.putU8(op.done ? 1 : 0);
+        ser.putU8(op.mshr_held ? 1 : 0);
+        ser.putU64(op.done_at);
+        ser.putU64(op.req_id);
+    }
+    ser.putU8(record_pending_ ? 1 : 0);
+    ser.putU32(record_.inst_gap);
+    ser.putU64(record_.line_addr);
+    ser.putU8(record_.is_write ? 1 : 0);
+    ser.putU8(record_.depends_on_prev ? 1 : 0);
+    ser.putU32(gap_left_);
+    ser.putU32(outstanding_reads_);
+    ser.putU64(next_req_id_);
+    ser.putU64(issued_reads_);
+    ser.putU64(issued_writes_);
+    ser.putU64(finish_cycle_);
+    ser.putU64(finish_insts_);
+    ser.putU64(measure_start_cycle_);
+    ser.putU64(measure_start_insts_);
+}
+
+void
+Core::loadState(Deserializer &des)
+{
+    fetch_inst_ = des.getU64();
+    retire_inst_ = des.getU64();
+    const std::uint32_t n = des.getU32();
+    if (n > params_.rob_entries) {
+        throw SerializeError(format(
+            "core ROB occupancy {} exceeds {} entries", n,
+            params_.rob_entries));
+    }
+    ops_.clear();
+    for (std::uint32_t i = 0; i < n; ++i) {
+        MemOp op;
+        op.inst_idx = des.getU64();
+        op.line_addr = des.getU64();
+        op.is_write = des.getU8() != 0;
+        op.depends_on_prev = des.getU8() != 0;
+        op.issued = des.getU8() != 0;
+        op.done = des.getU8() != 0;
+        op.mshr_held = des.getU8() != 0;
+        op.done_at = des.getU64();
+        op.req_id = des.getU64();
+        ops_.push_back(op);
+    }
+    record_pending_ = des.getU8() != 0;
+    record_.inst_gap = des.getU32();
+    record_.line_addr = des.getU64();
+    record_.is_write = des.getU8() != 0;
+    record_.depends_on_prev = des.getU8() != 0;
+    gap_left_ = des.getU32();
+    outstanding_reads_ = des.getU32();
+    next_req_id_ = des.getU64();
+    issued_reads_ = des.getU64();
+    issued_writes_ = des.getU64();
+    finish_cycle_ = des.getU64();
+    finish_insts_ = des.getU64();
+    measure_start_cycle_ = des.getU64();
+    measure_start_insts_ = des.getU64();
 }
 
 } // namespace mopac

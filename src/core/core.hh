@@ -29,6 +29,9 @@
 namespace mopac
 {
 
+class Serializer;
+class Deserializer;
+
 /** Where cores hand their memory requests (implemented by the System). */
 class RequestSink
 {
@@ -99,6 +102,16 @@ class Core
 
     std::uint64_t issuedReads() const { return issued_reads_; }
     std::uint64_t issuedWrites() const { return issued_writes_; }
+
+    /**
+     * Checkpoint the pipeline: ROB contents (including in-flight
+     * reads), the partially dispatched trace record, and every
+     * progress counter.  The trace source checkpoints separately.
+     */
+    void saveState(Serializer &ser) const;
+
+    /** Restore state saved by saveState(). */
+    void loadState(Deserializer &des);
 
   private:
     /** An in-flight memory operation occupying a ROB slot. */

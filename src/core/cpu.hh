@@ -78,6 +78,24 @@ class Cpu : public MemClient
     /** Per-core IPC over the measured interval. */
     std::vector<double> measuredIpcs() const;
 
+    /** Checkpoint every core (trace sources checkpoint separately). */
+    void
+    saveState(Serializer &ser) const
+    {
+        for (const auto &core : cores_) {
+            core->saveState(ser);
+        }
+    }
+
+    /** Restore state saved by saveState(). */
+    void
+    loadState(Deserializer &des)
+    {
+        for (auto &core : cores_) {
+            core->loadState(des);
+        }
+    }
+
   private:
     std::vector<std::unique_ptr<Core>> cores_;
 };

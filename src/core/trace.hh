@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <memory>
 
+#include "common/serialize.hh"
 #include "common/types.hh"
 
 namespace mopac
@@ -46,6 +47,30 @@ class TraceSource
 
     /** Produce the next record. */
     virtual TraceRecord next() = 0;
+
+    /**
+     * Checkpoint the stream cursor so a restored source replays the
+     * identical record sequence.  Sources that cannot be checkpointed
+     * (externally driven streams) keep the throwing default, which
+     * makes whole-System snapshots fail loudly instead of silently
+     * desynchronizing the workload.
+     */
+    virtual void
+    saveState(Serializer &ser) const
+    {
+        (void)ser;
+        throw SerializeError("trace source does not support "
+                             "checkpointing");
+    }
+
+    /** Restore state saved by saveState(). */
+    virtual void
+    loadState(Deserializer &des)
+    {
+        (void)des;
+        throw SerializeError("trace source does not support "
+                             "checkpointing");
+    }
 };
 
 } // namespace mopac

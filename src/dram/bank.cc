@@ -8,6 +8,7 @@
 #include <algorithm>
 
 #include "common/log.hh"
+#include "common/serialize.hh"
 
 namespace mopac
 {
@@ -93,6 +94,30 @@ BankTiming::blockUntil(Cycle until)
 {
     MOPAC_ASSERT(!hasOpenRow());
     act_ready_ = std::max(act_ready_, until);
+}
+
+void
+BankTiming::saveState(Serializer &ser) const
+{
+    ser.putU32(open_row_);
+    ser.putU64(open_since_);
+    ser.putU64(last_cas_);
+    ser.putU64(act_ready_);
+    ser.putU64(cas_ready_);
+    ser.putU64(pre_cas_constraint_);
+    ser.putU64(last_act_);
+}
+
+void
+BankTiming::loadState(Deserializer &des)
+{
+    open_row_ = des.getU32();
+    open_since_ = des.getU64();
+    last_cas_ = des.getU64();
+    act_ready_ = des.getU64();
+    cas_ready_ = des.getU64();
+    pre_cas_constraint_ = des.getU64();
+    last_act_ = des.getU64();
 }
 
 } // namespace mopac

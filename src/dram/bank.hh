@@ -29,6 +29,9 @@
 namespace mopac
 {
 
+class Serializer;
+class Deserializer;
+
 /** Timing state for one DRAM bank. */
 class BankTiming
 {
@@ -84,6 +87,12 @@ class BankTiming
      * ALERT stalls.
      */
     void blockUntil(Cycle until);
+
+    /** Checkpoint the mutable timing state. */
+    void saveState(Serializer &ser) const;
+
+    /** Restore state saved by saveState(). */
+    void loadState(Deserializer &des);
 
   private:
     const TimingSet *normal_;

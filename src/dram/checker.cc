@@ -8,6 +8,7 @@
 #include <algorithm>
 
 #include "common/log.hh"
+#include "common/serialize.hh"
 
 namespace mopac
 {
@@ -260,6 +261,82 @@ ProtocolChecker::onCommand(DramCommand cmd, unsigned bank, Cycle now)
         // intra-bank rules above are unaffected.
         break;
     }
+}
+
+void
+SecurityChecker::saveState(Serializer &ser) const
+{
+    ser.putU32(banks_);
+    ser.putU32(rows_);
+    ser.putU32(chips_);
+    ser.putU32(trh_);
+    ser.putVecU32(counts_);
+    ser.putU32(max_unmitigated_);
+    ser.putU64(violations_);
+
+    ser.putU8(epoch_enabled_ ? 1 : 0);
+    ser.putU64(epoch_len_);
+    ser.putU32(epoch_hi1_);
+    ser.putU32(epoch_hi2_);
+    ser.putU64(epoch_start_);
+    ser.putU64(epoch_counts_.size());
+    for (const auto &per_bank : epoch_counts_) {
+        // Sort keys so the byte stream is deterministic regardless of
+        // unordered_map iteration order.
+        std::vector<std::pair<std::uint32_t, std::uint32_t>> items(
+            per_bank.begin(), per_bank.end());
+        std::sort(items.begin(), items.end());
+        ser.putU64(items.size());
+        for (const auto &[row, count] : items) {
+            ser.putU32(row);
+            ser.putU32(count);
+        }
+    }
+    ser.putU64(epochs_);
+    ser.putU64(rows_act64_);
+    ser.putU64(rows_act200_);
+}
+
+void
+SecurityChecker::loadState(Deserializer &des)
+{
+    const std::uint32_t banks = des.getU32();
+    const std::uint32_t rows = des.getU32();
+    const std::uint32_t chips = des.getU32();
+    const std::uint32_t trh = des.getU32();
+    if (banks != banks_ || rows != rows_ || chips != chips_ ||
+        trh != trh_) {
+        throw SerializeError("security checker shape mismatch");
+    }
+    std::vector<std::uint32_t> counts = des.getVecU32();
+    if (counts.size() != counts_.size()) {
+        throw SerializeError("security checker count array mismatch");
+    }
+    counts_ = std::move(counts);
+    max_unmitigated_ = des.getU32();
+    violations_ = des.getU64();
+
+    epoch_enabled_ = des.getU8() != 0;
+    epoch_len_ = des.getU64();
+    epoch_hi1_ = des.getU32();
+    epoch_hi2_ = des.getU32();
+    epoch_start_ = des.getU64();
+    const std::uint64_t num_banks = des.getU64();
+    if (epoch_enabled_ && num_banks != banks_) {
+        throw SerializeError("epoch tracker bank count mismatch");
+    }
+    epoch_counts_.assign(num_banks, {});
+    for (std::uint64_t b = 0; b < num_banks; ++b) {
+        const std::uint64_t n = des.getU64();
+        for (std::uint64_t i = 0; i < n; ++i) {
+            const std::uint32_t row = des.getU32();
+            const std::uint32_t count = des.getU32();
+            epoch_counts_[b][row] = count;
+        }
+    }
+    epochs_ = des.getU64();
+    rows_act64_ = des.getU64();
+    rows_act200_ = des.getU64();
 }
 
 } // namespace mopac

@@ -37,6 +37,9 @@
 namespace mopac
 {
 
+class Serializer;
+class Deserializer;
+
 /** "All chips" selector for victim refreshes. */
 constexpr unsigned kAllChips = ~0u;
 
@@ -101,6 +104,12 @@ class SecurityChecker
     double act200PerBankPerEpoch() const;
 
     std::uint64_t epochsCompleted() const { return epochs_; }
+
+    /** Checkpoint the oracle counts and epoch tracking state. */
+    void saveState(Serializer &ser) const;
+
+    /** Restore state saved by saveState(); throws on a mismatch. */
+    void loadState(Deserializer &des);
 
   private:
     std::size_t

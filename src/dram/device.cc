@@ -8,6 +8,7 @@
 #include <algorithm>
 
 #include "common/log.hh"
+#include "common/serialize.hh"
 // Header-only hooks; no link dependency on mopac_sim (see faults.hh).
 #include "sim/faults.hh"
 
@@ -260,6 +261,95 @@ SubChannel::commandTail(unsigned k) const
         out.push_back(cmd_ring_[i % kCmdRingCapacity]);
     }
     return out;
+}
+
+void
+SubChannel::saveState(Serializer &ser) const
+{
+    ser.putU32(static_cast<std::uint32_t>(banks_.size()));
+    for (const BankTiming &bank : banks_) {
+        bank.saveState(ser);
+    }
+    checker_.saveState(ser);
+
+    ser.putU64(last_act_);
+    ser.putU64(act_count_);
+    for (const Cycle c : faw_window_) {
+        ser.putU64(c);
+    }
+    ser.putU32(faw_idx_);
+    ser.putU64(bus_free_at_);
+
+    ser.putU8(alert_asserted_ ? 1 : 0);
+    ser.putU8(alert_pending_ ? 1 : 0);
+    ser.putU64(alert_since_);
+    ser.putU64(acts_since_rfm_);
+    ser.putU32(sweep_row_);
+    ser.putU64(now_);
+
+    for (const CommandRecord &rec : cmd_ring_) {
+        ser.putU8(static_cast<std::uint8_t>(rec.cmd));
+        ser.putU32(rec.bank);
+        ser.putU32(rec.row);
+        ser.putU64(rec.at);
+    }
+    ser.putU64(cmd_ring_count_);
+
+    ser.putU64(stats_.acts);
+    ser.putU64(stats_.pres);
+    ser.putU64(stats_.precus);
+    ser.putU64(stats_.reads);
+    ser.putU64(stats_.writes);
+    ser.putU64(stats_.refs);
+    ser.putU64(stats_.rfms);
+    ser.putU64(stats_.alerts);
+    ser.putU64(stats_.victim_refreshes);
+}
+
+void
+SubChannel::loadState(Deserializer &des)
+{
+    const std::uint32_t nbanks = des.getU32();
+    if (nbanks != banks_.size()) {
+        throw SerializeError("sub-channel bank count mismatch");
+    }
+    for (BankTiming &bank : banks_) {
+        bank.loadState(des);
+    }
+    checker_.loadState(des);
+
+    last_act_ = des.getU64();
+    act_count_ = des.getU64();
+    for (Cycle &c : faw_window_) {
+        c = des.getU64();
+    }
+    faw_idx_ = des.getU32();
+    bus_free_at_ = des.getU64();
+
+    alert_asserted_ = des.getU8() != 0;
+    alert_pending_ = des.getU8() != 0;
+    alert_since_ = des.getU64();
+    acts_since_rfm_ = des.getU64();
+    sweep_row_ = des.getU32();
+    now_ = des.getU64();
+
+    for (CommandRecord &rec : cmd_ring_) {
+        rec.cmd = static_cast<DramCommand>(des.getU8());
+        rec.bank = des.getU32();
+        rec.row = des.getU32();
+        rec.at = des.getU64();
+    }
+    cmd_ring_count_ = des.getU64();
+
+    stats_.acts = des.getU64();
+    stats_.pres = des.getU64();
+    stats_.precus = des.getU64();
+    stats_.reads = des.getU64();
+    stats_.writes = des.getU64();
+    stats_.refs = des.getU64();
+    stats_.rfms = des.getU64();
+    stats_.alerts = des.getU64();
+    stats_.victim_refreshes = des.getU64();
 }
 
 } // namespace mopac

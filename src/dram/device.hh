@@ -135,6 +135,18 @@ class SubChannel : public DramBackend
     const TimingSet &normalTiming() const { return *normal_; }
     const TimingSet &cuTiming() const { return *cu_; }
 
+    /**
+     * Checkpoint every mutable field of the sub-channel: bank timing
+     * machines, ACT/FAW windows, bus occupancy, ALERT latch, refresh
+     * sweep position, command ring, statistics, and the security
+     * oracle.  The attached engine and fault injector checkpoint
+     * separately (the System orchestrates the order).
+     */
+    void saveState(Serializer &ser) const;
+
+    /** Restore state saved by saveState(). */
+    void loadState(Deserializer &des);
+
   private:
     void assertAllClosed(const char *what) const;
 

@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <string>
 
+#include "common/serialize.hh"
 #include "common/types.hh"
 #include "dram/checker.hh"
 #include "dram/geometry.hh"
@@ -50,6 +51,40 @@ struct EngineStats
     /** SRQ entries drained during REF (drain-on-REF). */
     std::uint64_t ref_drains = 0;
 };
+
+/** Checkpoint an EngineStats block (field order is the format). */
+inline void
+saveEngineStats(Serializer &ser, const EngineStats &s)
+{
+    ser.putU64(s.counter_updates);
+    ser.putU64(s.selected_acts);
+    ser.putU64(s.mitigations);
+    ser.putU64(s.alerts_requested);
+    ser.putU64(s.ath_alerts);
+    ser.putU64(s.srq_insertions);
+    ser.putU64(s.srq_coalesced);
+    ser.putU64(s.srq_drains);
+    ser.putU64(s.srq_full_alerts);
+    ser.putU64(s.tth_alerts);
+    ser.putU64(s.ref_drains);
+}
+
+/** Restore an EngineStats block saved by saveEngineStats(). */
+inline void
+loadEngineStats(Deserializer &des, EngineStats &s)
+{
+    s.counter_updates = des.getU64();
+    s.selected_acts = des.getU64();
+    s.mitigations = des.getU64();
+    s.alerts_requested = des.getU64();
+    s.ath_alerts = des.getU64();
+    s.srq_insertions = des.getU64();
+    s.srq_coalesced = des.getU64();
+    s.srq_drains = des.getU64();
+    s.srq_full_alerts = des.getU64();
+    s.tth_alerts = des.getU64();
+    s.ref_drains = des.getU64();
+}
 
 /**
  * Services the DRAM device offers to a mitigation engine.
@@ -163,6 +198,29 @@ class Mitigator
 
     /** Engine statistics. */
     virtual const EngineStats &engineStats() const = 0;
+
+    /**
+     * Checkpoint every mutable field of the engine, including private
+     * RNG streams, so a restored engine continues bit-identically.
+     * Engines that skip the override make whole-System snapshots fail
+     * loudly instead of silently losing mitigation state.
+     */
+    virtual void
+    saveState(Serializer &ser) const
+    {
+        (void)ser;
+        throw SerializeError("mitigation engine does not support "
+                             "checkpointing");
+    }
+
+    /** Restore state saved by saveState(); throws on a mismatch. */
+    virtual void
+    loadState(Deserializer &des)
+    {
+        (void)des;
+        throw SerializeError("mitigation engine does not support "
+                             "checkpointing");
+    }
 };
 
 } // namespace mopac

@@ -5,6 +5,9 @@
 
 #include "prac.hh"
 
+#include "common/format.hh"
+#include "common/serialize.hh"
+
 #include <algorithm>
 
 namespace mopac
@@ -53,6 +56,34 @@ PracCounters::resetRange(unsigned bank, std::uint32_t row_begin,
                         index(chip, bank, 0));
         std::fill(base + row_begin, base + row_end, 0u);
     }
+}
+
+void
+PracCounters::saveState(Serializer &ser) const
+{
+    ser.putU32(banks_);
+    ser.putU32(rows_);
+    ser.putU32(chips_);
+    ser.putVecU32(data_);
+}
+
+void
+PracCounters::loadState(Deserializer &des)
+{
+    const std::uint32_t banks = des.getU32();
+    const std::uint32_t rows = des.getU32();
+    const std::uint32_t chips = des.getU32();
+    if (banks != banks_ || rows != rows_ || chips != chips_) {
+        throw SerializeError(
+            format("PRAC geometry mismatch (saved {}x{}x{}, live "
+                   "{}x{}x{})",
+                   chips, banks, rows, chips_, banks_, rows_));
+    }
+    std::vector<std::uint32_t> data = des.getVecU32();
+    if (data.size() != data_.size()) {
+        throw SerializeError("PRAC counter array size mismatch");
+    }
+    data_ = std::move(data);
 }
 
 } // namespace mopac

@@ -24,6 +24,9 @@
 namespace mopac
 {
 
+class Serializer;
+class Deserializer;
+
 /** Dense per-chip, per-bank, per-row activation counters. */
 class PracCounters
 {
@@ -80,6 +83,12 @@ class PracCounters
      */
     void resetRange(unsigned bank, std::uint32_t row_begin,
                     std::uint32_t row_end);
+
+    /** Checkpoint every counter value. */
+    void saveState(Serializer &ser) const;
+
+    /** Restore counters; throws on a geometry mismatch. */
+    void loadState(Deserializer &des);
 
     /** Storage footprint in bytes (for reporting). */
     std::uint64_t

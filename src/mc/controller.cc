@@ -8,6 +8,7 @@
 #include <algorithm>
 
 #include "common/log.hh"
+#include "common/serialize.hh"
 #include "sim/faults.hh"
 
 namespace mopac
@@ -372,6 +373,118 @@ Controller::rowBufferHitRate() const
     }
     return static_cast<double>(stats_.row_hits) /
            static_cast<double>(cas);
+}
+
+namespace
+{
+
+void
+saveRequestQueue(Serializer &ser, const std::vector<Request> &queue)
+{
+    ser.putU32(static_cast<std::uint32_t>(queue.size()));
+    for (const Request &req : queue) {
+        ser.putU64(req.line_addr);
+        ser.putU8(req.is_write ? 1 : 0);
+        ser.putU32(req.core_id);
+        ser.putU64(req.req_id);
+        ser.putU64(req.enqueue_cycle);
+        ser.putU32(req.bank);
+        ser.putU32(req.row);
+        ser.putU32(req.column);
+    }
+}
+
+void
+loadRequestQueue(Deserializer &des, std::vector<Request> &queue,
+                 unsigned cap, const char *what)
+{
+    const std::uint32_t n = des.getU32();
+    if (n > cap) {
+        throw SerializeError(format(
+            "{} occupancy {} exceeds capacity {}", what, n, cap));
+    }
+    queue.clear();
+    queue.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+        Request req;
+        req.line_addr = des.getU64();
+        req.is_write = des.getU8() != 0;
+        req.core_id = des.getU32();
+        req.req_id = des.getU64();
+        req.enqueue_cycle = des.getU64();
+        req.bank = des.getU32();
+        req.row = des.getU32();
+        req.column = des.getU32();
+        queue.push_back(req);
+    }
+}
+
+} // namespace
+
+void
+Controller::saveState(Serializer &ser) const
+{
+    saveRequestQueue(ser, read_q_);
+    saveRequestQueue(ser, write_q_);
+    ser.putU8(static_cast<std::uint8_t>(state_));
+    ser.putU64(stall_at_);
+    ser.putU64(busy_until_);
+    ser.putU64(next_ref_at_);
+    ser.putU64(next_wake_);
+    ser.putU8(drain_mode_ ? 1 : 0);
+    ser.putVecU8(cu_pending_);
+    ser.putVecU8(act_claimed_);
+    // hit_pending_ / conflict_waiting_ are scratch, rebuilt from
+    // scratch by every scheduleOne() pass -- not checkpointed.
+    ser.putU64(stats_.reads_enqueued);
+    ser.putU64(stats_.writes_enqueued);
+    ser.putU64(stats_.cas_reads);
+    ser.putU64(stats_.cas_writes);
+    ser.putU64(stats_.row_hits);
+    ser.putU64(stats_.refs_issued);
+    ser.putU64(stats_.rfms_issued);
+    ser.putU64(stats_.alert_stall_cycles);
+    stats_.read_latency.saveState(ser);
+}
+
+void
+Controller::loadState(Deserializer &des)
+{
+    loadRequestQueue(des, read_q_, params_.read_queue_cap,
+                     "controller read queue");
+    loadRequestQueue(des, write_q_, params_.write_queue_cap,
+                     "controller write queue");
+    const std::uint8_t state = des.getU8();
+    if (state > static_cast<std::uint8_t>(MaintState::kRefBusy)) {
+        throw SerializeError(format(
+            "invalid controller maintenance state {}", state));
+    }
+    state_ = static_cast<MaintState>(state);
+    stall_at_ = des.getU64();
+    busy_until_ = des.getU64();
+    next_ref_at_ = des.getU64();
+    next_wake_ = des.getU64();
+    drain_mode_ = des.getU8() != 0;
+    std::vector<std::uint8_t> cu = des.getVecU8();
+    std::vector<std::uint8_t> claimed = des.getVecU8();
+    if (cu.size() != cu_pending_.size() ||
+        claimed.size() != act_claimed_.size()) {
+        throw SerializeError(format(
+            "controller bank count mismatch (saved {}/{}, live {}/{})",
+            cu.size(), claimed.size(), cu_pending_.size(),
+            act_claimed_.size()));
+    }
+    cu_pending_ = std::move(cu);
+    act_claimed_ = std::move(claimed);
+    stats_.reads_enqueued = des.getU64();
+    stats_.writes_enqueued = des.getU64();
+    stats_.cas_reads = des.getU64();
+    stats_.cas_writes = des.getU64();
+    stats_.row_hits = des.getU64();
+    stats_.refs_issued = des.getU64();
+    stats_.rfms_issued = des.getU64();
+    stats_.alert_stall_cycles = des.getU64();
+    stats_.read_latency.loadState(des);
 }
 
 } // namespace mopac

@@ -125,6 +125,15 @@ class Controller
     /** Measured row-buffer hit rate over all CAS operations. */
     double rowBufferHitRate() const;
 
+    /**
+     * Checkpoint queues, maintenance state, per-bank PREcu decisions,
+     * and statistics.  The driven SubChannel checkpoints separately.
+     */
+    void saveState(Serializer &ser) const;
+
+    /** Restore state saved by saveState(). */
+    void loadState(Deserializer &des);
+
   private:
     enum class MaintState
     {

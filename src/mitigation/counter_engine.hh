@@ -52,6 +52,14 @@ class CounterEngineBase : public Mitigator
 
     const EngineStats &engineStats() const override { return stats_; }
 
+    /**
+     * Checkpoint the PRAC array, MOAT entries, and statistics.
+     * Derived engines with extra state (MoPAC-C's RNG) extend this.
+     */
+    void saveState(Serializer &ser) const override;
+
+    void loadState(Deserializer &des) override;
+
     std::uint32_t ath() const { return ath_; }
     std::uint32_t eth() const { return eth_; }
 

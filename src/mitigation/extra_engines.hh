@@ -74,6 +74,9 @@ class ParaEngine : public Mitigator
 
     const EngineStats &engineStats() const override { return stats_; }
 
+    void saveState(Serializer &ser) const override;
+    void loadState(Deserializer &des) override;
+
   private:
     DramBackend &backend_;
     Params params_;
@@ -120,6 +123,9 @@ class GrapheneTracker : public Mitigator
     void onNeighborRefresh(unsigned, std::uint32_t, unsigned) override {}
 
     const EngineStats &engineStats() const override { return stats_; }
+
+    void saveState(Serializer &ser) const override;
+    void loadState(Deserializer &des) override;
 
     /** SRAM footprint in bytes (entries * ~6 B), for reporting. */
     std::uint64_t sramBytesPerBank() const;
@@ -183,6 +189,9 @@ class QpracEngine : public Mitigator
                            unsigned chip) override;
 
     const EngineStats &engineStats() const override { return stats_; }
+
+    void saveState(Serializer &ser) const override;
+    void loadState(Deserializer &des) override;
 
     std::uint32_t counter(unsigned bank, std::uint32_t row) const
     {

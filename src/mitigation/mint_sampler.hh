@@ -22,6 +22,7 @@
 
 #include "common/log.hh"
 #include "common/rng.hh"
+#include "common/serialize.hh"
 #include "common/types.hh"
 
 namespace mopac
@@ -89,6 +90,33 @@ class MintSampler
 
     /** Position within the current window (tests). */
     unsigned position() const { return pos_; }
+
+    /** Checkpoint the window cursor and private RNG stream. */
+    void
+    saveState(Serializer &ser) const
+    {
+        ser.putU32(window_);
+        ser.putU32(pos_);
+        ser.putU32(selected_idx_);
+        ser.putU32(candidate_);
+        rng_.saveState(ser);
+    }
+
+    /** Restore state saved by saveState(); throws on mismatch. */
+    void
+    loadState(Deserializer &des)
+    {
+        std::uint32_t window = des.getU32();
+        if (window != window_) {
+            throw SerializeError(format(
+                "MINT sampler window mismatch (saved {}, live {})",
+                window, window_));
+        }
+        pos_ = des.getU32();
+        selected_idx_ = des.getU32();
+        candidate_ = des.getU32();
+        rng_.loadState(des);
+    }
 
   private:
     unsigned window_;

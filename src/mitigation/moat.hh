@@ -16,6 +16,7 @@
 
 #include <cstdint>
 
+#include "common/serialize.hh"
 #include "common/types.hh"
 
 namespace mopac
@@ -59,6 +60,22 @@ class MoatEntry
         if (valid() && row_ >= begin && row_ < end) {
             invalidate();
         }
+    }
+
+    /** Checkpoint the tracked entry. */
+    void
+    saveState(Serializer &ser) const
+    {
+        ser.putU32(row_);
+        ser.putU32(count_);
+    }
+
+    /** Restore state saved by saveState(). */
+    void
+    loadState(Deserializer &des)
+    {
+        row_ = des.getU32();
+        count_ = des.getU32();
     }
 
   private:

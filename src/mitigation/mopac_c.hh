@@ -15,6 +15,7 @@
 #ifndef MOPAC_MITIGATION_MOPAC_C_HH
 #define MOPAC_MITIGATION_MOPAC_C_HH
 
+#include "common/format.hh"
 #include "common/rng.hh"
 #include "mitigation/counter_engine.hh"
 
@@ -62,6 +63,27 @@ class MopacCEngine : public CounterEngineBase
 
     /** Update probability p. */
     double probability() const { return 1.0 / static_cast<double>(1u << k_); }
+
+    /** Checkpoint base state plus the MC-side sampling RNG. */
+    void
+    saveState(Serializer &ser) const override
+    {
+        CounterEngineBase::saveState(ser);
+        ser.putU32(k_);
+        rng_.saveState(ser);
+    }
+
+    void
+    loadState(Deserializer &des) override
+    {
+        CounterEngineBase::loadState(des);
+        const std::uint32_t k = des.getU32();
+        if (k != k_) {
+            throw SerializeError(format(
+                "MoPAC-C k mismatch (saved {}, live {})", k, k_));
+        }
+        rng_.loadState(des);
+    }
 
   protected:
     std::uint32_t

@@ -113,6 +113,14 @@ class MopacDEngine : public Mitigator
     /** Current SRQ occupancy for one (chip, bank) (tests). */
     std::size_t srqOccupancy(unsigned chip, unsigned bank) const;
 
+    /**
+     * Checkpoint per-chip PRAC copies, every SRQ / sampler / MOAT /
+     * RNG, and statistics.
+     */
+    void saveState(Serializer &ser) const override;
+
+    void loadState(Deserializer &des) override;
+
   private:
     /** One SRQ entry. */
     struct SrqEntry

@@ -36,6 +36,18 @@ class NoMitigation : public Mitigator
 
     const EngineStats &engineStats() const override { return stats_; }
 
+    void
+    saveState(Serializer &ser) const override
+    {
+        saveEngineStats(ser, stats_);
+    }
+
+    void
+    loadState(Deserializer &des) override
+    {
+        loadEngineStats(des, stats_);
+    }
+
   private:
     EngineStats stats_;
 };

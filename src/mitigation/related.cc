@@ -163,4 +163,109 @@ TrrTracker::onRefresh(Cycle)
     }
 }
 
+void
+MintTracker::saveState(Serializer &ser) const
+{
+    ser.putU32(static_cast<std::uint32_t>(bank_state_.size()));
+    for (const BankState &bs : bank_state_) {
+        ser.putU32(bs.candidate);
+        ser.putU32(bs.acts);
+        bs.rng.saveState(ser);
+    }
+    saveEngineStats(ser, stats_);
+}
+
+void
+MintTracker::loadState(Deserializer &des)
+{
+    const std::uint32_t n = des.getU32();
+    if (n != bank_state_.size()) {
+        throw SerializeError(format(
+            "MINT tracker bank count mismatch (saved {}, live {})", n,
+            bank_state_.size()));
+    }
+    for (BankState &bs : bank_state_) {
+        bs.candidate = des.getU32();
+        bs.acts = des.getU32();
+        bs.rng.loadState(des);
+    }
+    loadEngineStats(des, stats_);
+}
+
+void
+PrideTracker::saveState(Serializer &ser) const
+{
+    ser.putU32(static_cast<std::uint32_t>(bank_state_.size()));
+    for (const BankState &bs : bank_state_) {
+        ser.putVecU32(bs.fifo);
+        bs.rng.saveState(ser);
+    }
+    saveEngineStats(ser, stats_);
+}
+
+void
+PrideTracker::loadState(Deserializer &des)
+{
+    const std::uint32_t n = des.getU32();
+    if (n != bank_state_.size()) {
+        throw SerializeError(format(
+            "PrIDE bank count mismatch (saved {}, live {})", n,
+            bank_state_.size()));
+    }
+    for (BankState &bs : bank_state_) {
+        bs.fifo = des.getVecU32();
+        if (bs.fifo.size() > params_.fifo_capacity) {
+            throw SerializeError(format(
+                "PrIDE FIFO occupancy {} exceeds capacity {}",
+                bs.fifo.size(), params_.fifo_capacity));
+        }
+        bs.rng.loadState(des);
+    }
+    loadEngineStats(des, stats_);
+}
+
+void
+TrrTracker::saveState(Serializer &ser) const
+{
+    ser.putU32(static_cast<std::uint32_t>(bank_state_.size()));
+    for (const BankState &bs : bank_state_) {
+        ser.putU32(static_cast<std::uint32_t>(bs.table.size()));
+        for (const Entry &e : bs.table) {
+            ser.putU32(e.row);
+            ser.putU32(e.count);
+        }
+        ser.putU32(bs.refs_seen);
+    }
+    saveEngineStats(ser, stats_);
+}
+
+void
+TrrTracker::loadState(Deserializer &des)
+{
+    const std::uint32_t n = des.getU32();
+    if (n != bank_state_.size()) {
+        throw SerializeError(format(
+            "TRR bank count mismatch (saved {}, live {})", n,
+            bank_state_.size()));
+    }
+    for (BankState &bs : bank_state_) {
+        const std::uint32_t m = des.getU32();
+        if (m > params_.entries) {
+            throw SerializeError(format(
+                "TRR table occupancy {} exceeds capacity {}", m,
+                params_.entries));
+        }
+        bs.table.clear();
+        bs.table.reserve(m);
+        for (std::uint32_t i = 0; i < m; ++i) {
+            Entry e;
+            e.row = des.getU32();
+            e.count = des.getU32();
+            bs.table.push_back(e);
+        }
+        bs.refs_seen = des.getU32();
+    }
+    loadEngineStats(des, stats_);
+}
+
 } // namespace mopac

@@ -73,6 +73,9 @@ class MintTracker : public RefTimeTrackerBase
     void onActivate(unsigned bank, std::uint32_t row, Cycle now) override;
     void onRefresh(Cycle now) override;
 
+    void saveState(Serializer &ser) const override;
+    void loadState(Deserializer &des) override;
+
   private:
     struct BankState
     {
@@ -108,6 +111,9 @@ class PrideTracker : public RefTimeTrackerBase
     void onActivate(unsigned bank, std::uint32_t row, Cycle now) override;
     void onRefresh(Cycle now) override;
 
+    void saveState(Serializer &ser) const override;
+    void loadState(Deserializer &des) override;
+
   private:
     struct BankState
     {
@@ -138,6 +144,9 @@ class TrrTracker : public RefTimeTrackerBase
 
     void onActivate(unsigned bank, std::uint32_t row, Cycle now) override;
     void onRefresh(Cycle now) override;
+
+    void saveState(Serializer &ser) const override;
+    void loadState(Deserializer &des) override;
 
   private:
     struct Entry

@@ -8,6 +8,9 @@
 #include <cstdlib>
 
 #include "common/log.hh"
+#include "common/serialize.hh"
+#include "sim/sharding.hh"
+#include "sim/stop.hh"
 #include "workload/synth.hh"
 
 namespace mopac
@@ -82,6 +85,11 @@ tryRunWorkload(const SystemConfig &cfg, const std::string &name,
             cfg, name, capture_stats ? &outcome.stats : nullptr);
         outcome.ok = true;
         outcome.outcome = classifyRun(outcome.result);
+    } catch (const AbortError &) {
+        // Operator abort is not a point failure: the point must be
+        // left un-journaled and re-run on resume, so let the sweep
+        // machinery see it.
+        throw;
     } catch (const std::exception &e) {
         outcome.error = e.what();
         outcome.outcome =
@@ -93,6 +101,112 @@ tryRunWorkload(const SystemConfig &cfg, const std::string &name,
         outcome.outcome = OutcomeClass::kViolated;
     }
     return outcome;
+}
+
+namespace
+{
+
+/** Snapshot section holding the workload trace cursors. */
+constexpr std::uint32_t kTagTraces = 0x54524143; // 'TRAC'
+
+void
+writeSnapshot(const std::string &path, std::uint64_t hash,
+              const System &system,
+              const std::vector<TraceSource *> &traces)
+{
+    Serializer ser;
+    system.saveState(ser);
+    ser.begin(kTagTraces);
+    ser.putU32(static_cast<std::uint32_t>(traces.size()));
+    for (const TraceSource *trace : traces) {
+        trace->saveState(ser);
+    }
+    ser.end();
+    atomicWriteFile(path, ser.finish(FileKind::kSnapshot, hash));
+}
+
+void
+readSnapshot(const std::string &path, std::uint64_t hash,
+             System &system, const std::vector<TraceSource *> &traces)
+{
+    Deserializer des(readFileBytes(path), FileKind::kSnapshot, hash);
+    system.loadState(des);
+    des.begin(kTagTraces);
+    const std::uint32_t count = des.getU32();
+    if (count != traces.size()) {
+        throw SerializeError(format(
+            "snapshot holds {} trace cursors, workload has {}", count,
+            traces.size()));
+    }
+    for (TraceSource *trace : traces) {
+        trace->loadState(des);
+    }
+    des.end();
+    des.finish();
+}
+
+} // namespace
+
+std::uint64_t
+snapshotConfigHash(const SystemConfig &cfg, const std::string &workload)
+{
+    return fnv1a64(configSignature(cfg) + "#" + workload);
+}
+
+CheckpointedRun
+runWorkloadCheckpointed(const SystemConfig &cfg, const std::string &name,
+                        const CheckpointOptions &ckpt,
+                        StatSnapshot *stats_out)
+{
+    const AddressMap map(cfg.geometry);
+    auto owned =
+        makeWorkloadTraces(name, map, cfg.num_cores, cfg.seed);
+    std::vector<TraceSource *> traces;
+    traces.reserve(owned.size());
+    for (auto &t : owned) {
+        traces.push_back(t.get());
+    }
+    System system(cfg, traces);
+
+    const std::uint64_t hash = snapshotConfigHash(cfg, name);
+    if (!ckpt.restore_path.empty()) {
+        readSnapshot(ckpt.restore_path, hash, system, traces);
+    }
+
+    // Execute in bounded chunks so the stop flag is observed at
+    // quiesced (snapshot-safe) cycle boundaries even when no periodic
+    // checkpoint interval was requested.
+    const Cycle step =
+        ckpt.checkpoint_every > 0 ? ckpt.checkpoint_every : (1u << 20);
+
+    CheckpointedRun out;
+    Cycle target = system.runCycle();
+    for (;;) {
+        target += step;
+        if (system.runTo(target)) {
+            break;
+        }
+        if (sweepstop::stopRequested()) {
+            if (!ckpt.save_path.empty()) {
+                writeSnapshot(ckpt.save_path, hash, system, traces);
+            }
+            out.finished = false;
+            out.stopped_at = system.runCycle();
+            return out;
+        }
+        if (!ckpt.save_path.empty() && ckpt.checkpoint_every > 0) {
+            writeSnapshot(ckpt.save_path, hash, system, traces);
+        }
+    }
+
+    out.finished = true;
+    out.result = system.finishRun();
+    if (stats_out != nullptr) {
+        StatRegistry registry;
+        system.registerStats(registry);
+        *stats_out = StatSnapshot(registry);
+    }
+    return out;
 }
 
 double

@@ -74,6 +74,65 @@ RunOutcome tryRunWorkload(const SystemConfig &cfg,
                           const std::string &name,
                           bool capture_stats = false);
 
+/** Checkpoint/restore knobs for a single workload run. */
+struct CheckpointOptions
+{
+    /**
+     * Snapshot file to maintain ("" = checkpointing off).  The file is
+     * rewritten atomically (temp + rename), so a crash mid-write
+     * leaves the previous snapshot intact.
+     */
+    std::string save_path;
+    /**
+     * Cycles between periodic snapshots (0 = snapshot only when a
+     * graceful stop is requested via sweepstop).
+     */
+    std::uint64_t checkpoint_every = 0;
+    /**
+     * Snapshot file to restore from before running ("" = fresh run).
+     * The snapshot's config hash must match the live (config,
+     * workload) pair; a mismatch, truncation, or bit flip throws
+     * SerializeError.
+     */
+    std::string restore_path;
+};
+
+/** Outcome of one checkpointed workload run. */
+struct CheckpointedRun
+{
+    /**
+     * True when the run reached its natural end; false when a
+     * graceful stop interrupted it at a checkpoint boundary (the
+     * snapshot file then holds the resumable state).
+     */
+    bool finished = false;
+    /** Simulation result (valid only when finished). */
+    RunResult result;
+    /** Cycle of the last snapshot taken (interrupted runs). */
+    Cycle stopped_at = 0;
+};
+
+/**
+ * Config-identity hash bound into a snapshot's envelope: restoring a
+ * snapshot under a different config or workload is a structured fatal
+ * error, never silent state corruption.
+ */
+std::uint64_t snapshotConfigHash(const SystemConfig &cfg,
+                                 const std::string &workload);
+
+/**
+ * runWorkload with mid-run snapshots: optionally restore from
+ * @p ckpt.restore_path, then execute in runTo() chunks, writing the
+ * versioned snapshot (System + mitigation engines + RNG streams +
+ * workload cursors) every checkpoint_every cycles and on a graceful
+ * stop request.  A restored run continues bit-identically to the
+ * uninterrupted one.
+ */
+CheckpointedRun runWorkloadCheckpointed(const SystemConfig &cfg,
+                                        const std::string &name,
+                                        const CheckpointOptions &ckpt,
+                                        StatSnapshot *stats_out = nullptr);
+
 /**
  * Convenience: slowdown of mitigation @p kind vs the unprotected
  * baseline on one workload (both runs share the seed).

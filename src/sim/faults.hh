@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "common/rng.hh"
+#include "common/serialize.hh"
 #include "common/types.hh"
 
 namespace mopac
@@ -324,6 +325,40 @@ class FaultInjector
         stuck_until_[bank] =
             dur > kNeverCycle - now ? kNeverCycle : now + dur;
         return true;
+    }
+
+    /**
+     * Checkpoint the mutable schedule state: pending one-shot cycles
+     * (consumed as they fire), the RNG stream, fired counts, and the
+     * stuck-open windows.  The rates/durations/chips of the plan are
+     * construction parameters and are not saved; the restoring side
+     * must be built from the same plan.
+     */
+    void
+    saveState(Serializer &ser) const
+    {
+        for (unsigned k = 0; k < kNumFaultKinds; ++k) {
+            ser.putU64(plan_.specs[k].at);
+        }
+        rng_.saveState(ser);
+        for (unsigned k = 0; k < kNumFaultKinds; ++k) {
+            ser.putU64(stats_.fired[k]);
+        }
+        ser.putVecU64(stuck_until_);
+    }
+
+    /** Restore state saved by saveState(). */
+    void
+    loadState(Deserializer &des)
+    {
+        for (unsigned k = 0; k < kNumFaultKinds; ++k) {
+            plan_.specs[k].at = des.getU64();
+        }
+        rng_.loadState(des);
+        for (unsigned k = 0; k < kNumFaultKinds; ++k) {
+            stats_.fired[k] = des.getU64();
+        }
+        stuck_until_ = des.getVecU64();
     }
 
   private:

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * On-disk sweep journal: crash-safe record of finished points.
+ *
+ * A journal is a directory:
+ *
+ *   <dir>/manifest.bin        identity of the sweep (point count +
+ *                             a hash over every point's configuration
+ *                             signature and workload)
+ *   <dir>/points/<id>.rec     one record per point that finished OK
+ *   <dir>/quarantine/<id>.rec replay artifact for each point that
+ *                             failed / timed out / faulted
+ *
+ * Every file is written atomically (temp + rename + directory fsync),
+ * so a SIGKILL at any instant leaves either the old state or the new
+ * state, never a torn record.  On resume the manifest is verified
+ * against the live sweep (a journal from a different sweep is a
+ * structured fatal error, not silent garbage), finished points are
+ * loaded and skipped, and only missing or quarantined points re-run.
+ * Loaded records round-trip StatSnapshots bit-exactly, so the merged
+ * statistics of an interrupted-and-resumed sweep equal those of an
+ * uninterrupted run at any --jobs count.
+ */
+
+#ifndef MOPAC_SIM_JOURNAL_HH
+#define MOPAC_SIM_JOURNAL_HH
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "sim/runner.hh"
+#include "sim/sharding.hh"
+
+namespace mopac
+{
+
+/** Serialize a PointResult payload (journal record body). */
+void savePointResult(Serializer &ser, const PointResult &result);
+
+/** Restore a PointResult saved by savePointResult(). */
+PointResult loadPointResult(Deserializer &des);
+
+/** Crash-safe journal for one sweep. */
+class SweepJournal
+{
+  public:
+    /**
+     * Identity hash of a sweep: folds every point's id, configuration
+     * signature, and workload.  Two sweeps with equal hashes replay
+     * identical point lists.
+     */
+    static std::uint64_t sweepHash(
+        const std::vector<ExperimentPoint> &points);
+
+    /**
+     * Open @p dir for @p points: create the directory layout and
+     * manifest when absent, otherwise verify the existing manifest
+     * against the live sweep and load every finished point record.
+     * Throws SerializeError on a sweep mismatch or a corrupt manifest
+     * / record (truncation, bit flips, foreign files).
+     */
+    SweepJournal(std::string dir,
+                 const std::vector<ExperimentPoint> &points);
+
+    /** Journal directory path. */
+    const std::string &dir() const { return dir_; }
+
+    /** The sweep identity hash. */
+    std::uint64_t hash() const { return hash_; }
+
+    /** Finished (kOk) points loaded on open, keyed by point id. */
+    const std::map<std::uint64_t, PointResult> &
+    completed() const
+    {
+        return completed_;
+    }
+
+    /**
+     * Record a finished point.  kOk results land in points/ (and are
+     * skipped on resume); anything else becomes a quarantine replay
+     * artifact (and re-runs on resume).  Atomic and thread-safe.
+     */
+    void record(const PointResult &result);
+
+  private:
+    std::string pointPath(std::uint64_t point_id) const;
+    std::string quarantinePath(std::uint64_t point_id) const;
+    void writeManifest(std::size_t num_points) const;
+    void verifyManifest(const std::vector<std::uint8_t> &image,
+                        std::size_t num_points) const;
+    void loadCompleted(std::size_t num_points);
+
+    std::string dir_;
+    std::uint64_t hash_;
+    std::map<std::uint64_t, PointResult> completed_;
+    std::mutex write_mutex_;
+};
+
+} // namespace mopac
+
+#endif // MOPAC_SIM_JOURNAL_HH

@@ -19,8 +19,12 @@
 #include <mutex>
 #include <thread>
 
+#include <atomic>
+
 #include "common/log.hh"
 #include "common/rng.hh"
+#include "sim/journal.hh"
+#include "sim/stop.hh"
 
 namespace mopac
 {
@@ -33,6 +37,7 @@ toString(PointStatus status)
       case PointStatus::kFailed: return "FAILED";
       case PointStatus::kTimedOut: return "TIMEOUT";
       case PointStatus::kFaulted: return "FAULTED";
+      case PointStatus::kNotRun: return "NOT-RUN";
     }
     return "?";
 }
@@ -212,6 +217,181 @@ Runner::run(const std::vector<ExperimentPoint> &points,
         t.join();
     }
     return results;
+}
+
+JournaledSweepResult
+Runner::runJournaled(const std::vector<ExperimentPoint> &points,
+                     const std::string &journal_dir,
+                     const ProgressFn &progress) const
+{
+    JournaledSweepResult sweep;
+    sweep.results.resize(points.size());
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        sweep.results[i].point_id = points[i].point_id;
+        sweep.results[i].status = PointStatus::kNotRun;
+    }
+    if (points.empty()) {
+        return sweep;
+    }
+
+    // Throws SerializeError if the journal belongs to a different
+    // sweep or holds a torn / corrupt record.
+    SweepJournal journal(journal_dir, points);
+
+    // Adopt finished points from the journal; queue the rest.
+    std::vector<std::size_t> pending;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const auto it = journal.completed().find(points[i].point_id);
+        if (it != journal.completed().end()) {
+            sweep.results[i] = it->second;
+            ++sweep.reused;
+        } else {
+            pending.push_back(i);
+        }
+    }
+
+    std::atomic<std::size_t> executed{0};
+    std::atomic<bool> workers_done{false};
+
+    // Drain watchdog: once a graceful stop is requested, give
+    // in-flight points a bounded window, then escalate to a hard abort
+    // -- the run loops notice at their next poll and unwind with a
+    // command-tail diagnostic instead of wedging the exit.
+    std::thread drain_monitor;
+    if (opts_.drain_deadline_sec > 0.0) {
+        drain_monitor = std::thread([this, &workers_done] {
+            const auto tick = std::chrono::milliseconds(20);
+            while (!workers_done.load() && !sweepstop::stopRequested()) {
+                std::this_thread::sleep_for(tick);
+            }
+            const auto deadline =
+                std::chrono::steady_clock::now() +
+                std::chrono::duration_cast<
+                    std::chrono::steady_clock::duration>(
+                    std::chrono::duration<double>(
+                        opts_.drain_deadline_sec));
+            while (!workers_done.load() &&
+                   std::chrono::steady_clock::now() < deadline) {
+                std::this_thread::sleep_for(tick);
+            }
+            if (!workers_done.load()) {
+                warn("sweep: drain deadline ({:.1f}s) expired, "
+                     "aborting in-flight points",
+                     opts_.drain_deadline_sec);
+                sweepstop::requestAbort();
+            }
+        });
+    }
+
+    if (!pending.empty()) {
+        const unsigned num_workers = static_cast<unsigned>(
+            std::min<std::size_t>(jobs(), pending.size()));
+
+        struct Shard
+        {
+            std::mutex mutex;
+            std::deque<std::size_t> queue;
+        };
+        std::vector<Shard> shards(num_workers);
+        const auto assignment =
+            shardRoundRobin(pending.size(), num_workers);
+        for (unsigned s = 0; s < num_workers; ++s) {
+            for (std::size_t slot : assignment[s]) {
+                shards[s].queue.push_back(pending[slot]);
+            }
+        }
+
+        auto worker = [&](unsigned self) {
+            for (;;) {
+                // Stop boundary: take no new work after a graceful
+                // stop -- unfinished points stay kNotRun and re-run
+                // on resume.
+                if (sweepstop::stopRequested()) {
+                    return;
+                }
+                std::size_t idx = 0;
+                bool found = false;
+                {
+                    Shard &mine = shards[self];
+                    std::lock_guard<std::mutex> lock(mine.mutex);
+                    if (!mine.queue.empty()) {
+                        idx = mine.queue.front();
+                        mine.queue.pop_front();
+                        found = true;
+                    }
+                }
+                if (!found) {
+                    unsigned victim = num_workers;
+                    std::size_t victim_size = 0;
+                    for (unsigned v = 0; v < num_workers; ++v) {
+                        if (v == self) {
+                            continue;
+                        }
+                        std::lock_guard<std::mutex> lock(
+                            shards[v].mutex);
+                        if (shards[v].queue.size() > victim_size) {
+                            victim_size = shards[v].queue.size();
+                            victim = v;
+                        }
+                    }
+                    if (victim < num_workers) {
+                        Shard &target = shards[victim];
+                        std::lock_guard<std::mutex> lock(target.mutex);
+                        if (!target.queue.empty()) {
+                            idx = target.queue.back();
+                            target.queue.pop_back();
+                            found = true;
+                        }
+                    }
+                }
+                if (!found) {
+                    return;
+                }
+                try {
+                    sweep.results[idx] = executePoint(points[idx]);
+                } catch (const AbortError &e) {
+                    // Abandoned mid-run by the operator / drain
+                    // watchdog: leave the point kNotRun and
+                    // un-journaled so resume re-runs it cleanly.
+                    sweep.results[idx].error = e.what();
+                    warn("sweep: point {} abandoned: {}",
+                         points[idx].point_id, e.what());
+                    return;
+                }
+                journal.record(sweep.results[idx]);
+                executed.fetch_add(1);
+                if (progress) {
+                    progress(points[idx], sweep.results[idx]);
+                }
+            }
+        };
+
+        if (num_workers == 1) {
+            worker(0);
+        } else {
+            std::vector<std::thread> threads;
+            threads.reserve(num_workers);
+            for (unsigned w = 0; w < num_workers; ++w) {
+                threads.emplace_back(worker, w);
+            }
+            for (std::thread &t : threads) {
+                t.join();
+            }
+        }
+    }
+
+    workers_done.store(true);
+    if (drain_monitor.joinable()) {
+        drain_monitor.join();
+    }
+
+    sweep.executed = executed.load();
+    for (const PointResult &result : sweep.results) {
+        if (result.status == PointStatus::kNotRun) {
+            ++sweep.pending;
+        }
+    }
+    return sweep;
 }
 
 PointResult

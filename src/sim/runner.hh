@@ -66,6 +66,13 @@ struct RunnerOptions
      * is quarantined as kFaulted.  0 = no retries.
      */
     unsigned fault_retries = 0;
+    /**
+     * Journaled sweeps only: once a graceful stop has been requested,
+     * give in-flight points this many seconds to finish before
+     * escalating to a hard abort (which abandons them with the
+     * watchdog-style command-tail diagnostic).  0 = wait forever.
+     */
+    double drain_deadline_sec = 0.0;
 };
 
 /** Terminal state of one executed point. */
@@ -80,6 +87,12 @@ enum class PointStatus
      * kFailed: excluded from merged stats, replayable by id.
      */
     kFaulted,
+    /**
+     * The point was not executed: a journaled sweep was interrupted
+     * before reaching it (or its in-flight execution was aborted).
+     * Resuming the sweep runs it.
+     */
+    kNotRun,
 };
 
 /** Printable name of a point status. */
@@ -109,6 +122,24 @@ struct PointResult
     StatSnapshot stats;
 };
 
+class SweepJournal;
+
+/** Outcome of one journaled (resumable) sweep invocation. */
+struct JournaledSweepResult
+{
+    /** Per-point results, indexed like the input point list. */
+    std::vector<PointResult> results;
+    /** Points loaded finished from the journal (skipped). */
+    std::size_t reused = 0;
+    /** Points executed by this invocation. */
+    std::size_t executed = 0;
+    /** Points left kNotRun (stop / abort cut the sweep short). */
+    std::size_t pending = 0;
+
+    /** Every point finished OK-or-quarantined; nothing left to run. */
+    bool complete() const { return pending == 0; }
+};
+
 /** Executes sweeps; see the file comment for the guarantees. */
 class Runner
 {
@@ -126,6 +157,22 @@ class Runner
      */
     std::vector<PointResult> run(
         const std::vector<ExperimentPoint> &points,
+        const ProgressFn &progress = nullptr) const;
+
+    /**
+     * Execute the sweep against an on-disk journal at @p journal_dir:
+     * points already finished in the journal are loaded and skipped,
+     * each newly finished point is recorded atomically, and a
+     * graceful-stop request (sweepstop) pauses the sweep at the next
+     * point boundary -- in-flight points get drain_deadline_sec to
+     * finish before a hard abort abandons them.  Interrupt at any
+     * instant (including SIGKILL), re-invoke with the same journal
+     * directory, and the merged results are bit-identical to an
+     * uninterrupted run at any jobs count.
+     */
+    JournaledSweepResult runJournaled(
+        const std::vector<ExperimentPoint> &points,
+        const std::string &journal_dir,
         const ProgressFn &progress = nullptr) const;
 
     /**

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Signal plumbing for cooperative sweep shutdown.
+ */
+
+#include "stop.hh"
+
+#include <atomic>
+#include <csignal>
+
+#include <unistd.h>
+
+namespace mopac
+{
+
+namespace sweepstop
+{
+
+namespace
+{
+
+std::atomic<int> signal_count{0};
+std::atomic<bool> handlers_installed{false};
+
+void
+writeMessage(const char *msg, std::size_t len)
+{
+    // write(2) is async-signal-safe; the return value is irrelevant
+    // here (nothing sensible can be done about a failed stderr write).
+    const ssize_t rc = ::write(STDERR_FILENO, msg, len);
+    (void)rc;
+}
+
+extern "C" void
+onSignal(int)
+{
+    const int count = signal_count.fetch_add(1) + 1;
+    if (count == 1) {
+        static const char msg[] =
+            "\n[mopac] stop requested: finishing in-flight work "
+            "(signal again to abort)\n";
+        writeMessage(msg, sizeof(msg) - 1);
+    } else if (count == 2) {
+        static const char msg[] =
+            "\n[mopac] abort requested: abandoning current work "
+            "(signal again to kill)\n";
+        writeMessage(msg, sizeof(msg) - 1);
+        // A third signal should be able to kill a wedged process.
+        std::signal(SIGINT, SIG_DFL);
+        std::signal(SIGTERM, SIG_DFL);
+    }
+}
+
+} // namespace
+
+void
+installSignalHandlers()
+{
+    if (handlers_installed.exchange(true)) {
+        return;
+    }
+    std::signal(SIGINT, onSignal);
+    std::signal(SIGTERM, onSignal);
+}
+
+bool
+stopRequested()
+{
+    return signal_count.load(std::memory_order_relaxed) >= 1;
+}
+
+bool
+abortRequested()
+{
+    return signal_count.load(std::memory_order_relaxed) >= 2;
+}
+
+void
+requestStop()
+{
+    int expected = 0;
+    signal_count.compare_exchange_strong(expected, 1);
+}
+
+void
+requestAbort()
+{
+    int count = signal_count.load();
+    while (count < 2 &&
+           !signal_count.compare_exchange_weak(count, 2)) {
+    }
+}
+
+void
+reset()
+{
+    signal_count.store(0);
+    if (handlers_installed.exchange(false)) {
+        std::signal(SIGINT, SIG_DFL);
+        std::signal(SIGTERM, SIG_DFL);
+    }
+}
+
+} // namespace sweepstop
+
+} // namespace mopac

@@ -10,6 +10,8 @@
 #include "analysis/moat_model.hh"
 #include "analysis/security.hh"
 #include "common/log.hh"
+#include "common/serialize.hh"
+#include "sim/stop.hh"
 #include "mitigation/mopac_c.hh"
 #include "mitigation/none.hh"
 #include "mitigation/prac_moat.hh"
@@ -246,66 +248,90 @@ System::trySend(const Request &req, Cycle now)
     return controllers_.at(coord.subchannel)->enqueue(req, now);
 }
 
-RunResult
-System::run()
+std::uint64_t
+System::maxCycles() const
+{
+    return cfg_.max_cycles
+               ? cfg_.max_cycles
+               : (cfg_.warmup_insts + cfg_.insts_per_core) * 400 +
+                     10000000;
+}
+
+bool
+System::runTo(Cycle stop_at)
 {
     MOPAC_ASSERT(cpu_ != nullptr);
-    const std::uint64_t max_cycles =
-        cfg_.max_cycles
-            ? cfg_.max_cycles
-            : (cfg_.warmup_insts + cfg_.insts_per_core) * 400 + 10000000;
+    const std::uint64_t max_cycles = maxCycles();
+    if (measuring_.empty()) {
+        measuring_.assign(cfg_.num_cores, 0);
+    }
+    if (timed_out_) {
+        return true;
+    }
 
-    std::vector<bool> measuring(cfg_.num_cores, false);
-    bool timed_out = false;
-
-    // Forward-progress watchdog state (probed every 1024 cycles).
-    std::uint64_t last_retired = 0;
-    Cycle last_progress = 0;
-
-    Cycle now = 0;
     while (!cpu_->allDone()) {
-        cpu_->tick(now);
+        if (now_ >= stop_at) {
+            return false;
+        }
+        cpu_->tick(now_);
         for (auto &mc : controllers_) {
-            mc->tick(now);
+            mc->tick(now_);
         }
         // Begin each core's measured interval once it clears warmup.
         for (unsigned i = 0; i < cfg_.num_cores; ++i) {
-            if (!measuring[i] &&
+            if (!measuring_[i] &&
                 cpu_->core(i).retiredInsts() >= cfg_.warmup_insts) {
-                cpu_->core(i).startMeasurement(now);
-                measuring[i] = true;
+                cpu_->core(i).startMeasurement(now_);
+                measuring_[i] = 1;
             }
         }
-        if (cfg_.watchdog_cycles > 0 && (now & 1023) == 0) {
+        if (cfg_.watchdog_cycles > 0 && (now_ & 1023) == 0) {
             std::uint64_t retired = 0;
             for (unsigned i = 0; i < cfg_.num_cores; ++i) {
                 retired += cpu_->core(i).retiredInsts();
             }
-            if (retired != last_retired) {
-                last_retired = retired;
-                last_progress = now;
-            } else if (now - last_progress >= cfg_.watchdog_cycles) {
-                reportStall(now, retired);
+            if (retired != wd_last_retired_) {
+                wd_last_retired_ = retired;
+                wd_last_progress_ = now_;
+            } else if (now_ - wd_last_progress_ >=
+                       cfg_.watchdog_cycles) {
+                reportStall(now_, retired);
             }
         }
-        ++now;
-        if (now >= max_cycles) {
+        if ((now_ & 16383) == 0 && sweepstop::abortRequested()) {
+            reportAbort(now_);
+        }
+        ++now_;
+        if (now_ >= max_cycles) {
             warn("system: hit cycle bound {} before completion",
                  max_cycles);
-            timed_out = true;
+            timed_out_ = true;
             break;
         }
     }
+    return true;
+}
 
+RunResult
+System::finishRun()
+{
+    MOPAC_ASSERT(cpu_ != nullptr);
     // Fold the trailing partial epoch into the hot-row statistics.
     for (auto &dev : subch_) {
         dev->checker().finalizeEpoch();
     }
 
-    RunResult res = collectStats(now);
-    res.timed_out = timed_out;
+    RunResult res = collectStats(now_);
+    res.timed_out = timed_out_;
     res.ipcs = cpu_->measuredIpcs();
     return res;
+}
+
+RunResult
+System::run()
+{
+    runTo(kNeverCycle);
+    return finishRun();
 }
 
 std::uint64_t
@@ -335,6 +361,106 @@ System::reportStall(Cycle now, std::uint64_t retired) const
           "cycles (now {}, {} retired total); last commands:{}",
           cfg_.watchdog_cycles, now, retired,
           tail.empty() ? "\n  (none)" : tail.c_str());
+}
+
+void
+System::reportAbort(Cycle now) const
+{
+    std::string tail;
+    for (unsigned s = 0; s < subch_.size(); ++s) {
+        for (const CommandRecord &rec :
+             subch_[s]->commandTail(cfg_.watchdog_tail)) {
+            tail += format("\n  subch{} @{:>12} {:<5} bank {:>2} row {}",
+                           s, rec.at, toString(rec.cmd), rec.bank,
+                           rec.row);
+        }
+    }
+    throw AbortError(format(
+        "run aborted by operator at cycle {}; last commands:{}", now,
+        tail.empty() ? "\n  (none)" : tail.c_str()));
+}
+
+void
+System::saveState(Serializer &ser) const
+{
+    ser.begin(0x5359u); // 'SY'
+    ser.putStr(engines_.empty() ? std::string()
+                                : engines_.front()->name());
+    ser.putU32(static_cast<std::uint32_t>(subch_.size()));
+    ser.putU8(cfg_.faults.enabled() ? 1 : 0);
+    ser.putU8(cpu_ ? 1 : 0);
+    for (unsigned s = 0; s < subch_.size(); ++s) {
+        subch_[s]->saveState(ser);
+        if (s < faults_.size()) {
+            faults_[s]->saveState(ser);
+        }
+        engines_[s]->saveState(ser);
+        controllers_[s]->saveState(ser);
+    }
+    if (cpu_) {
+        cpu_->saveState(ser);
+    }
+    ser.putU64(now_);
+    ser.putU8(timed_out_ ? 1 : 0);
+    ser.putVecU8(measuring_);
+    ser.putU64(wd_last_retired_);
+    ser.putU64(wd_last_progress_);
+    ser.end();
+}
+
+void
+System::loadState(Deserializer &des)
+{
+    des.begin(0x5359u);
+    const std::string engine_name =
+        engines_.empty() ? std::string() : engines_.front()->name();
+    const std::string saved_engine = des.getStr();
+    if (saved_engine != engine_name) {
+        throw SerializeError(format(
+            "snapshot engine mismatch (saved '{}', live '{}')",
+            saved_engine, engine_name));
+    }
+    const std::uint32_t subch = des.getU32();
+    if (subch != subch_.size()) {
+        throw SerializeError(format(
+            "snapshot sub-channel count mismatch (saved {}, live {})",
+            subch, subch_.size()));
+    }
+    const bool saved_faults = des.getU8() != 0;
+    if (saved_faults != cfg_.faults.enabled()) {
+        throw SerializeError(format(
+            "snapshot fault-plan mismatch (saved {}, live {})",
+            saved_faults ? "active" : "inactive",
+            cfg_.faults.enabled() ? "active" : "inactive"));
+    }
+    const bool saved_cpu = des.getU8() != 0;
+    if (saved_cpu != (cpu_ != nullptr)) {
+        throw SerializeError(format(
+            "snapshot CPU presence mismatch (saved {}, live {})",
+            saved_cpu ? "yes" : "no", cpu_ ? "yes" : "no"));
+    }
+    for (unsigned s = 0; s < subch_.size(); ++s) {
+        subch_[s]->loadState(des);
+        if (s < faults_.size()) {
+            faults_[s]->loadState(des);
+        }
+        engines_[s]->loadState(des);
+        controllers_[s]->loadState(des);
+    }
+    if (cpu_) {
+        cpu_->loadState(des);
+    }
+    now_ = des.getU64();
+    timed_out_ = des.getU8() != 0;
+    measuring_ = des.getVecU8();
+    if (!measuring_.empty() && measuring_.size() != cfg_.num_cores) {
+        throw SerializeError(format(
+            "snapshot core count mismatch (saved {}, live {})",
+            measuring_.size(), cfg_.num_cores));
+    }
+    wd_last_retired_ = des.getU64();
+    wd_last_progress_ = des.getU64();
+    des.end();
 }
 
 void

@@ -90,6 +90,28 @@ class System : public RequestSink
     /** Run to completion and collect results. */
     RunResult run();
 
+    /**
+     * Advance the run loop until the workload completes, the safety
+     * cycle bound trips, or cycle @p stop_at is reached -- whichever
+     * comes first.  Repeated calls continue where the previous one
+     * paused, and N calls produce the bit-identical execution of one
+     * uninterrupted run (the loop state lives in members).  A pause
+     * boundary is a quiesced point for saveState().
+     *
+     * @return true when the run is finished (complete or timed out);
+     *         false when it merely paused at @p stop_at.
+     */
+    bool runTo(Cycle stop_at);
+
+    /**
+     * Finalize a finished run (fold the trailing partial epoch) and
+     * collect results.  Call exactly once, after runTo() returns true.
+     */
+    RunResult finishRun();
+
+    /** Current run-loop cycle (next cycle to simulate). */
+    Cycle runCycle() const { return now_; }
+
     /** Advance only the memory system (attack/driver studies). */
     void
     tickMemory(Cycle now)
@@ -128,10 +150,32 @@ class System : public RequestSink
     /** Total faults fired so far across all sub-channels. */
     std::uint64_t faultsInjected() const;
 
+    /**
+     * Checkpoint the whole system at a quiesced run-loop boundary:
+     * every sub-channel, fault injector, mitigation engine, and
+     * controller, the cores, and the run-loop state itself.  Trace
+     * sources are not owned by the System and checkpoint separately
+     * (the checkpoint orchestrator keeps the order).
+     */
+    void saveState(Serializer &ser) const;
+
+    /**
+     * Restore state saved by saveState() into a freshly constructed
+     * System with the identical configuration; throws SerializeError
+     * on any shape or engine mismatch.
+     */
+    void loadState(Deserializer &des);
+
   private:
     /** Watchdog trip: panic with a command-trace tail. */
     [[noreturn]] void reportStall(Cycle now,
                                   std::uint64_t retired) const;
+
+    /** Hard abort requested: throw AbortError with a command tail. */
+    [[noreturn]] void reportAbort(Cycle now) const;
+
+    /** Safety bound on simulated cycles for run() / runTo(). */
+    std::uint64_t maxCycles() const;
 
     SystemConfig cfg_;
     TimingSet normal_;
@@ -142,6 +186,14 @@ class System : public RequestSink
     std::vector<std::unique_ptr<Mitigator>> engines_;
     std::vector<std::unique_ptr<Controller>> controllers_;
     std::unique_ptr<Cpu> cpu_;
+
+    // Run-loop state, hoisted to members so the loop can pause at an
+    // arbitrary cycle (checkpoints) and resume bit-identically.
+    Cycle now_ = 0;
+    bool timed_out_ = false;
+    std::vector<std::uint8_t> measuring_;
+    std::uint64_t wd_last_retired_ = 0;
+    Cycle wd_last_progress_ = 0;
 };
 
 } // namespace mopac

@@ -9,6 +9,7 @@
 #include <cmath>
 
 #include "common/log.hh"
+#include "common/serialize.hh"
 
 namespace mopac
 {
@@ -222,6 +223,66 @@ makeWorkloadTraces(const std::string &name, const AddressMap &map,
             makeTraceSource(spec, map, i, num_cores, seeder.next()));
     }
     return traces;
+}
+
+void
+BurstTraceSource::saveState(Serializer &ser) const
+{
+    rng_.saveState(ser);
+    ser.putU32(row_base_);
+    ser.putU32(footprint_);
+    ser.putU32(lines_per_row_);
+    ser.putU32(cluster_left_);
+    ser.putU32(coord_.subchannel);
+    ser.putU32(coord_.bank);
+    ser.putU32(coord_.row);
+    ser.putU32(coord_.column);
+    ser.putU32(burst_left_);
+}
+
+void
+BurstTraceSource::loadState(Deserializer &des)
+{
+    rng_.loadState(des);
+    const std::uint32_t row_base = des.getU32();
+    const std::uint32_t footprint = des.getU32();
+    const std::uint32_t lines_per_row = des.getU32();
+    if (row_base != row_base_ || footprint != footprint_ ||
+        lines_per_row != lines_per_row_) {
+        throw SerializeError(format(
+            "burst trace layout mismatch (saved {}/{}/{}, live "
+            "{}/{}/{})", row_base, footprint, lines_per_row, row_base_,
+            footprint_, lines_per_row_));
+    }
+    cluster_left_ = des.getU32();
+    coord_.subchannel = des.getU32();
+    coord_.bank = des.getU32();
+    coord_.row = des.getU32();
+    coord_.column = des.getU32();
+    burst_left_ = des.getU32();
+}
+
+void
+StreamTraceSource::saveState(Serializer &ser) const
+{
+    rng_.saveState(ser);
+    ser.putU64(region_base_);
+    ser.putU64(region_lines_);
+    ser.putU64(pos_);
+}
+
+void
+StreamTraceSource::loadState(Deserializer &des)
+{
+    rng_.loadState(des);
+    const Addr region_base = des.getU64();
+    const Addr region_lines = des.getU64();
+    if (region_base != region_base_ || region_lines != region_lines_) {
+        throw SerializeError(format(
+            "stream trace region mismatch (saved {}+{}, live {}+{})",
+            region_base, region_lines, region_base_, region_lines_));
+    }
+    pos_ = des.getU64();
 }
 
 } // namespace mopac

@@ -55,6 +55,9 @@ class BurstTraceSource : public TraceSource
 
     TraceRecord next() override;
 
+    void saveState(Serializer &ser) const override;
+    void loadState(Deserializer &des) override;
+
   private:
     void startBurst();
     std::uint32_t sampleGap();
@@ -83,6 +86,9 @@ class StreamTraceSource : public TraceSource
                       std::uint64_t seed);
 
     TraceRecord next() override;
+
+    void saveState(Serializer &ser) const override;
+    void loadState(Deserializer &des) override;
 
   private:
     WorkloadSpec spec_;

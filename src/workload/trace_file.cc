@@ -11,6 +11,7 @@
 #include <sstream>
 
 #include "common/log.hh"
+#include "common/serialize.hh"
 
 namespace mopac
 {
@@ -50,10 +51,10 @@ captureTrace(TraceSource &source, std::size_t count)
 void
 writeTraceText(const TraceData &trace, const std::string &path)
 {
-    std::ofstream out(path);
-    if (!out) {
-        fatal("cannot open trace file '{}' for writing", path);
-    }
+    // Build the image in memory and write it atomically (temp +
+    // rename + directory fsync): a crash mid-capture leaves either
+    // the previous file or the complete new one, never a torn trace.
+    std::ostringstream out;
     out << "# mopac trace v" << kVersion << ": "
         << trace.records.size()
         << " records of <inst_gap> <R|W|D> <hex line addr>\n";
@@ -64,25 +65,27 @@ writeTraceText(const TraceData &trace, const std::string &path)
         out << rec.inst_gap << ' ' << kind << ' ' << std::hex
             << rec.line_addr << std::dec << '\n';
     }
-    if (!out) {
-        fatal("error while writing trace '{}'", path);
-    }
+    const std::string text = out.str();
+    atomicWriteFile(path,
+                    std::vector<std::uint8_t>(text.begin(), text.end()));
 }
 
 void
 writeTraceBinary(const TraceData &trace, const std::string &path)
 {
-    std::ofstream out(path, std::ios::binary);
-    if (!out) {
-        fatal("cannot open trace file '{}' for writing", path);
-    }
-    out.write(kMagic, sizeof(kMagic));
+    std::vector<std::uint8_t> image;
+    image.reserve(sizeof(kMagic) + 8 +
+                  trace.records.size() * sizeof(PackedRecord));
+    auto append = [&image](const void *data, std::size_t len) {
+        const auto *bytes = static_cast<const std::uint8_t *>(data);
+        image.insert(image.end(), bytes, bytes + len);
+    };
+    append(kMagic, sizeof(kMagic));
     const std::uint32_t version = kVersion;
     const auto count =
         static_cast<std::uint32_t>(trace.records.size());
-    out.write(reinterpret_cast<const char *>(&version),
-              sizeof(version));
-    out.write(reinterpret_cast<const char *>(&count), sizeof(count));
+    append(&version, sizeof(version));
+    append(&count, sizeof(count));
     for (const TraceRecord &rec : trace.records) {
         PackedRecord packed{};
         packed.inst_gap = rec.inst_gap;
@@ -91,12 +94,9 @@ writeTraceBinary(const TraceData &trace, const std::string &path)
                 (rec.is_write ? kFlagWrite : 0) |
                 (rec.depends_on_prev ? kFlagDepends : 0));
         packed.line_addr = rec.line_addr;
-        out.write(reinterpret_cast<const char *>(&packed),
-                  sizeof(packed));
+        append(&packed, sizeof(packed));
     }
-    if (!out) {
-        fatal("error while writing trace '{}'", path);
-    }
+    atomicWriteFile(path, image);
 }
 
 namespace

@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "common/format.hh"
 #include "core/trace.hh"
 
 namespace mopac
@@ -73,6 +74,33 @@ class FileTraceSource : public TraceSource
 
     /** Times the trace has wrapped around. */
     std::uint64_t loops() const { return loops_; }
+
+    /** Checkpoint the replay cursor (not the trace image itself). */
+    void
+    saveState(Serializer &ser) const override
+    {
+        ser.putU64(trace_.records.size());
+        ser.putU64(pos_);
+        ser.putU64(loops_);
+    }
+
+    void
+    loadState(Deserializer &des) override
+    {
+        const std::uint64_t n = des.getU64();
+        if (n != trace_.records.size()) {
+            throw SerializeError(format(
+                "trace length mismatch (saved {}, live {})", n,
+                trace_.records.size()));
+        }
+        pos_ = static_cast<std::size_t>(des.getU64());
+        if (pos_ >= trace_.records.size()) {
+            throw SerializeError(format(
+                "trace cursor {} out of range {}", pos_,
+                trace_.records.size()));
+        }
+        loops_ = des.getU64();
+    }
 
   private:
     TraceData trace_;

@@ -1,0 +1,268 @@
+/**
+ * @file
+ * Snapshot round-trip property suite: a run interrupted at a
+ * checkpoint and resumed from the snapshot must finish bit-identically
+ * to the uninterrupted run -- for every mitigation engine, and with an
+ * active fault plan.  Corrupt, truncated, and mismatched snapshots
+ * must fail loudly with SerializeError.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/serialize.hh"
+#include "sim/experiment.hh"
+#include "sim/stop.hh"
+#include "sim/system.hh"
+
+namespace mopac
+{
+namespace
+{
+
+SystemConfig
+quickConfig(MitigationKind kind, std::uint32_t trh = 500)
+{
+    SystemConfig cfg = makeConfig(kind, trh);
+    cfg.insts_per_core = 20000;
+    cfg.warmup_insts = 2000;
+    cfg.num_cores = 4;
+    // Snapshot size scales with PRAC's per-row state; a smaller bank
+    // keeps each round-trip's disk I/O (write + fsync + re-read) fast
+    // without changing what the property covers.
+    cfg.geometry.rows_per_bank = 4096;
+    return cfg;
+}
+
+std::string
+snapshotPath(const std::string &name)
+{
+    return ::testing::TempDir() + "mopac_ckpt_" + name + ".bin";
+}
+
+/** Every RunResult field must match bit-for-bit (doubles included). */
+void
+expectSameRun(const RunResult &a, const RunResult &b)
+{
+    ASSERT_EQ(a.ipcs.size(), b.ipcs.size());
+    for (std::size_t i = 0; i < a.ipcs.size(); ++i) {
+        EXPECT_EQ(a.ipcs[i], b.ipcs[i]) << "core " << i;
+    }
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.timed_out, b.timed_out);
+    EXPECT_EQ(a.acts, b.acts);
+    EXPECT_EQ(a.reads, b.reads);
+    EXPECT_EQ(a.writes, b.writes);
+    EXPECT_EQ(a.refs, b.refs);
+    EXPECT_EQ(a.rfms, b.rfms);
+    EXPECT_EQ(a.alerts, b.alerts);
+    EXPECT_EQ(a.rbhr, b.rbhr);
+    EXPECT_EQ(a.apri, b.apri);
+    EXPECT_EQ(a.avg_read_latency_ns, b.avg_read_latency_ns);
+    EXPECT_EQ(a.max_unmitigated, b.max_unmitigated);
+    EXPECT_EQ(a.violations, b.violations);
+    EXPECT_EQ(a.faults_injected, b.faults_injected);
+    EXPECT_EQ(a.counter_updates, b.counter_updates);
+    EXPECT_EQ(a.srq_insertions, b.srq_insertions);
+    EXPECT_EQ(a.mitigations, b.mitigations);
+    EXPECT_EQ(a.ref_drains, b.ref_drains);
+    EXPECT_EQ(a.act64, b.act64);
+    EXPECT_EQ(a.act200, b.act200);
+    EXPECT_EQ(a.epochs, b.epochs);
+}
+
+/**
+ * Interrupt @p cfg on @p workload at an early checkpoint, resume from
+ * the snapshot, and require the final result to equal the
+ * uninterrupted reference.  Returns the snapshot path (still on disk)
+ * for corruption tests.
+ */
+std::string
+roundTrip(const SystemConfig &cfg, const std::string &workload,
+          const std::string &tag)
+{
+    const RunResult reference = runWorkload(cfg, workload);
+
+    const std::string path = snapshotPath(tag);
+    std::remove(path.c_str());
+
+    // A pre-requested stop halts the run at the first checkpoint
+    // boundary and flushes the snapshot -- the in-process equivalent
+    // of SIGINT (or a crash right after the atomic snapshot write).
+    sweepstop::reset();
+    sweepstop::requestStop();
+    CheckpointOptions save;
+    save.save_path = path;
+    save.checkpoint_every = 5000;
+    const CheckpointedRun interrupted =
+        runWorkloadCheckpointed(cfg, workload, save);
+    sweepstop::reset();
+    EXPECT_FALSE(interrupted.finished) << tag;
+    EXPECT_GT(interrupted.stopped_at, 0u) << tag;
+    EXPECT_TRUE(fileExists(path)) << tag;
+
+    CheckpointOptions restore;
+    restore.restore_path = path;
+    const CheckpointedRun resumed =
+        runWorkloadCheckpointed(cfg, workload, restore);
+    EXPECT_TRUE(resumed.finished) << tag;
+    expectSameRun(reference, resumed.result);
+    return path;
+}
+
+TEST(Checkpoint, EveryEngineResumesBitIdentically)
+{
+    for (MitigationKind kind :
+         {MitigationKind::kNone, MitigationKind::kPracMoat,
+          MitigationKind::kMopacC, MitigationKind::kMopacD,
+          MitigationKind::kMint, MitigationKind::kPride,
+          MitigationKind::kTrr, MitigationKind::kPara,
+          MitigationKind::kGraphene, MitigationKind::kQprac}) {
+        const std::string path = roundTrip(
+            quickConfig(kind), "mcf", std::string(toString(kind)));
+        std::remove(path.c_str());
+    }
+}
+
+TEST(Checkpoint, SurvivesAnActiveFaultPlan)
+{
+    SystemConfig cfg = quickConfig(MitigationKind::kMopacD);
+    cfg.faults =
+        FaultPlan::single(FaultKind::kCounterBitflip, 0.01);
+    cfg.faults.seed = 99;
+    const std::string path = roundTrip(cfg, "mcf", "faultplan");
+    std::remove(path.c_str());
+}
+
+TEST(Checkpoint, WorksAcrossWorkloadShapes)
+{
+    for (const char *workload : {"bwaves", "mix1"}) {
+        const std::string path =
+            roundTrip(quickConfig(MitigationKind::kMopacC), workload,
+                      std::string("wl_") + workload);
+        std::remove(path.c_str());
+    }
+}
+
+TEST(Checkpoint, ChunkedRunMatchesPlainRunWhenUninterrupted)
+{
+    sweepstop::reset();
+    const SystemConfig cfg = quickConfig(MitigationKind::kMopacD);
+    const RunResult reference = runWorkload(cfg, "omnetpp");
+    CheckpointOptions ckpt;
+    ckpt.save_path = snapshotPath("chunked");
+    ckpt.checkpoint_every = 4096; // Many periodic snapshots.
+    const CheckpointedRun chunked =
+        runWorkloadCheckpointed(cfg, "omnetpp", ckpt);
+    ASSERT_TRUE(chunked.finished);
+    expectSameRun(reference, chunked.result);
+    std::remove(ckpt.save_path.c_str());
+}
+
+class CheckpointCorruption : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        cfg_ = quickConfig(MitigationKind::kMopacD);
+        path_ = snapshotPath("corruption");
+        std::remove(path_.c_str());
+        sweepstop::reset();
+        sweepstop::requestStop();
+        CheckpointOptions save;
+        save.save_path = path_;
+        save.checkpoint_every = 5000;
+        const CheckpointedRun run =
+            runWorkloadCheckpointed(cfg_, "mcf", save);
+        sweepstop::reset();
+        ASSERT_FALSE(run.finished);
+        ASSERT_TRUE(fileExists(path_));
+    }
+
+    void
+    TearDown() override
+    {
+        std::remove(path_.c_str());
+        sweepstop::reset();
+    }
+
+    /** Restoring @p image must throw SerializeError, never crash. */
+    void
+    expectRejected(const std::vector<std::uint8_t> &image,
+                   const char *what)
+    {
+        atomicWriteFile(path_, image);
+        CheckpointOptions restore;
+        restore.restore_path = path_;
+        EXPECT_THROW(runWorkloadCheckpointed(cfg_, "mcf", restore),
+                     SerializeError)
+            << what;
+    }
+
+    SystemConfig cfg_;
+    std::string path_;
+};
+
+TEST_F(CheckpointCorruption, BitFlipFuzzFailsLoudly)
+{
+    const std::vector<std::uint8_t> image = readFileBytes(path_);
+    // Deterministic fuzz: flip one bit at 16 positions spread over
+    // the whole image (envelope, payload, and CRC trailer).  The
+    // exhaustive every-bit variant lives in test_serialize.cc on a
+    // small image; this pass proves the same rejection on a real,
+    // large snapshot end to end.
+    std::uint64_t lcg = 0x9E3779B97F4A7C15ull;
+    for (int i = 0; i < 16; ++i) {
+        lcg = lcg * 6364136223846793005ull + 1442695040888963407ull;
+        const std::size_t byte = (lcg >> 33) % image.size();
+        const int bit = static_cast<int>(lcg & 7);
+        std::vector<std::uint8_t> mutant = image;
+        mutant[byte] ^= static_cast<std::uint8_t>(1u << bit);
+        expectRejected(mutant, "single bit flip");
+    }
+}
+
+TEST_F(CheckpointCorruption, TruncationFailsLoudly)
+{
+    const std::vector<std::uint8_t> image = readFileBytes(path_);
+    for (const std::size_t len :
+         {std::size_t{0}, std::size_t{7}, std::size_t{23},
+          image.size() / 2, image.size() - 1}) {
+        expectRejected(
+            std::vector<std::uint8_t>(image.begin(),
+                                      image.begin() + len),
+            "truncation");
+    }
+}
+
+TEST_F(CheckpointCorruption, ConfigMismatchFailsLoudly)
+{
+    CheckpointOptions restore;
+    restore.restore_path = path_;
+    // Different threshold -> different config hash -> rejected before
+    // any state is touched.
+    SystemConfig other = quickConfig(MitigationKind::kMopacD, 1000);
+    EXPECT_THROW(runWorkloadCheckpointed(other, "mcf", restore),
+                 SerializeError);
+    // Different workload, same config: also rejected.
+    EXPECT_THROW(runWorkloadCheckpointed(cfg_, "bwaves", restore),
+                 SerializeError);
+    // Different engine: rejected.
+    EXPECT_THROW(runWorkloadCheckpointed(
+                     quickConfig(MitigationKind::kMint), "mcf",
+                     restore),
+                 SerializeError);
+}
+
+TEST_F(CheckpointCorruption, ForeignFileFailsLoudly)
+{
+    expectRejected({'n', 'o', 't', ' ', 'a', ' ', 's', 'n', 'a', 'p'},
+                   "foreign bytes");
+}
+
+} // namespace
+} // namespace mopac

@@ -1,0 +1,267 @@
+/**
+ * @file
+ * Sweep-journal tests: resume skips finished points, merged stats are
+ * bit-identical to an uninterrupted run at any jobs count, and a
+ * mismatched or corrupt journal is a structured fatal error.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <dirent.h>
+
+#include "common/serialize.hh"
+#include "sim/journal.hh"
+#include "sim/runner.hh"
+#include "sim/stop.hh"
+
+namespace mopac
+{
+namespace
+{
+
+SystemConfig
+quickConfig(MitigationKind kind, std::uint32_t trh = 500)
+{
+    SystemConfig cfg = makeConfig(kind, trh);
+    cfg.insts_per_core = 6000;
+    cfg.warmup_insts = 600;
+    cfg.num_cores = 2;
+    return cfg;
+}
+
+std::vector<ExperimentPoint>
+samplePoints()
+{
+    const char *workloads[] = {"mcf", "bwaves", "omnetpp", "xz"};
+    const MitigationKind kinds[] = {MitigationKind::kNone,
+                                    MitigationKind::kMopacC};
+    std::vector<ExperimentPoint> points;
+    for (const char *wl : workloads) {
+        for (MitigationKind kind : kinds) {
+            ExperimentPoint p;
+            p.point_id = points.size();
+            p.config_label = toString(kind);
+            p.workload = wl;
+            p.cfg = quickConfig(kind);
+            points.push_back(std::move(p));
+        }
+    }
+    return points;
+}
+
+/** Fresh scratch journal directory (removed best-effort on reuse). */
+std::string
+freshDir(const std::string &tag)
+{
+    const std::string dir = ::testing::TempDir() + "mopac_jnl_" + tag;
+    for (const char *sub : {"/points", "/quarantine", ""}) {
+        const std::string where = dir + sub;
+        if (DIR *d = ::opendir(where.c_str())) {
+            while (const dirent *ent = ::readdir(d)) {
+                std::remove((where + "/" + ent->d_name).c_str());
+            }
+            ::closedir(d);
+            ::rmdir(where.c_str());
+        }
+    }
+    return dir;
+}
+
+void
+expectSameStats(const StatSnapshot &a, const StatSnapshot &b)
+{
+    std::ostringstream sa;
+    std::ostringstream sb;
+    a.dump(sa);
+    b.dump(sb);
+    EXPECT_EQ(sa.str(), sb.str());
+}
+
+TEST(Journal, PointResultRoundTripsThroughTheContainer)
+{
+    PointResult result;
+    result.point_id = 17;
+    result.status = PointStatus::kOk;
+    result.seed = 424242;
+    result.wall_seconds = 1.5;
+    result.outcome = OutcomeClass::kDegraded;
+    result.attempts = 3;
+    result.run.ipcs = {0.5, 1.25};
+    result.run.cycles = 123456;
+    result.run.acts = 999;
+    result.run.rbhr = 0.75;
+
+    Serializer ser;
+    savePointResult(ser, result);
+    Deserializer des(ser.finish(FileKind::kPointRecord, 7),
+                     FileKind::kPointRecord, 7);
+    const PointResult loaded = loadPointResult(des);
+    des.finish();
+
+    EXPECT_EQ(loaded.point_id, result.point_id);
+    EXPECT_EQ(loaded.status, result.status);
+    EXPECT_EQ(loaded.seed, result.seed);
+    EXPECT_EQ(loaded.wall_seconds, result.wall_seconds);
+    EXPECT_EQ(loaded.outcome, result.outcome);
+    EXPECT_EQ(loaded.attempts, result.attempts);
+    EXPECT_EQ(loaded.run.ipcs, result.run.ipcs);
+    EXPECT_EQ(loaded.run.cycles, result.run.cycles);
+    EXPECT_EQ(loaded.run.acts, result.run.acts);
+    EXPECT_EQ(loaded.run.rbhr, result.run.rbhr);
+}
+
+TEST(Journal, CompletesAndThenResumesWithNothingToDo)
+{
+    sweepstop::reset();
+    const auto points = samplePoints();
+    const std::string dir = freshDir("complete");
+
+    RunnerOptions opts;
+    opts.jobs = 2;
+    const JournaledSweepResult first =
+        Runner(opts).runJournaled(points, dir);
+    EXPECT_TRUE(first.complete());
+    EXPECT_EQ(first.executed, points.size());
+    EXPECT_EQ(first.reused, 0u);
+
+    // Re-invoking is pure journal replay: nothing executes.
+    const JournaledSweepResult second =
+        Runner(opts).runJournaled(points, dir);
+    EXPECT_TRUE(second.complete());
+    EXPECT_EQ(second.executed, 0u);
+    EXPECT_EQ(second.reused, points.size());
+}
+
+TEST(Journal, InterruptedSweepResumesToIdenticalMergedStats)
+{
+    sweepstop::reset();
+    const auto points = samplePoints();
+
+    // Reference: uninterrupted, single worker.
+    RunnerOptions ref_opts;
+    ref_opts.jobs = 1;
+    const StatSnapshot reference =
+        Runner::mergeStats(Runner(ref_opts).run(points));
+
+    // Interrupted run: stop after the first few points finish.
+    const std::string dir = freshDir("resume");
+    RunnerOptions opts;
+    opts.jobs = 2;
+    std::atomic<unsigned> finished{0};
+    const JournaledSweepResult partial = Runner(opts).runJournaled(
+        points, dir, [&finished](const ExperimentPoint &,
+                                 const PointResult &) {
+            if (finished.fetch_add(1) + 1 >= 3) {
+                sweepstop::requestStop();
+            }
+        });
+    EXPECT_FALSE(partial.complete());
+    EXPECT_GT(partial.pending, 0u);
+    EXPECT_LT(partial.executed, points.size());
+
+    // Resume at a DIFFERENT jobs count; merged stats must still be
+    // bit-identical to the uninterrupted single-threaded reference.
+    sweepstop::reset();
+    RunnerOptions resume_opts;
+    resume_opts.jobs = 3;
+    const JournaledSweepResult full =
+        Runner(resume_opts).runJournaled(points, dir);
+    EXPECT_TRUE(full.complete());
+    EXPECT_EQ(full.reused + full.executed, points.size());
+    EXPECT_GT(full.reused, 0u);
+    expectSameStats(reference, Runner::mergeStats(full.results));
+
+    // Per-point results are also identical to a plain run.
+    const std::vector<PointResult> plain =
+        Runner(ref_opts).run(points);
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        EXPECT_EQ(full.results[i].status, plain[i].status) << i;
+        EXPECT_EQ(full.results[i].run.cycles, plain[i].run.cycles)
+            << i;
+        EXPECT_EQ(full.results[i].run.acts, plain[i].run.acts) << i;
+    }
+}
+
+TEST(Journal, RejectsAJournalFromADifferentSweep)
+{
+    sweepstop::reset();
+    auto points = samplePoints();
+    const std::string dir = freshDir("mismatch");
+    RunnerOptions opts;
+    opts.jobs = 1;
+    (void)Runner(opts).runJournaled(points, dir);
+
+    // Same directory, different sweep (changed threshold): the
+    // manifest hash no longer matches -- structured fatal error.
+    points[0].cfg.trh += 100;
+    EXPECT_THROW(Runner(opts).runJournaled(points, dir),
+                 SerializeError);
+}
+
+TEST(Journal, RejectsACorruptPointRecord)
+{
+    sweepstop::reset();
+    const auto points = samplePoints();
+    const std::string dir = freshDir("corrupt");
+    RunnerOptions opts;
+    opts.jobs = 1;
+    (void)Runner(opts).runJournaled(points, dir);
+
+    // Flip one payload bit in a finished record.
+    const std::string victim = dir + "/points/0.rec";
+    std::vector<std::uint8_t> image = readFileBytes(victim);
+    image[image.size() / 2] ^= 0x10;
+    atomicWriteFile(victim, image);
+    EXPECT_THROW(Runner(opts).runJournaled(points, dir),
+                 SerializeError);
+}
+
+TEST(Journal, RejectsATruncatedManifest)
+{
+    sweepstop::reset();
+    const auto points = samplePoints();
+    const std::string dir = freshDir("truncated");
+    RunnerOptions opts;
+    opts.jobs = 1;
+    (void)Runner(opts).runJournaled(points, dir);
+
+    const std::string manifest = dir + "/manifest.bin";
+    std::vector<std::uint8_t> image = readFileBytes(manifest);
+    image.resize(image.size() / 2);
+    atomicWriteFile(manifest, image);
+    EXPECT_THROW(Runner(opts).runJournaled(points, dir),
+                 SerializeError);
+}
+
+TEST(Journal, QuarantinedPointsReRunOnResume)
+{
+    sweepstop::reset();
+    auto points = samplePoints();
+    // Sabotage one point so it fails and lands in quarantine/.
+    points[2].workload = "no-such-workload";
+    const std::string dir = freshDir("quarantine");
+    RunnerOptions opts;
+    opts.jobs = 1;
+    const JournaledSweepResult first =
+        Runner(opts).runJournaled(points, dir);
+    EXPECT_TRUE(first.complete());
+    EXPECT_EQ(first.results[2].status, PointStatus::kFailed);
+    EXPECT_TRUE(fileExists(dir + "/quarantine/2.rec"));
+    EXPECT_FALSE(fileExists(dir + "/points/2.rec"));
+
+    // On resume the failed point re-runs (it may be fixed by now);
+    // the finished ones do not.
+    const JournaledSweepResult second =
+        Runner(opts).runJournaled(points, dir);
+    EXPECT_EQ(second.reused, points.size() - 1);
+    EXPECT_EQ(second.executed, 1u);
+}
+
+} // namespace
+} // namespace mopac

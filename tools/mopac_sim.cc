@@ -29,6 +29,13 @@
  *   faults.*   = fault-injection plan; see src/sim/faults.hh
  *                (faults.seed, faults.intensity, faults.<kind>,
  *                 faults.<kind>.at/.cycles/.chip)
+ *   checkpoint = snapshot file to maintain; with it set, SIGINT /
+ *                SIGTERM stop the run at the next safe cycle, write
+ *                the snapshot, and exit with status 75 (resumable)
+ *   checkpoint_every = cycles between periodic snapshots (0 = only
+ *                on a stop request)
+ *   restore    = snapshot file to resume from (config + workload
+ *                must match the snapshot; mismatch is fatal)
  *
  * Unknown or duplicated keys are fatal.
  */
@@ -43,6 +50,7 @@
 #include "common/table.hh"
 #include "sim/experiment.hh"
 #include "sim/faults.hh"
+#include "sim/stop.hh"
 
 namespace
 {
@@ -148,6 +156,10 @@ main(int argc, char **argv)
 
     const std::string workload = conf.getString("workload", "mcf");
     const bool baseline = conf.getBool("baseline", false);
+    CheckpointOptions ckpt;
+    ckpt.save_path = conf.getString("checkpoint", "");
+    ckpt.checkpoint_every = conf.getUint("checkpoint_every", 0);
+    ckpt.restore_path = conf.getString("restore", "");
     conf.rejectUnknownKeys("mopac_sim");
 
     const bool faulted = cfg.faults.enabled();
@@ -157,15 +169,43 @@ main(int argc, char **argv)
         inform("fault plan: {}", cfg.faults.summary());
     }
 
-    // tryRunWorkload so a watchdog trip / panic prints a clean
-    // diagnostic (with the command-trace tail) instead of aborting.
-    const RunOutcome outcome = tryRunWorkload(cfg, workload);
-    if (!outcome.ok) {
-        std::fprintf(stderr, "mopac_sim: run %s: %s\n",
-                     toString(outcome.outcome), outcome.error.c_str());
-        return 1;
+    RunResult result;
+    if (!ckpt.save_path.empty() || !ckpt.restore_path.empty()) {
+        // Checkpointed mode: SIGINT/SIGTERM request a stop at the
+        // next safe cycle; the snapshot is flushed and the process
+        // exits with the distinct resumable status.
+        sweepstop::installSignalHandlers();
+        try {
+            const CheckpointedRun run =
+                runWorkloadCheckpointed(cfg, workload, ckpt);
+            if (!run.finished) {
+                std::fprintf(stderr,
+                             "mopac_sim: stopped at cycle %llu; "
+                             "resume with restore=%s\n",
+                             static_cast<unsigned long long>(
+                                 run.stopped_at),
+                             ckpt.save_path.c_str());
+                return sweepstop::kResumableExit;
+            }
+            result = run.result;
+        } catch (const std::exception &e) {
+            std::fprintf(stderr, "mopac_sim: %s\n", e.what());
+            return 1;
+        }
+    } else {
+        // tryRunWorkload so a watchdog trip / panic prints a clean
+        // diagnostic (with the command-trace tail) instead of
+        // aborting.
+        const RunOutcome outcome = tryRunWorkload(cfg, workload);
+        if (!outcome.ok) {
+            std::fprintf(stderr, "mopac_sim: run %s: %s\n",
+                         toString(outcome.outcome),
+                         outcome.error.c_str());
+            return 1;
+        }
+        result = outcome.result;
     }
-    report(toString(cfg.mitigation).c_str(), outcome.result, faulted);
+    report(toString(cfg.mitigation).c_str(), result, faulted);
 
     if (baseline && cfg.mitigation != MitigationKind::kNone) {
         SystemConfig base = cfg;
@@ -173,8 +213,7 @@ main(int argc, char **argv)
         const RunResult base_result = runWorkload(base, workload);
         report("baseline (none)", base_result, faulted);
         std::printf("weighted slowdown vs baseline: %.2f%%\n",
-                    weightedSlowdown(base_result, outcome.result) *
-                        100.0);
+                    weightedSlowdown(base_result, result) * 100.0);
     }
     return 0;
 }
