@@ -65,7 +65,8 @@ BENCHMARK(BM_AttackRun)->Unit(benchmark::kMillisecond);
 void
 BM_MintSampler(benchmark::State &state)
 {
-    MintSampler sampler(8, Rng(1));
+    constexpr std::uint64_t kSamplerSeed = 1;
+    MintSampler sampler(8, Rng(kSamplerSeed));
     std::uint32_t row = 0;
     std::uint64_t selections = 0;
     for (auto _ : state) {

@@ -320,8 +320,12 @@ Deserializer::getStr()
 {
     const std::uint32_t len = getU32();
     need(len);
-    std::string s(reinterpret_cast<const char *>(image_.data() + pos_),
-                  len);
+    // uint8_t -> char is value-preserving modulo 2^8, so the iterator
+    // range constructor sidesteps the reinterpret_cast an in-place
+    // pointer view would need.
+    const auto begin =
+        image_.begin() + static_cast<std::ptrdiff_t>(pos_);
+    std::string s(begin, begin + len);
     pos_ += len;
     return s;
 }

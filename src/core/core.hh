@@ -132,11 +132,14 @@ class Core
     void fetch(Cycle now);
     void issue(Cycle now);
 
-    unsigned id_;
+    // Construction-time identity and wiring: a restored System
+    // rebuilds these from its own config before loadState() runs, and
+    // the trace cursor checkpoints itself in the workload section.
+    unsigned id_;                // mopac-lint: allow(serial-drift)
     CoreParams params_;
-    TraceSource *trace_;
-    std::uint64_t target_insts_;
-    RequestSink *sink_;
+    TraceSource *trace_;         // mopac-lint: allow(serial-drift)
+    std::uint64_t target_insts_; // mopac-lint: allow(serial-drift)
+    RequestSink *sink_;          // mopac-lint: allow(serial-drift)
 
     std::uint64_t fetch_inst_ = 0;
     std::uint64_t retire_inst_ = 0;

@@ -1,7 +1,14 @@
 /**
  * @file
- * Timing parameter sets (values from Table 1 / Table 3 of the paper
- * and JESD79-5C DDR5-6000 speed bin).
+ * Exact-value verification of the Table 1 timing sets.
+ *
+ * The factories themselves live in timing.hh (constexpr, so the
+ * cross-constraint table there runs at compile time).  This TU pins
+ * the *absolute* cycle values at the 4 GHz evaluation clock: the
+ * conversion is ceil(ns * 4), so each assert below is the Table 1 /
+ * JESD79-5C nanosecond figure spelled in cycles.  If a conversion
+ * helper or a constant drifts, the build fails here with the exact
+ * parameter named instead of a figure silently shifting.
  */
 
 #include "timing.hh"
@@ -12,54 +19,44 @@ namespace mopac
 namespace
 {
 
-/** Shared (non-PRAC-affected) parameters. */
-TimingSet
-shared()
-{
-    TimingSet t{};
-    t.tRTP = nsToCycles(7.5);
-    t.tWR = nsToCycles(30.0);
-    t.tCL = nsToCycles(14.0);
-    t.tCWL = nsToCycles(12.0);
-    t.tBL = nsToCycles(16.0 / 6.0);   // BL16 at 6000 MT/s
-    t.tRRD = nsToCycles(2.7);
-    t.tFAW = nsToCycles(13.3);
-    t.tREFI = nsToCycles(3900.0);
-    t.tRFC = nsToCycles(410.0);
-    t.tREFW = nsToCycles(32.0e6);     // 32 ms
-    t.tABO = nsToCycles(180.0);
-    t.tRFM = nsToCycles(350.0);
-    return t;
-}
+constexpr TimingSet kBase = TimingSet::base();
+constexpr TimingSet kPrac = TimingSet::prac();
+
+// Table 1, "Base" column (DDR5-6000AN), cycles at 4 GHz.
+static_assert(kBase.tRCD == 56, "base tRCD must be 14 ns (56 cycles)");
+static_assert(kBase.tRP == 56, "base tRP must be 14 ns (56 cycles)");
+static_assert(kBase.tRAS == 128, "base tRAS must be 32 ns (128 cycles)");
+static_assert(kBase.tRC == 184, "base tRC must be 46 ns (184 cycles)");
+
+// Table 1, "PRAC" column (JESD79-5C).
+static_assert(kPrac.tRCD == 64, "PRAC tRCD must be 16 ns (64 cycles)");
+static_assert(kPrac.tRP == 144, "PRAC tRP must be 36 ns (144 cycles)");
+static_assert(kPrac.tRAS == 64, "PRAC tRAS must be 16 ns (64 cycles)");
+static_assert(kPrac.tRC == 208, "PRAC tRC must be 52 ns (208 cycles)");
+
+// Shared parameters are byte-identical between the two sets: PRAC
+// touches only the four row-cycle parameters above.
+static_assert(kBase.tRTP == kPrac.tRTP && kBase.tWR == kPrac.tWR &&
+                  kBase.tCL == kPrac.tCL && kBase.tCWL == kPrac.tCWL &&
+                  kBase.tBL == kPrac.tBL && kBase.tRRD == kPrac.tRRD &&
+                  kBase.tFAW == kPrac.tFAW &&
+                  kBase.tREFI == kPrac.tREFI &&
+                  kBase.tRFC == kPrac.tRFC &&
+                  kBase.tREFW == kPrac.tREFW &&
+                  kBase.tABO == kPrac.tABO && kBase.tRFM == kPrac.tRFM,
+              "PRAC may only change tRCD/tRP/tRAS/tRC");
+
+// Structural sanity of the shared parameters.
+static_assert(kBase.tRTP < kBase.tRAS, "tRTP must fit inside tRAS");
+static_assert(4 * kBase.tRRD <= kBase.tFAW,
+              "tFAW must cover four tRRD-spaced ACTs");
+static_assert(kBase.tRFC < kBase.tREFI,
+              "a REF must complete before the next is due");
+static_assert(kBase.tREFI < kBase.tREFW,
+              "many REFs must fit in one refresh window");
+static_assert(kBase.tABO > 0 && kBase.tRFM > 0,
+              "ABO protocol timings must be non-zero");
 
 } // namespace
-
-TimingSet
-TimingSet::base()
-{
-    TimingSet t = shared();
-    t.tRCD = nsToCycles(14.0);
-    t.tRP = nsToCycles(14.0);
-    t.tRAS = nsToCycles(32.0);
-    t.tRC = nsToCycles(46.0);
-    return t;
-}
-
-TimingSet
-TimingSet::prac()
-{
-    TimingSet t = shared();
-    t.tRCD = nsToCycles(16.0);
-    t.tRP = nsToCycles(36.0);
-    t.tRAS = nsToCycles(16.0);
-    t.tRC = nsToCycles(52.0);
-    return t;
-}
-
-TimingSet
-TimingSet::mopacNormal()
-{
-    return base();
-}
 
 } // namespace mopac

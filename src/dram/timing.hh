@@ -15,6 +15,11 @@
  * The remaining parameters (CAS latency, burst, refresh, ABO) are
  * shared.  All values are stored in CPU cycles (4 GHz), converted from
  * nanoseconds with ceiling rounding.
+ *
+ * The factories are constexpr so the Table 1 cross-constraints below
+ * (and the exact-value table in timing.cc) are enforced at compile
+ * time: editing a timing value into an inconsistent state fails the
+ * build instead of silently skewing every downstream figure.
  */
 
 #ifndef MOPAC_DRAM_TIMING_HH
@@ -62,18 +67,108 @@ struct TimingSet
     Cycle tRFM;
 
     /** Baseline DDR5-6000AN timings (Table 1, "Base" column). */
-    static TimingSet base();
+    static constexpr TimingSet base();
 
     /** PRAC timings (Table 1, "PRAC" column). */
-    static TimingSet prac();
+    static constexpr TimingSet prac();
 
     /**
      * MoPAC-C timing for non-selected operations: baseline timings
      * (the paper's PRE command "incurs normal precharge latency").
      * Selected operations use prac() for tRAS / tRP.
      */
-    static TimingSet mopacNormal();
+    static constexpr TimingSet mopacNormal();
+
+  private:
+    /** Shared (non-PRAC-affected) parameters. */
+    static constexpr TimingSet shared();
 };
+
+constexpr TimingSet
+TimingSet::shared()
+{
+    TimingSet t{};
+    t.tRTP = nsToCycles(7.5);
+    t.tWR = nsToCycles(30.0);
+    t.tCL = nsToCycles(14.0);
+    t.tCWL = nsToCycles(12.0);
+    t.tBL = nsToCycles(16.0 / 6.0);   // BL16 at 6000 MT/s
+    t.tRRD = nsToCycles(2.7);
+    t.tFAW = nsToCycles(13.3);
+    t.tREFI = nsToCycles(3900.0);
+    t.tRFC = nsToCycles(410.0);
+    t.tREFW = nsToCycles(32.0e6);     // 32 ms
+    t.tABO = nsToCycles(180.0);
+    t.tRFM = nsToCycles(350.0);
+    return t;
+}
+
+constexpr TimingSet
+TimingSet::base()
+{
+    TimingSet t = shared();
+    t.tRCD = nsToCycles(14.0);
+    t.tRP = nsToCycles(14.0);
+    t.tRAS = nsToCycles(32.0);
+    t.tRC = nsToCycles(46.0);
+    return t;
+}
+
+constexpr TimingSet
+TimingSet::prac()
+{
+    TimingSet t = shared();
+    t.tRCD = nsToCycles(16.0);
+    t.tRP = nsToCycles(36.0);
+    t.tRAS = nsToCycles(16.0);
+    t.tRC = nsToCycles(52.0);
+    return t;
+}
+
+constexpr TimingSet
+TimingSet::mopacNormal()
+{
+    return base();
+}
+
+// --- Table 1 cross-constraint table (compile-time) -----------------
+//
+// Structural invariants every JESD79-5C-consistent set must satisfy.
+// A violation here means a timing edit broke the row-cycle algebra the
+// bank state machine and every figure depend on.
+
+// Row cycle closes exactly: a full ACT->PRE->ACT round trip is tRC.
+static_assert(TimingSet::base().tRAS + TimingSet::base().tRP ==
+                  TimingSet::base().tRC,
+              "base: tRAS + tRP must equal tRC");
+static_assert(TimingSet::prac().tRAS + TimingSet::prac().tRP ==
+                  TimingSet::prac().tRC,
+              "PRAC: tRAS + tRP must equal tRC");
+
+// A row must be open at least long enough to be read (tRCD <= tRAS;
+// strict for base, PRAC compresses tRAS down to tRCD).
+static_assert(TimingSet::base().tRCD < TimingSet::base().tRAS,
+              "base: tRCD must be strictly below tRAS");
+static_assert(TimingSet::prac().tRCD <= TimingSet::prac().tRAS,
+              "PRAC: tRCD must not exceed tRAS");
+
+// PRAC strictly widens the precharge path (the counter update happens
+// under PRE) and therefore the row cycle; tRCD also grows.
+static_assert(TimingSet::prac().tRP > TimingSet::base().tRP,
+              "PRAC must strictly widen tRP (Table 1)");
+static_assert(TimingSet::prac().tRC > TimingSet::base().tRC,
+              "PRAC must strictly widen tRC (Table 1)");
+static_assert(TimingSet::prac().tRCD > TimingSet::base().tRCD,
+              "PRAC must widen tRCD (Table 1)");
+static_assert(TimingSet::prac().tRAS < TimingSet::base().tRAS,
+              "PRAC shortens tRAS (Table 1)");
+
+// MoPAC-C non-selected operations run on baseline timings (paper §5).
+static_assert(TimingSet::mopacNormal().tRP == TimingSet::base().tRP &&
+                  TimingSet::mopacNormal().tRAS ==
+                      TimingSet::base().tRAS &&
+                  TimingSet::mopacNormal().tRC == TimingSet::base().tRC,
+              "mopacNormal must be the baseline timing set");
 
 } // namespace mopac
 

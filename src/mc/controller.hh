@@ -158,8 +158,11 @@ class Controller
 
     SubChannel &device_;
     const AddressMap &map_;
-    ControllerParams params_;
-    MemClient *client_;
+    // Construction-time config; loadState() only reads it to bound
+    // the restored queue occupancy, save has nothing to write.
+    ControllerParams params_; // mopac-lint: allow(serial-drift)
+    // Wired by the System at construction, not part of the snapshot.
+    MemClient *client_; // mopac-lint: allow(serial-drift)
 
     std::vector<Request> read_q_;
     std::vector<Request> write_q_;
@@ -176,9 +179,11 @@ class Controller
     /** Per-bank: the request that opened the current row was a miss. */
     std::vector<std::uint8_t> act_claimed_;
 
-    // Scratch, rebuilt each scheduling pass.
-    std::vector<std::uint8_t> hit_pending_;
-    std::vector<std::uint8_t> conflict_waiting_;
+    // Scratch, rebuilt from the queues at the start of every
+    // scheduling pass; never read across a tick boundary, so a
+    // snapshot taken at a quiesced point need not carry it.
+    std::vector<std::uint8_t> hit_pending_;      // mopac-lint: allow(serial-drift)
+    std::vector<std::uint8_t> conflict_waiting_; // mopac-lint: allow(serial-drift)
 
     ControllerStats stats_;
 };

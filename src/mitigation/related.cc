@@ -166,6 +166,7 @@ TrrTracker::onRefresh(Cycle)
 void
 MintTracker::saveState(Serializer &ser) const
 {
+    ser.putU32(static_cast<std::uint32_t>(params_.mitigations_per_ref));
     ser.putU32(static_cast<std::uint32_t>(bank_state_.size()));
     for (const BankState &bs : bank_state_) {
         ser.putU32(bs.candidate);
@@ -178,6 +179,13 @@ MintTracker::saveState(Serializer &ser) const
 void
 MintTracker::loadState(Deserializer &des)
 {
+    const std::uint32_t mit = des.getU32();
+    if (mit != params_.mitigations_per_ref) {
+        throw SerializeError(format(
+            "MINT tracker parameter mismatch (saved "
+            "mitigations_per_ref={}, live {})", mit,
+            params_.mitigations_per_ref));
+    }
     const std::uint32_t n = des.getU32();
     if (n != bank_state_.size()) {
         throw SerializeError(format(

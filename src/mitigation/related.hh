@@ -81,7 +81,8 @@ class MintTracker : public RefTimeTrackerBase
     {
         std::uint32_t candidate = kInvalid32;
         std::uint32_t acts = 0;
-        Rng rng{1};
+        /** Re-seeded by the constructor from Params::seed. */
+        Rng rng;
     };
 
     Params params_;
@@ -118,10 +119,13 @@ class PrideTracker : public RefTimeTrackerBase
     struct BankState
     {
         std::vector<std::uint32_t> fifo;
-        Rng rng{1};
+        /** Re-seeded by the constructor from Params::seed. */
+        Rng rng;
     };
 
-    Params params_;
+    // Construction-time config; loadState() only reads it to bound
+    // the restored FIFO occupancy, save has nothing to write.
+    Params params_; // mopac-lint: allow(serial-drift)
     std::vector<BankState> bank_state_;
 };
 
@@ -161,7 +165,9 @@ class TrrTracker : public RefTimeTrackerBase
         unsigned refs_seen = 0;
     };
 
-    Params params_;
+    // Construction-time config; loadState() only reads it to bound
+    // the restored table occupancy, save has nothing to write.
+    Params params_; // mopac-lint: allow(serial-drift)
     std::vector<BankState> bank_state_;
 };
 

@@ -23,6 +23,7 @@
 
 #include "common/log.hh"
 #include "common/rng.hh"
+#include "common/wallclock.hh"
 #include "sim/journal.hh"
 #include "sim/stop.hh"
 
@@ -57,7 +58,7 @@ Runner::jobs() const
 PointResult
 Runner::executePoint(const ExperimentPoint &point) const
 {
-    const auto start = std::chrono::steady_clock::now();
+    const auto start = wallclock::now();
 
     ExperimentPoint guarded = point;
     if (guarded.cfg.max_cycles == 0 && opts_.point_max_cycles > 0) {
@@ -92,10 +93,7 @@ Runner::executePoint(const ExperimentPoint &point) const
     }
     result.attempts = attempt;
     result.outcome = outcome.outcome;
-    result.wall_seconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                      start)
-            .count();
+    result.wall_seconds = wallclock::secondsSince(start);
 
     if (!outcome.ok) {
         result.status =
@@ -265,13 +263,9 @@ Runner::runJournaled(const std::vector<ExperimentPoint> &points,
                 std::this_thread::sleep_for(tick);
             }
             const auto deadline =
-                std::chrono::steady_clock::now() +
-                std::chrono::duration_cast<
-                    std::chrono::steady_clock::duration>(
-                    std::chrono::duration<double>(
-                        opts_.drain_deadline_sec));
+                wallclock::deadlineAfter(opts_.drain_deadline_sec);
             while (!workers_done.load() &&
-                   std::chrono::steady_clock::now() < deadline) {
+                   wallclock::now() < deadline) {
                 std::this_thread::sleep_for(tick);
             }
             if (!workers_done.load()) {

@@ -62,7 +62,9 @@ class BurstTraceSource : public TraceSource
     void startBurst();
     std::uint32_t sampleGap();
 
-    WorkloadSpec spec_;
+    // Workload shape, fixed once the constructor clamps it; the
+    // snapshot config hash pins it across a resume.
+    WorkloadSpec spec_; // mopac-lint: allow(serial-drift)
     const AddressMap &map_;
     Rng rng_;
 
@@ -91,7 +93,9 @@ class StreamTraceSource : public TraceSource
     void loadState(Deserializer &des) override;
 
   private:
-    WorkloadSpec spec_;
+    // Workload shape, fixed once the constructor clamps it; the
+    // snapshot config hash pins it across a resume.
+    WorkloadSpec spec_; // mopac-lint: allow(serial-drift)
     const AddressMap &map_;
     Rng rng_;
 

@@ -9,6 +9,7 @@
 #include <cstring>
 #include <fstream>
 #include <sstream>
+#include <type_traits>
 
 #include "common/log.hh"
 #include "common/serialize.hh"
@@ -102,14 +103,30 @@ writeTraceBinary(const TraceData &trace, const std::string &path)
 namespace
 {
 
+/**
+ * Read one trivially copyable value via a char buffer + memcpy: the
+ * well-defined replacement for reinterpret_cast'ing &out to char*.
+ */
+template <typename T>
+bool
+readRaw(std::ifstream &in, T &out)
+{
+    static_assert(std::is_trivially_copyable_v<T>);
+    char buf[sizeof(T)];
+    in.read(buf, sizeof(buf));
+    if (!in) {
+        return false;
+    }
+    std::memcpy(&out, buf, sizeof(buf));
+    return true;
+}
+
 TraceData
 loadBinary(std::ifstream &in, const std::string &path)
 {
     std::uint32_t version = 0;
     std::uint32_t count = 0;
-    in.read(reinterpret_cast<char *>(&version), sizeof(version));
-    in.read(reinterpret_cast<char *>(&count), sizeof(count));
-    if (!in) {
+    if (!readRaw(in, version) || !readRaw(in, count)) {
         fatal("trace '{}': truncated binary header", path);
     }
     if (version != kVersion) {
@@ -119,8 +136,7 @@ loadBinary(std::ifstream &in, const std::string &path)
     trace.records.reserve(count);
     for (std::uint32_t i = 0; i < count; ++i) {
         PackedRecord packed;
-        in.read(reinterpret_cast<char *>(&packed), sizeof(packed));
-        if (!in) {
+        if (!readRaw(in, packed)) {
             fatal("trace '{}': truncated at record {}", path, i);
         }
         TraceRecord rec;

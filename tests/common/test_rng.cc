@@ -2,7 +2,12 @@
  * @file
  * Rng unit tests: determinism, uniformity, bounds, Bernoulli rates,
  * and stream independence.
+ *
+ * This file exercises the raw generator, so literal seeds ARE the
+ * subject under test (seed/reseed semantics, seed-distinctness);
+ * routing them through named streams would test a different thing.
  */
+// mopac-lint: allow-file(rng-seed)
 
 #include <gtest/gtest.h>
 

@@ -49,7 +49,8 @@ TEST(RngStreams, AdjacentStreamsShareNoDraws)
     constexpr unsigned kStreams = 64;
     constexpr unsigned kDraws = 512;
     for (std::uint64_t stream = 0; stream < kStreams; ++stream) {
-        Rng rng = Rng::forStream(42, stream);
+        constexpr std::uint64_t kMaster = 42;
+        Rng rng = Rng::forStream(kMaster, stream);
         for (unsigned i = 0; i < kDraws; ++i) {
             EXPECT_TRUE(seen.insert(rng.next()).second)
                 << "stream " << stream << " draw " << i
@@ -93,8 +94,9 @@ TEST(RngStreams, StreamZeroIsNotTheMasterItself)
 
 TEST(RngStreams, ForStreamMatchesStreamSeed)
 {
-    Rng direct(Rng::streamSeed(777, 3));
-    Rng split = Rng::forStream(777, 3);
+    constexpr std::uint64_t kMaster = 777;
+    Rng direct(Rng::streamSeed(kMaster, 3));
+    Rng split = Rng::forStream(kMaster, 3);
     for (int i = 0; i < 16; ++i) {
         EXPECT_EQ(direct.next(), split.next());
     }
@@ -106,11 +108,13 @@ TEST(RngStreams, MappingIsFrozen)
     // experiment format (tests/regression golden numbers embed it).
     // If this test fails, the mapping changed -- regenerate ALL
     // golden values or revert the change.
-    EXPECT_EQ(Rng::streamSeed(12345, 0), 0x371889741f9c3e39ull);
-    EXPECT_EQ(Rng::streamSeed(12345, 1), 0xddf5bf71701a5214ull);
-    EXPECT_EQ(Rng::streamSeed(0, 0), 0x9474f0eb06d79fd8ull);
+    constexpr std::uint64_t kGoldenMaster = 12345;
+    constexpr std::uint64_t kZeroMaster = 0;
+    EXPECT_EQ(Rng::streamSeed(kGoldenMaster, 0), 0x371889741f9c3e39ull);
+    EXPECT_EQ(Rng::streamSeed(kGoldenMaster, 1), 0xddf5bf71701a5214ull);
+    EXPECT_EQ(Rng::streamSeed(kZeroMaster, 0), 0x9474f0eb06d79fd8ull);
 
-    Rng rng = Rng::forStream(12345, 7);
+    Rng rng = Rng::forStream(kGoldenMaster, 7);
     EXPECT_EQ(rng.next(), 0x31abd6dfdd414d44ull);
     EXPECT_EQ(rng.next(), 0x85c7c4f7e6408a35ull);
     EXPECT_EQ(rng.next(), 0x472a77654b5d863full);
@@ -121,11 +125,12 @@ TEST(RngStreams, OrderIndependence)
     // Unlike fork(), stream seeds do not depend on how many streams
     // were split before -- the property that makes work-stealing
     // schedules deterministic.
-    const auto a = Rng::streamSeed(5, 17);
+    constexpr std::uint64_t kMaster = 5;
+    const auto a = Rng::streamSeed(kMaster, 17);
     for (std::uint64_t other = 0; other < 17; ++other) {
-        (void)Rng::streamSeed(5, other);
+        (void)Rng::streamSeed(kMaster, other);
     }
-    EXPECT_EQ(Rng::streamSeed(5, 17), a);
+    EXPECT_EQ(Rng::streamSeed(kMaster, 17), a);
 }
 
 } // namespace

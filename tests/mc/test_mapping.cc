@@ -29,7 +29,8 @@ TEST_F(MappingTest, NumLinesMatchesCapacity)
 
 TEST_F(MappingTest, RoundTripIsIdentity)
 {
-    Rng rng(5);
+    constexpr std::uint64_t kSeed = 5;
+    Rng rng(kSeed);
     for (int i = 0; i < 10000; ++i) {
         const Addr line = rng.below(map_.numLines());
         EXPECT_EQ(map_.encode(map_.decode(line)), line);
@@ -38,7 +39,8 @@ TEST_F(MappingTest, RoundTripIsIdentity)
 
 TEST_F(MappingTest, DecodeFieldsInRange)
 {
-    Rng rng(6);
+    constexpr std::uint64_t kSeed = 6;
+    Rng rng(kSeed);
     const Geometry &g = map_.geometry();
     for (int i = 0; i < 10000; ++i) {
         const DramCoord c = map_.decode(rng.below(map_.numLines()));
@@ -97,7 +99,8 @@ TEST(MappingSmall, WorksForReducedGeometry)
     g.banks_per_subchannel = 8;
     g.num_subchannels = 1;
     AddressMap map(g);
-    Rng rng(7);
+    constexpr std::uint64_t kSeed = 7;
+    Rng rng(kSeed);
     for (int i = 0; i < 2000; ++i) {
         const Addr line = rng.below(map.numLines());
         EXPECT_EQ(map.encode(map.decode(line)), line);

@@ -18,7 +18,8 @@ namespace
 
 TEST(MintSampler, EmitsExactlyOncePerWindow)
 {
-    MintSampler sampler(8, Rng(1));
+    constexpr std::uint64_t kSeed = 1;
+    MintSampler sampler(8, Rng(kSeed));
     int emissions = 0;
     int selections = 0;
     for (std::uint32_t i = 0; i < 8 * 100; ++i) {
@@ -35,7 +36,8 @@ TEST(MintSampler, EmitsExactlyOncePerWindow)
 
 TEST(MintSampler, WindowClosesEveryWindowActs)
 {
-    MintSampler sampler(4, Rng(2));
+    constexpr std::uint64_t kSeed = 2;
+    MintSampler sampler(4, Rng(kSeed));
     for (int w = 0; w < 50; ++w) {
         for (unsigned i = 0; i < 4; ++i) {
             const auto res = sampler.step(1000 + i);
@@ -46,7 +48,8 @@ TEST(MintSampler, WindowClosesEveryWindowActs)
 
 TEST(MintSampler, EmittedRowIsTheSelectedOne)
 {
-    MintSampler sampler(16, Rng(3));
+    constexpr std::uint64_t kSeed = 3;
+    MintSampler sampler(16, Rng(kSeed));
     for (int w = 0; w < 200; ++w) {
         std::uint32_t selected = kInvalid32;
         for (std::uint32_t i = 0; i < 16; ++i) {
@@ -64,7 +67,8 @@ TEST(MintSampler, EmittedRowIsTheSelectedOne)
 
 TEST(MintSampler, SelectedPositionIsUniform)
 {
-    MintSampler sampler(8, Rng(4));
+    constexpr std::uint64_t kSeed = 4;
+    MintSampler sampler(8, Rng(kSeed));
     std::vector<int> hist(8, 0);
     const int windows = 40000;
     for (int w = 0; w < windows; ++w) {
@@ -84,7 +88,8 @@ TEST(MintSampler, GapBetweenSelectionsBounded)
     // MINT's security property (footnote 6): after a selection, the
     // next selection is at most 2 * window - 1 activations away and
     // never in the same activation.
-    MintSampler sampler(8, Rng(5));
+    constexpr std::uint64_t kSeed = 5;
+    MintSampler sampler(8, Rng(kSeed));
     int since_last = -1;
     for (std::uint32_t i = 0; i < 8 * 5000; ++i) {
         const auto res = sampler.step(i);
@@ -105,7 +110,8 @@ TEST(MintSampler, RejectedSelectionsSuppressEmission)
 {
     // NUP acceptance: stepping with accept = false never emits, even
     // when the sampled position is the one that closes the window.
-    MintSampler sampler(4, Rng(6));
+    constexpr std::uint64_t kSeed = 6;
+    MintSampler sampler(4, Rng(kSeed));
     int emitted_valid = 0;
     for (std::uint32_t i = 0; i < 4 * 100; ++i) {
         const auto res = sampler.step(i, /*accept=*/false);
@@ -119,8 +125,9 @@ TEST(MintSampler, RejectedSelectionsSuppressEmission)
 TEST(MintSampler, AcceptanceOnlyAffectsSelectedPosition)
 {
     // Rejecting every non-selected step changes nothing.
-    MintSampler a(8, Rng(11));
-    MintSampler b(8, Rng(11));
+    constexpr std::uint64_t kSharedSeed = 11;
+    MintSampler a(8, Rng(kSharedSeed));
+    MintSampler b(8, Rng(kSharedSeed));
     for (std::uint32_t i = 0; i < 8 * 50; ++i) {
         const auto ra = a.step(i, true);
         // Mirror: accept exactly when b is at its selected position.
@@ -132,7 +139,8 @@ TEST(MintSampler, AcceptanceOnlyAffectsSelectedPosition)
 
 TEST(MintSampler, WindowOfOneSelectsEverything)
 {
-    MintSampler sampler(1, Rng(7));
+    constexpr std::uint64_t kSeed = 7;
+    MintSampler sampler(1, Rng(kSeed));
     for (std::uint32_t i = 0; i < 100; ++i) {
         const auto res = sampler.step(i);
         EXPECT_TRUE(res.at_selection);

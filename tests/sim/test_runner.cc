@@ -68,8 +68,8 @@ TEST(Sharding, PerWorkloadPolicyPairsSeedsAcrossConfigs)
     EXPECT_EQ(points[0].cfg.seed, points[1].cfg.seed);
     EXPECT_EQ(points[2].cfg.seed, points[3].cfg.seed);
     EXPECT_NE(points[0].cfg.seed, points[2].cfg.seed);
-    EXPECT_EQ(points[0].cfg.seed, Rng::streamSeed(99, 0));
-    EXPECT_EQ(points[2].cfg.seed, Rng::streamSeed(99, 1));
+    EXPECT_EQ(points[0].cfg.seed, Rng::streamSeed(spec.master_seed, 0));
+    EXPECT_EQ(points[2].cfg.seed, Rng::streamSeed(spec.master_seed, 1));
 }
 
 TEST(Sharding, PerPointPolicyGivesEveryCellItsOwnSeed)
@@ -82,7 +82,7 @@ TEST(Sharding, PerPointPolicyGivesEveryCellItsOwnSeed)
         seeds.insert(p.cfg.seed);
     }
     EXPECT_EQ(seeds.size(), points.size());
-    EXPECT_EQ(points[3].cfg.seed, Rng::streamSeed(99, 3));
+    EXPECT_EQ(points[3].cfg.seed, Rng::streamSeed(spec.master_seed, 3));
 }
 
 TEST(Sharding, ConfigSignatureSeparatesMeaningfulFields)

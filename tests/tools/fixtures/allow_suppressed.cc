@@ -1,0 +1,13 @@
+// Lint fixture: suppression syntax.  Both banned calls below carry an
+// allow, one on the same line and one on the line above, so the file
+// must lint clean.
+#include <cstdlib>
+
+int
+pickSuppressed()
+{
+    int a = std::rand(); // mopac-lint: allow(det-rand)
+    // mopac-lint: allow(det-rand)
+    int b = std::rand();
+    return a + b;
+}

@@ -1,0 +1,8 @@
+// Lint fixture: det-clock must fire on the steady_clock::now() call.
+#include <chrono>
+
+std::chrono::steady_clock::time_point
+nowBad()
+{
+    return std::chrono::steady_clock::now(); // expect det-clock, line 7
+}

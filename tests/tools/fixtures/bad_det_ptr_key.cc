@@ -1,0 +1,9 @@
+// Lint fixture: det-ptr-key must fire on the pointer-keyed map.
+#include <map>
+
+struct Node
+{
+    int id;
+};
+
+std::map<const Node *, int> rank_by_node; // expect det-ptr-key, line 9

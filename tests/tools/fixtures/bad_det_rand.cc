@@ -1,0 +1,8 @@
+// Lint fixture: det-rand must fire on the std::rand() call below.
+#include <cstdlib>
+
+int
+pickBad()
+{
+    return std::rand(); // expect det-rand on line 7
+}

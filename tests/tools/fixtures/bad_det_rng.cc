@@ -1,0 +1,12 @@
+// Lint fixture: det-rng must fire twice -- once for random_device,
+// once for the unseeded mt19937.
+#include <random>
+
+unsigned
+drawBad()
+{
+    std::random_device rd;      // expect det-rng, line 8
+    std::mt19937 gen;           // expect det-rng, line 9
+    (void)rd;
+    return static_cast<unsigned>(gen());
+}

@@ -1,0 +1,8 @@
+// Lint fixture: det-time must fire on the std::time() call below.
+#include <ctime>
+
+long
+stampBad()
+{
+    return static_cast<long>(std::time(nullptr)); // expect det-time, line 7
+}

@@ -1,0 +1,23 @@
+// Lint fixture: det-unordered must fire -- saveState() iterates an
+// unordered_map member directly, so the emitted order follows the
+// bucket layout instead of a deterministic key order.
+#include <cstdint>
+#include <unordered_map>
+
+struct Serializer;
+
+class Histogrammer
+{
+  public:
+    void
+    saveState(Serializer &ser) const
+    {
+        for (const auto &kv : counts_) { // expect det-unordered, line 15
+            (void)kv;
+        }
+        (void)ser;
+    }
+
+  private:
+    std::unordered_map<std::uint32_t, std::uint64_t> counts_;
+};

@@ -1,0 +1,8 @@
+// Lint fixture: guard must fire -- the guard name does not follow
+// the MOPAC_<PATH>_HH convention for this file's location.
+#ifndef WRONG_GUARD_H
+#define WRONG_GUARD_H
+
+int fixtureValue();
+
+#endif // WRONG_GUARD_H

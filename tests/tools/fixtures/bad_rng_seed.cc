@@ -1,0 +1,18 @@
+// Lint fixture: rng-seed must fire twice -- a bare-literal Rng
+// declaration and a bare-literal streamSeed() master.
+#include <cstdint>
+
+struct Rng
+{
+    explicit Rng(std::uint64_t seed);
+    static std::uint64_t streamSeed(std::uint64_t master,
+                                    std::uint64_t stream);
+};
+
+void
+seedBad()
+{
+    Rng rng(12345);                          // expect rng-seed, line 15
+    (void)Rng::streamSeed(7, 0);             // expect rng-seed, line 16
+    (void)rng;
+}

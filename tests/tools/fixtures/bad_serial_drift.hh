@@ -1,0 +1,35 @@
+// Lint fixture: serial-drift must fire twice.  Member b_ is written
+// by saveState but never restored; member c_ appears in neither body.
+#ifndef MOPAC_TESTS_TOOLS_FIXTURES_BAD_SERIAL_DRIFT_HH
+#define MOPAC_TESTS_TOOLS_FIXTURES_BAD_SERIAL_DRIFT_HH
+
+#include <cstdint>
+
+struct Serializer;
+struct Deserializer;
+
+class Widget
+{
+  public:
+    void
+    saveState(Serializer &ser) const
+    {
+        (void)ser;
+        (void)a_;
+        (void)b_;
+    }
+
+    void
+    loadState(Deserializer &des)
+    {
+        (void)des;
+        (void)a_;
+    }
+
+  private:
+    std::uint32_t a_ = 0;
+    std::uint32_t b_ = 0; // expect serial-drift, line 31
+    std::uint32_t c_ = 0; // expect serial-drift, line 32
+};
+
+#endif // MOPAC_TESTS_TOOLS_FIXTURES_BAD_SERIAL_DRIFT_HH

@@ -1,0 +1,16 @@
+// Lint fixture: clean counterpart of bad_det_clock.cc.  Wall time is
+// read through the sanctioned shim, which is the only file allowed to
+// touch *_clock::now() directly.
+namespace mopac::wallclock
+{
+struct TimePoint
+{
+};
+TimePoint now();
+} // namespace mopac::wallclock
+
+mopac::wallclock::TimePoint
+nowGood()
+{
+    return mopac::wallclock::now();
+}

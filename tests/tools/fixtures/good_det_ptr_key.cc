@@ -1,0 +1,12 @@
+// Lint fixture: clean counterpart of bad_det_ptr_key.cc.  Keying on
+// a stable integer id (with the pointer as the VALUE) iterates the
+// same way every run.
+#include <cstdint>
+#include <map>
+
+struct Node
+{
+    int id;
+};
+
+std::map<std::uint32_t, Node *> node_by_id;

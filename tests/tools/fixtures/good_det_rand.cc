@@ -1,0 +1,13 @@
+// Lint fixture: clean counterpart of bad_det_rand.cc.  A member named
+// like the banned function ("rand") is fine when it is not a call,
+// and calls through an object are fine too.
+struct Source
+{
+    unsigned rand = 0;
+};
+
+unsigned
+pickGood(Source &s)
+{
+    return s.rand + 1;
+}

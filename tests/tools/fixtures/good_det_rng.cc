@@ -1,0 +1,13 @@
+// Lint fixture: clean counterpart of bad_det_rng.cc.  A std engine
+// with an explicit named seed is reproducible, so det-rng stays
+// quiet (rng-seed also stays quiet: the seed is a named constant).
+#include <random>
+
+constexpr unsigned kSeed = 7;
+
+unsigned
+drawGood()
+{
+    std::mt19937 gen(kSeed);
+    return static_cast<unsigned>(gen());
+}

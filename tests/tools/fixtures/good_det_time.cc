@@ -1,0 +1,13 @@
+// Lint fixture: clean counterpart of bad_det_time.cc.  Simulation
+// state depends only on the cycle counter; "time" as a plain data
+// member or variable name is not a call.
+struct Clocked
+{
+    unsigned long time = 0;
+};
+
+unsigned long
+stampGood(const Clocked &c, unsigned long now_cycle)
+{
+    return c.time + now_cycle;
+}

@@ -1,0 +1,29 @@
+// Lint fixture: clean counterpart of bad_det_unordered.cc.  The
+// unordered_map is copied to a vector and sorted before emission, and
+// the range-for runs over the sorted copy.
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+struct Serializer;
+
+class Histogrammer
+{
+  public:
+    void
+    saveState(Serializer &ser) const
+    {
+        std::vector<std::pair<std::uint32_t, std::uint64_t>> sorted(
+            counts_.begin(), counts_.end());
+        std::sort(sorted.begin(), sorted.end());
+        for (const auto &kv : sorted) {
+            (void)kv;
+        }
+        (void)ser;
+    }
+
+  private:
+    std::unordered_map<std::uint32_t, std::uint64_t> counts_;
+};

@@ -1,0 +1,8 @@
+// Lint fixture: clean counterpart of bad_guard.hh -- the guard
+// matches the path-derived MOPAC_<PATH>_HH name exactly.
+#ifndef MOPAC_TESTS_TOOLS_FIXTURES_GOOD_GUARD_HH
+#define MOPAC_TESTS_TOOLS_FIXTURES_GOOD_GUARD_HH
+
+int fixtureValue();
+
+#endif // MOPAC_TESTS_TOOLS_FIXTURES_GOOD_GUARD_HH

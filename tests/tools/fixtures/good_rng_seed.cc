@@ -1,0 +1,20 @@
+// Lint fixture: clean counterpart of bad_rng_seed.cc.  Seeds are
+// named constants, and stream seeds derive from a named master.
+#include <cstdint>
+
+struct Rng
+{
+    explicit Rng(std::uint64_t seed);
+    static std::uint64_t streamSeed(std::uint64_t master,
+                                    std::uint64_t stream);
+};
+
+constexpr std::uint64_t kMasterSeed = 12345;
+
+void
+seedGood()
+{
+    Rng rng(kMasterSeed);
+    (void)Rng::streamSeed(kMasterSeed, 0);
+    (void)rng;
+}

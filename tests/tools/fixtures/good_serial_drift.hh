@@ -1,0 +1,42 @@
+// Lint fixture: clean counterpart of bad_serial_drift.hh.  Every
+// serializable member appears in both bodies; the construction-time
+// reference and the annotated config member are exempt.
+#ifndef MOPAC_TESTS_TOOLS_FIXTURES_GOOD_SERIAL_DRIFT_HH
+#define MOPAC_TESTS_TOOLS_FIXTURES_GOOD_SERIAL_DRIFT_HH
+
+#include <cstdint>
+
+struct Serializer;
+struct Deserializer;
+struct Backend;
+struct Config
+{
+};
+
+class Widget
+{
+  public:
+    void
+    saveState(Serializer &ser) const
+    {
+        (void)ser;
+        (void)a_;
+        (void)b_;
+    }
+
+    void
+    loadState(Deserializer &des)
+    {
+        (void)des;
+        (void)a_;
+        (void)b_;
+    }
+
+  private:
+    std::uint32_t a_ = 0;
+    std::uint32_t b_ = 0;
+    Backend &backend_;        // references are construction-time wiring
+    Config cfg_; // mopac-lint: allow(serial-drift)
+};
+
+#endif // MOPAC_TESTS_TOOLS_FIXTURES_GOOD_SERIAL_DRIFT_HH

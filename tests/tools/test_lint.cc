@@ -1,0 +1,241 @@
+/**
+ * @file
+ * Self-tests for tools/mopac_lint: run the real binary against the
+ * fixtures in tests/tools/fixtures and assert the exact finding codes
+ * and line numbers.  Each check has one deliberately-bad fixture (the
+ * findings below) and one clean counterpart; the suppression syntax
+ * gets its own fixture.
+ *
+ * The binary path and repo root arrive via compile definitions
+ * (MOPAC_LINT_BIN, MOPAC_LINT_ROOT) so the test works from any build
+ * directory.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include <sys/wait.h>
+
+#include <gtest/gtest.h>
+
+namespace
+{
+
+struct LintFinding
+{
+    std::string path;
+    int line = 0;
+    std::string check;
+};
+
+struct LintResult
+{
+    int exit_code = -1;
+    std::string output;
+    std::vector<LintFinding> findings;
+};
+
+/** Run mopac_lint on fixture-relative paths; parse stdout findings. */
+LintResult
+runLint(const std::vector<std::string> &fixtures,
+        const std::string &extra_flags = "")
+{
+    std::string cmd = std::string(MOPAC_LINT_BIN) + " --root " +
+                      MOPAC_LINT_ROOT + " " + extra_flags;
+    for (const std::string &f : fixtures) {
+        cmd += " tests/tools/fixtures/" + f;
+    }
+    cmd += " 2>/dev/null";
+
+    LintResult res;
+    FILE *pipe = popen(cmd.c_str(), "r");
+    if (pipe == nullptr) {
+        ADD_FAILURE() << "popen failed for: " << cmd;
+        return res;
+    }
+    char buf[4096];
+    while (std::fgets(buf, sizeof(buf), pipe) != nullptr) {
+        res.output += buf;
+    }
+    const int status = pclose(pipe);
+    res.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+
+    // Findings look like "path:line: check: message".
+    std::size_t pos = 0;
+    while (pos < res.output.size()) {
+        std::size_t eol = res.output.find('\n', pos);
+        if (eol == std::string::npos) {
+            eol = res.output.size();
+        }
+        const std::string line = res.output.substr(pos, eol - pos);
+        pos = eol + 1;
+        const std::size_t c1 = line.find(':');
+        if (c1 == std::string::npos) {
+            continue;
+        }
+        const std::size_t c2 = line.find(':', c1 + 1);
+        const std::size_t c3 = line.find(':', c2 + 1);
+        if (c2 == std::string::npos || c3 == std::string::npos) {
+            continue;
+        }
+        LintFinding f;
+        f.path = line.substr(0, c1);
+        f.line = std::atoi(line.substr(c1 + 1, c2 - c1 - 1).c_str());
+        f.check = line.substr(c2 + 2, c3 - c2 - 2);
+        res.findings.push_back(std::move(f));
+    }
+    return res;
+}
+
+/** Assert a run produced exactly the given (line, check) findings. */
+void
+expectFindings(const LintResult &res,
+               const std::vector<std::pair<int, std::string>> &want)
+{
+    EXPECT_EQ(res.exit_code, 1) << res.output;
+    ASSERT_EQ(res.findings.size(), want.size()) << res.output;
+    for (std::size_t i = 0; i < want.size(); ++i) {
+        EXPECT_EQ(res.findings[i].line, want[i].first) << res.output;
+        EXPECT_EQ(res.findings[i].check, want[i].second) << res.output;
+    }
+}
+
+TEST(MopacLint, DetRandBadFixture)
+{
+    expectFindings(runLint({"bad_det_rand.cc"}), {{7, "det-rand"}});
+}
+
+TEST(MopacLint, DetTimeBadFixture)
+{
+    expectFindings(runLint({"bad_det_time.cc"}), {{7, "det-time"}});
+}
+
+TEST(MopacLint, DetClockBadFixture)
+{
+    expectFindings(runLint({"bad_det_clock.cc"}), {{7, "det-clock"}});
+}
+
+TEST(MopacLint, DetRngBadFixture)
+{
+    expectFindings(runLint({"bad_det_rng.cc"}),
+                   {{8, "det-rng"}, {9, "det-rng"}});
+}
+
+TEST(MopacLint, DetPtrKeyBadFixture)
+{
+    expectFindings(runLint({"bad_det_ptr_key.cc"}),
+                   {{9, "det-ptr-key"}});
+}
+
+TEST(MopacLint, DetUnorderedBadFixture)
+{
+    expectFindings(runLint({"bad_det_unordered.cc"}),
+                   {{15, "det-unordered"}});
+}
+
+TEST(MopacLint, SerialDriftBadFixture)
+{
+    const LintResult res = runLint({"bad_serial_drift.hh"});
+    expectFindings(res, {{31, "serial-drift"}, {32, "serial-drift"}});
+    // The two findings distinguish save-only members from members in
+    // neither body; both directions of drift must be named.
+    EXPECT_NE(res.output.find("saveState but not loadState"),
+              std::string::npos)
+        << res.output;
+    EXPECT_NE(res.output.find("neither saveState nor loadState"),
+              std::string::npos)
+        << res.output;
+}
+
+TEST(MopacLint, RngSeedBadFixture)
+{
+    expectFindings(runLint({"bad_rng_seed.cc"}),
+                   {{15, "rng-seed"}, {16, "rng-seed"}});
+}
+
+TEST(MopacLint, GuardBadFixture)
+{
+    const LintResult res = runLint({"bad_guard.hh"});
+    expectFindings(res, {{3, "guard"}});
+    EXPECT_NE(
+        res.output.find("MOPAC_TESTS_TOOLS_FIXTURES_BAD_GUARD_HH"),
+        std::string::npos)
+        << res.output;
+}
+
+TEST(MopacLint, GoodFixturesAreClean)
+{
+    const LintResult res = runLint({
+        "good_det_rand.cc",
+        "good_det_time.cc",
+        "good_det_clock.cc",
+        "good_det_rng.cc",
+        "good_det_ptr_key.cc",
+        "good_det_unordered.cc",
+        "good_serial_drift.hh",
+        "good_rng_seed.cc",
+        "good_guard.hh",
+    });
+    EXPECT_EQ(res.exit_code, 0) << res.output;
+    EXPECT_TRUE(res.findings.empty()) << res.output;
+}
+
+TEST(MopacLint, AllowCommentSuppressesFindings)
+{
+    // Same-line and line-above allow() forms both suppress det-rand.
+    const LintResult res = runLint({"allow_suppressed.cc"});
+    EXPECT_EQ(res.exit_code, 0) << res.output;
+    EXPECT_TRUE(res.findings.empty()) << res.output;
+}
+
+TEST(MopacLint, AllBadFixturesTogether)
+{
+    // One combined run: every check fires at least once and the exit
+    // code stays 1 (findings), not 2 (usage/IO error).
+    const LintResult res = runLint({
+        "bad_det_rand.cc",
+        "bad_det_time.cc",
+        "bad_det_clock.cc",
+        "bad_det_rng.cc",
+        "bad_det_ptr_key.cc",
+        "bad_det_unordered.cc",
+        "bad_serial_drift.hh",
+        "bad_rng_seed.cc",
+        "bad_guard.hh",
+    });
+    EXPECT_EQ(res.exit_code, 1) << res.output;
+    EXPECT_EQ(res.findings.size(), 12u) << res.output;
+    for (const char *check :
+         {"det-rand", "det-time", "det-clock", "det-rng",
+          "det-ptr-key", "det-unordered", "serial-drift", "rng-seed",
+          "guard"}) {
+        bool seen = false;
+        for (const LintFinding &f : res.findings) {
+            seen = seen || f.check == check;
+        }
+        EXPECT_TRUE(seen) << "check never fired: " << check;
+    }
+}
+
+TEST(MopacLint, ListChecksEnumeratesEveryCheck)
+{
+    const LintResult res = runLint({}, "--list-checks");
+    EXPECT_EQ(res.exit_code, 0) << res.output;
+    for (const char *check :
+         {"det-rand", "det-time", "det-clock", "det-rng",
+          "det-ptr-key", "det-unordered", "serial-drift", "rng-seed",
+          "guard"}) {
+        EXPECT_NE(res.output.find(check), std::string::npos)
+            << "missing from --list-checks: " << check;
+    }
+}
+
+TEST(MopacLint, MissingPathIsUsageError)
+{
+    const LintResult res = runLint({"no_such_fixture.cc"});
+    EXPECT_EQ(res.exit_code, 2) << res.output;
+}
+
+} // namespace

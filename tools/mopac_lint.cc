@@ -1,0 +1,1310 @@
+/**
+ * @file
+ * mopac_lint: repo-aware static analysis for the invariants the
+ * compiler never checks.
+ *
+ * The reproduction's guarantees -- bit-identical sweeps at any --jobs,
+ * crash-safe snapshot/resume, attacker-unpredictable RNG streams --
+ * rest on coding disciplines that a type checker cannot see.  This
+ * tool enforces them at token level (comments and string literals are
+ * stripped first, so matches are real code):
+ *
+ *   det-rand       C PRNG entry points (rand, srand, drand48, ...).
+ *                  All randomness must come from mopac::Rng.
+ *   det-time       Wall-calendar APIs (time, gettimeofday,
+ *                  clock_gettime, localtime, ...).  Simulation state
+ *                  may only depend on the cycle counter.
+ *   det-clock      std::chrono::*_clock::now() outside the sanctioned
+ *                  shim src/common/wallclock.hh.  Reporting and
+ *                  watchdogs go through the shim; nothing else may
+ *                  read host time.
+ *   det-rng        std::random_device (nondeterministic by contract)
+ *                  and default-constructed <random> engines
+ *                  (mt19937 et al. with no explicit seed).
+ *   det-ptr-key    std::map/std::set keyed on a pointer type:
+ *                  iteration order is address order, which varies run
+ *                  to run, so any output derived from it drifts.
+ *   det-unordered  Range-for over an unordered container inside
+ *                  saveState/loadState or a stats-emission function:
+ *                  bucket order is implementation-defined, so the
+ *                  byte stream / table order is not reproducible.
+ *                  (Copy into a vector and sort first.)
+ *   serial-drift   A class defines saveState/loadState but one of its
+ *                  members is mentioned in neither body -- the "added
+ *                  a field, forgot the snapshot" bug class.  Reference
+ *                  members and members whose declaration starts with
+ *                  `const` (fixed at construction) are exempt.
+ *   rng-seed       Rng/forStream/streamSeed whose seed argument is a
+ *                  bare literal.  Seeds must be *named* expressions
+ *                  (a constant, a config field, a counter-mode
+ *                  streamSeed derivation) so a reader can trace every
+ *                  stream back to the experiment master seed.
+ *   guard          Include guards must be MOPAC_<DIR>_<FILE>_HH
+ *                  derived from the path (src/ stripped); #pragma
+ *                  once is not used in this repo.
+ *
+ * Suppression: a comment `// mopac-lint: allow(check-a, check-b)` on
+ * the same line or the line directly above suppresses those checks
+ * for that line; `// mopac-lint: allow-file(check)` anywhere in a
+ * file suppresses the check for the whole file.  Suppressions are
+ * for *intentional* violations and should carry a rationale.
+ *
+ * Usage: mopac_lint [--root DIR] [--list-checks] PATH...
+ * Directories are scanned recursively for .hh/.h/.hpp/.cc/.cpp,
+ * skipping "build*", ".git", and "fixtures" directories.  Exit 0 =
+ * clean, 1 = findings, 2 = usage or I/O error.
+ */
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace
+{
+
+// ------------------------------------------------------------------
+// Model
+// ------------------------------------------------------------------
+
+const char *const kAllChecks[] = {
+    "det-rand",  "det-time",     "det-clock",    "det-rng", "det-ptr-key",
+    "det-unordered", "serial-drift", "rng-seed", "guard",
+};
+
+struct Finding
+{
+    std::string path; // root-relative, for stable output
+    int line = 0;
+    std::string check;
+    std::string message;
+};
+
+struct Token
+{
+    enum Kind { kIdent, kNumber, kPunct };
+    Kind kind;
+    std::string text;
+    int line;
+};
+
+/** One parsed source file: raw text, scrubbed text, tokens, allows. */
+struct SourceFile
+{
+    std::string abs_path;
+    std::string rel_path;
+    std::string raw;
+    std::string scrubbed; //!< Comments/strings blanked, layout kept.
+    std::vector<Token> tokens;
+    /** line -> checks allowed on that line (and the line below). */
+    std::map<int, std::set<std::string>> line_allows;
+    std::set<std::string> file_allows;
+};
+
+// ------------------------------------------------------------------
+// Loading, scrubbing, tokenizing
+// ------------------------------------------------------------------
+
+void
+parseAllowList(const std::string &comment, int line, SourceFile &sf)
+{
+    const std::string tag = "mopac-lint:";
+    std::size_t at = comment.find(tag);
+    if (at == std::string::npos) {
+        return;
+    }
+    std::size_t p = at + tag.size();
+    while (p < comment.size() && std::isspace((unsigned char)comment[p])) {
+        ++p;
+    }
+    bool file_wide = false;
+    if (comment.compare(p, 10, "allow-file") == 0) {
+        file_wide = true;
+        p += 10;
+    } else if (comment.compare(p, 5, "allow") == 0) {
+        p += 5;
+    } else {
+        return;
+    }
+    std::size_t open = comment.find('(', p);
+    std::size_t close = comment.find(')', open);
+    if (open == std::string::npos || close == std::string::npos) {
+        return;
+    }
+    std::string inside = comment.substr(open + 1, close - open - 1);
+    std::string item;
+    std::stringstream ss(inside);
+    while (std::getline(ss, item, ',')) {
+        const auto b = item.find_first_not_of(" \t");
+        const auto e = item.find_last_not_of(" \t");
+        if (b == std::string::npos) {
+            continue;
+        }
+        std::string check = item.substr(b, e - b + 1);
+        if (file_wide) {
+            sf.file_allows.insert(check);
+        } else {
+            sf.line_allows[line].insert(check);
+        }
+    }
+}
+
+/**
+ * Blank comments, string literals, and char literals with spaces
+ * (newlines preserved so line numbers survive), harvesting
+ * mopac-lint allow() annotations from the comments on the way.
+ */
+void
+scrub(SourceFile &sf)
+{
+    const std::string &in = sf.raw;
+    std::string out(in.size(), ' ');
+    int line = 1;
+    std::size_t i = 0;
+    auto copyNewline = [&](std::size_t at) {
+        out[at] = '\n';
+        ++line;
+    };
+    while (i < in.size()) {
+        const char c = in[i];
+        if (c == '\n') {
+            copyNewline(i);
+            ++i;
+        } else if (c == '/' && i + 1 < in.size() && in[i + 1] == '/') {
+            std::size_t end = in.find('\n', i);
+            if (end == std::string::npos) {
+                end = in.size();
+            }
+            parseAllowList(in.substr(i, end - i), line, sf);
+            i = end;
+        } else if (c == '/' && i + 1 < in.size() && in[i + 1] == '*') {
+            std::size_t end = in.find("*/", i + 2);
+            if (end == std::string::npos) {
+                end = in.size();
+            } else {
+                end += 2;
+            }
+            const int first_line = line;
+            for (std::size_t j = i; j < end; ++j) {
+                if (in[j] == '\n') {
+                    copyNewline(j);
+                }
+            }
+            parseAllowList(in.substr(i, end - i), first_line, sf);
+            i = end;
+        } else if (c == '"' || c == '\'') {
+            // Skip the literal (handles escapes; raw strings are
+            // handled well enough for lint purposes by the escape
+            // rule since the repo does not use them).
+            const char quote = c;
+            ++i;
+            while (i < in.size()) {
+                if (in[i] == '\\' && i + 1 < in.size()) {
+                    if (in[i + 1] == '\n') {
+                        copyNewline(i + 1);
+                    }
+                    i += 2;
+                } else if (in[i] == quote) {
+                    ++i;
+                    break;
+                } else if (in[i] == '\n') {
+                    // Unterminated literal; bail to keep lines sane.
+                    break;
+                } else {
+                    ++i;
+                }
+            }
+        } else {
+            out[i] = c;
+            ++i;
+        }
+    }
+    sf.scrubbed = std::move(out);
+}
+
+bool
+isIdentChar(char c)
+{
+    return std::isalnum((unsigned char)c) || c == '_';
+}
+
+void
+tokenize(SourceFile &sf)
+{
+    const std::string &s = sf.scrubbed;
+    int line = 1;
+    std::size_t i = 0;
+    while (i < s.size()) {
+        const char c = s[i];
+        if (c == '\n') {
+            ++line;
+            ++i;
+        } else if (std::isspace((unsigned char)c)) {
+            ++i;
+        } else if (std::isalpha((unsigned char)c) || c == '_') {
+            std::size_t j = i + 1;
+            while (j < s.size() && isIdentChar(s[j])) {
+                ++j;
+            }
+            sf.tokens.push_back({Token::kIdent, s.substr(i, j - i), line});
+            i = j;
+        } else if (std::isdigit((unsigned char)c)) {
+            std::size_t j = i + 1;
+            while (j < s.size() &&
+                   (isIdentChar(s[j]) || s[j] == '.' || s[j] == '\'' ||
+                    ((s[j] == '+' || s[j] == '-') &&
+                     (s[j - 1] == 'e' || s[j - 1] == 'E' ||
+                      s[j - 1] == 'p' || s[j - 1] == 'P')))) {
+                ++j;
+            }
+            sf.tokens.push_back({Token::kNumber, s.substr(i, j - i), line});
+            i = j;
+        } else if (c == ':' && i + 1 < s.size() && s[i + 1] == ':') {
+            sf.tokens.push_back({Token::kPunct, "::", line});
+            i += 2;
+        } else if (c == '-' && i + 1 < s.size() && s[i + 1] == '>') {
+            sf.tokens.push_back({Token::kPunct, "->", line});
+            i += 2;
+        } else {
+            sf.tokens.push_back({Token::kPunct, std::string(1, c), line});
+            ++i;
+        }
+    }
+}
+
+// ------------------------------------------------------------------
+// Token helpers
+// ------------------------------------------------------------------
+
+using Tokens = std::vector<Token>;
+
+bool
+is(const Tokens &t, std::size_t i, const char *text)
+{
+    return i < t.size() && t[i].text == text;
+}
+
+/** Index of the matcher for an opener at @p i ("(", "{", "<", "["). */
+std::size_t
+matchForward(const Tokens &t, std::size_t i, const char *open,
+             const char *close)
+{
+    int depth = 0;
+    for (std::size_t j = i; j < t.size(); ++j) {
+        if (t[j].text == open) {
+            ++depth;
+        } else if (t[j].text == close) {
+            if (--depth == 0) {
+                return j;
+            }
+        } else if (*open == '<' &&
+                   (t[j].text == ";" || t[j].text == "{")) {
+            return t.size(); // not a template argument list after all
+        }
+    }
+    return t.size();
+}
+
+// ------------------------------------------------------------------
+// Findings sink with suppression
+// ------------------------------------------------------------------
+
+struct Linter
+{
+    std::vector<Finding> findings;
+
+    void
+    report(const SourceFile &sf, int line, const std::string &check,
+           const std::string &message)
+    {
+        if (sf.file_allows.count(check)) {
+            return;
+        }
+        for (int probe : {line, line - 1}) {
+            auto it = sf.line_allows.find(probe);
+            if (it != sf.line_allows.end() && it->second.count(check)) {
+                return;
+            }
+        }
+        findings.push_back({sf.rel_path, line, check, message});
+    }
+};
+
+// ------------------------------------------------------------------
+// Determinism checks
+// ------------------------------------------------------------------
+
+bool
+calleePosition(const Tokens &t, std::size_t i)
+{
+    // A call site `name(`: exclude member access `x.name(` /
+    // `x->name(`, qualified members `Foo::name(` with a non-std
+    // scope, and declarations `double name(` (previous token is an
+    // identifier other than `return`/`co_return`).
+    if (!is(t, i + 1, "(")) {
+        return false;
+    }
+    if (i == 0) {
+        return true;
+    }
+    const Token &prev = t[i - 1];
+    if (prev.text == "." || prev.text == "->") {
+        return false;
+    }
+    if (prev.text == "::") {
+        return i >= 2 && t[i - 2].text == "std";
+    }
+    if (prev.kind == Token::kIdent) {
+        return prev.text == "return" || prev.text == "co_return";
+    }
+    return true;
+}
+
+void
+checkBannedCalls(const SourceFile &sf, Linter &lint)
+{
+    static const std::set<std::string> kRand = {
+        "rand", "srand", "random", "srandom", "rand_r",
+        "drand48", "lrand48", "mrand48",
+    };
+    static const std::set<std::string> kTime = {
+        "time", "gettimeofday", "clock_gettime", "clock",
+        "localtime", "localtime_r", "gmtime", "gmtime_r",
+        "ctime", "timespec_get",
+    };
+    const Tokens &t = sf.tokens;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        if (t[i].kind != Token::kIdent) {
+            continue;
+        }
+        if (kRand.count(t[i].text) && calleePosition(t, i)) {
+            lint.report(sf, t[i].line, "det-rand",
+                        "'" + t[i].text +
+                            "' is banned: draw from a seeded "
+                            "mopac::Rng stream instead");
+        } else if (kTime.count(t[i].text) && calleePosition(t, i)) {
+            lint.report(sf, t[i].line, "det-time",
+                        "'" + t[i].text +
+                            "' is banned: simulation state must "
+                            "depend only on the cycle counter");
+        }
+    }
+}
+
+void
+checkClockNow(const SourceFile &sf, Linter &lint)
+{
+    // The shim itself is the one sanctioned user of *_clock::now().
+    const std::string &p = sf.rel_path;
+    if (p.size() >= 19 &&
+        p.compare(p.size() - 19, 19, "common/wallclock.hh") == 0) {
+        return;
+    }
+    const Tokens &t = sf.tokens;
+    for (std::size_t i = 0; i + 2 < t.size(); ++i) {
+        if (t[i].kind == Token::kIdent &&
+            t[i].text.size() > 6 &&
+            t[i].text.compare(t[i].text.size() - 6, 6, "_clock") == 0 &&
+            is(t, i + 1, "::") && is(t, i + 2, "now")) {
+            lint.report(sf, t[i].line, "det-clock",
+                        "'" + t[i].text +
+                            "::now' outside common/wallclock.hh: use "
+                            "the wallclock shim (reporting/watchdogs "
+                            "only, never simulation state)");
+        }
+    }
+}
+
+void
+checkStdRandomEngines(const SourceFile &sf, Linter &lint)
+{
+    static const std::set<std::string> kEngines = {
+        "mt19937", "mt19937_64", "minstd_rand", "minstd_rand0",
+        "default_random_engine", "ranlux24", "ranlux48", "knuth_b",
+    };
+    const Tokens &t = sf.tokens;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        if (t[i].kind != Token::kIdent) {
+            continue;
+        }
+        if (t[i].text == "random_device") {
+            lint.report(sf, t[i].line, "det-rng",
+                        "std::random_device is nondeterministic by "
+                        "contract; seed a mopac::Rng stream instead");
+            continue;
+        }
+        if (!kEngines.count(t[i].text)) {
+            continue;
+        }
+        // Find the declarator / constructor arguments: skip an
+        // optional variable name, then look for (args) or {args}.
+        std::size_t j = i + 1;
+        if (j < t.size() && t[j].kind == Token::kIdent) {
+            ++j;
+        }
+        bool seeded = false;
+        if (is(t, j, "(") || is(t, j, "{")) {
+            const char *open = t[j].text == "(" ? "(" : "{";
+            const char *close = t[j].text == "(" ? ")" : "}";
+            const std::size_t end = matchForward(t, j, open, close);
+            seeded = end != t.size() && end > j + 1;
+        }
+        if (!seeded) {
+            lint.report(sf, t[i].line, "det-rng",
+                        "'" + t[i].text +
+                            "' without an explicit seed is "
+                            "nondeterministic across implementations; "
+                            "use mopac::Rng or pass a named seed");
+        }
+    }
+}
+
+void
+checkPointerKeys(const SourceFile &sf, Linter &lint)
+{
+    static const std::set<std::string> kOrdered = {
+        "map", "set", "multimap", "multiset",
+    };
+    const Tokens &t = sf.tokens;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        if (t[i].kind != Token::kIdent || !kOrdered.count(t[i].text) ||
+            !is(t, i + 1, "<")) {
+            continue;
+        }
+        // `std::map` or unqualified in a `using namespace std` TU;
+        // skip project types like `BitMap<...>` via exact-name match
+        // (already guaranteed) and member access.
+        if (i > 0 && (t[i - 1].text == "." || t[i - 1].text == "->")) {
+            continue;
+        }
+        const std::size_t close = matchForward(t, i + 1, "<", ">");
+        if (close == t.size()) {
+            continue;
+        }
+        // First top-level template argument.
+        int depth = 0;
+        std::size_t arg_end = close;
+        for (std::size_t j = i + 2; j < close; ++j) {
+            if (t[j].text == "<" || t[j].text == "(") {
+                ++depth;
+            } else if (t[j].text == ">" || t[j].text == ")") {
+                --depth;
+            } else if (t[j].text == "," && depth == 0) {
+                arg_end = j;
+                break;
+            }
+        }
+        if (arg_end > i + 2 && t[arg_end - 1].text == "*") {
+            lint.report(sf, t[i].line, "det-ptr-key",
+                        "std::" + t[i].text +
+                            " keyed on a pointer iterates in address "
+                            "order (varies run to run); key on a "
+                            "stable id instead");
+        }
+    }
+}
+
+// ------------------------------------------------------------------
+// Function-body oriented checks (det-unordered)
+// ------------------------------------------------------------------
+
+struct BodySpan
+{
+    std::string name;
+    std::size_t open;  //!< Index of "{".
+    std::size_t close; //!< Index of matching "}".
+};
+
+bool
+isStateOrStatsFunction(const std::string &name)
+{
+    if (name == "saveState" || name == "loadState") {
+        return true;
+    }
+    if (name.find("Stats") != std::string::npos ||
+        name.find("stats") != std::string::npos) {
+        return true;
+    }
+    for (const char *prefix : {"emit", "print", "dump", "report"}) {
+        if (name.rfind(prefix, 0) == 0) {
+            return true;
+        }
+    }
+    return false;
+}
+
+/** Bodies of functions whose unqualified name passes @p pred. */
+std::vector<BodySpan>
+functionBodies(const Tokens &t, bool (*pred)(const std::string &))
+{
+    std::vector<BodySpan> out;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        if (t[i].kind != Token::kIdent || !pred(t[i].text) ||
+            !is(t, i + 1, "(")) {
+            continue;
+        }
+        const std::size_t args_end = matchForward(t, i + 1, "(", ")");
+        if (args_end == t.size()) {
+            continue;
+        }
+        // Skip qualifiers (const, noexcept, override, ...) up to the
+        // body '{'; a ';' or '=' first means declaration, not a
+        // definition.
+        std::size_t j = args_end + 1;
+        while (j < t.size() && t[j].text != "{" && t[j].text != ";" &&
+               t[j].text != "=" && t[j].text != ":") {
+            ++j;
+        }
+        if (j >= t.size() || t[j].text != "{") {
+            continue;
+        }
+        const std::size_t close = matchForward(t, j, "{", "}");
+        if (close == t.size()) {
+            continue;
+        }
+        out.push_back({t[i].text, j, close});
+    }
+    return out;
+}
+
+/** Names declared with an unordered_{map,set,...} type in @p t. */
+std::set<std::string>
+unorderedNames(const Tokens &t)
+{
+    std::set<std::string> names;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        if (t[i].kind != Token::kIdent ||
+            t[i].text.rfind("unordered_", 0) != 0) {
+            continue;
+        }
+        std::size_t j = i + 1;
+        if (is(t, j, "<")) {
+            j = matchForward(t, j, "<", ">");
+            if (j == t.size()) {
+                continue;
+            }
+            ++j;
+        }
+        while (j < t.size() &&
+               (t[j].text == "const" || t[j].text == "&" ||
+                t[j].text == "*")) {
+            ++j;
+        }
+        // Only a name that *directly* follows the closing '>' is the
+        // declared variable; `vector<unordered_map<..>> v` binds v to
+        // the vector (ordered), not to the unordered type.
+        if (j < t.size() && t[j].kind == Token::kIdent) {
+            names.insert(t[j].text);
+        }
+    }
+    return names;
+}
+
+void
+checkUnorderedIteration(const SourceFile &sf,
+                        const std::set<std::string> &unordered,
+                        Linter &lint)
+{
+    if (unordered.empty()) {
+        return;
+    }
+    const Tokens &t = sf.tokens;
+    for (const BodySpan &body :
+         functionBodies(t, &isStateOrStatsFunction)) {
+        for (std::size_t i = body.open; i < body.close; ++i) {
+            if (t[i].kind != Token::kIdent || t[i].text != "for" ||
+                !is(t, i + 1, "(")) {
+                continue;
+            }
+            const std::size_t close = matchForward(t, i + 1, "(", ")");
+            if (close == t.size()) {
+                continue;
+            }
+            // Range-for: a top-level ':' inside the parens.
+            int depth = 0;
+            std::size_t colon = close;
+            for (std::size_t j = i + 2; j < close; ++j) {
+                if (t[j].text == "(" || t[j].text == "<" ||
+                    t[j].text == "[") {
+                    ++depth;
+                } else if (t[j].text == ")" || t[j].text == ">" ||
+                           t[j].text == "]") {
+                    --depth;
+                } else if (t[j].text == ":" && depth == 0) {
+                    colon = j;
+                    break;
+                }
+            }
+            for (std::size_t j = colon + 1; j < close; ++j) {
+                if (t[j].kind == Token::kIdent &&
+                    unordered.count(t[j].text)) {
+                    lint.report(
+                        sf, t[j].line, "det-unordered",
+                        "iterating unordered container '" + t[j].text +
+                            "' inside " + body.name +
+                            "(): bucket order is not deterministic; "
+                            "copy to a vector and sort first");
+                    break;
+                }
+            }
+        }
+    }
+}
+
+// ------------------------------------------------------------------
+// rng-seed
+// ------------------------------------------------------------------
+
+void
+checkRngSeeds(const SourceFile &sf, Linter &lint)
+{
+    const Tokens &t = sf.tokens;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        if (t[i].kind != Token::kIdent) {
+            continue;
+        }
+        const bool ctor = t[i].text == "Rng";
+        const bool split =
+            t[i].text == "forStream" || t[i].text == "streamSeed";
+        if (!ctor && !split) {
+            continue;
+        }
+        // Argument list: `Rng(...)`, `Rng{...}`, or a declaration
+        // `Rng name(...)` / `Rng name{...}`; the split functions are
+        // always plain calls.
+        std::size_t open = i + 1;
+        if (ctor && open < t.size() && t[open].kind == Token::kIdent) {
+            ++open;
+        }
+        const char *oc = is(t, open, "(")   ? "("
+                         : (ctor && is(t, open, "{")) ? "{"
+                                                      : nullptr;
+        if (!oc) {
+            continue;
+        }
+        const char *cc = *oc == '(' ? ")" : "}";
+        const std::size_t close = matchForward(t, open, oc, cc);
+        if (close == t.size() || close == open + 1) {
+            continue; // unmatched or zero arguments
+        }
+        // First top-level argument (the seed / master seed).
+        int depth = 0;
+        std::size_t arg_end = close;
+        for (std::size_t j = open + 1; j < close; ++j) {
+            if (t[j].text == "(" || t[j].text == "[" ||
+                t[j].text == "{") {
+                ++depth;
+            } else if (t[j].text == ")" || t[j].text == "]" ||
+                       t[j].text == "}") {
+                --depth;
+            } else if (t[j].text == "," && depth == 0) {
+                arg_end = j;
+                break;
+            }
+        }
+        bool has_name = false;
+        bool has_literal = false;
+        for (std::size_t j = open + 1; j < arg_end; ++j) {
+            if (t[j].kind == Token::kIdent) {
+                has_name = true;
+            } else if (t[j].kind == Token::kNumber) {
+                has_literal = true;
+            }
+        }
+        if (has_literal && !has_name) {
+            lint.report(sf, t[i].line, "rng-seed",
+                        "'" + t[i].text +
+                            "' seeded with a bare literal: derive the "
+                            "seed from a named constant or "
+                            "Rng::streamSeed(master, stream) so the "
+                            "stream is traceable");
+        }
+    }
+}
+
+// ------------------------------------------------------------------
+// guard
+// ------------------------------------------------------------------
+
+std::string
+expectedGuard(const std::string &rel_path)
+{
+    std::string p = rel_path;
+    if (p.rfind("src/", 0) == 0) {
+        p = p.substr(4);
+    }
+    std::string guard = "MOPAC_";
+    for (char c : p) {
+        if (std::isalnum((unsigned char)c)) {
+            guard += (char)std::toupper((unsigned char)c);
+        } else {
+            guard += '_';
+        }
+    }
+    // "..._HH" ending comes from the extension; normalize .h/.hpp too.
+    if (guard.size() >= 4 && guard.compare(guard.size() - 4, 4, "_HPP") == 0) {
+        guard.replace(guard.size() - 4, 4, "_HH");
+    } else if (guard.size() >= 2 &&
+               guard.compare(guard.size() - 2, 2, "_H") == 0 &&
+               (guard.size() < 3 || guard[guard.size() - 3] != 'H')) {
+        guard += 'H';
+    }
+    return guard;
+}
+
+void
+checkIncludeGuard(const SourceFile &sf, Linter &lint)
+{
+    const fs::path ext = fs::path(sf.rel_path).extension();
+    if (ext != ".hh" && ext != ".h" && ext != ".hpp") {
+        return;
+    }
+    const std::string want = expectedGuard(sf.rel_path);
+    std::istringstream ss(sf.scrubbed);
+    std::string line_text;
+    int line_no = 0;
+    std::optional<int> pragma_line;
+    std::optional<std::pair<int, std::string>> ifndef;
+    std::optional<std::string> define_after;
+    bool expect_define = false;
+    while (std::getline(ss, line_text)) {
+        ++line_no;
+        std::istringstream ls(line_text);
+        std::string a, b;
+        ls >> a >> b;
+        if (expect_define) {
+            expect_define = false;
+            if (a == "#define") {
+                define_after = b;
+            } else if (a == "#" && b == "define") {
+                ls >> define_after.emplace();
+            }
+        }
+        if (a == "#pragma" && b == "once") {
+            pragma_line = line_no;
+        } else if (!ifndef && a == "#ifndef") {
+            ifndef = {line_no, b};
+            expect_define = true;
+        }
+    }
+    if (pragma_line) {
+        lint.report(sf, *pragma_line, "guard",
+                    "#pragma once: this repo uses named include "
+                    "guards (" + want + ")");
+        return;
+    }
+    if (!ifndef) {
+        lint.report(sf, 1, "guard",
+                    "missing include guard " + want);
+        return;
+    }
+    if (ifndef->second != want) {
+        lint.report(sf, ifndef->first, "guard",
+                    "include guard '" + ifndef->second +
+                        "' should be '" + want + "'");
+        return;
+    }
+    if (!define_after || *define_after != want) {
+        lint.report(sf, ifndef->first, "guard",
+                    "#ifndef " + want +
+                        " must be followed by #define " + want);
+    }
+}
+
+// ------------------------------------------------------------------
+// serial-drift
+// ------------------------------------------------------------------
+
+struct ClassInfo
+{
+    std::string name;
+    int line = 0;
+    bool has_save = false;
+    bool has_load = false;
+    std::optional<BodySpan> inline_save;
+    std::optional<BodySpan> inline_load;
+    /** name -> declaration line. */
+    std::vector<std::pair<std::string, int>> members;
+};
+
+/**
+ * Extract classes (with their serializable-member lists and any
+ * inline saveState/loadState bodies) from a token stream.  This is a
+ * heuristic parser tuned to this repo's style: members end in '_',
+ * reference and leading-const members are exempt, nested types are
+ * recursed into independently.
+ */
+void
+collectClasses(const Tokens &t, std::size_t begin, std::size_t end,
+               std::vector<ClassInfo> &out)
+{
+    for (std::size_t i = begin; i < end; ++i) {
+        if (t[i].kind != Token::kIdent ||
+            (t[i].text != "class" && t[i].text != "struct")) {
+            continue;
+        }
+        if (i > 0 && (t[i - 1].text == "enum" ||
+                      t[i - 1].text == "friend" ||
+                      t[i - 1].text == "<" || t[i - 1].text == ",")) {
+            continue; // enum class / friend decl / template param
+        }
+        if (i + 1 >= end || t[i + 1].kind != Token::kIdent) {
+            continue;
+        }
+        ClassInfo cls;
+        cls.name = t[i + 1].text;
+        cls.line = t[i].line;
+        // Find the body '{' (skipping "final" and a base clause); a
+        // ';' first means forward declaration.
+        std::size_t j = i + 2;
+        while (j < end && t[j].text != "{" && t[j].text != ";") {
+            ++j;
+        }
+        if (j >= end || t[j].text != "{") {
+            continue;
+        }
+        const std::size_t body_open = j;
+        const std::size_t body_close = matchForward(t, j, "{", "}");
+        if (body_close == t.size()) {
+            continue;
+        }
+
+        // Walk the class body at depth 1, splitting statements.
+        std::vector<std::size_t> stmt; // token indices
+        std::size_t k = body_open + 1;
+        auto flushMember = [&]() {
+            if (stmt.empty()) {
+                return;
+            }
+            // Strip access specifiers ("public :" etc.).
+            std::size_t s = 0;
+            while (s + 1 < stmt.size() &&
+                   (t[stmt[s]].text == "public" ||
+                    t[stmt[s]].text == "private" ||
+                    t[stmt[s]].text == "protected") &&
+                   t[stmt[s + 1]].text == ":") {
+                s += 2;
+            }
+            if (s >= stmt.size()) {
+                stmt.clear();
+                return;
+            }
+            const std::string &first = t[stmt[s]].text;
+            static const std::set<std::string> kSkipLead = {
+                "static", "using", "typedef", "friend", "template",
+                "const",  "class", "struct", "enum",   "union",
+                "constexpr", "explicit", "virtual", "operator",
+            };
+            bool has_paren = false, has_ref = false;
+            std::size_t name_at = stmt.size();
+            for (std::size_t n = s; n < stmt.size(); ++n) {
+                const Token &tok = t[stmt[n]];
+                if (tok.text == "(") {
+                    has_paren = true;
+                }
+                if (tok.text == "&" || tok.text == "&&") {
+                    has_ref = true;
+                }
+                if (tok.text == "=" || tok.text == "{" ||
+                    tok.text == "[") {
+                    break;
+                }
+                if (tok.kind == Token::kIdent) {
+                    name_at = n;
+                }
+            }
+            if (!kSkipLead.count(first) && !has_paren && !has_ref &&
+                name_at != stmt.size()) {
+                const std::string &name = t[stmt[name_at]].text;
+                if (name.size() > 1 && name.back() == '_') {
+                    cls.members.push_back({name, t[stmt[name_at]].line});
+                }
+            }
+            stmt.clear();
+        };
+        while (k < body_close) {
+            const Token &tok = t[k];
+            if (tok.text == ";") {
+                flushMember();
+                ++k;
+                continue;
+            }
+            if (tok.text == "{") {
+                // Function body, nested type, or member initializer.
+                bool paren_seen = false;
+                std::string fn_name;
+                bool nested_type = false;
+                for (std::size_t n = 0; n < stmt.size(); ++n) {
+                    const Token &st = t[stmt[n]];
+                    if (st.text == "(" && !paren_seen) {
+                        paren_seen = true;
+                        if (n > 0 &&
+                            t[stmt[n - 1]].kind == Token::kIdent) {
+                            fn_name = t[stmt[n - 1]].text;
+                        }
+                    }
+                    if ((st.text == "class" || st.text == "struct" ||
+                         st.text == "enum" || st.text == "union") &&
+                        n == 0) {
+                        nested_type = true;
+                    }
+                }
+                const std::size_t close = matchForward(t, k, "{", "}");
+                if (close == t.size()) {
+                    break;
+                }
+                if (nested_type) {
+                    collectClasses(t, stmt.front(), close + 1, out);
+                    stmt.clear();
+                    k = close + 1;
+                    continue;
+                }
+                if (paren_seen) {
+                    if (fn_name == "saveState") {
+                        cls.has_save = true;
+                        cls.inline_save = BodySpan{fn_name, k, close};
+                    } else if (fn_name == "loadState") {
+                        cls.has_load = true;
+                        cls.inline_load = BodySpan{fn_name, k, close};
+                    }
+                    stmt.clear();
+                    k = close + 1;
+                    continue;
+                }
+                // Brace initializer: absorb it into the statement.
+                stmt.push_back(k);
+                k = close + 1;
+                continue;
+            }
+            if (tok.kind == Token::kIdent &&
+                (tok.text == "saveState" || tok.text == "loadState") &&
+                is(t, k + 1, "(")) {
+                if (tok.text == "saveState") {
+                    cls.has_save = true;
+                } else {
+                    cls.has_load = true;
+                }
+            }
+            stmt.push_back(k);
+            ++k;
+        }
+        flushMember();
+        out.push_back(std::move(cls));
+        // Continue scanning after this class to find siblings; the
+        // recursion above already handled nested types.
+        i = body_close;
+    }
+}
+
+/** Out-of-line body `Class::method(...) {...}` in @p t, if present. */
+std::optional<BodySpan>
+findOutOfLineBody(const Tokens &t, const std::string &cls,
+                  const std::string &method)
+{
+    for (std::size_t i = 0; i + 3 < t.size(); ++i) {
+        if (t[i].kind == Token::kIdent && t[i].text == cls &&
+            is(t, i + 1, "::") && t[i + 2].kind == Token::kIdent &&
+            t[i + 2].text == method && is(t, i + 3, "(")) {
+            const std::size_t args_end = matchForward(t, i + 3, "(", ")");
+            if (args_end == t.size()) {
+                continue;
+            }
+            std::size_t j = args_end + 1;
+            while (j < t.size() && t[j].text != "{" &&
+                   t[j].text != ";") {
+                ++j;
+            }
+            if (j >= t.size() || t[j].text != "{") {
+                continue;
+            }
+            const std::size_t close = matchForward(t, j, "{", "}");
+            if (close == t.size()) {
+                continue;
+            }
+            return BodySpan{method, j, close};
+        }
+    }
+    return std::nullopt;
+}
+
+bool
+spanMentions(const Tokens &t, const BodySpan &span,
+             const std::string &name)
+{
+    for (std::size_t i = span.open; i <= span.close; ++i) {
+        if (t[i].kind == Token::kIdent && t[i].text == name) {
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+checkSerializationDrift(const SourceFile &header,
+                        const SourceFile *impl, Linter &lint)
+{
+    std::vector<ClassInfo> classes;
+    collectClasses(header.tokens, 0, header.tokens.size(), classes);
+    for (const ClassInfo &cls : classes) {
+        if (!cls.has_save || !cls.has_load || cls.members.empty()) {
+            continue;
+        }
+        const Tokens *save_toks = &header.tokens;
+        const Tokens *load_toks = &header.tokens;
+        std::optional<BodySpan> save = cls.inline_save;
+        std::optional<BodySpan> load = cls.inline_load;
+        if (!save) {
+            save = findOutOfLineBody(header.tokens, cls.name, "saveState");
+        }
+        if (!load) {
+            load = findOutOfLineBody(header.tokens, cls.name, "loadState");
+        }
+        if (!save && impl) {
+            save = findOutOfLineBody(impl->tokens, cls.name, "saveState");
+            save_toks = &impl->tokens;
+        }
+        if (!load && impl) {
+            load = findOutOfLineBody(impl->tokens, cls.name, "loadState");
+            load_toks = &impl->tokens;
+        }
+        if (!save || !load) {
+            continue; // pure-virtual interface or separate TU; skip
+        }
+        for (const auto &[name, line] : cls.members) {
+            const bool in_save = spanMentions(*save_toks, *save, name);
+            const bool in_load = spanMentions(*load_toks, *load, name);
+            if (in_save && in_load) {
+                continue;
+            }
+            std::string where;
+            if (!in_save && !in_load) {
+                where = "neither saveState nor loadState";
+            } else if (!in_save) {
+                where = "loadState but not saveState";
+            } else {
+                where = "saveState but not loadState";
+            }
+            lint.report(header, line, "serial-drift",
+                        "member '" + name + "' of " + cls.name +
+                            " appears in " + where +
+                            ": snapshot/restore will silently drop "
+                            "or skew it");
+        }
+    }
+}
+
+// ------------------------------------------------------------------
+// Driver
+// ------------------------------------------------------------------
+
+std::optional<SourceFile>
+loadFile(const fs::path &abs, const fs::path &root)
+{
+    std::ifstream in(abs, std::ios::binary);
+    if (!in) {
+        return std::nullopt;
+    }
+    SourceFile sf;
+    sf.abs_path = abs.string();
+    std::error_code ec;
+    fs::path rel = fs::relative(abs, root, ec);
+    sf.rel_path = (ec || rel.empty() || *rel.begin() == "..")
+                      ? abs.filename().string()
+                      : rel.generic_string();
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    sf.raw = buf.str();
+    scrub(sf);
+    tokenize(sf);
+    return sf;
+}
+
+bool
+lintableExtension(const fs::path &p)
+{
+    const auto ext = p.extension();
+    return ext == ".hh" || ext == ".h" || ext == ".hpp" ||
+           ext == ".cc" || ext == ".cpp";
+}
+
+bool
+skippedDir(const std::string &name)
+{
+    return name == ".git" || name == "fixtures" ||
+           name.rfind("build", 0) == 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    fs::path root = fs::current_path();
+    std::vector<fs::path> inputs;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--root" && i + 1 < argc) {
+            root = fs::absolute(argv[++i]);
+        } else if (arg == "--list-checks") {
+            for (const char *c : kAllChecks) {
+                std::puts(c);
+            }
+            return 0;
+        } else if (arg == "--help" || arg == "-h") {
+            std::puts("usage: mopac_lint [--root DIR] [--list-checks] "
+                      "PATH...");
+            return 0;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr, "mopac_lint: unknown option %s\n",
+                         arg.c_str());
+            return 2;
+        } else {
+            inputs.push_back(fs::path(arg));
+        }
+    }
+    if (inputs.empty()) {
+        std::fprintf(stderr,
+                     "mopac_lint: no paths given (try --help)\n");
+        return 2;
+    }
+
+    std::vector<fs::path> files;
+    for (const fs::path &in : inputs) {
+        fs::path p = in.is_absolute() ? in : root / in;
+        std::error_code ec;
+        if (fs::is_directory(p, ec)) {
+            fs::recursive_directory_iterator it(
+                p, fs::directory_options::skip_permission_denied, ec);
+            if (ec) {
+                std::fprintf(stderr, "mopac_lint: cannot scan %s\n",
+                             p.string().c_str());
+                return 2;
+            }
+            for (auto end = fs::end(it); it != end;
+                 it.increment(ec)) {
+                if (ec) {
+                    break;
+                }
+                if (it->is_directory() &&
+                    skippedDir(it->path().filename().string())) {
+                    it.disable_recursion_pending();
+                    continue;
+                }
+                if (it->is_regular_file() &&
+                    lintableExtension(it->path())) {
+                    files.push_back(it->path());
+                }
+            }
+        } else if (fs::is_regular_file(p, ec)) {
+            files.push_back(p);
+        } else {
+            std::fprintf(stderr, "mopac_lint: no such path: %s\n",
+                         p.string().c_str());
+            return 2;
+        }
+    }
+    std::sort(files.begin(), files.end());
+    files.erase(std::unique(files.begin(), files.end()), files.end());
+
+    // Load everything up front; headers need their paired .cc for the
+    // drift check even when only the header was requested.
+    std::map<std::string, SourceFile> loaded;
+    for (const fs::path &f : files) {
+        auto sf = loadFile(f, root);
+        if (!sf) {
+            std::fprintf(stderr, "mopac_lint: cannot read %s\n",
+                         f.string().c_str());
+            return 2;
+        }
+        loaded.emplace(f.string(), std::move(*sf));
+    }
+    auto pairedImpl = [&](const fs::path &header) -> const SourceFile * {
+        fs::path cc = header;
+        cc.replace_extension(".cc");
+        auto it = loaded.find(cc.string());
+        if (it != loaded.end()) {
+            return &it->second;
+        }
+        std::error_code ec;
+        if (fs::is_regular_file(cc, ec)) {
+            auto sf = loadFile(cc, root);
+            if (sf) {
+                return &loaded.emplace(cc.string(), std::move(*sf))
+                            .first->second;
+            }
+        }
+        return nullptr;
+    };
+
+    Linter lint;
+    for (const fs::path &f : files) {
+        SourceFile &sf = loaded.at(f.string());
+        checkBannedCalls(sf, lint);
+        checkClockNow(sf, lint);
+        checkStdRandomEngines(sf, lint);
+        checkPointerKeys(sf, lint);
+        checkRngSeeds(sf, lint);
+        checkIncludeGuard(sf, lint);
+
+        const auto ext = f.extension();
+        const SourceFile *impl = nullptr;
+        if (ext == ".hh" || ext == ".h" || ext == ".hpp") {
+            impl = pairedImpl(f);
+            checkSerializationDrift(sf, impl, lint);
+        }
+        // det-unordered sees names declared in the file plus, for a
+        // .cc, names from its own header (members iterated in
+        // out-of-line definitions).
+        std::set<std::string> unordered = unorderedNames(sf.tokens);
+        if (ext == ".cc" || ext == ".cpp") {
+            fs::path hh = f;
+            hh.replace_extension(".hh");
+            auto it = loaded.find(hh.string());
+            const SourceFile *hdr = nullptr;
+            if (it != loaded.end()) {
+                hdr = &it->second;
+            } else {
+                std::error_code ec;
+                if (fs::is_regular_file(hh, ec)) {
+                    auto h = loadFile(hh, root);
+                    if (h) {
+                        hdr = &loaded.emplace(hh.string(),
+                                              std::move(*h))
+                                   .first->second;
+                    }
+                }
+            }
+            if (hdr) {
+                for (const std::string &n :
+                     unorderedNames(hdr->tokens)) {
+                    unordered.insert(n);
+                }
+            }
+        }
+        checkUnorderedIteration(sf, unordered, lint);
+    }
+
+    std::sort(lint.findings.begin(), lint.findings.end(),
+              [](const Finding &a, const Finding &b) {
+                  return std::tie(a.path, a.line, a.check) <
+                         std::tie(b.path, b.line, b.check);
+              });
+    for (const Finding &f : lint.findings) {
+        std::printf("%s:%d: %s: %s\n", f.path.c_str(), f.line,
+                    f.check.c_str(), f.message.c_str());
+    }
+    std::fprintf(stderr, "mopac-lint: %zu finding(s) in %zu file(s)\n",
+                 lint.findings.size(), loaded.size());
+    return lint.findings.empty() ? 0 : 1;
+}
