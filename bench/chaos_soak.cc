@@ -143,6 +143,13 @@ quarantineSweep(bool smoke, const BenchOptions &opts)
     clean.warmup_insts = insts / 10;
     add("clean", clean, "mcf");
 
+    // ...the same control on the legacy tick engine, so the chaos
+    // harness exercises both run loops (and the sweep's merged stats
+    // stay engine-independent)...
+    SystemConfig clean_tick = clean;
+    clean_tick.engine = SimEngine::kTick;
+    add("clean-tick", clean_tick, "mcf");
+
     // ...a survivable fault plan (dropped ALERTs at modest rate)...
     SystemConfig degraded = clean;
     degraded.faults = FaultPlan::single(FaultKind::kAlertDrop, 0.25);

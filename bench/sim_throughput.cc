@@ -4,15 +4,46 @@
  * throughput of the end-to-end system loop, the attack harness, and
  * the hot analytic kernels.  Not a paper exhibit -- this guards the
  * simulator's own performance.
+ *
+ * Beyond the google-benchmark suite, two custom modes record and gate
+ * the simulator's performance trajectory (BENCH_throughput.json):
+ *
+ *   --emit-trajectory[=PATH]
+ *       Measure host throughput (simulated cycles/sec, insts/sec) of
+ *       both run-loop engines over every mitigation kind plus an
+ *       idle-heavy single-core pointer chase, and write the JSON
+ *       trajectory (default: BENCH_throughput.json in the cwd).
+ *
+ *   --check-trajectory PATH [--tolerance F]
+ *       Re-measure the same matrix and compare the event/tick speedup
+ *       of every point against the committed baseline: each measured
+ *       speedup must reach F (default 0.5) of the baseline's, and the
+ *       idle-heavy point must stay at or above 5x regardless of the
+ *       baseline.  Speedups are ratios of two runs on the same host,
+ *       so the gate is insensitive to absolute machine speed.
+ *
+ * Both modes also require the two engines to report identical
+ * simulated cycle counts -- a free end-to-end differential check.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
 #include "analysis/binomial.hh"
 #include "analysis/security.hh"
+#include "common/wallclock.hh"
 #include "mitigation/mint_sampler.hh"
 #include "sim/attack.hh"
 #include "sim/experiment.hh"
+#include "workload/synth.hh"
 
 namespace
 {
@@ -99,6 +130,333 @@ BM_DeriveParameters(benchmark::State &state)
 }
 BENCHMARK(BM_DeriveParameters);
 
+// ------------------------------------------------------------------
+// Perf-trajectory modes (BENCH_throughput.json)
+// ------------------------------------------------------------------
+
+/** One engine's measurement of one trajectory point. */
+struct EngineSample
+{
+    std::uint64_t sim_cycles = 0;
+    std::uint64_t insts = 0;
+    double wall_seconds = 0.0;
+
+    double simCyclesPerSec() const
+    {
+        return static_cast<double>(sim_cycles) / wall_seconds;
+    }
+
+    double instsPerSec() const
+    {
+        return static_cast<double>(insts) / wall_seconds;
+    }
+};
+
+/** Both engines on one (workload, mitigation) cell. */
+struct TrajectoryPoint
+{
+    std::string name;
+    EngineSample tick;
+    EngineSample event;
+
+    double eventSpeedup() const
+    {
+        return tick.wall_seconds / event.wall_seconds;
+    }
+};
+
+/** The idle-heavy cell the >= 5x floor applies to. */
+constexpr const char *kIdlePointName = "idle_pchase/none";
+constexpr double kIdleSpeedupFloor = 5.0;
+
+/**
+ * Dependent single-core pointer chase: every instruction is a read
+ * that consumes the previous one, with no same-row reuse, so the core
+ * spends ~99% of cycles stalled on a row-conflict miss.  This is the
+ * engine gap's best case: the tick loop burns one iteration per stall
+ * cycle while the event loop jumps straight to the read completion.
+ */
+WorkloadSpec
+idleHeavySpec()
+{
+    WorkloadSpec spec;
+    spec.name = "idle_pchase";
+    spec.mpki = 1000.0;
+    spec.write_frac = 0.0;
+    spec.dep_frac = 1.0;
+    spec.burst_len = 1.0;
+    spec.cluster = 1.0;
+    spec.footprint_rows = 512;
+    return spec;
+}
+
+/** Run one engine over @p traces and time System::run() alone. */
+EngineSample
+measureRun(const SystemConfig &cfg,
+           const std::vector<TraceSource *> &traces)
+{
+    System system(cfg, traces);
+    const wallclock::TimePoint t0 = wallclock::now();
+    const RunResult r = system.run();
+    EngineSample s;
+    s.wall_seconds = wallclock::secondsSince(t0);
+    s.sim_cycles = r.cycles;
+    s.insts = static_cast<std::uint64_t>(cfg.insts_per_core +
+                                         cfg.warmup_insts) *
+              cfg.num_cores;
+    return s;
+}
+
+EngineSample
+measureWorkload(SystemConfig cfg, SimEngine engine,
+                const std::string &workload)
+{
+    cfg.engine = engine;
+    const AddressMap map(cfg.geometry);
+    auto owned =
+        makeWorkloadTraces(workload, map, cfg.num_cores, cfg.seed);
+    std::vector<TraceSource *> traces;
+    traces.reserve(owned.size());
+    for (auto &t : owned) {
+        traces.push_back(t.get());
+    }
+    return measureRun(cfg, traces);
+}
+
+EngineSample
+measureIdleHeavy(SystemConfig cfg, SimEngine engine)
+{
+    cfg.engine = engine;
+    const AddressMap map(cfg.geometry);
+    auto src = makeTraceSource(idleHeavySpec(), map, 0, 1, cfg.seed);
+    const std::vector<TraceSource *> traces{src.get()};
+    return measureRun(cfg, traces);
+}
+
+/**
+ * Measure the full matrix: mcf under every mitigation kind, plus the
+ * idle-heavy pointer chase.  @return false if the engines disagreed
+ * on any simulated cycle count.
+ */
+bool
+measureTrajectory(std::vector<TrajectoryPoint> &points)
+{
+    bool identical = true;
+    const auto record = [&](TrajectoryPoint p) {
+        if (p.tick.sim_cycles != p.event.sim_cycles) {
+            std::fprintf(stderr,
+                         "FAIL %s: engines disagree on simulated "
+                         "cycles (tick %llu, event %llu)\n",
+                         p.name.c_str(),
+                         static_cast<unsigned long long>(
+                             p.tick.sim_cycles),
+                         static_cast<unsigned long long>(
+                             p.event.sim_cycles));
+            identical = false;
+        }
+        std::fprintf(stderr,
+                     "  %-22s tick %8.3fs  event %8.3fs  "
+                     "speedup %5.2fx\n",
+                     p.name.c_str(), p.tick.wall_seconds,
+                     p.event.wall_seconds, p.eventSpeedup());
+        points.push_back(std::move(p));
+    };
+
+    for (const MitigationKind kind :
+         {MitigationKind::kNone, MitigationKind::kPracMoat,
+          MitigationKind::kMopacC, MitigationKind::kMopacD,
+          MitigationKind::kMint, MitigationKind::kPride,
+          MitigationKind::kTrr, MitigationKind::kPara,
+          MitigationKind::kGraphene, MitigationKind::kQprac}) {
+        SystemConfig cfg = makeConfig(kind, 500);
+        cfg.insts_per_core = 50000;
+        cfg.warmup_insts = 5000;
+        TrajectoryPoint p;
+        p.name = std::string("mcf/") + toString(kind);
+        p.tick = measureWorkload(cfg, SimEngine::kTick, "mcf");
+        p.event = measureWorkload(cfg, SimEngine::kEvent, "mcf");
+        record(std::move(p));
+    }
+
+    {
+        SystemConfig cfg = makeConfig(MitigationKind::kNone, 500);
+        cfg.num_cores = 1;
+        cfg.insts_per_core = 50000;
+        cfg.warmup_insts = 5000;
+        TrajectoryPoint p;
+        p.name = kIdlePointName;
+        p.tick = measureIdleHeavy(cfg, SimEngine::kTick);
+        p.event = measureIdleHeavy(cfg, SimEngine::kEvent);
+        record(std::move(p));
+    }
+    return identical;
+}
+
+void
+appendSample(std::ostringstream &out, const char *key,
+             const EngineSample &s)
+{
+    out << "      \"" << key << "\": {\"sim_cycles\": " << s.sim_cycles
+        << ", \"insts\": " << s.insts << ", \"wall_seconds\": "
+        << s.wall_seconds << ", \"sim_cycles_per_sec\": "
+        << s.simCyclesPerSec() << ", \"insts_per_sec\": "
+        << s.instsPerSec() << "}";
+}
+
+std::string
+trajectoryJson(const std::vector<TrajectoryPoint> &points)
+{
+    std::ostringstream out;
+    out.precision(6);
+    out << "{\n"
+        << "  \"schema\": \"mopac-bench-throughput-v1\",\n"
+        << "  \"note\": \"host throughput of both run-loop engines; "
+           "regenerate with sim_throughput --emit-trajectory "
+           "(EXPERIMENTS.md)\",\n"
+        << "  \"points\": [\n";
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const TrajectoryPoint &p = points[i];
+        out << "    {\n      \"name\": \"" << p.name << "\",\n";
+        appendSample(out, "tick", p.tick);
+        out << ",\n";
+        appendSample(out, "event", p.event);
+        out << ",\n      \"event_speedup\": " << p.eventSpeedup()
+            << "\n    }" << (i + 1 < points.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    return out.str();
+}
+
+/**
+ * Pull the (name, event_speedup) pairs back out of a trajectory file.
+ * The format is the fixed shape this binary writes, so a targeted
+ * scan beats carrying a JSON parser dependency.
+ */
+std::map<std::string, double>
+readBaselineSpeedups(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "cannot open baseline %s\n",
+                     path.c_str());
+        std::exit(2);
+    }
+    std::stringstream buf;
+    buf << in.rdbuf();
+    const std::string text = buf.str();
+
+    std::map<std::string, double> speedups;
+    const std::string name_key = "\"name\": \"";
+    const std::string ratio_key = "\"event_speedup\": ";
+    std::size_t pos = 0;
+    while ((pos = text.find(name_key, pos)) != std::string::npos) {
+        pos += name_key.size();
+        const std::size_t name_end = text.find('"', pos);
+        const std::string name = text.substr(pos, name_end - pos);
+        const std::size_t rpos = text.find(ratio_key, name_end);
+        if (rpos == std::string::npos) {
+            break;
+        }
+        speedups[name] =
+            std::strtod(text.c_str() + rpos + ratio_key.size(),
+                        nullptr);
+        pos = name_end;
+    }
+    if (speedups.empty()) {
+        std::fprintf(stderr, "no trajectory points in %s\n",
+                     path.c_str());
+        std::exit(2);
+    }
+    return speedups;
+}
+
+int
+emitTrajectory(const std::string &path)
+{
+    std::vector<TrajectoryPoint> points;
+    const bool identical = measureTrajectory(points);
+    std::ofstream out(path);
+    out << trajectoryJson(points);
+    if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        return 2;
+    }
+    std::fprintf(stderr, "wrote %zu points to %s\n", points.size(),
+                 path.c_str());
+    return identical ? 0 : 1;
+}
+
+int
+checkTrajectory(const std::string &baseline_path, double tolerance)
+{
+    const std::map<std::string, double> baseline =
+        readBaselineSpeedups(baseline_path);
+    std::vector<TrajectoryPoint> points;
+    bool ok = measureTrajectory(points);
+
+    for (const TrajectoryPoint &p : points) {
+        const double speedup = p.eventSpeedup();
+        const auto it = baseline.find(p.name);
+        if (it != baseline.end() &&
+            speedup < it->second * tolerance) {
+            std::fprintf(stderr,
+                         "FAIL %s: event speedup %.2fx fell below "
+                         "%.2f x baseline %.2fx\n",
+                         p.name.c_str(), speedup, tolerance,
+                         it->second);
+            ok = false;
+        }
+        if (p.name == kIdlePointName &&
+            speedup < kIdleSpeedupFloor) {
+            std::fprintf(stderr,
+                         "FAIL %s: event speedup %.2fx below the "
+                         "%.1fx floor\n",
+                         p.name.c_str(), speedup, kIdleSpeedupFloor);
+            ok = false;
+        }
+    }
+    std::fprintf(stderr, "trajectory check: %s\n",
+                 ok ? "PASS" : "FAIL");
+    return ok ? 0 : 1;
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    std::string emit_path;
+    std::string check_path;
+    bool emit = false;
+    bool check = false;
+    double tolerance = 0.5;
+    const std::string emit_flag = "--emit-trajectory";
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == emit_flag) {
+            emit = true;
+            emit_path = "BENCH_throughput.json";
+        } else if (arg.rfind(emit_flag + "=", 0) == 0) {
+            emit = true;
+            emit_path = arg.substr(emit_flag.size() + 1);
+        } else if (arg == "--check-trajectory" && i + 1 < argc) {
+            check = true;
+            check_path = argv[++i];
+        } else if (arg == "--tolerance" && i + 1 < argc) {
+            tolerance = std::strtod(argv[++i], nullptr);
+        }
+    }
+    if (emit) {
+        return emitTrajectory(emit_path);
+    }
+    if (check) {
+        return checkTrajectory(check_path, tolerance);
+    }
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+        return 1;
+    }
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -6,6 +6,7 @@
 #include "core.hh"
 
 #include <algorithm>
+#include <tuple>
 
 #include "common/log.hh"
 #include "common/serialize.hh"
@@ -23,9 +24,22 @@ Core::Core(unsigned id, const CoreParams &params, TraceSource *trace,
     MOPAC_ASSERT(params_.mshrs > 0);
 }
 
-void
+bool
 Core::tick(Cycle now)
 {
+    // Progress signature: every state transition tick() can make
+    // moves at least one of these scalars (ops_ flags only flip
+    // together with a counter -- a refused read trySend still burns a
+    // req id, a refused write changes nothing).  Comparing it before
+    // and after is how the event engine proves a cycle was a no-op.
+    const auto signature = [this] {
+        return std::tuple(fetch_inst_, retire_inst_, gap_left_,
+                          record_pending_, ops_.size(),
+                          outstanding_reads_, next_req_id_,
+                          issued_writes_);
+    };
+    const auto before = signature();
+
     // Release MSHRs whose data has arrived.
     for (MemOp &op : ops_) {
         if (op.mshr_held && op.done && now >= op.done_at) {
@@ -43,6 +57,19 @@ Core::tick(Cycle now)
         finish_cycle_ = now;
         finish_insts_ = retire_inst_;
     }
+    return signature() != before;
+}
+
+Cycle
+Core::nextSelfEventAt(Cycle now) const
+{
+    Cycle next = kNeverCycle;
+    for (const MemOp &op : ops_) {
+        if (op.done && op.done_at > now) {
+            next = std::min(next, op.done_at);
+        }
+    }
+    return next;
 }
 
 void

@@ -67,8 +67,28 @@ class Core
     Core(unsigned id, const CoreParams &params, TraceSource *trace,
          std::uint64_t target_insts, RequestSink *sink);
 
-    /** Advance one cycle. */
-    void tick(Cycle now);
+    /**
+     * Advance one cycle.
+     *
+     * @return true when any architectural state changed this cycle
+     *         (fetch, retire, issue, MSHR release, even a req-id draw
+     *         for a refused read).  A false return certifies the tick
+     *         was a no-op, so the event engine may skip this core
+     *         until nextSelfEventAt() or an external wakeup.
+     */
+    bool tick(Cycle now);
+
+    /**
+     * Next-event contract: the earliest cycle after @p now at which
+     * this core can change state *on its own* -- the nearest pending
+     * completion (done_at) of an already-answered read.  External
+     * wakeups (a completion callback, queue space freeing) arrive only
+     * during controller-active cycles, which the controller's own
+     * next-event reports; the run loop re-ticks every core at every
+     * simulated cycle, so those are covered.  kNeverCycle when the
+     * core has no pending completion.
+     */
+    Cycle nextSelfEventAt(Cycle now) const;
 
     /** A read issued by this core completed (data at @p done_cycle). */
     void onReadComplete(std::uint64_t req_id, Cycle done_cycle);

@@ -7,6 +7,7 @@
 #ifndef MOPAC_CORE_CPU_HH
 #define MOPAC_CORE_CPU_HH
 
+#include <algorithm>
 #include <memory>
 #include <vector>
 
@@ -30,13 +31,33 @@ class Cpu : public MemClient
         const std::vector<TraceSource *> &traces,
         std::uint64_t target_insts, RequestSink *sink);
 
-    /** Advance every core one cycle. */
-    void
+    /**
+     * Advance every core one cycle.
+     * @return true when any core changed state (see Core::tick()).
+     */
+    bool
     tick(Cycle now)
     {
+        bool active = false;
         for (auto &core : cores_) {
-            core->tick(now);
+            // No short-circuit: every core ticks every cycle.
+            active |= core->tick(now);
         }
+        return active;
+    }
+
+    /**
+     * Next-event contract: earliest self-wakeup across all cores
+     * (kNeverCycle when no core has a pending completion).
+     */
+    Cycle
+    nextSelfEventAt(Cycle now) const
+    {
+        Cycle next = kNeverCycle;
+        for (const auto &core : cores_) {
+            next = std::min(next, core->nextSelfEventAt(now));
+        }
+        return next;
     }
 
     /** All cores reached their instruction target? */

@@ -1,6 +1,6 @@
 /**
  * @file
- * BankTiming implementation.
+ * BankArray implementation.
  */
 
 #include "bank.hh"
@@ -13,111 +13,148 @@
 namespace mopac
 {
 
-BankTiming::BankTiming(const TimingSet *normal, const TimingSet *cu)
-    : normal_(normal), cu_(cu)
+BankArray::BankArray(const TimingSet *normal, const TimingSet *cu,
+                     unsigned count)
+    : normal_(normal)
 {
-    MOPAC_ASSERT(normal_ != nullptr && cu_ != nullptr);
-}
-
-Cycle
-BankTiming::preReadyAt(bool counter_update) const
-{
-    const TimingSet *ts = counter_update ? cu_ : normal_;
-    return std::max(last_act_ + ts->tRAS, pre_cas_constraint_);
+    MOPAC_ASSERT(normal != nullptr && cu != nullptr);
+    MOPAC_ASSERT(count > 0 && count <= kMaxBanks);
+    tras_by_cu_[0] = normal->tRAS;
+    tras_by_cu_[1] = cu->tRAS;
+    trp_by_cu_[0] = normal->tRP;
+    trp_by_cu_[1] = cu->tRP;
+    open_row_.assign(count, kInvalid32);
+    open_since_.assign(count, 0);
+    last_cas_.assign(count, 0);
+    act_ready_.assign(count, 0);
+    cas_ready_.assign(count, 0);
+    pre_cas_constraint_.assign(count, 0);
+    last_act_.assign(count, 0);
 }
 
 void
-BankTiming::act(Cycle now, std::uint32_t row)
+BankArray::act(unsigned b, Cycle now, std::uint32_t row)
 {
-    if (hasOpenRow()) {
-        panic("ACT to bank with open row {} at cycle {}", open_row_, now);
+    if (hasOpenRow(b)) {
+        panic("ACT to bank with open row {} at cycle {}", open_row_[b],
+              now);
     }
-    if (now < act_ready_) {
-        panic("ACT at cycle {} violates act_ready {}", now, act_ready_);
+    if (now < act_ready_[b]) {
+        panic("ACT at cycle {} violates act_ready {}", now,
+              act_ready_[b]);
     }
-    open_row_ = row;
-    open_since_ = now;
-    last_act_ = now;
-    last_cas_ = now;
-    cas_ready_ = now + normal_->tRCD;
-    pre_cas_constraint_ = now;
+    open_row_[b] = row;
+    open_since_[b] = now;
+    last_act_[b] = now;
+    last_cas_[b] = now;
+    cas_ready_[b] = now + normal_->tRCD;
+    pre_cas_constraint_[b] = now;
+    open_mask_ |= std::uint64_t{1} << b;
 }
 
 Cycle
-BankTiming::read(Cycle now)
+BankArray::read(unsigned b, Cycle now)
 {
-    if (!hasOpenRow()) {
+    if (!hasOpenRow(b)) {
         panic("RD to closed bank at cycle {}", now);
     }
-    if (now < cas_ready_) {
-        panic("RD at cycle {} violates cas_ready {}", now, cas_ready_);
+    if (now < cas_ready_[b]) {
+        panic("RD at cycle {} violates cas_ready {}", now,
+              cas_ready_[b]);
     }
-    last_cas_ = now;
-    pre_cas_constraint_ =
-        std::max(pre_cas_constraint_, now + normal_->tRTP);
+    last_cas_[b] = now;
+    pre_cas_constraint_[b] =
+        std::max(pre_cas_constraint_[b], now + normal_->tRTP);
     return now + normal_->tCL + normal_->tBL;
 }
 
 Cycle
-BankTiming::write(Cycle now)
+BankArray::write(unsigned b, Cycle now)
 {
-    if (!hasOpenRow()) {
+    if (!hasOpenRow(b)) {
         panic("WR to closed bank at cycle {}", now);
     }
-    if (now < cas_ready_) {
-        panic("WR at cycle {} violates cas_ready {}", now, cas_ready_);
+    if (now < cas_ready_[b]) {
+        panic("WR at cycle {} violates cas_ready {}", now,
+              cas_ready_[b]);
     }
-    last_cas_ = now;
+    last_cas_[b] = now;
     const Cycle burst_end = now + normal_->tCWL + normal_->tBL;
-    pre_cas_constraint_ =
-        std::max(pre_cas_constraint_, burst_end + normal_->tWR);
+    pre_cas_constraint_[b] =
+        std::max(pre_cas_constraint_[b], burst_end + normal_->tWR);
     return burst_end;
 }
 
 void
-BankTiming::pre(Cycle now, bool counter_update)
+BankArray::pre(unsigned b, Cycle now, bool counter_update)
 {
-    if (!hasOpenRow()) {
+    if (!hasOpenRow(b)) {
         panic("PRE to closed bank at cycle {}", now);
     }
-    if (now < preReadyAt(counter_update)) {
+    if (now < preReadyAt(b, counter_update)) {
         panic("PRE at cycle {} violates pre_ready {}", now,
-              preReadyAt(counter_update));
+              preReadyAt(b, counter_update));
     }
-    const TimingSet *ts = counter_update ? cu_ : normal_;
-    open_row_ = kInvalid32;
-    act_ready_ = std::max(act_ready_, now + ts->tRP);
+    open_row_[b] = kInvalid32;
+    act_ready_[b] =
+        std::max(act_ready_[b],
+                 now + trp_by_cu_[counter_update ? 1 : 0]);
+    open_mask_ &= ~(std::uint64_t{1} << b);
 }
 
 void
-BankTiming::blockUntil(Cycle until)
+BankArray::blockUntil(unsigned b, Cycle until)
 {
-    MOPAC_ASSERT(!hasOpenRow());
-    act_ready_ = std::max(act_ready_, until);
+    MOPAC_ASSERT(!hasOpenRow(b));
+    act_ready_[b] = std::max(act_ready_[b], until);
 }
 
 void
-BankTiming::saveState(Serializer &ser) const
+BankArray::blockAllUntil(Cycle until)
 {
-    ser.putU32(open_row_);
-    ser.putU64(open_since_);
-    ser.putU64(last_cas_);
-    ser.putU64(act_ready_);
-    ser.putU64(cas_ready_);
-    ser.putU64(pre_cas_constraint_);
-    ser.putU64(last_act_);
+    MOPAC_ASSERT(!anyOpen());
+    for (Cycle &ready : act_ready_) {
+        ready = std::max(ready, until);
+    }
 }
 
 void
-BankTiming::loadState(Deserializer &des)
+BankArray::saveState(Serializer &ser) const
 {
-    open_row_ = des.getU32();
-    open_since_ = des.getU64();
-    last_cas_ = des.getU64();
-    act_ready_ = des.getU64();
-    cas_ready_ = des.getU64();
-    pre_cas_constraint_ = des.getU64();
-    last_act_ = des.getU64();
+    // Byte-compatible with the former per-bank object layout: a bank
+    // count, then the seven fields of each bank in turn.
+    ser.putU32(size());
+    for (unsigned b = 0; b < size(); ++b) {
+        ser.putU32(open_row_[b]);
+        ser.putU64(open_since_[b]);
+        ser.putU64(last_cas_[b]);
+        ser.putU64(act_ready_[b]);
+        ser.putU64(cas_ready_[b]);
+        ser.putU64(pre_cas_constraint_[b]);
+        ser.putU64(last_act_[b]);
+    }
+}
+
+void
+BankArray::loadState(Deserializer &des)
+{
+    const std::uint32_t nbanks = des.getU32();
+    if (nbanks != size()) {
+        throw SerializeError("sub-channel bank count mismatch");
+    }
+    open_mask_ = 0;
+    for (unsigned b = 0; b < size(); ++b) {
+        open_row_[b] = des.getU32();
+        open_since_[b] = des.getU64();
+        last_cas_[b] = des.getU64();
+        act_ready_[b] = des.getU64();
+        cas_ready_[b] = des.getU64();
+        pre_cas_constraint_[b] = des.getU64();
+        last_act_[b] = des.getU64();
+        if (open_row_[b] != kInvalid32) {
+            open_mask_ |= std::uint64_t{1} << b;
+        }
+    }
 }
 
 } // namespace mopac

@@ -18,14 +18,11 @@ namespace mopac
 SubChannel::SubChannel(const Geometry &geo, const TimingSet *normal,
                        const TimingSet *cu, std::uint32_t trh)
     : geo_(geo), normal_(normal), cu_(cu),
+      banks_(normal, cu, geo.banks_per_subchannel),
       checker_(geo.banks_per_subchannel, geo.rows_per_bank, geo.chips,
                trh)
 {
     geo_.check();
-    banks_.reserve(geo_.banks_per_subchannel);
-    for (unsigned i = 0; i < geo_.banks_per_subchannel; ++i) {
-        banks_.emplace_back(normal_, cu_);
-    }
     faw_window_.fill(0);
 }
 
@@ -80,7 +77,7 @@ SubChannel::cmdAct(Cycle now, unsigned bank, std::uint32_t row)
     }
     now_ = now;
     record(DramCommand::kAct, bank, row, now);
-    banks_[bank].act(now, row);
+    banks_.act(bank, now, row);
     last_act_ = now;
     ++act_count_;
     faw_window_[faw_idx_] = now;
@@ -103,7 +100,7 @@ Cycle
 SubChannel::cmdRead(Cycle now, unsigned bank)
 {
     now_ = now;
-    const Cycle done = banks_[bank].read(now);
+    const Cycle done = banks_.read(bank, now);
     MOPAC_ASSERT(now + normal_->tCL >= bus_free_at_);
     bus_free_at_ = done;
     ++stats_.reads;
@@ -114,7 +111,7 @@ Cycle
 SubChannel::cmdWrite(Cycle now, unsigned bank)
 {
     now_ = now;
-    const Cycle done = banks_[bank].write(now);
+    const Cycle done = banks_.write(bank, now);
     MOPAC_ASSERT(now + normal_->tCWL >= bus_free_at_);
     bus_free_at_ = done;
     ++stats_.writes;
@@ -126,9 +123,8 @@ SubChannel::cmdPre(Cycle now, unsigned bank, bool counter_update)
 {
     MOPAC_ASSERT(engine_ != nullptr);
     now_ = now;
-    BankTiming &b = banks_[bank];
-    const std::uint32_t row = b.openRow();
-    const Cycle open_cycles = now - b.openSince();
+    const std::uint32_t row = banks_.openRow(bank);
+    const Cycle open_cycles = now - banks_.openSince(bank);
     record(counter_update ? DramCommand::kPreCu : DramCommand::kPre,
            bank, row, now);
     if (faults_ != nullptr && faults_->stickBankOpen(bank, now)) {
@@ -137,7 +133,7 @@ SubChannel::cmdPre(Cycle now, unsigned bank, bool counter_update)
         // until the stuck window passes.
         return;
     }
-    b.pre(now, counter_update);
+    banks_.pre(bank, now, counter_update);
     ++stats_.pres;
     if (counter_update) {
         ++stats_.precus;
@@ -149,10 +145,8 @@ SubChannel::cmdPre(Cycle now, unsigned bank, bool counter_update)
 void
 SubChannel::assertAllClosed(const char *what) const
 {
-    for (const auto &b : banks_) {
-        if (b.hasOpenRow()) {
-            panic("{} issued with open row in sub-channel", what);
-        }
+    if (banks_.anyOpen()) {
+        panic("{} issued with open row in sub-channel", what);
     }
 }
 
@@ -163,9 +157,7 @@ SubChannel::cmdRef(Cycle now)
     now_ = now;
     record(DramCommand::kRef, 0, 0, now);
     assertAllClosed("REF");
-    for (auto &b : banks_) {
-        b.blockUntil(now + normal_->tRFC);
-    }
+    banks_.blockAllUntil(now + normal_->tRFC);
     ++stats_.refs;
 
     const std::uint32_t span = geo_.rowsPerRef();
@@ -186,9 +178,7 @@ SubChannel::cmdRfm(Cycle now)
     now_ = now;
     record(DramCommand::kRfm, 0, 0, now);
     assertAllClosed("RFM");
-    for (auto &b : banks_) {
-        b.blockUntil(now + normal_->tRFM);
-    }
+    banks_.blockAllUntil(now + normal_->tRFM);
     ++stats_.rfms;
 
     engine_->onRfm(now);
@@ -266,10 +256,9 @@ SubChannel::commandTail(unsigned k) const
 void
 SubChannel::saveState(Serializer &ser) const
 {
-    ser.putU32(static_cast<std::uint32_t>(banks_.size()));
-    for (const BankTiming &bank : banks_) {
-        bank.saveState(ser);
-    }
+    // BankArray writes the same bytes the per-bank objects used to
+    // (leading count, then each bank's seven fields).
+    banks_.saveState(ser);
     checker_.saveState(ser);
 
     ser.putU64(last_act_);
@@ -309,13 +298,7 @@ SubChannel::saveState(Serializer &ser) const
 void
 SubChannel::loadState(Deserializer &des)
 {
-    const std::uint32_t nbanks = des.getU32();
-    if (nbanks != banks_.size()) {
-        throw SerializeError("sub-channel bank count mismatch");
-    }
-    for (BankTiming &bank : banks_) {
-        bank.loadState(des);
-    }
+    banks_.loadState(des);
     checker_.loadState(des);
 
     last_act_ = des.getU64();

@@ -76,9 +76,9 @@ class SubChannel : public DramBackend
      */
     void setFaults(FaultInjector *faults) { faults_ = faults; }
 
-    BankTiming &bank(unsigned i) { return banks_[i]; }
-    const BankTiming &bank(unsigned i) const { return banks_[i]; }
-    unsigned numBanks() const { return static_cast<unsigned>(banks_.size()); }
+    BankArray &banks() { return banks_; }
+    const BankArray &banks() const { return banks_; }
+    unsigned numBanks() const { return banks_.size(); }
 
     /** Earliest ACT issue cycle from sub-channel constraints. */
     Cycle actAllowedAt() const;
@@ -156,7 +156,7 @@ class SubChannel : public DramBackend
     Geometry geo_;                    // mopac-lint: allow(serial-drift)
     const TimingSet *normal_;
     const TimingSet *cu_;
-    std::vector<BankTiming> banks_;
+    BankArray banks_;
     SecurityChecker checker_;
     Mitigator *engine_ = nullptr;     // mopac-lint: allow(serial-drift)
     FaultInjector *faults_ = nullptr; // mopac-lint: allow(serial-drift)

@@ -6,6 +6,7 @@
 #include "controller.hh"
 
 #include <algorithm>
+#include <bit>
 
 #include "common/log.hh"
 #include "common/serialize.hh"
@@ -66,24 +67,19 @@ Controller::consider(Cycle ready)
 bool
 Controller::allBanksClosed() const
 {
-    for (unsigned i = 0; i < device_.numBanks(); ++i) {
-        if (device_.bank(i).hasOpenRow()) {
-            return false;
-        }
-    }
-    return true;
+    return !device_.banks().anyOpen();
 }
 
 bool
 Controller::drainOnePre(Cycle now)
 {
-    for (unsigned bank = 0; bank < device_.numBanks(); ++bank) {
-        BankTiming &b = device_.bank(bank);
-        if (!b.hasOpenRow()) {
-            continue;
-        }
+    // Ascending-bank walk over exactly the open banks.
+    const BankArray &banks = device_.banks();
+    for (std::uint64_t m = banks.openMask(); m != 0; m &= m - 1) {
+        const unsigned bank =
+            static_cast<unsigned>(std::countr_zero(m));
         const bool cu = cu_pending_[bank] != 0;
-        const Cycle ready = b.preReadyAt(cu);
+        const Cycle ready = banks.preReadyAt(bank, cu);
         if (now >= ready) {
             device_.cmdPre(now, bank, cu);
             cu_pending_[bank] = 0;
@@ -207,14 +203,17 @@ Controller::tryCas(std::vector<Request> &queue, bool is_write, Cycle now)
 {
     const Cycle bus_ready = is_write ? device_.writeBusAllowedAt()
                                      : device_.readBusAllowedAt();
+    const BankArray &banks = device_.banks();
     for (std::size_t i = 0; i < queue.size(); ++i) {
         const Request &req = queue[i];
-        const BankTiming &b = device_.bank(req.bank);
-        if (!b.hasOpenRow() || b.openRow() != req.row) {
+        // One compare: a closed bank reports kInvalid32, never a row.
+        if (banks.openRow(req.bank) != req.row) {
             continue;
         }
-        const Cycle ready = std::max(
-            is_write ? b.writeReadyAt() : b.readReadyAt(), bus_ready);
+        const Cycle ready =
+            std::max(is_write ? banks.writeReadyAt(req.bank)
+                              : banks.readReadyAt(req.bank),
+                     bus_ready);
         if (now >= ready) {
             issueCas(queue, i, is_write, now);
             return true;
@@ -228,16 +227,17 @@ bool
 Controller::tryActs(Cycle now, bool serve_writes)
 {
     const Cycle subch_ready = device_.actAllowedAt();
+    const BankArray &banks = device_.banks();
     // Only the oldest request per closed bank is an ACT candidate.
     auto scan = [&](std::vector<Request> &queue,
                     std::vector<std::uint8_t> &seen) -> bool {
         for (auto &req : queue) {
-            const BankTiming &b = device_.bank(req.bank);
-            if (b.hasOpenRow() || seen[req.bank]) {
+            if (banks.hasOpenRow(req.bank) || seen[req.bank]) {
                 continue;
             }
             seen[req.bank] = 1;
-            const Cycle ready = std::max(b.actReadyAt(), subch_ready);
+            const Cycle ready =
+                std::max(banks.actReadyAt(req.bank), subch_ready);
             if (now >= ready) {
                 device_.cmdAct(now, req.bank, req.row);
                 cu_pending_[req.bank] =
@@ -272,9 +272,11 @@ Controller::tryActs(Cycle now, bool serve_writes)
 bool
 Controller::tryPres(Cycle now)
 {
-    for (unsigned bank = 0; bank < device_.numBanks(); ++bank) {
-        BankTiming &b = device_.bank(bank);
-        if (!b.hasOpenRow() || hit_pending_[bank]) {
+    const BankArray &banks = device_.banks();
+    for (std::uint64_t m = banks.openMask(); m != 0; m &= m - 1) {
+        const unsigned bank =
+            static_cast<unsigned>(std::countr_zero(m));
+        if (hit_pending_[bank]) {
             continue;
         }
         bool want = conflict_waiting_[bank] != 0;
@@ -288,10 +290,11 @@ Controller::tryPres(Cycle now)
                 want = true;
                 break;
               case PagePolicy::kTimeout:
-                if (now >= b.lastCas() + params_.timeout_ton) {
+                if (now >= banks.lastCas(bank) + params_.timeout_ton) {
                     want = true;
                 } else {
-                    consider(b.lastCas() + params_.timeout_ton);
+                    consider(banks.lastCas(bank) +
+                             params_.timeout_ton);
                 }
                 break;
             }
@@ -300,7 +303,7 @@ Controller::tryPres(Cycle now)
             continue;
         }
         const bool cu = cu_pending_[bank] != 0;
-        const Cycle ready = b.preReadyAt(cu);
+        const Cycle ready = banks.preReadyAt(bank, cu);
         if (now >= ready) {
             device_.cmdPre(now, bank, cu);
             cu_pending_[bank] = 0;
@@ -325,13 +328,14 @@ Controller::scheduleOne(Cycle now)
     // Per-bank pending-hit / pending-conflict summary.
     std::fill(hit_pending_.begin(), hit_pending_.end(), 0);
     std::fill(conflict_waiting_.begin(), conflict_waiting_.end(), 0);
+    const BankArray &banks = device_.banks();
     auto mark = [&](const std::vector<Request> &queue) {
         for (const Request &req : queue) {
-            const BankTiming &b = device_.bank(req.bank);
-            if (!b.hasOpenRow()) {
+            const std::uint32_t open = banks.openRow(req.bank);
+            if (open == kInvalid32) {
                 continue;
             }
-            if (b.openRow() == req.row) {
+            if (open == req.row) {
                 hit_pending_[req.bank] = 1;
             } else {
                 conflict_waiting_[req.bank] = 1;

@@ -105,6 +105,17 @@ class Controller
     /** Advance the controller to cycle @p now (issues <= 1 command). */
     void tick(Cycle now);
 
+    /**
+     * Next-event contract: the earliest cycle at which tick() can do
+     * anything.  A tick strictly before this cycle is a provable
+     * no-op (it early-returns), which is what lets the event engine
+     * skip ahead.  Always finite: normal operation re-arms it with
+     * next_ref_at_, so skips never outrun the refresh scheduler.
+     * Serialized with the controller, so checkpoint/resume preserves
+     * the contract across engines.
+     */
+    Cycle nextWakeAt() const { return next_wake_; }
+
     /** True when no requests are queued. */
     bool
     idle() const

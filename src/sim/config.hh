@@ -36,6 +36,25 @@ enum class MitigationKind
 /** Printable name of a mitigation kind. */
 std::string toString(MitigationKind kind);
 
+/**
+ * Which run-loop drives System::runTo().  Both engines produce
+ * bit-identical results (tests/sim/test_engine_diff.cc proves it);
+ * kEvent skips provably-idle cycles and is the default.  kTick is the
+ * legacy cycle-by-cycle loop, kept for one PR as the differential
+ * reference.
+ */
+enum class SimEngine
+{
+    kTick,  ///< Legacy loop: one host iteration per DRAM cycle.
+    kEvent, ///< Skip-to-next-event: jump to the earliest wakeup.
+};
+
+/** Printable name of a sim engine ("tick" / "event"). */
+std::string toString(SimEngine engine);
+
+/** Parse "tick" / "event"; fatal on anything else. */
+SimEngine parseSimEngine(const std::string &name);
+
 /** Everything needed to build a System. */
 struct SystemConfig
 {
@@ -53,6 +72,13 @@ struct SystemConfig
     bool nup = false;
     bool rowpress = false;
     MopacDEngine::SamplerKind sampler = MopacDEngine::SamplerKind::kMint;
+
+    /**
+     * Run-loop engine.  Deliberately excluded from configSignature():
+     * the engines are bit-identical, so snapshots and sweep journals
+     * written under one engine resume cleanly under the other.
+     */
+    SimEngine engine = SimEngine::kEvent;
 
     ControllerParams mc{};
     CoreParams core{};

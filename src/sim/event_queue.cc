@@ -1,0 +1,110 @@
+/**
+ * @file
+ * EventQueue implementation.
+ */
+
+#include "event_queue.hh"
+
+#include "common/log.hh"
+
+namespace mopac
+{
+
+EventQueue::EventQueue(std::uint32_t num_sources)
+    : pos_(num_sources, kAbsent)
+{
+    heap_.reserve(num_sources);
+}
+
+void
+EventQueue::place(std::size_t i, Entry e)
+{
+    heap_[i] = e;
+    pos_[e.id] = static_cast<std::uint32_t>(i);
+}
+
+void
+EventQueue::siftUp(std::size_t i)
+{
+    Entry e = heap_[i];
+    while (i > 0) {
+        const std::size_t parent = (i - 1) / 2;
+        if (!before(e, heap_[parent])) {
+            break;
+        }
+        place(i, heap_[parent]);
+        i = parent;
+    }
+    place(i, e);
+}
+
+void
+EventQueue::siftDown(std::size_t i)
+{
+    Entry e = heap_[i];
+    const std::size_t n = heap_.size();
+    while (true) {
+        std::size_t child = 2 * i + 1;
+        if (child >= n) {
+            break;
+        }
+        if (child + 1 < n && before(heap_[child + 1], heap_[child])) {
+            ++child;
+        }
+        if (!before(heap_[child], e)) {
+            break;
+        }
+        place(i, heap_[child]);
+        i = child;
+    }
+    place(i, e);
+}
+
+void
+EventQueue::schedule(std::uint32_t id, Cycle at)
+{
+    MOPAC_ASSERT(id < pos_.size());
+    const Entry e{at, next_seq_++, id};
+    const std::uint32_t cur = pos_[id];
+    if (cur == kAbsent) {
+        heap_.push_back(e);
+        pos_[id] = static_cast<std::uint32_t>(heap_.size() - 1);
+        siftUp(heap_.size() - 1);
+        return;
+    }
+    // Move in place: the fresh seq can only lose FIFO ties, so the
+    // entry never needs to move up past an equal-cycle sibling.
+    heap_[cur] = e;
+    siftUp(cur);
+    siftDown(pos_[id]);
+}
+
+void
+EventQueue::cancel(std::uint32_t id)
+{
+    MOPAC_ASSERT(id < pos_.size());
+    const std::uint32_t cur = pos_[id];
+    if (cur == kAbsent) {
+        return;
+    }
+    pos_[id] = kAbsent;
+    const Entry last = heap_.back();
+    heap_.pop_back();
+    if (cur == heap_.size()) {
+        return; // removed the tail
+    }
+    place(cur, last);
+    siftUp(cur);
+    siftDown(pos_[last.id]);
+}
+
+std::uint32_t
+EventQueue::pop()
+{
+    MOPAC_ASSERT(!heap_.empty());
+    const std::uint32_t id = heap_.front().id;
+    cancel(id);
+    return id;
+}
+
+} // namespace mopac

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Indexed min-queue of per-source wakeup cycles for the event engine.
+ *
+ * Each tick source (the CPU's self-wakeup, each controller, the
+ * watchdog, the abort poll) owns one integer id and keeps at most one
+ * scheduled entry; schedule() moves it, cancel() removes it, and
+ * minCycle()/pop() expose the earliest pending wakeup.  Ordering is
+ * deterministic by construction:
+ *
+ *  - extraction is by cycle, earliest first;
+ *  - entries scheduled for the same cycle pop in schedule() order
+ *    (FIFO: a monotone sequence number breaks ties), so equal-cycle
+ *    sources never reorder between runs or hosts;
+ *  - a source is never lost (rescheduling replaces the old entry) and
+ *    never duplicated (one slot per id, enforced by the id -> heap
+ *    position index).
+ *
+ * tests/sim/test_event_queue.cc checks those properties against a
+ * reference model under random schedule/cancel/pop sequences.
+ */
+
+#ifndef MOPAC_SIM_EVENT_QUEUE_HH
+#define MOPAC_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace mopac
+{
+
+/** Binary min-heap over (cycle, schedule-sequence), indexed by id. */
+class EventQueue
+{
+  public:
+    /** @param num_sources Ids 0 .. num_sources-1 are addressable. */
+    explicit EventQueue(std::uint32_t num_sources);
+
+    /**
+     * Schedule (or move) source @p id to wake at cycle @p at.
+     * Rescheduling counts as a fresh insertion for FIFO ordering.
+     */
+    void schedule(std::uint32_t id, Cycle at);
+
+    /** Remove @p id's entry (no-op when not scheduled). */
+    void cancel(std::uint32_t id);
+
+    /** Is @p id currently scheduled? */
+    bool scheduled(std::uint32_t id) const
+    {
+        return pos_[id] != kAbsent;
+    }
+
+    /** @p id's scheduled cycle (kNeverCycle when not scheduled). */
+    Cycle
+    at(std::uint32_t id) const
+    {
+        return scheduled(id) ? heap_[pos_[id]].at : kNeverCycle;
+    }
+
+    bool empty() const { return heap_.empty(); }
+    std::uint32_t size() const
+    {
+        return static_cast<std::uint32_t>(heap_.size());
+    }
+
+    /** Earliest scheduled cycle (kNeverCycle when empty). */
+    Cycle minCycle() const
+    {
+        return heap_.empty() ? kNeverCycle : heap_.front().at;
+    }
+
+    /** Source id owning the earliest entry (FIFO among equals). */
+    std::uint32_t minId() const { return heap_.front().id; }
+
+    /** Extract the earliest entry. @return its source id. */
+    std::uint32_t pop();
+
+  private:
+    struct Entry
+    {
+        Cycle at = 0;
+        std::uint64_t seq = 0;
+        std::uint32_t id = 0;
+    };
+
+    static constexpr std::uint32_t kAbsent = 0xffffffffu;
+
+    static bool
+    before(const Entry &a, const Entry &b)
+    {
+        return a.at != b.at ? a.at < b.at : a.seq < b.seq;
+    }
+
+    void siftUp(std::size_t i);
+    void siftDown(std::size_t i);
+    void place(std::size_t i, Entry e);
+
+    std::vector<Entry> heap_;
+    std::vector<std::uint32_t> pos_; ///< id -> heap index / kAbsent.
+    std::uint64_t next_seq_ = 0;
+};
+
+} // namespace mopac
+
+#endif // MOPAC_SIM_EVENT_QUEUE_HH

@@ -6,11 +6,13 @@
 #include "system.hh"
 
 #include <algorithm>
+#include <cstdlib>
 
 #include "analysis/moat_model.hh"
 #include "analysis/security.hh"
 #include "common/log.hh"
 #include "common/serialize.hh"
+#include "sim/event_queue.hh"
 #include "sim/stop.hh"
 #include "mitigation/mopac_c.hh"
 #include "mitigation/none.hh"
@@ -39,12 +41,37 @@ toString(MitigationKind kind)
     return "?";
 }
 
+std::string
+toString(SimEngine engine)
+{
+    switch (engine) {
+      case SimEngine::kTick: return "tick";
+      case SimEngine::kEvent: return "event";
+    }
+    return "?";
+}
+
+SimEngine
+parseSimEngine(const std::string &name)
+{
+    if (name == "tick") return SimEngine::kTick;
+    if (name == "event") return SimEngine::kEvent;
+    fatal("unknown sim engine '{}' (want tick|event)", name);
+}
+
 SystemConfig
 makeConfig(MitigationKind kind, std::uint32_t trh)
 {
     SystemConfig cfg;
     cfg.mitigation = kind;
     cfg.trh = trh;
+    // Environment override so shell harnesses (kill_resume_smoke.sh,
+    // soak drivers) can flip the engine without plumbing a flag
+    // through every bench binary.  Tests that pin cfg.engine after
+    // makeConfig() are unaffected.
+    if (const char *env = std::getenv("MOPAC_SIM_ENGINE")) {
+        cfg.engine = parseSimEngine(env);
+    }
     return cfg;
 }
 
@@ -257,6 +284,73 @@ System::maxCycles() const
                      10000000;
 }
 
+namespace
+{
+
+/** Round @p c up to the next multiple of the power of two @p align. */
+constexpr Cycle
+alignUpPow2(Cycle c, Cycle align)
+{
+    return (c + (align - 1)) & ~(align - 1);
+}
+
+/** Poll period of the aligned checks in runTo() (cycles). */
+constexpr Cycle kWatchdogPollPeriod = 1024;
+constexpr Cycle kAbortPollPeriod = 16384;
+
+} // namespace
+
+std::uint64_t
+System::totalRetired() const
+{
+    std::uint64_t retired = 0;
+    for (unsigned i = 0; i < cfg_.num_cores; ++i) {
+        retired += cpu_->core(i).retiredInsts();
+    }
+    return retired;
+}
+
+Cycle
+System::watchdogEventAt() const
+{
+    // Mirror of the aligned watchdog check: if retirement moved since
+    // the last check, the very next aligned cycle refreshes
+    // wd_last_retired_ / wd_last_progress_ (serialized state, so the
+    // update itself is an event the skip must not jump over).
+    // Otherwise nothing happens until the first aligned cycle at or
+    // past the trip deadline.
+    if (totalRetired() != wd_last_retired_) {
+        return alignUpPow2(now_, kWatchdogPollPeriod);
+    }
+    const Cycle trip = wd_last_progress_ + cfg_.watchdog_cycles;
+    return alignUpPow2(std::max(trip, now_), kWatchdogPollPeriod);
+}
+
+Cycle
+System::nextEventCycle(EventQueue &events, bool cpu_active) const
+{
+    // now_ is the next unsimulated cycle; now_ - 1 was just simulated.
+    // Each source re-reports its wakeup; the queue keeps one entry per
+    // source, so stale cycles are overwritten, never duplicated.
+    const std::uint32_t ctrl_base = 1;
+    const std::uint32_t num_ctrl =
+        static_cast<std::uint32_t>(controllers_.size());
+    events.schedule(0, cpu_active ? now_
+                                  : cpu_->nextSelfEventAt(now_ - 1));
+    for (std::uint32_t s = 0; s < num_ctrl; ++s) {
+        events.schedule(ctrl_base + s, controllers_[s]->nextWakeAt());
+    }
+    if (cfg_.watchdog_cycles > 0) {
+        events.schedule(ctrl_base + num_ctrl, watchdogEventAt());
+    }
+    // The abort flag is host-asynchronous; polling only at aligned
+    // cycles (like the tick loop) keeps the command streams identical
+    // while bounding how long a skip can outrun an operator's Ctrl-C.
+    events.schedule(ctrl_base + num_ctrl + 1,
+                    alignUpPow2(now_, kAbortPollPeriod));
+    return events.minCycle();
+}
+
 bool
 System::runTo(Cycle stop_at)
 {
@@ -269,11 +363,33 @@ System::runTo(Cycle stop_at)
         return true;
     }
 
+    const bool event_mode = cfg_.engine == SimEngine::kEvent;
+    // Wakeup queue: sources are the CPU, each controller, the
+    // watchdog, and the abort poll.  Its contents derive entirely from
+    // component state re-read every simulated cycle, so it is rebuilt
+    // here on entry and never checkpointed -- the next-event contract
+    // lives in the components (Controller serializes next_wake_).
+    EventQueue events(static_cast<std::uint32_t>(
+        controllers_.size() + 3));
+    const auto trip_cycle_bound = [&] {
+        warn("system: hit cycle bound {} before completion",
+             max_cycles);
+        timed_out_ = true;
+    };
+
+    // Both engines share this one loop body, so the measurement /
+    // watchdog / abort polls exist exactly once.  The event engine
+    // simulates the same cycle fully, then jumps now_ to the earliest
+    // wakeup; every skipped cycle is one where the tick engine would
+    // have done nothing (cores report no progress and no pending
+    // completion, controllers early-return before next_wake_, and the
+    // aligned polls are scheduled as their own wakeups), so the two
+    // executions are bit-identical.
     while (!cpu_->allDone()) {
         if (now_ >= stop_at) {
             return false;
         }
-        cpu_->tick(now_);
+        const bool cpu_active = cpu_->tick(now_);
         for (auto &mc : controllers_) {
             mc->tick(now_);
         }
@@ -285,11 +401,9 @@ System::runTo(Cycle stop_at)
                 measuring_[i] = 1;
             }
         }
-        if (cfg_.watchdog_cycles > 0 && (now_ & 1023) == 0) {
-            std::uint64_t retired = 0;
-            for (unsigned i = 0; i < cfg_.num_cores; ++i) {
-                retired += cpu_->core(i).retiredInsts();
-            }
+        if (cfg_.watchdog_cycles > 0 &&
+            (now_ & (kWatchdogPollPeriod - 1)) == 0) {
+            const std::uint64_t retired = totalRetired();
             if (retired != wd_last_retired_) {
                 wd_last_retired_ = retired;
                 wd_last_progress_ = now_;
@@ -298,16 +412,33 @@ System::runTo(Cycle stop_at)
                 reportStall(now_, retired);
             }
         }
-        if ((now_ & 16383) == 0 && sweepstop::abortRequested()) {
+        if ((now_ & (kAbortPollPeriod - 1)) == 0 &&
+            sweepstop::abortRequested()) {
             reportAbort(now_);
         }
         ++now_;
         if (now_ >= max_cycles) {
-            warn("system: hit cycle bound {} before completion",
-                 max_cycles);
-            timed_out_ = true;
+            trip_cycle_bound();
             break;
         }
+        if (!event_mode) {
+            continue;
+        }
+
+        const Cycle next = nextEventCycle(events, cpu_active);
+        if (next <= now_) {
+            continue;
+        }
+        if (next >= max_cycles && max_cycles <= stop_at) {
+            // The tick loop would idle cycle-by-cycle up to the bound
+            // and trip it before pausing; replicate that ordering.
+            now_ = max_cycles;
+            trip_cycle_bound();
+            break;
+        }
+        // Jump straight to the wakeup; the loop head pauses at
+        // stop_at first if that comes sooner.
+        now_ = std::min(next, stop_at);
     }
     return true;
 }

@@ -20,6 +20,8 @@
 namespace mopac
 {
 
+class EventQueue;
+
 /** Aggregate result of one simulation run. */
 struct RunResult
 {
@@ -176,6 +178,19 @@ class System : public RequestSink
 
     /** Safety bound on simulated cycles for run() / runTo(). */
     std::uint64_t maxCycles() const;
+
+    /** Sum of retired instructions across all cores. */
+    std::uint64_t totalRetired() const;
+
+    /** Next cycle at which the aligned watchdog check does anything. */
+    Cycle watchdogEventAt() const;
+
+    /**
+     * Re-report every tick source's wakeup into @p events and return
+     * the earliest.  @p cpu_active is the CPU's progress report for
+     * the cycle just simulated (an active CPU wakes at now_).
+     */
+    Cycle nextEventCycle(EventQueue &events, bool cpu_active) const;
 
     SystemConfig cfg_;
     // Derived from cfg_ at construction; the snapshot header's config

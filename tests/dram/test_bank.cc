@@ -1,7 +1,8 @@
 /**
  * @file
- * BankTiming state-machine tests: every inter-command constraint of
- * the Table 1 timing sets, for both precharge flavors.
+ * BankArray state-machine tests: every inter-command constraint of
+ * the Table 1 timing sets, for both precharge flavors, plus the
+ * open-bank mask and per-bank independence of the SoA layout.
  */
 
 #include <gtest/gtest.h>
@@ -19,144 +20,179 @@ class BankTest : public ::testing::Test
   protected:
     BankTest()
         : base_(TimingSet::base()), prac_(TimingSet::prac()),
-          bank_(&base_, &prac_)
+          banks_(&base_, &prac_, 2)
     {
     }
 
     TimingSet base_;
     TimingSet prac_;
-    BankTiming bank_;
+    BankArray banks_;
 };
 
 TEST_F(BankTest, StartsClosedAndReady)
 {
-    EXPECT_FALSE(bank_.hasOpenRow());
-    EXPECT_EQ(bank_.actReadyAt(), 0u);
+    EXPECT_FALSE(banks_.hasOpenRow(0));
+    EXPECT_EQ(banks_.actReadyAt(0), 0u);
+    EXPECT_FALSE(banks_.anyOpen());
+    EXPECT_EQ(banks_.openMask(), 0u);
+    EXPECT_EQ(banks_.size(), 2u);
 }
 
 TEST_F(BankTest, ActOpensRow)
 {
-    bank_.act(0, 42);
-    EXPECT_TRUE(bank_.hasOpenRow());
-    EXPECT_EQ(bank_.openRow(), 42u);
-    EXPECT_EQ(bank_.openSince(), 0u);
+    banks_.act(0, 0, 42);
+    EXPECT_TRUE(banks_.hasOpenRow(0));
+    EXPECT_EQ(banks_.openRow(0), 42u);
+    EXPECT_EQ(banks_.openSince(0), 0u);
+    EXPECT_EQ(banks_.openMask(), 0b01u);
+}
+
+TEST_F(BankTest, ClosedBankReportsSentinelRow)
+{
+    // The sentinel is what lets row-match tests skip the open check.
+    EXPECT_EQ(banks_.openRow(0), kInvalid32);
+    banks_.act(0, 0, 7);
+    EXPECT_EQ(banks_.openRow(0), 7u);
+    EXPECT_EQ(banks_.openRow(1), kInvalid32);
+}
+
+TEST_F(BankTest, BanksAreIndependent)
+{
+    banks_.act(0, 0, 1);
+    EXPECT_FALSE(banks_.hasOpenRow(1));
+    EXPECT_EQ(banks_.actReadyAt(1), 0u);
+    banks_.act(1, 5, 9);
+    EXPECT_EQ(banks_.openMask(), 0b11u);
+    EXPECT_EQ(banks_.readReadyAt(0), base_.tRCD);
+    EXPECT_EQ(banks_.readReadyAt(1), 5 + base_.tRCD);
+    banks_.pre(0, base_.tRAS, false);
+    EXPECT_EQ(banks_.openMask(), 0b10u);
+    EXPECT_TRUE(banks_.anyOpen());
 }
 
 TEST_F(BankTest, ReadWaitsForTrcd)
 {
-    bank_.act(0, 1);
-    EXPECT_EQ(bank_.readReadyAt(), base_.tRCD);
-    EXPECT_EQ(bank_.writeReadyAt(), base_.tRCD);
+    banks_.act(0, 0, 1);
+    EXPECT_EQ(banks_.readReadyAt(0), base_.tRCD);
+    EXPECT_EQ(banks_.writeReadyAt(0), base_.tRCD);
 }
 
 TEST_F(BankTest, ReadReturnsBurstCompletion)
 {
-    bank_.act(0, 1);
-    const Cycle done = bank_.read(base_.tRCD);
+    banks_.act(0, 0, 1);
+    const Cycle done = banks_.read(0, base_.tRCD);
     EXPECT_EQ(done, base_.tRCD + base_.tCL + base_.tBL);
 }
 
 TEST_F(BankTest, PreWaitsForTras)
 {
-    bank_.act(0, 1);
-    EXPECT_EQ(bank_.preReadyAt(false), base_.tRAS);
+    banks_.act(0, 0, 1);
+    EXPECT_EQ(banks_.preReadyAt(0, false), base_.tRAS);
     // PREcu uses the (shorter) PRAC tRAS (paper §5.1).
-    EXPECT_EQ(bank_.preReadyAt(true), prac_.tRAS);
+    EXPECT_EQ(banks_.preReadyAt(0, true), prac_.tRAS);
 }
 
 TEST_F(BankTest, ReadToPreRespectsTrtp)
 {
-    bank_.act(0, 1);
+    banks_.act(0, 0, 1);
     const Cycle rd_at = base_.tRAS; // read late so tRTP dominates
-    bank_.read(rd_at);
-    EXPECT_EQ(bank_.preReadyAt(false), rd_at + base_.tRTP);
+    banks_.read(0, rd_at);
+    EXPECT_EQ(banks_.preReadyAt(0, false), rd_at + base_.tRTP);
 }
 
 TEST_F(BankTest, WriteToPreRespectsWriteRecovery)
 {
-    bank_.act(0, 1);
+    banks_.act(0, 0, 1);
     const Cycle wr_at = base_.tRCD;
-    bank_.write(wr_at);
+    banks_.write(0, wr_at);
     const Cycle burst_end = wr_at + base_.tCWL + base_.tBL;
-    EXPECT_EQ(bank_.preReadyAt(false),
+    EXPECT_EQ(banks_.preReadyAt(0, false),
               std::max(base_.tRAS, burst_end + base_.tWR));
 }
 
 TEST_F(BankTest, NormalPrechargeGivesBaseRowCycle)
 {
-    bank_.act(0, 1);
-    bank_.pre(base_.tRAS, false);
-    EXPECT_FALSE(bank_.hasOpenRow());
+    banks_.act(0, 0, 1);
+    banks_.pre(0, base_.tRAS, false);
+    EXPECT_FALSE(banks_.hasOpenRow(0));
     // ACT -> PRE (tRAS) -> ACT (tRP) == tRC of the base set.
-    EXPECT_EQ(bank_.actReadyAt(), base_.tRAS + base_.tRP);
-    EXPECT_EQ(bank_.actReadyAt(), base_.tRC);
+    EXPECT_EQ(banks_.actReadyAt(0), base_.tRAS + base_.tRP);
+    EXPECT_EQ(banks_.actReadyAt(0), base_.tRC);
 }
 
 TEST_F(BankTest, CounterUpdatePrechargeGivesPracRowCycle)
 {
-    bank_.act(0, 1);
-    bank_.pre(prac_.tRAS, true);
+    banks_.act(0, 0, 1);
+    banks_.pre(0, prac_.tRAS, true);
     // PREcu: shorter tRAS but much longer tRP -> 52 ns row cycle.
-    EXPECT_EQ(bank_.actReadyAt(), prac_.tRAS + prac_.tRP);
-    EXPECT_EQ(bank_.actReadyAt(), prac_.tRC);
+    EXPECT_EQ(banks_.actReadyAt(0), prac_.tRAS + prac_.tRP);
+    EXPECT_EQ(banks_.actReadyAt(0), prac_.tRC);
 }
 
 TEST_F(BankTest, BlockUntilDelaysNextAct)
 {
-    bank_.act(0, 1);
-    bank_.pre(base_.tRAS, false);
-    bank_.blockUntil(10000);
-    EXPECT_EQ(bank_.actReadyAt(), 10000u);
+    banks_.act(0, 0, 1);
+    banks_.pre(0, base_.tRAS, false);
+    banks_.blockUntil(0, 10000);
+    EXPECT_EQ(banks_.actReadyAt(0), 10000u);
     // blockUntil never shortens an existing constraint.
-    bank_.blockUntil(5000);
-    EXPECT_EQ(bank_.actReadyAt(), 10000u);
+    banks_.blockUntil(0, 5000);
+    EXPECT_EQ(banks_.actReadyAt(0), 10000u);
+}
+
+TEST_F(BankTest, BlockAllUntilDelaysEveryBank)
+{
+    banks_.blockAllUntil(7777);
+    EXPECT_EQ(banks_.actReadyAt(0), 7777u);
+    EXPECT_EQ(banks_.actReadyAt(1), 7777u);
 }
 
 TEST_F(BankTest, LastCasTracksMostRecentAccess)
 {
-    bank_.act(0, 1);
-    bank_.read(base_.tRCD);
+    banks_.act(0, 0, 1);
+    banks_.read(0, base_.tRCD);
     const Cycle second = base_.tRCD + base_.tBL + 10;
-    bank_.read(second);
-    EXPECT_EQ(bank_.lastCas(), second);
+    banks_.read(0, second);
+    EXPECT_EQ(banks_.lastCas(0), second);
 }
 
 using BankDeathTest = BankTest;
 
 TEST_F(BankDeathTest, EarlyActPanics)
 {
-    bank_.act(0, 1);
-    bank_.pre(base_.tRAS, false);
-    EXPECT_DEATH(bank_.act(base_.tRAS + 1, 2), "violates act_ready");
+    banks_.act(0, 0, 1);
+    banks_.pre(0, base_.tRAS, false);
+    EXPECT_DEATH(banks_.act(0, base_.tRAS + 1, 2),
+                 "violates act_ready");
 }
 
 TEST_F(BankDeathTest, ActWhileOpenPanics)
 {
-    bank_.act(0, 1);
-    EXPECT_DEATH(bank_.act(1000, 2), "open row");
+    banks_.act(0, 0, 1);
+    EXPECT_DEATH(banks_.act(0, 1000, 2), "open row");
 }
 
 TEST_F(BankDeathTest, EarlyReadPanics)
 {
-    bank_.act(0, 1);
-    EXPECT_DEATH(bank_.read(base_.tRCD - 1), "violates cas_ready");
+    banks_.act(0, 0, 1);
+    EXPECT_DEATH(banks_.read(0, base_.tRCD - 1), "violates cas_ready");
 }
 
 TEST_F(BankDeathTest, ReadClosedPanics)
 {
-    EXPECT_DEATH(bank_.read(100), "closed bank");
+    EXPECT_DEATH(banks_.read(0, 100), "closed bank");
 }
 
 TEST_F(BankDeathTest, EarlyPrePanics)
 {
-    bank_.act(0, 1);
-    EXPECT_DEATH(bank_.pre(base_.tRAS - 1, false),
+    banks_.act(0, 0, 1);
+    EXPECT_DEATH(banks_.pre(0, base_.tRAS - 1, false),
                  "violates pre_ready");
 }
 
 TEST_F(BankDeathTest, PreClosedPanics)
 {
-    EXPECT_DEATH(bank_.pre(100, false), "closed bank");
+    EXPECT_DEATH(banks_.pre(0, 100, false), "closed bank");
 }
 
 } // namespace

@@ -98,8 +98,8 @@ class DeviceTest : public ::testing::Test
     {
         Cycle t = from;
         for (unsigned b = 0; b < dev_->numBanks(); ++b) {
-            if (dev_->bank(b).hasOpenRow()) {
-                t = std::max(t, dev_->bank(b).preReadyAt(false));
+            if (dev_->banks().hasOpenRow(b)) {
+                t = std::max(t, dev_->banks().preReadyAt(b, false));
                 dev_->cmdPre(t, b, false);
             }
         }
@@ -178,7 +178,7 @@ TEST_F(DeviceTest, RefSweepsRowsAndNotifiesEngine)
     EXPECT_EQ(engine_.sweeps[0].second, geo_.rowsPerRef());
     EXPECT_EQ(engine_.refreshes, 1);
     // Banks are busy for tRFC.
-    EXPECT_EQ(dev_->bank(0).actReadyAt(), t + base_.tRFC);
+    EXPECT_EQ(dev_->banks().actReadyAt(0), t + base_.tRFC);
 
     dev_->cmdRef(t + base_.tRFC);
     EXPECT_EQ(engine_.sweeps[1].first, geo_.rowsPerRef());
@@ -214,7 +214,7 @@ TEST_F(DeviceTest, AlertClearsOnRfmAndEngineServices)
     dev_->cmdRfm(t);
     EXPECT_FALSE(dev_->alertAsserted());
     EXPECT_EQ(engine_.rfms, 1);
-    EXPECT_EQ(dev_->bank(0).actReadyAt(), t + base_.tRFM);
+    EXPECT_EQ(dev_->banks().actReadyAt(0), t + base_.tRFM);
     EXPECT_EQ(dev_->stats().rfms, 1u);
     EXPECT_EQ(dev_->stats().alerts, 1u);
 }

@@ -191,7 +191,7 @@ TEST_F(ControllerTest, RefreshClosesOpenRowsFirst)
     ASSERT_TRUE(mc_->enqueue(readReq(0, 5), 0));
     runUntil(base_.tREFI + base_.tRFC + 100);
     EXPECT_EQ(mc_->stats().refs_issued, 1u);
-    EXPECT_FALSE(dev_->bank(0).hasOpenRow());
+    EXPECT_FALSE(dev_->banks().hasOpenRow(0));
 }
 
 TEST_F(ControllerTest, AlertStallsAndIssuesRfm)
@@ -243,7 +243,7 @@ TEST_F(ControllerTest, ClosePagePolicyClosesIdleRows)
     for (Cycle t = 0; t < 1000; ++t) {
         mc.tick(t);
     }
-    EXPECT_FALSE(dev_->bank(0).hasOpenRow());
+    EXPECT_FALSE(dev_->banks().hasOpenRow(0));
 }
 
 TEST_F(ControllerTest, TimeoutPolicyClosesAfterTon)
@@ -256,19 +256,19 @@ TEST_F(ControllerTest, TimeoutPolicyClosesAfterTon)
     for (Cycle t = 0; t < base_.tRCD + 10; ++t) {
         mc.tick(t);
     }
-    EXPECT_TRUE(dev_->bank(0).hasOpenRow());
+    EXPECT_TRUE(dev_->banks().hasOpenRow(0));
     for (Cycle t = base_.tRCD + 10; t < base_.tRCD + to.timeout_ton + 50;
          ++t) {
         mc.tick(t);
     }
-    EXPECT_FALSE(dev_->bank(0).hasOpenRow());
+    EXPECT_FALSE(dev_->banks().hasOpenRow(0));
 }
 
 TEST_F(ControllerTest, OpenPageKeepsIdleRowOpen)
 {
     ASSERT_TRUE(mc_->enqueue(readReq(0, 5), 0));
     runUntil(base_.tREFI - 100); // before the first refresh
-    EXPECT_TRUE(dev_->bank(0).hasOpenRow());
+    EXPECT_TRUE(dev_->banks().hasOpenRow(0));
 }
 
 TEST_F(ControllerTest, RowBufferHitRateComputed)

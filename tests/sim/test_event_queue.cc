@@ -1,0 +1,256 @@
+/**
+ * @file
+ * EventQueue property suite.  A trivially correct reference model (a
+ * flat array of (cycle, insertion-sequence) slots scanned linearly)
+ * shadows every operation; randomized schedule / reschedule / cancel /
+ * pop workloads then check the queue against it:
+ *
+ *  - min-extraction order: pop() always yields the earliest cycle;
+ *  - FIFO stability: among equal-cycle entries, the one scheduled
+ *    first pops first (rescheduling re-enters the FIFO at the back);
+ *  - no lost wakeups: a scheduled id stays visible until cancelled or
+ *    popped, at exactly its latest scheduled cycle;
+ *  - no duplicated wakeups: an id never occupies two slots, however
+ *    often it is rescheduled.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hh"
+#include "sim/event_queue.hh"
+
+namespace mopac
+{
+namespace
+{
+
+/** Linear-scan reference: one optional (cycle, seq) per source id. */
+class ReferenceQueue
+{
+  public:
+    explicit ReferenceQueue(std::uint32_t n)
+        : at_(n, kNeverCycle), seq_(n, 0)
+    {
+    }
+
+    void
+    schedule(std::uint32_t id, Cycle at)
+    {
+        at_[id] = at;
+        seq_[id] = next_seq_++;
+    }
+
+    void cancel(std::uint32_t id) { at_[id] = kNeverCycle; }
+
+    bool scheduled(std::uint32_t id) const
+    {
+        return at_[id] != kNeverCycle;
+    }
+
+    Cycle at(std::uint32_t id) const { return at_[id]; }
+
+    std::uint32_t
+    size() const
+    {
+        std::uint32_t n = 0;
+        for (const Cycle c : at_) {
+            n += c != kNeverCycle ? 1 : 0;
+        }
+        return n;
+    }
+
+    /** Earliest (cycle, seq) slot; size() must be > 0. */
+    std::uint32_t
+    minId() const
+    {
+        std::uint32_t best = kNoId;
+        for (std::uint32_t id = 0; id < at_.size(); ++id) {
+            if (at_[id] == kNeverCycle) {
+                continue;
+            }
+            if (best == kNoId || at_[id] < at_[best] ||
+                (at_[id] == at_[best] && seq_[id] < seq_[best])) {
+                best = id;
+            }
+        }
+        return best;
+    }
+
+    std::uint32_t
+    pop()
+    {
+        const std::uint32_t id = minId();
+        at_[id] = kNeverCycle;
+        return id;
+    }
+
+    static constexpr std::uint32_t kNoId = 0xffffffffu;
+
+  private:
+    std::vector<Cycle> at_;
+    std::vector<std::uint64_t> seq_;
+    std::uint64_t next_seq_ = 0;
+};
+
+void
+expectMatches(const EventQueue &q, const ReferenceQueue &ref,
+              std::uint32_t n)
+{
+    ASSERT_EQ(q.size(), ref.size());
+    for (std::uint32_t id = 0; id < n; ++id) {
+        ASSERT_EQ(q.scheduled(id), ref.scheduled(id)) << "id " << id;
+        ASSERT_EQ(q.at(id), ref.at(id)) << "id " << id;
+    }
+    if (ref.size() > 0) {
+        ASSERT_EQ(q.minId(), ref.minId());
+        ASSERT_EQ(q.minCycle(), ref.at(ref.minId()));
+    } else {
+        ASSERT_TRUE(q.empty());
+        ASSERT_EQ(q.minCycle(), kNeverCycle);
+    }
+}
+
+TEST(EventQueue, StartsEmpty)
+{
+    EventQueue q(4);
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.size(), 0u);
+    EXPECT_EQ(q.minCycle(), kNeverCycle);
+    EXPECT_FALSE(q.scheduled(0));
+    EXPECT_EQ(q.at(0), kNeverCycle);
+}
+
+TEST(EventQueue, PopsInCycleOrder)
+{
+    EventQueue q(5);
+    q.schedule(0, 50);
+    q.schedule(1, 10);
+    q.schedule(2, 30);
+    q.schedule(3, 20);
+    q.schedule(4, 40);
+    EXPECT_EQ(q.minCycle(), 10u);
+    EXPECT_EQ(q.pop(), 1u);
+    EXPECT_EQ(q.pop(), 3u);
+    EXPECT_EQ(q.pop(), 2u);
+    EXPECT_EQ(q.pop(), 4u);
+    EXPECT_EQ(q.pop(), 0u);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, SameCycleEntriesPopInScheduleOrder)
+{
+    EventQueue q(4);
+    q.schedule(2, 100);
+    q.schedule(0, 100);
+    q.schedule(3, 100);
+    q.schedule(1, 100);
+    EXPECT_EQ(q.pop(), 2u);
+    EXPECT_EQ(q.pop(), 0u);
+    EXPECT_EQ(q.pop(), 3u);
+    EXPECT_EQ(q.pop(), 1u);
+}
+
+TEST(EventQueue, RescheduleMovesToBackOfItsCycle)
+{
+    EventQueue q(3);
+    q.schedule(0, 100);
+    q.schedule(1, 100);
+    // Rescheduling id 0 -- even to the same cycle -- re-enters the
+    // FIFO behind id 1, exactly like cancel + schedule would.
+    q.schedule(0, 100);
+    EXPECT_EQ(q.pop(), 1u);
+    EXPECT_EQ(q.pop(), 0u);
+}
+
+TEST(EventQueue, RescheduleReplacesInsteadOfDuplicating)
+{
+    EventQueue q(2);
+    q.schedule(0, 10);
+    q.schedule(0, 90);
+    q.schedule(0, 40);
+    EXPECT_EQ(q.size(), 1u);
+    EXPECT_EQ(q.at(0), 40u);
+    EXPECT_EQ(q.pop(), 0u);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, CancelRemovesAndIsIdempotent)
+{
+    EventQueue q(3);
+    q.schedule(0, 10);
+    q.schedule(1, 20);
+    q.cancel(0);
+    EXPECT_FALSE(q.scheduled(0));
+    EXPECT_EQ(q.size(), 1u);
+    q.cancel(0); // no-op
+    EXPECT_EQ(q.size(), 1u);
+    EXPECT_EQ(q.pop(), 1u);
+}
+
+/** "EVNTQ" in ASCII: the op-mix stream of the random-ops test. */
+constexpr std::uint64_t kRandomOpsSeed = 0x45564e5451ull;
+/** Hex spelling of "DRAIN": the churn stream of the drain test. */
+constexpr std::uint64_t kDrainChurnSeed = 0xD2A17ull;
+
+TEST(EventQueue, RandomOperationsMatchReferenceModel)
+{
+    // The seed names the stream: it is part of the test's identity,
+    // so a failure reproduces exactly.
+    Rng rng(kRandomOpsSeed);
+    constexpr std::uint32_t kSources = 24;
+    constexpr int kOps = 20000;
+
+    EventQueue q(kSources);
+    ReferenceQueue ref(kSources);
+    for (int op = 0; op < kOps; ++op) {
+        const std::uint64_t pick = rng.below(100);
+        const auto id = static_cast<std::uint32_t>(
+            rng.below(kSources));
+        if (pick < 55) {
+            // Clustered cycles force plenty of FIFO ties.
+            const Cycle at = rng.below(64);
+            q.schedule(id, at);
+            ref.schedule(id, at);
+        } else if (pick < 75) {
+            q.cancel(id);
+            ref.cancel(id);
+        } else if (!q.empty()) {
+            ASSERT_EQ(q.pop(), ref.pop()) << "op " << op;
+        }
+        expectMatches(q, ref, kSources);
+    }
+}
+
+TEST(EventQueue, DrainAfterRandomChurnPopsIdentically)
+{
+    Rng rng(kDrainChurnSeed);
+    constexpr std::uint32_t kSources = 16;
+    EventQueue q(kSources);
+    ReferenceQueue ref(kSources);
+    for (int round = 0; round < 200; ++round) {
+        for (int i = 0; i < 40; ++i) {
+            const auto id = static_cast<std::uint32_t>(
+                rng.below(kSources));
+            if (rng.chance(0.8)) {
+                const Cycle at = rng.below(32);
+                q.schedule(id, at);
+                ref.schedule(id, at);
+            } else {
+                q.cancel(id);
+                ref.cancel(id);
+            }
+        }
+        // Full drain: total order (min-extraction + FIFO) must match
+        // the reference's linear scan exactly.
+        while (!q.empty()) {
+            ASSERT_EQ(q.pop(), ref.pop());
+        }
+        ASSERT_EQ(ref.size(), 0u);
+    }
+}
+
+} // namespace
+} // namespace mopac

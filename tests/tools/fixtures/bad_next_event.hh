@@ -1,0 +1,20 @@
+// Lint fixture: next-event must fire once.  Pump ticks every cycle
+// but never reports its next interesting cycle, so the event engine
+// would have to fall back to one-iteration-per-cycle around it.
+#ifndef MOPAC_TESTS_TOOLS_FIXTURES_BAD_NEXT_EVENT_HH
+#define MOPAC_TESTS_TOOLS_FIXTURES_BAD_NEXT_EVENT_HH
+
+#include <cstdint>
+
+using Cycle = std::uint64_t;
+
+class Pump
+{
+  public:
+    void tick(Cycle now); // expect next-event, line 14
+
+  private:
+    Cycle last_ = 0;
+};
+
+#endif // MOPAC_TESTS_TOOLS_FIXTURES_BAD_NEXT_EVENT_HH

@@ -1,0 +1,40 @@
+// Lint fixture: clean counterpart of bad_next_event.hh.  Every tick
+// source pairs tick(Cycle) with a next-event accessor; classes that
+// take something other than a Cycle are not tick sources at all.
+#ifndef MOPAC_TESTS_TOOLS_FIXTURES_GOOD_NEXT_EVENT_HH
+#define MOPAC_TESTS_TOOLS_FIXTURES_GOOD_NEXT_EVENT_HH
+
+#include <cstdint>
+
+using Cycle = std::uint64_t;
+
+class Pump
+{
+  public:
+    void tick(Cycle now);
+
+    /** Earliest cycle > now at which tick() would do work. */
+    Cycle nextWakeAt() const { return wake_at_; }
+
+  private:
+    Cycle wake_at_ = 0;
+};
+
+class Chaser
+{
+  public:
+    bool tick(Cycle now);
+
+    Cycle nextSelfEventAt(Cycle now) const;
+};
+
+class Metronome
+{
+  public:
+    void tick(int beats); // not a Cycle-driven tick source
+
+  private:
+    int beats_ = 0;
+};
+
+#endif // MOPAC_TESTS_TOOLS_FIXTURES_GOOD_NEXT_EVENT_HH

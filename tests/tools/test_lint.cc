@@ -155,6 +155,15 @@ TEST(MopacLint, RngSeedBadFixture)
                    {{15, "rng-seed"}, {16, "rng-seed"}});
 }
 
+TEST(MopacLint, NextEventBadFixture)
+{
+    const LintResult res = runLint({"bad_next_event.hh"});
+    expectFindings(res, {{14, "next-event"}});
+    EXPECT_NE(res.output.find("cannot skip idle cycles"),
+              std::string::npos)
+        << res.output;
+}
+
 TEST(MopacLint, GuardBadFixture)
 {
     const LintResult res = runLint({"bad_guard.hh"});
@@ -176,6 +185,7 @@ TEST(MopacLint, GoodFixturesAreClean)
         "good_det_unordered.cc",
         "good_serial_drift.hh",
         "good_rng_seed.cc",
+        "good_next_event.hh",
         "good_guard.hh",
     });
     EXPECT_EQ(res.exit_code, 0) << res.output;
@@ -203,14 +213,15 @@ TEST(MopacLint, AllBadFixturesTogether)
         "bad_det_unordered.cc",
         "bad_serial_drift.hh",
         "bad_rng_seed.cc",
+        "bad_next_event.hh",
         "bad_guard.hh",
     });
     EXPECT_EQ(res.exit_code, 1) << res.output;
-    EXPECT_EQ(res.findings.size(), 12u) << res.output;
+    EXPECT_EQ(res.findings.size(), 13u) << res.output;
     for (const char *check :
          {"det-rand", "det-time", "det-clock", "det-rng",
           "det-ptr-key", "det-unordered", "serial-drift", "rng-seed",
-          "guard"}) {
+          "next-event", "guard"}) {
         bool seen = false;
         for (const LintFinding &f : res.findings) {
             seen = seen || f.check == check;
@@ -226,7 +237,7 @@ TEST(MopacLint, ListChecksEnumeratesEveryCheck)
     for (const char *check :
          {"det-rand", "det-time", "det-clock", "det-rng",
           "det-ptr-key", "det-unordered", "serial-drift", "rng-seed",
-          "guard"}) {
+          "next-event", "guard"}) {
         EXPECT_NE(res.output.find(check), std::string::npos)
             << "missing from --list-checks: " << check;
     }

@@ -15,6 +15,11 @@
 # manifest verification, finished-point reuse, and schedule-independent
 # stat merging.
 #
+# The clean run uses the legacy tick engine while the journaled and
+# resumed runs use the event engine (MOPAC_SIM_ENGINE), so the final
+# byte-identical report diff doubles as an end-to-end differential
+# test of the two run-loop engines across a crash/resume cycle.
+#
 # Usage: kill_resume_smoke.sh <bench-binary> [<bench-binary> ...]
 # Env:   MOPAC_SIM_SCALE  simulation downscale (default 0.03)
 #        KILL_AFTER       seconds before the SIGKILL (default 2)
@@ -44,7 +49,7 @@ for bin in "$@"; do
     journal="$workdir/$name.journal"
     echo "== $name (scale $MOPAC_SIM_SCALE)"
 
-    if ! "$bin" --jobs 2 >"$workdir/$name.clean" \
+    if ! MOPAC_SIM_ENGINE=tick "$bin" --jobs 2 >"$workdir/$name.clean" \
             2>"$workdir/$name.clean.err"; then
         echo "FAIL: clean run of $name failed" >&2
         cat "$workdir/$name.clean.err" >&2
@@ -52,7 +57,7 @@ for bin in "$@"; do
         continue
     fi
 
-    "$bin" --jobs 4 --journal "$journal" \
+    MOPAC_SIM_ENGINE=event "$bin" --jobs 4 --journal "$journal" \
         >"$workdir/$name.killed" 2>&1 &
     pid=$!
     sleep "$KILL_AFTER"
@@ -63,7 +68,7 @@ for bin in "$@"; do
     fi
     wait "$pid" 2>/dev/null
 
-    if ! "$bin" --jobs 3 --resume "$journal" \
+    if ! MOPAC_SIM_ENGINE=event "$bin" --jobs 3 --resume "$journal" \
             >"$workdir/$name.resumed" 2>"$workdir/$name.resumed.err"; then
         echo "FAIL: resume of $name failed" >&2
         cat "$workdir/$name.resumed.err" >&2

@@ -39,6 +39,12 @@
  *                  (a constant, a config field, a counter-mode
  *                  streamSeed derivation) so a reader can trace every
  *                  stream back to the experiment master seed.
+ *   next-event     A class declares a `tick(Cycle ...)` method but no
+ *                  next-event accessor (nextWakeAt / nextSelfEventAt
+ *                  / nextEventAt).  The skip-to-next-event run loop
+ *                  can only jump past a tick source that can report
+ *                  its next interesting cycle; an opaque tick forces
+ *                  the engine back to one-iteration-per-cycle.
  *   guard          Include guards must be MOPAC_<DIR>_<FILE>_HH
  *                  derived from the path (src/ stripped); #pragma
  *                  once is not used in this repo.
@@ -80,7 +86,7 @@ namespace
 
 const char *const kAllChecks[] = {
     "det-rand",  "det-time",     "det-clock",    "det-rng", "det-ptr-key",
-    "det-unordered", "serial-drift", "rng-seed", "guard",
+    "det-unordered", "serial-drift", "rng-seed", "next-event", "guard",
 };
 
 struct Finding
@@ -1105,6 +1111,80 @@ checkSerializationDrift(const SourceFile &header,
 }
 
 // ------------------------------------------------------------------
+// next-event
+// ------------------------------------------------------------------
+
+/**
+ * A tick source (a class with a `tick(Cycle ...)` method) must also
+ * expose its next interesting cycle -- nextWakeAt(), nextSelfEventAt()
+ * or nextEventAt() -- or the skip-to-next-event engine has to assume
+ * it needs every cycle, degenerating to the legacy tick loop.  The
+ * scan is declaration-level (headers): a class body containing the
+ * token sequence `tick ( Cycle` with none of the accessor names
+ * anywhere in the body is reported at the tick declaration.
+ */
+void
+checkNextEvent(const SourceFile &sf, Linter &lint)
+{
+    const Tokens &t = sf.tokens;
+    for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+        if (t[i].kind != Token::kIdent ||
+            (t[i].text != "class" && t[i].text != "struct")) {
+            continue;
+        }
+        if (i > 0 && (t[i - 1].text == "enum" ||
+                      t[i - 1].text == "friend" ||
+                      t[i - 1].text == "<" || t[i - 1].text == ",")) {
+            continue; // enum class / friend decl / template param
+        }
+        if (t[i + 1].kind != Token::kIdent) {
+            continue;
+        }
+        const std::string &name = t[i + 1].text;
+        std::size_t j = i + 2;
+        while (j < t.size() && t[j].text != "{" && t[j].text != ";") {
+            ++j;
+        }
+        if (j >= t.size() || t[j].text != "{") {
+            continue; // forward declaration
+        }
+        const std::size_t close = matchForward(t, j, "{", "}");
+        if (close == t.size()) {
+            continue;
+        }
+        int tick_line = 0;
+        bool has_next = false;
+        for (std::size_t k = j + 1; k < close; ++k) {
+            if (t[k].kind != Token::kIdent) {
+                continue;
+            }
+            if (tick_line == 0 && t[k].text == "tick" &&
+                is(t, k + 1, "(") && k + 2 < close &&
+                t[k + 2].kind == Token::kIdent &&
+                t[k + 2].text == "Cycle") {
+                tick_line = t[k].line;
+            }
+            if (t[k].text == "nextWakeAt" ||
+                t[k].text == "nextSelfEventAt" ||
+                t[k].text == "nextEventAt") {
+                has_next = true;
+            }
+        }
+        if (tick_line != 0 && !has_next) {
+            lint.report(sf, tick_line, "next-event",
+                        "class " + name +
+                            " declares tick(Cycle ...) but no "
+                            "next-event accessor (nextWakeAt / "
+                            "nextSelfEventAt / nextEventAt): the "
+                            "event engine cannot skip idle cycles "
+                            "past an opaque tick source");
+        }
+        // Do not jump over the body: nested classes are scanned as
+        // their own spans when the loop reaches their keyword.
+    }
+}
+
+// ------------------------------------------------------------------
 // Driver
 // ------------------------------------------------------------------
 
@@ -1262,6 +1342,7 @@ main(int argc, char **argv)
         if (ext == ".hh" || ext == ".h" || ext == ".hpp") {
             impl = pairedImpl(f);
             checkSerializationDrift(sf, impl, lint);
+            checkNextEvent(sf, lint);
         }
         // det-unordered sees names declared in the file plus, for a
         // .cc, names from its own header (members iterated in

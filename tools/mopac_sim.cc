@@ -20,6 +20,8 @@
  *   chips      = chips per sub-channel        (4)
  *   page       = open|close|timeout           (open)
  *   ton_ns     = timeout policy tON in ns     (200)
+ *   sim.engine = tick|event run-loop engine; both produce
+ *                bit-identical results         (event)
  *   baseline   = also run the unprotected baseline and report
  *                the weighted slowdown        (false)
  *   watchdog   = forward-progress watchdog budget in cycles; a run
@@ -147,6 +149,8 @@ main(int argc, char **argv)
         static_cast<int>(conf.getInt("drain", -1));
     cfg.geometry.chips =
         static_cast<unsigned>(conf.getUint("chips", 4));
+    cfg.engine =
+        parseSimEngine(conf.getString("sim.engine", toString(cfg.engine)));
     cfg.mc.page_policy = parsePolicy(conf.getString("page", "open"));
     cfg.mc.timeout_ton = nsToCycles(conf.getDouble("ton_ns", 200.0));
     cfg.watchdog_cycles = conf.getUint("watchdog", cfg.watchdog_cycles);
