@@ -97,5 +97,5 @@ main()
                "~15x the window), which is exactly the slack an "
                "attacker exploits around SRQ-full ABOs.");
     table.print(std::cout);
-    return 0;
+    return mopac::bench::finalExitCode();
 }

@@ -120,5 +120,5 @@ main(int argc, char **argv)
                "keeps PRAC's security at a fraction of the tax and "
                "tiny SRAM, unlike Graphene-class trackers.");
     table.print(std::cout);
-    return 0;
+    return mopac::bench::finalExitCode();
 }

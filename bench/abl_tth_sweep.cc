@@ -46,5 +46,5 @@ main()
                "while ATH* loses only 32 of ATH's activation "
                "budget.");
     table.print(std::cout);
-    return 0;
+    return mopac::bench::finalExitCode();
 }

@@ -29,6 +29,7 @@
 
 #include "common/mathutil.hh"
 #include "common/table.hh"
+#include "serve/client.hh"
 #include "sim/experiment.hh"
 #include "sim/journal.hh"
 #include "sim/runner.hh"
@@ -62,6 +63,10 @@ benchInsts()
  *   --drain-deadline SEC  with --journal: seconds in-flight points
  *                get to finish after a stop request before a hard
  *                abort abandons them (default 30; 0 = wait forever)
+ *   --submit SOCKET  run the sweep through a mopac_serve daemon at
+ *                SOCKET instead of in-process: identical results
+ *                (and cache hits for repeated cells), plus daemon-
+ *                side crash safety
  */
 struct BenchOptions
 {
@@ -71,6 +76,8 @@ struct BenchOptions
     /** Journal directory ("" = plain, non-resumable sweep). */
     std::string journal;
     double drain_deadline_sec = 30.0;
+    /** mopac_serve socket ("" = run the sweep in-process). */
+    std::string submit;
 };
 
 /** Parse the shared bench flags; fatal() on malformed input. */
@@ -132,10 +139,14 @@ parseBenchArgs(int argc, char **argv)
                 fatal("--drain-deadline expects a non-negative "
                       "number of seconds, got '{}'", text);
             }
+        } else if (arg == "--submit" ||
+                   arg.rfind("--submit=", 0) == 0) {
+            opts.submit = value("--submit");
         } else if (arg == "--help" || arg == "-h") {
             std::puts("usage: <bench> [--jobs N] [--replay ID] "
                       "[--list-points] [--journal DIR] "
-                      "[--resume DIR] [--drain-deadline SEC]");
+                      "[--resume DIR] [--drain-deadline SEC] "
+                      "[--submit SOCKET]");
             std::exit(0);
         } else {
             fatal("unknown bench argument '{}'", arg);
@@ -164,6 +175,61 @@ benchConfig(MitigationKind kind, std::uint32_t trh)
     cfg.insts_per_core = benchInsts();
     cfg.warmup_insts = cfg.insts_per_core / 10;
     return cfg;
+}
+
+namespace detail
+{
+
+/** Severity rank of an exit code (sim/stop.hh map); unknown = worst. */
+inline int
+exitSeverity(int code)
+{
+    switch (code) {
+      case 0: return 0;
+      case sweepstop::kResumableExit: return 1;
+      case sweepstop::kQuarantinedExit: return 2;
+      case sweepstop::kHungExit: return 3;
+      case sweepstop::kViolatedExit: return 4;
+    }
+    return 5;
+}
+
+/** Sticky worst exit code of every sweep this process ran. */
+inline int &
+worstExitCode()
+{
+    static int code = 0;
+    return code;
+}
+
+} // namespace detail
+
+/**
+ * Record a sweep's exit code; the worst one across all sweeps of the
+ * process becomes finalExitCode().  runBenchPoints() calls this
+ * automatically; drivers that run the Runner directly (chaos_soak)
+ * call it for the sweeps that are supposed to be clean.
+ */
+inline void
+noteSweepExit(int code)
+{
+    if (detail::exitSeverity(code) >
+        detail::exitSeverity(detail::worstExitCode())) {
+        detail::worstExitCode() = code;
+    }
+}
+
+/**
+ * The process exit code every bench driver returns from main(): the
+ * worst sweep outcome per the shared map in sim/stop.hh (0 clean, 65
+ * VIOLATED, 70 HUNG, 74 quarantined, 75 interrupted-resumable), so
+ * wrappers and CI can triage a finished driver without parsing its
+ * report.
+ */
+inline int
+finalExitCode()
+{
+    return detail::worstExitCode();
 }
 
 /**
@@ -216,7 +282,37 @@ runBenchPoints(const std::vector<ExperimentPoint> &points,
     ropts.jobs = opts.jobs;
 
     std::vector<PointResult> results;
-    if (!opts.journal.empty()) {
+    if (!opts.submit.empty()) {
+        // Route the sweep through a mopac_serve daemon: identical
+        // deterministic results, daemon-side journaling, and repeated
+        // cells served from the content-addressed cache.
+        serve::ClientOptions copts;
+        copts.socket_path = opts.submit;
+        serve::Client client(copts);
+        serve::JobOptions jopts;
+        serve::Manifest manifest;
+        try {
+            manifest = client.runSweep(points, jopts);
+        } catch (const serve::ClientError &err) {
+            fatal("--submit {}: {}", opts.submit, err.what());
+        }
+        inform("daemon job {:x} {}: {} done ({} cached), {} "
+               "quarantined",
+               manifest.status.job_id,
+               serve::toString(manifest.status.phase),
+               manifest.status.counts.done,
+               manifest.status.counts.cached,
+               manifest.status.counts.quarantined);
+        results.reserve(manifest.entries.size());
+        for (serve::ManifestEntry &entry : manifest.entries) {
+            results.push_back(std::move(entry.result));
+        }
+        if (results.size() != points.size()) {
+            fatal("--submit {}: daemon returned {} results for {} "
+                  "points", opts.submit, results.size(),
+                  points.size());
+        }
+    } else if (!opts.journal.empty()) {
         // Journaled (resumable) sweep: finished points come from the
         // journal, new ones are recorded atomically, and a signal
         // pauses at the next point boundary with the resumable exit
@@ -253,6 +349,7 @@ runBenchPoints(const std::vector<ExperimentPoint> &points,
                  r.point_id, r.seed);
         }
     }
+    noteSweepExit(sweepExitCode(results));
     return results;
 }
 

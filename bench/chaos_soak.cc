@@ -17,6 +17,14 @@
  * quarantined (with its replay id) instead of hanging the sweep --
  * and that fault_retries re-runs transiently-unlucky points.
  *
+ * Part C (kWorkerKill) moves the chaos up one process level: the same
+ * clean sweep runs serially on the Runner and then under the
+ * serve::Supervisor while workers are SIGKILLed / SIGSTOPped
+ * mid-chunk (a scripted schedule guarantees at least one of each, and
+ * rate-based chaos adds more).  The supervised manifest must be
+ * bit-identical to the serial one -- a worker death costs wall time,
+ * never results.  A mismatch fails the bench (exit 1).
+ *
  * Flags: the shared bench flags plus `--smoke` (short durations and a
  * reduced grid; what the ctest smoke run uses).
  */
@@ -27,8 +35,11 @@
 #include <vector>
 
 #include "bench_util.hh"
+#include "common/serialize.hh"
+#include "serve/supervisor.hh"
 #include "sim/attack.hh"
 #include "sim/faults.hh"
+#include "sim/journal.hh"
 
 namespace
 {
@@ -186,6 +197,103 @@ quarantineSweep(bool smoke, const BenchOptions &opts)
     table.print(std::cout);
 }
 
+/**
+ * Canonical bytes of one point result: everything deterministic
+ * (status, outcome, seed, error, attempts, full RunResult and stats),
+ * with the wall-clock field -- the only legitimately nondeterministic
+ * one -- zeroed before serializing.
+ */
+std::vector<std::uint8_t>
+canonicalBytes(const PointResult &result)
+{
+    PointResult canon = result;
+    canon.wall_seconds = 0.0;
+    Serializer ser;
+    savePointResult(ser, canon);
+    return ser.finish(FileKind::kPointRecord, canon.point_id);
+}
+
+void
+workerKillChaos(bool smoke)
+{
+    const std::uint64_t insts = smoke ? 15000 : 40000;
+
+    // A small clean sweep (no fault plans): it has exactly one
+    // correct manifest, so any divergence is the supervisor's fault.
+    SweepSpec spec;
+    spec.master_seed = 41;
+    for (std::uint32_t trh : {500u, 1000u}) {
+        SystemConfig cfg = makeConfig(MitigationKind::kMopacD, trh);
+        cfg.insts_per_core = insts;
+        cfg.warmup_insts = insts / 10;
+        spec.configs.push_back(
+            {"mopac-d@" + std::to_string(trh), cfg});
+    }
+    spec.workloads = {"mcf", "xz"};
+    const std::vector<ExperimentPoint> points = spec.expand();
+
+    RunnerOptions serial_opts;
+    serial_opts.jobs = 1;
+    const std::vector<PointResult> serial =
+        Runner(serial_opts).run(points);
+
+    serve::SupervisorOptions sopts;
+    sopts.workers = 3;
+    sopts.max_strikes = 25;       // Chaos must never quarantine.
+    sopts.heartbeat_sec = 0.2;
+    sopts.hang_timeout_sec = 10.0; // Catches the SIGSTOPped worker.
+    sopts.backoff_base_sec = 0.01;
+    sopts.backoff_cap_sec = 0.05;
+    sopts.chaos_kill_rate = 0.10; // Per (point, attempt) start.
+    sopts.chaos_stop_rate = 0.05;
+    serve::Supervisor sup(sopts);
+    // The rates only kill in expectation; script one crash and one
+    // hang so the smoke run provably exercises both recovery paths.
+    sup.setFailSchedule({
+        {{points[0].point_id, 1}, serve::FailAction::kKillWorker},
+        {{points[2].point_id, 1}, serve::FailAction::kStopWorker},
+    });
+    const serve::SupervisorReport report = sup.run(points);
+
+    TextTable table("chaos soak: worker-kill supervision");
+    table.header({"id", "config", "workload", "status", "retries",
+                  "identical"});
+    std::size_t mismatches = 0;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const bool same = canonicalBytes(serial[i]) ==
+                          canonicalBytes(report.results[i]);
+        mismatches += same ? 0 : 1;
+        const auto it = report.retries.find(points[i].point_id);
+        const std::size_t nretries =
+            it == report.retries.end() ? 0 : it->second.size();
+        table.row({std::to_string(points[i].point_id),
+                   points[i].config_label, points[i].workload,
+                   toString(report.results[i].status),
+                   std::to_string(nretries), same ? "yes" : "NO"});
+    }
+    table.note(format(
+        "workers forked {}  crashed {}  hang-killed {}",
+        report.workers_forked, report.workers_crashed,
+        report.workers_hung_killed));
+    table.print(std::cout);
+
+    if (mismatches > 0) {
+        fatal("worker-kill chaos: {} of {} supervised results differ "
+              "from the serial run",
+              mismatches, points.size());
+    }
+    if (report.workers_crashed == 0 ||
+        report.workers_hung_killed == 0) {
+        fatal("worker-kill chaos: scripted failures did not fire "
+              "(crashed {}, hang-killed {})",
+              report.workers_crashed, report.workers_hung_killed);
+    }
+    if (report.exitCode() != 0) {
+        fatal("worker-kill chaos: supervised sweep exit {} != 0",
+              report.exitCode());
+    }
+}
+
 } // namespace
 
 int
@@ -211,5 +319,6 @@ main(int argc, char **argv)
 
     degradationTable(smoke, intensities);
     quarantineSweep(smoke, opts);
-    return 0;
+    workerKillChaos(smoke);
+    return mopac::bench::finalExitCode();
 }

@@ -63,5 +63,5 @@ main(int argc, char **argv)
                "MoPAC falls from ~0.2% (T_RH 4K, p=1/64) to ~1.5% "
                "(500) to ~2.5% (250).");
     table.print(std::cout);
-    return 0;
+    return mopac::bench::finalExitCode();
 }

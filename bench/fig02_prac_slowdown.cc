@@ -53,5 +53,5 @@ main(int argc, char **argv)
     table.note("STREAM rows carry run-to-run noise of a few percent from chaotic "
                "bank-conflict phasing (see EXPERIMENTS.md).");
     table.print(std::cout);
-    return 0;
+    return mopac::bench::finalExitCode();
 }

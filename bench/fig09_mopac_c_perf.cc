@@ -59,5 +59,5 @@ main(int argc, char **argv)
                "at T_RH 1000 / 500 / 250 (PRAC shown once; its "
                "overhead is threshold-independent, Figure 2).");
     table.print(std::cout);
-    return 0;
+    return mopac::bench::finalExitCode();
 }

@@ -59,5 +59,5 @@ main(int argc, char **argv)
                "at T_RH 1000 / 500 / 250 (drain-on-REF 1 / 2 / 4 and "
                "a 16-entry SRQ per chip).");
     table.print(std::cout);
-    return 0;
+    return mopac::bench::finalExitCode();
 }

@@ -61,5 +61,5 @@ main(int argc, char **argv)
     table.note("Averaged over the 8-workload sensitivity subset "
                "(see bench_util.hh); the paper averages all 23.");
     table.print(std::cout);
-    return 0;
+    return mopac::bench::finalExitCode();
 }

@@ -60,5 +60,5 @@ main(int argc, char **argv)
                "bigger SRQ (96 B per bank at 32 entries).");
     table.note("Averaged over the 8-workload sensitivity subset.");
     table.print(std::cout);
-    return 0;
+    return mopac::bench::finalExitCode();
 }

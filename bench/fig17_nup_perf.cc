@@ -59,5 +59,5 @@ main(int argc, char **argv)
                "SRQ pressure (Table 12) at a slightly lower ATH* "
                "(Table 11); averaged over the sensitivity subset.");
     table.print(std::cout);
-    return 0;
+    return mopac::bench::finalExitCode();
 }

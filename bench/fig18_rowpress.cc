@@ -100,5 +100,5 @@ main(int argc, char **argv)
                "sees 6.8%): the lower ATH* (64) plus SCtr inflation "
                "for long-open rows raises the ABO rate.");
     table.print(std::cout);
-    return 0;
+    return mopac::bench::finalExitCode();
 }

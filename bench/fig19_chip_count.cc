@@ -73,5 +73,5 @@ main(int argc, char **argv)
                "enough (1/8, 1/16) that chip count barely matters; "
                "at 250 (p = 1/4) oversampling grows with chips.");
     table.print(std::cout);
-    return 0;
+    return mopac::bench::finalExitCode();
 }

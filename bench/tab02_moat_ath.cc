@@ -7,6 +7,8 @@
 
 #include <iostream>
 
+#include "bench_util.hh"
+
 #include "analysis/moat_model.hh"
 #include "common/table.hh"
 
@@ -39,5 +41,5 @@ main()
                "used by Figure 1(d); the paper publishes only the "
                "first three.");
     table.print(std::cout);
-    return 0;
+    return mopac::bench::finalExitCode();
 }

@@ -84,5 +84,5 @@ main(int argc, char **argv)
                "concentrate a row's accesses in time (not "
                "stationary); the paper's full-32ms window reports 0.");
     table.print(std::cout);
-    return 0;
+    return mopac::bench::finalExitCode();
 }

@@ -7,6 +7,8 @@
 
 #include <iostream>
 
+#include "bench_util.hh"
+
 #include "analysis/security.hh"
 #include "common/table.hh"
 
@@ -40,5 +42,5 @@ main()
                "sqrt(1.44e-16) = 1.20e-08 -- a rounding artifact in "
                "the paper that does not change any derived C.");
     table.print(std::cout);
-    return 0;
+    return mopac::bench::finalExitCode();
 }

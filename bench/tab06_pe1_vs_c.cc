@@ -9,6 +9,8 @@
 
 #include <iostream>
 
+#include "bench_util.hh"
+
 #include "analysis/binomial.hh"
 #include "analysis/moat_model.hh"
 #include "analysis/security.hh"
@@ -59,5 +61,5 @@ main()
     table.note("Paper reference diagonals: 250: C=21 -> 6.1e-9; "
                "500: C=22 -> 5.9e-9; 1000: C=23 -> 1.08e-8.");
     table.print(std::cout);
-    return 0;
+    return mopac::bench::finalExitCode();
 }

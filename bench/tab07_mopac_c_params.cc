@@ -7,6 +7,8 @@
 
 #include <iostream>
 
+#include "bench_util.hh"
+
 #include "analysis/security.hh"
 #include "common/format.hh"
 #include "common/table.hh"
@@ -44,5 +46,5 @@ main()
     table.note("Rows below the rule are the Figure 1(d) extensions "
                "(p halves per threshold doubling, §1).");
     table.print(std::cout);
-    return 0;
+    return mopac::bench::finalExitCode();
 }

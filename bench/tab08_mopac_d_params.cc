@@ -6,6 +6,8 @@
 
 #include <iostream>
 
+#include "bench_util.hh"
+
 #include "analysis/security.hh"
 #include "common/format.hh"
 #include "common/table.hh"
@@ -38,5 +40,5 @@ main()
                "prints A' = 942 at T_RH 1000 (975 - 32 = 943, a "
                "typesetting slip that does not change C).");
     table.print(std::cout);
-    return 0;
+    return mopac::bench::finalExitCode();
 }

@@ -8,6 +8,8 @@
 
 #include <iostream>
 
+#include "bench_util.hh"
+
 #include "analysis/perf_attack.hh"
 #include "analysis/security.hh"
 #include "common/format.hh"
@@ -79,5 +81,5 @@ main()
                "circular pattern vs the unprotected baseline; it "
                "also folds in MoPAC-C's own PREcu latency.");
     table.print(std::cout);
-    return 0;
+    return mopac::bench::finalExitCode();
 }

@@ -8,6 +8,8 @@
 
 #include <iostream>
 
+#include "bench_util.hh"
+
 #include "analysis/perf_attack.hh"
 #include "analysis/security.hh"
 #include "common/table.hh"
@@ -80,5 +82,5 @@ main()
                "classic row-buffer-conflict attacks (the paper's "
                "DoS conclusion).");
     table.print(std::cout);
-    return 0;
+    return mopac::bench::finalExitCode();
 }

@@ -6,6 +6,8 @@
 
 #include <iostream>
 
+#include "bench_util.hh"
+
 #include "analysis/security.hh"
 #include "common/format.hh"
 #include "common/table.hh"
@@ -39,5 +41,5 @@ main()
                "of Figure 16 run for ATH steps yields C = 18/17/14 "
                "(Eq. 9), lowering ATH* below the uniform values.");
     table.print(std::cout);
-    return 0;
+    return mopac::bench::finalExitCode();
 }

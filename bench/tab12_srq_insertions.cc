@@ -82,5 +82,5 @@ main(int argc, char **argv)
                "~100p per 100 ACTs; NUP halves it because most rows "
                "hold a zero counter within tREFW (§8.4).");
     table.print(std::cout);
-    return 0;
+    return mopac::bench::finalExitCode();
 }

@@ -7,6 +7,8 @@
 
 #include <iostream>
 
+#include "bench_util.hh"
+
 #include "analysis/related.hh"
 #include "common/format.hh"
 #include "common/table.hh"
@@ -47,5 +49,5 @@ main()
                "models documented in DESIGN.md; they reproduce the "
                "published numbers within a few percent.");
     table.print(std::cout);
-    return 0;
+    return mopac::bench::finalExitCode();
 }

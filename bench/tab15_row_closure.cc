@@ -107,5 +107,5 @@ main(int argc, char **argv)
                "the close-page *baseline* is 1.8% slower than "
                "open-page.");
     table.print(std::cout);
-    return 0;
+    return mopac::bench::finalExitCode();
 }

@@ -1,0 +1,428 @@
+/**
+ * @file
+ * Sweep-service daemon implementation.
+ */
+
+#include "daemon.hh"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/file.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "common/log.hh"
+#include "serve/io.hh"
+#include "sim/stop.hh"
+
+namespace mopac::serve
+{
+
+namespace
+{
+
+void
+ensureDir(const std::string &path)
+{
+    if (::mkdir(path.c_str(), 0777) == 0 || errno == EEXIST) {
+        return;
+    }
+    throw IoError(format("cannot create directory {}: {}", path,
+                         std::strerror(errno)));
+}
+
+std::string
+hex16(std::uint64_t value)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(value));
+    return std::string(buf);
+}
+
+/** Take the single-instance lock; returns the held fd. */
+int
+takeLock(const std::string &path)
+{
+    const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC,
+                          0666);
+    if (fd < 0) {
+        throw IoError(format("cannot open lock {}: {}", path,
+                             std::strerror(errno)));
+    }
+    if (::flock(fd, LOCK_EX | LOCK_NB) != 0) {
+        closeQuiet(fd);
+        throw IoError(format(
+            "another mopac_serve instance holds {}", path));
+    }
+    return fd;
+}
+
+} // namespace
+
+Daemon::Daemon(DaemonOptions opts) : opts_(std::move(opts))
+{
+    ensureDir(opts_.state_dir);
+    lock_fd_ = takeLock(opts_.state_dir + "/lock");
+    cache_ = std::make_unique<ResultCache>(opts_.state_dir + "/cache");
+    ensureDir(opts_.state_dir + "/jobs");
+    loadPersistedJobs();
+    listen_fd_ = listenUnix(opts_.socket_path);
+    inform("mopac_serve: listening on {} ({} persisted job{})",
+           opts_.socket_path, jobs_.size(),
+           jobs_.size() == 1 ? "" : "s");
+}
+
+Daemon::~Daemon()
+{
+    for (int fd : clients_) {
+        closeQuiet(fd);
+    }
+    closeQuiet(listen_fd_);
+    if (!opts_.socket_path.empty()) {
+        ::unlink(opts_.socket_path.c_str());
+    }
+    closeQuiet(lock_fd_);
+}
+
+std::string
+Daemon::jobDir(std::uint64_t job_id) const
+{
+    return opts_.state_dir + "/jobs/" + hex16(job_id);
+}
+
+void
+Daemon::seedReportFromJournal(Job &job)
+{
+    SupervisorReport &report = job.report;
+    report.results.assign(job.points.size(), PointResult{});
+    report.sources.assign(job.points.size(), PointSource::kPending);
+    for (std::size_t i = 0; i < job.points.size(); ++i) {
+        report.results[i].point_id = job.points[i].point_id;
+        report.results[i].status = PointStatus::kNotRun;
+        report.results[i].seed = job.points[i].cfg.seed;
+        report.results[i].attempts = 0;
+        const auto it =
+            job.journal->completed().find(job.points[i].point_id);
+        if (it != job.journal->completed().end()) {
+            report.results[i] = it->second;
+            report.sources[i] = PointSource::kFresh;
+        }
+    }
+}
+
+Daemon::Job &
+Daemon::adoptJob(std::uint64_t job_id, JobOptions opts,
+                 std::vector<ExperimentPoint> points, bool persist)
+{
+    const auto existing = jobs_.find(job_id);
+    if (existing != jobs_.end()) {
+        return existing->second;
+    }
+
+    Job &job = jobs_[job_id];
+    job.id = job_id;
+    job.opts = opts;
+    job.points = std::move(points);
+    ensureDir(jobDir(job_id));
+    if (persist) {
+        // Persist the spec BEFORE acknowledging: a daemon SIGKILLed
+        // right after the ack still knows the job on restart.
+        Serializer ser;
+        saveJobOptions(ser, job.opts);
+        savePoints(ser, job.points);
+        atomicWriteFile(jobDir(job_id) + "/spec.bin",
+                        ser.finish(FileKind::kServeJob, job_id));
+    }
+    job.journal = std::make_unique<SweepJournal>(
+        jobDir(job_id) + "/journal", job.points);
+    seedReportFromJournal(job);
+    if (job.report.counts().pending > 0) {
+        run_queue_.push_back(job_id);
+    }
+    return job;
+}
+
+void
+Daemon::loadPersistedJobs()
+{
+    const std::string jobs_dir = opts_.state_dir + "/jobs";
+    if (::mkdir(jobs_dir.c_str(), 0777) != 0 && errno != EEXIST) {
+        throw IoError(format("cannot create {}", jobs_dir));
+    }
+    DIR *dir = ::opendir(jobs_dir.c_str());
+    if (dir == nullptr) {
+        throw IoError(format("cannot list {}", jobs_dir));
+    }
+    std::vector<std::uint64_t> ids;
+    while (struct dirent *entry = ::readdir(dir)) {
+        const std::string name = entry->d_name;
+        if (name.size() != 16 ||
+            name.find_first_not_of("0123456789abcdef") !=
+                std::string::npos) {
+            continue;
+        }
+        ids.push_back(std::strtoull(name.c_str(), nullptr, 16));
+    }
+    ::closedir(dir);
+    // Deterministic adoption (and run-queue) order.
+    std::sort(ids.begin(), ids.end());
+    for (std::uint64_t id : ids) {
+        const std::string spec = jobDir(id) + "/spec.bin";
+        try {
+            Deserializer des(readFileBytes(spec),
+                             FileKind::kServeJob, id);
+            JobOptions opts = loadJobOptions(des);
+            std::vector<ExperimentPoint> points = loadPoints(des);
+            des.finish();
+            if (SweepJournal::sweepHash(points) != id) {
+                throw SerializeError("spec does not match job id");
+            }
+            adoptJob(id, opts, std::move(points), false);
+        } catch (const std::exception &err) {
+            // A corrupt spec must not brick the daemon: skip the job
+            // (its submitter will resubmit) and keep serving.
+            warn("mopac_serve: skipping unreadable job {}: {}",
+                 hex16(id), err.what());
+        }
+    }
+}
+
+JobStatus
+Daemon::statusOf(const Job &job) const
+{
+    const SupervisorReport *report = &job.report;
+    if (job.running && live_supervisor_ != nullptr &&
+        live_job_ == job.id &&
+        live_supervisor_->liveReport() != nullptr) {
+        report = live_supervisor_->liveReport();
+    }
+    JobStatus status;
+    status.job_id = job.id;
+    status.counts = report->counts();
+    status.phase = report->phase();
+    return status;
+}
+
+Manifest
+Daemon::manifestOf(const Job &job) const
+{
+    const SupervisorReport *report = &job.report;
+    if (job.running && live_supervisor_ != nullptr &&
+        live_job_ == job.id &&
+        live_supervisor_->liveReport() != nullptr) {
+        report = live_supervisor_->liveReport();
+    }
+    Manifest manifest;
+    manifest.status = statusOf(job);
+    manifest.entries.reserve(report->results.size());
+    for (std::size_t i = 0; i < report->results.size(); ++i) {
+        ManifestEntry entry;
+        entry.source = report->sources[i];
+        entry.result = report->results[i];
+        manifest.entries.push_back(std::move(entry));
+    }
+    return manifest;
+}
+
+void
+Daemon::runJob(Job &job)
+{
+    inform("mopac_serve: running job {} ({} points)", hex16(job.id),
+           job.points.size());
+    SupervisorOptions sup_opts = opts_.supervision;
+    sup_opts.job = job.opts;
+    Supervisor supervisor(sup_opts);
+    supervisor.setJournal(job.journal.get());
+    supervisor.setCache(cache_.get());
+    supervisor.setChildSetup([this] {
+        // Workers must not hold the daemon's sockets or lock open.
+        closeQuiet(listen_fd_);
+        for (int fd : clients_) {
+            closeQuiet(fd);
+        }
+        closeQuiet(lock_fd_);
+    });
+    job.running = true;
+    live_supervisor_ = &supervisor;
+    live_job_ = job.id;
+    job.report = supervisor.run(
+        job.points, nullptr, [this] { pumpClients(0.0); });
+    live_supervisor_ = nullptr;
+    job.running = false;
+    const JobCounts counts = job.report.counts();
+    inform("mopac_serve: job {} {}: {} done ({} cached), {} "
+           "quarantined, {} pending",
+           hex16(job.id), toString(job.report.phase()), counts.done,
+           counts.cached, counts.quarantined, counts.pending);
+}
+
+void
+Daemon::closeClient(std::size_t slot)
+{
+    closeQuiet(clients_[slot]);
+    clients_[slot] = -1;
+}
+
+bool
+Daemon::handleClient(std::size_t slot)
+{
+    const int fd = clients_[slot];
+    ReceivedMessage msg;
+    try {
+        msg = recvMessage(fd, 5.0);
+    } catch (const std::exception &err) {
+        warn("mopac_serve: dropping client: {}", err.what());
+        closeClient(slot);
+        return false;
+    }
+    if (msg.status != IoStatus::kOk) {
+        if (msg.status == IoStatus::kPeerClosed) {
+            closeClient(slot);
+        }
+        return false;
+    }
+
+    Serializer reply;
+    MsgType reply_type = MsgType::kError;
+    try {
+        switch (msg.type) {
+          case MsgType::kPing:
+            reply_type = MsgType::kPong;
+            break;
+          case MsgType::kSubmit: {
+            JobOptions opts = loadJobOptions(*msg.payload);
+            std::vector<ExperimentPoint> points =
+                loadPoints(*msg.payload);
+            msg.payload->finish();
+            if (points.empty()) {
+                throw SerializeError("empty point list");
+            }
+            const std::uint64_t id =
+                SweepJournal::sweepHash(points);
+            Job &job = adoptJob(id, opts, std::move(points), true);
+            saveJobStatus(reply, statusOf(job));
+            reply_type = MsgType::kSubmitAck;
+            break;
+          }
+          case MsgType::kQuery: {
+            const std::uint64_t id = loadJobId(*msg.payload);
+            msg.payload->finish();
+            JobStatus status;
+            status.job_id = id;
+            const auto it = jobs_.find(id);
+            if (it != jobs_.end()) {
+                status = statusOf(it->second);
+            }
+            saveJobStatus(reply, status);
+            reply_type = MsgType::kStatus;
+            break;
+          }
+          case MsgType::kFetch: {
+            const std::uint64_t id = loadJobId(*msg.payload);
+            msg.payload->finish();
+            const auto it = jobs_.find(id);
+            if (it == jobs_.end()) {
+                saveErrorText(reply,
+                              format("unknown job {}", hex16(id)));
+                reply_type = MsgType::kError;
+            } else {
+                saveManifest(reply, manifestOf(it->second));
+                reply_type = MsgType::kResults;
+            }
+            break;
+          }
+          case MsgType::kShutdown:
+            shutdown_requested_ = true;
+            sweepstop::requestStop();
+            reply_type = MsgType::kShutdownAck;
+            break;
+          default:
+            saveErrorText(reply,
+                          format("unexpected message type {}",
+                                 static_cast<std::uint64_t>(
+                                     msg.type)));
+            reply_type = MsgType::kError;
+            break;
+        }
+    } catch (const std::exception &err) {
+        reply = Serializer();
+        saveErrorText(reply, err.what());
+        reply_type = MsgType::kError;
+    }
+
+    try {
+        if (sendMessage(fd, reply, reply_type, 10.0) !=
+            IoStatus::kOk) {
+            closeClient(slot);
+        }
+    } catch (const std::exception &) {
+        closeClient(slot);
+    }
+    return true;
+}
+
+void
+Daemon::pumpClients(double timeout_sec)
+{
+    // Compact out closed clients first so the fd list stays small.
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < clients_.size(); ++i) {
+        if (clients_[i] >= 0) {
+            clients_[kept++] = clients_[i];
+        }
+    }
+    clients_.resize(kept);
+
+    std::vector<int> fds;
+    fds.reserve(clients_.size() + 1);
+    fds.push_back(listen_fd_);
+    for (int fd : clients_) {
+        fds.push_back(fd);
+    }
+    for (std::size_t ready : waitAnyReadable(fds, timeout_sec)) {
+        if (ready == 0) {
+            const int fd = acceptClient(listen_fd_, 0.0);
+            if (fd >= 0) {
+                clients_.push_back(fd);
+            }
+        } else {
+            handleClient(ready - 1);
+        }
+    }
+}
+
+int
+Daemon::serve()
+{
+    sweepstop::installSignalHandlers();
+    while (!sweepstop::stopRequested() && !shutdown_requested_) {
+        if (!run_queue_.empty()) {
+            const std::uint64_t id = run_queue_.front();
+            run_queue_.erase(run_queue_.begin());
+            const auto it = jobs_.find(id);
+            if (it != jobs_.end() &&
+                it->second.report.counts().pending > 0) {
+                runJob(it->second);
+            }
+            continue;
+        }
+        pumpClients(0.2);
+    }
+
+    bool pending = !run_queue_.empty();
+    for (const auto &[id, job] : jobs_) {
+        pending = pending || job.report.counts().pending > 0;
+    }
+    inform("mopac_serve: stopping ({})",
+           pending ? "pending work; restart to resume" : "idle");
+    return pending ? sweepstop::kResumableExit : 0;
+}
+
+} // namespace mopac::serve

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * The mopac_serve daemon: a crash-safe sweep service.
+ *
+ * The daemon listens on a Unix-domain socket, accepts sweep jobs,
+ * executes them through the Supervisor (forked, supervised worker
+ * processes), and serves results -- fresh, cached, or degraded:
+ *
+ *  - IDEMPOTENT JOBS: a job's identity is SweepJournal::sweepHash of
+ *    its point list, so resubmitting the same sweep re-attaches to
+ *    the existing job (and its journal) instead of starting over.
+ *  - CRASH SAFETY: the job spec is persisted (atomically) before the
+ *    submit is acknowledged, and every finished point is journaled.
+ *    SIGKILL the daemon at any instant, restart it, and it replays
+ *    its journals: unfinished jobs resume losing at most the points
+ *    that were in flight.
+ *  - MEMOIZATION: finished points land in a content-addressed result
+ *    cache keyed by (configSignature, workload); a resubmitted
+ *    identical cell is served from disk without re-simulation, even
+ *    across different jobs.
+ *  - DEGRADED MODE: a fetch never fails just because work remains --
+ *    clients get a partial manifest with per-point pending markers
+ *    while the sweep runs, and a job whose points exhausted their
+ *    retries completes as kDegraded with quarantined entries rather
+ *    than failing the whole sweep.
+ *  - SINGLE-THREADED: client sockets are pumped from the
+ *    Supervisor's per-tick callback while a sweep runs, so the
+ *    daemon stays responsive mid-sweep without threads (fork-safe,
+ *    TSAN-clean).
+ *
+ * State directory layout:
+ *
+ *   <state>/lock                single-instance flock
+ *   <state>/cache/<key>.rec     content-addressed result cache
+ *   <state>/jobs/<id>/spec.bin  persisted job (points + options)
+ *   <state>/jobs/<id>/journal/  the job's SweepJournal
+ */
+
+#ifndef MOPAC_SERVE_DAEMON_HH
+#define MOPAC_SERVE_DAEMON_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "serve/cache.hh"
+#include "serve/protocol.hh"
+#include "serve/supervisor.hh"
+#include "sim/journal.hh"
+
+namespace mopac::serve
+{
+
+/** Daemon configuration. */
+struct DaemonOptions
+{
+    /** Unix-domain socket path clients connect to. */
+    std::string socket_path;
+    /** State directory (jobs, journals, cache, lock). */
+    std::string state_dir;
+    /** Supervision knobs (workers, watchdogs, retry, chaos). */
+    SupervisorOptions supervision;
+};
+
+/** The sweep service; see the file comment. */
+class Daemon
+{
+  public:
+    /**
+     * Open the state directory (taking the single-instance lock),
+     * replay persisted jobs, and bind the socket.  Throws IoError /
+     * SerializeError on an unusable environment.
+     */
+    explicit Daemon(DaemonOptions opts);
+    ~Daemon();
+
+    Daemon(const Daemon &) = delete;
+    Daemon &operator=(const Daemon &) = delete;
+
+    /**
+     * Serve until a graceful stop (signal or kShutdown message).
+     * Returns the process exit code: 0 when every known job is
+     * complete or degraded, sweepstop::kResumableExit when a stop
+     * interrupted pending work (restart to resume).
+     */
+    int serve();
+
+    /** Jobs currently known (loaded + submitted). */
+    std::size_t numJobs() const { return jobs_.size(); }
+
+  private:
+    struct Job
+    {
+        std::uint64_t id = 0;
+        JobOptions opts;
+        std::vector<ExperimentPoint> points;
+        std::unique_ptr<SweepJournal> journal;
+        /** Latest full report (journal adoption or a finished run). */
+        SupervisorReport report;
+        bool running = false;
+    };
+
+    std::string jobDir(std::uint64_t job_id) const;
+    Job &adoptJob(std::uint64_t job_id, JobOptions opts,
+                  std::vector<ExperimentPoint> points, bool persist);
+    void loadPersistedJobs();
+    void seedReportFromJournal(Job &job);
+    JobStatus statusOf(const Job &job) const;
+    Manifest manifestOf(const Job &job) const;
+    void runJob(Job &job);
+    void pumpClients(double timeout_sec);
+    bool handleClient(std::size_t slot);
+    void closeClient(std::size_t slot);
+
+    DaemonOptions opts_;
+    int lock_fd_ = -1;
+    int listen_fd_ = -1;
+    std::vector<int> clients_;
+    std::unique_ptr<ResultCache> cache_;
+    std::map<std::uint64_t, Job> jobs_;
+    std::vector<std::uint64_t> run_queue_;
+    Supervisor *live_supervisor_ = nullptr;
+    std::uint64_t live_job_ = 0;
+    bool shutdown_requested_ = false;
+};
+
+} // namespace mopac::serve
+
+#endif // MOPAC_SERVE_DAEMON_HH

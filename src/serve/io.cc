@@ -1,0 +1,385 @@
+/**
+ * @file
+ * Bounded, EINTR-safe syscall wrappers for the serve layer.
+ *
+ * This file is the sanctioned home of every raw blocking syscall in
+ * serve code (mopac_lint check `serve-timeout` enforces it); keep the
+ * raw calls here and audited.
+ */
+
+#include "io.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "common/format.hh"
+#include "common/wallclock.hh"
+
+namespace mopac::serve
+{
+
+namespace
+{
+
+[[noreturn]] void
+throwErrno(const std::string &what)
+{
+    throw IoError(format("{}: {}", what, std::strerror(errno)));
+}
+
+/** Remaining budget in milliseconds for poll(); -1 = forever. */
+int
+remainingMs(wallclock::TimePoint deadline, bool forever)
+{
+    if (forever) {
+        return -1;
+    }
+    const double left = -wallclock::secondsSince(deadline);
+    if (left <= 0.0) {
+        return 0;
+    }
+    const double ms = left * 1000.0;
+    return ms > 2147483000.0 ? 2147483000 : static_cast<int>(ms) + 1;
+}
+
+} // namespace
+
+const char *
+toString(IoStatus status)
+{
+    switch (status) {
+      case IoStatus::kOk: return "ok";
+      case IoStatus::kTimeout: return "timeout";
+      case IoStatus::kPeerClosed: return "peer-closed";
+    }
+    return "?";
+}
+
+IoStatus
+waitReadable(int fd, double timeout_sec)
+{
+    const bool forever = timeout_sec < 0.0;
+    const auto deadline =
+        wallclock::deadlineAfter(forever ? 0.0 : timeout_sec);
+    for (;;) {
+        struct pollfd pfd = {};
+        pfd.fd = fd;
+        pfd.events = POLLIN;
+        const int rc =
+            ::poll(&pfd, 1, remainingMs(deadline, forever));
+        if (rc > 0) {
+            return IoStatus::kOk;
+        }
+        if (rc == 0) {
+            return IoStatus::kTimeout;
+        }
+        if (errno == EINTR) {
+            continue;
+        }
+        throwErrno("poll");
+    }
+}
+
+std::vector<std::size_t>
+waitAnyReadable(const std::vector<int> &fds, double timeout_sec)
+{
+    std::vector<struct pollfd> pfds;
+    std::vector<std::size_t> index;
+    pfds.reserve(fds.size());
+    for (std::size_t i = 0; i < fds.size(); ++i) {
+        if (fds[i] < 0) {
+            continue;
+        }
+        struct pollfd pfd = {};
+        pfd.fd = fds[i];
+        pfd.events = POLLIN;
+        pfds.push_back(pfd);
+        index.push_back(i);
+    }
+    std::vector<std::size_t> ready;
+    if (pfds.empty()) {
+        return ready;
+    }
+    const bool forever = timeout_sec < 0.0;
+    const int ms =
+        forever ? -1
+                : remainingMs(wallclock::deadlineAfter(timeout_sec),
+                              false);
+    const int rc = ::poll(pfds.data(), pfds.size(), ms);
+    if (rc < 0) {
+        if (errno == EINTR) {
+            // Let the caller observe its stop flags after a signal.
+            return ready;
+        }
+        throwErrno("poll");
+    }
+    for (std::size_t i = 0; i < pfds.size(); ++i) {
+        if (pfds[i].revents != 0) {
+            ready.push_back(index[i]);
+        }
+    }
+    return ready;
+}
+
+IoStatus
+readExact(int fd, std::uint8_t *out, std::size_t size,
+          double timeout_sec)
+{
+    const bool forever = timeout_sec < 0.0;
+    const auto deadline =
+        wallclock::deadlineAfter(forever ? 0.0 : timeout_sec);
+    std::size_t got = 0;
+    while (got < size) {
+        struct pollfd pfd = {};
+        pfd.fd = fd;
+        pfd.events = POLLIN;
+        const int prc =
+            ::poll(&pfd, 1, remainingMs(deadline, forever));
+        if (prc == 0) {
+            if (got > 0) {
+                throw IoError(format(
+                    "timed out mid-frame ({} of {} bytes)", got,
+                    size));
+            }
+            return IoStatus::kTimeout;
+        }
+        if (prc < 0) {
+            if (errno == EINTR) {
+                continue;
+            }
+            throwErrno("poll");
+        }
+        const ssize_t rc = ::recv(fd, out + got, size - got, 0);
+        if (rc > 0) {
+            got += static_cast<std::size_t>(rc);
+            continue;
+        }
+        if (rc == 0) {
+            if (got > 0) {
+                throw IoError(format(
+                    "peer closed mid-frame ({} of {} bytes)", got,
+                    size));
+            }
+            return IoStatus::kPeerClosed;
+        }
+        if (errno == EINTR || errno == EAGAIN ||
+            errno == EWOULDBLOCK) {
+            continue;
+        }
+        if (errno == ECONNRESET) {
+            return IoStatus::kPeerClosed;
+        }
+        throwErrno("recv");
+    }
+    return IoStatus::kOk;
+}
+
+IoStatus
+writeAll(int fd, const std::uint8_t *data, std::size_t size,
+         double timeout_sec)
+{
+    const bool forever = timeout_sec < 0.0;
+    const auto deadline =
+        wallclock::deadlineAfter(forever ? 0.0 : timeout_sec);
+    std::size_t sent = 0;
+    while (sent < size) {
+        struct pollfd pfd = {};
+        pfd.fd = fd;
+        pfd.events = POLLOUT;
+        const int prc =
+            ::poll(&pfd, 1, remainingMs(deadline, forever));
+        if (prc == 0) {
+            return IoStatus::kTimeout;
+        }
+        if (prc < 0) {
+            if (errno == EINTR) {
+                continue;
+            }
+            throwErrno("poll");
+        }
+        const ssize_t rc =
+            ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+        if (rc > 0) {
+            sent += static_cast<std::size_t>(rc);
+            continue;
+        }
+        if (rc < 0 && (errno == EINTR || errno == EAGAIN ||
+                       errno == EWOULDBLOCK)) {
+            continue;
+        }
+        if (rc < 0 && (errno == EPIPE || errno == ECONNRESET)) {
+            return IoStatus::kPeerClosed;
+        }
+        throwErrno("send");
+    }
+    return IoStatus::kOk;
+}
+
+int
+listenUnix(const std::string &path)
+{
+    struct sockaddr_un addr = {};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path)) {
+        throw IoError(format("socket path too long: {}", path));
+    }
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0) {
+        throwErrno("socket");
+    }
+    // The caller holds the single-instance lock, so any existing
+    // socket file is a leftover from a crashed daemon.
+    ::unlink(path.c_str());
+    if (::bind(fd, reinterpret_cast<const struct sockaddr *>(&addr),
+               sizeof(addr)) < 0) {
+        closeQuiet(fd);
+        throwErrno(format("bind {}", path));
+    }
+    if (::listen(fd, 64) < 0) {
+        closeQuiet(fd);
+        throwErrno(format("listen {}", path));
+    }
+    return fd;
+}
+
+int
+acceptClient(int listen_fd, double timeout_sec)
+{
+    if (waitReadable(listen_fd, timeout_sec) != IoStatus::kOk) {
+        return -1;
+    }
+    for (;;) {
+        const int fd = ::accept(listen_fd, nullptr, nullptr);
+        if (fd >= 0) {
+            return fd;
+        }
+        if (errno == EINTR) {
+            continue;
+        }
+        if (errno == EAGAIN || errno == EWOULDBLOCK ||
+            errno == ECONNABORTED) {
+            return -1; // The pending connection evaporated.
+        }
+        throwErrno("accept");
+    }
+}
+
+int
+connectUnix(const std::string &path, double timeout_sec)
+{
+    struct sockaddr_un addr = {};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path)) {
+        throw IoError(format("socket path too long: {}", path));
+    }
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+    const auto deadline = wallclock::deadlineAfter(
+        timeout_sec < 0.0 ? 0.0 : timeout_sec);
+    for (;;) {
+        const int fd =
+            ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+        if (fd < 0) {
+            throwErrno("socket");
+        }
+        int rc;
+        do {
+            rc = ::connect(
+                fd, reinterpret_cast<const struct sockaddr *>(&addr),
+                sizeof(addr));
+        } while (rc < 0 && errno == EINTR);
+        if (rc == 0) {
+            return fd;
+        }
+        closeQuiet(fd);
+        if (errno != ENOENT && errno != ECONNREFUSED) {
+            throwErrno(format("connect {}", path));
+        }
+        // Daemon not (yet) there: retry within the budget.
+        if (timeout_sec >= 0.0 &&
+            wallclock::secondsSince(deadline) >= 0.0) {
+            return -1;
+        }
+        struct pollfd none = {};
+        none.fd = -1;
+        ::poll(&none, 1, 50); // EINTR-tolerant 50ms sleep.
+    }
+}
+
+void
+sleepFor(double seconds)
+{
+    if (seconds <= 0.0) {
+        return;
+    }
+    const auto deadline = wallclock::deadlineAfter(seconds);
+    for (;;) {
+        const int ms = remainingMs(deadline, false);
+        if (ms <= 0) {
+            return;
+        }
+        struct pollfd none = {};
+        none.fd = -1;
+        if (::poll(&none, 1, ms) == 0) {
+            return; // Full interval elapsed.
+        }
+        // EINTR: keep sleeping until the deadline.
+    }
+}
+
+SocketPair
+makeSocketPair()
+{
+    int fds[2];
+    if (::socketpair(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0, fds) <
+        0) {
+        throwErrno("socketpair");
+    }
+    SocketPair pair;
+    pair.supervisor_fd = fds[0];
+    pair.worker_fd = fds[1];
+    return pair;
+}
+
+ChildStatus
+reapChild(pid_t pid)
+{
+    ChildStatus status;
+    int wstatus = 0;
+    pid_t rc;
+    do {
+        rc = ::waitpid(pid, &wstatus, WNOHANG);
+    } while (rc < 0 && errno == EINTR);
+    if (rc <= 0) {
+        // 0 = still running; <0 = already reaped / not ours.  Either
+        // way the child has not newly exited for this caller.
+        status.exited = rc < 0;
+        return status;
+    }
+    status.exited = true;
+    if (WIFSIGNALED(wstatus)) {
+        status.signaled = true;
+        status.signal_number = WTERMSIG(wstatus);
+    } else if (WIFEXITED(wstatus)) {
+        status.exit_code = WEXITSTATUS(wstatus);
+    }
+    return status;
+}
+
+void
+closeQuiet(int fd)
+{
+    if (fd >= 0) {
+        ::close(fd);
+    }
+}
+
+} // namespace mopac::serve

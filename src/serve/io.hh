@@ -1,0 +1,146 @@
+/**
+ * @file
+ * The one sanctioned blocking-syscall access point of the serve layer.
+ *
+ * A self-healing daemon must never wedge on a dead peer: every
+ * blocking call it makes has to carry a timeout and survive EINTR.
+ * Instead of auditing that discipline at every call site, the serve
+ * layer funnels all raw read/write/poll/accept/connect/waitpid use
+ * through this file, and mopac_lint (check `serve-timeout`) flags any
+ * raw blocking syscall elsewhere in serve code -- the same pattern as
+ * the wallclock shim for host time (check `det-clock`).
+ *
+ * Conventions:
+ *  - Timeouts are in fractional seconds; a negative timeout means
+ *    "wait forever" and is reserved for callers that have their own
+ *    watchdog (the daemon's top-level poll loop).
+ *  - Every wrapper retries EINTR internally.
+ *  - Writes use MSG_NOSIGNAL, so a dead peer yields EPIPE instead of
+ *    killing the process; no SIGPIPE handler is needed.
+ *  - Failures throw IoError with errno context, except the explicit
+ *    Timeout / PeerClosed outcomes that callers routinely handle.
+ */
+
+#ifndef MOPAC_SERVE_IO_HH
+#define MOPAC_SERVE_IO_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <sys/types.h>
+
+namespace mopac::serve
+{
+
+/** Structured I/O failure (errno text included). */
+class IoError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/** Outcome of a bounded I/O attempt. */
+enum class IoStatus
+{
+    kOk,        //!< The full operation completed.
+    kTimeout,   //!< The deadline expired first.
+    kPeerClosed //!< EOF / EPIPE / ECONNRESET: the other side is gone.
+};
+
+/** Printable name of an IoStatus. */
+const char *toString(IoStatus status);
+
+/**
+ * Wait up to @p timeout_sec for @p fd to become readable.  Returns
+ * kOk / kTimeout; throws IoError on poll failure.
+ */
+IoStatus waitReadable(int fd, double timeout_sec);
+
+/**
+ * Wait for readability on many fds at once (the daemon's top-level
+ * event loop).  @p fds may contain -1 entries (ignored).  Returns the
+ * indices of @p fds that are readable or hung up; an empty result
+ * means the timeout expired.  @p timeout_sec < 0 waits forever --
+ * EINTR still returns (empty) so the caller can re-check its stop
+ * flags after a signal.
+ */
+std::vector<std::size_t> waitAnyReadable(const std::vector<int> &fds,
+                                         double timeout_sec);
+
+/**
+ * Read exactly @p size bytes into @p out.  Partial data followed by
+ * EOF throws IoError (a torn frame is corruption, not a clean close);
+ * EOF before the first byte returns kPeerClosed.
+ */
+IoStatus readExact(int fd, std::uint8_t *out, std::size_t size,
+                   double timeout_sec);
+
+/** Write all of @p data (MSG_NOSIGNAL; kPeerClosed on EPIPE). */
+IoStatus writeAll(int fd, const std::uint8_t *data, std::size_t size,
+                  double timeout_sec);
+
+/**
+ * Create a listening Unix-domain socket at @p path (unlinking any
+ * stale socket file first -- single-instance locking is the caller's
+ * job).  Throws IoError on failure.
+ */
+int listenUnix(const std::string &path);
+
+/**
+ * Accept one pending connection on @p listen_fd, waiting up to
+ * @p timeout_sec.  Returns the connected fd, or -1 on timeout.
+ */
+int acceptClient(int listen_fd, double timeout_sec);
+
+/**
+ * Connect to the Unix-domain socket at @p path, waiting up to
+ * @p timeout_sec.  Returns the connected fd, or -1 when the daemon is
+ * not reachable (absent socket / refused / timeout) -- callers retry
+ * with backoff; hard errors throw IoError.
+ */
+int connectUnix(const std::string &path, double timeout_sec);
+
+/**
+ * EINTR-proof bounded sleep (client/retry backoff).  Like the
+ * wallclock shim, keeping the one sanctioned sleep here makes every
+ * serve-layer delay greppable and auditable.
+ */
+void sleepFor(double seconds);
+
+/** A connected SOCK_STREAM socketpair (supervisor end, worker end). */
+struct SocketPair
+{
+    int supervisor_fd = -1;
+    int worker_fd = -1;
+};
+
+/** Create the supervisor<->worker socketpair; throws IoError. */
+SocketPair makeSocketPair();
+
+/** What non-blocking child reaping observed. */
+struct ChildStatus
+{
+    /** True when the child has exited (fields below are valid). */
+    bool exited = false;
+    /** True when a signal killed it (then @c signal_number is set). */
+    bool signaled = false;
+    int exit_code = 0;
+    int signal_number = 0;
+};
+
+/**
+ * Non-blocking waitpid(WNOHANG) on @p pid.  Never blocks: the
+ * supervisor polls this from its event loop instead of trusting a
+ * blocking wait that a wedged child could stall forever.
+ */
+ChildStatus reapChild(pid_t pid);
+
+/** Close @p fd if valid, ignoring errors (teardown paths). */
+void closeQuiet(int fd);
+
+} // namespace mopac::serve
+
+#endif // MOPAC_SERVE_IO_HH

@@ -1,0 +1,279 @@
+/**
+ * @file
+ * Wire protocol of the mopac_serve daemon.
+ *
+ * Every message -- client<->daemon and supervisor<->worker -- is one
+ * length-prefixed frame:
+ *
+ *   +--------------------------------------------------------------+
+ *   | u64 frame length N (little-endian)                           |
+ *   | N bytes: a serialize-layer container (magic "MOPACSER",      |
+ *   |   version, kind = kServeMessage, config-hash field = the     |
+ *   |   MsgType, CRC32 trailer)                                    |
+ *   +--------------------------------------------------------------+
+ *
+ * Reusing the checkpoint container gives the protocol the same
+ * properties as the on-disk artifacts for free: strict versioning
+ * (version skew is a structured SerializeError, not garbage), CRC
+ * integrity over every frame, and tagged sections so reader/writer
+ * drift is detected rather than misparsed.
+ *
+ * Configurations cross the wire through saveSystemConfig(), which
+ * also embeds the sender's configSignature(); loadSystemConfig()
+ * recomputes the signature over the decoded config and throws on any
+ * mismatch.  A codec that silently dropped or reordered a field can
+ * therefore never produce a wrong simulation -- it produces a
+ * structured decode error at the first message.
+ */
+
+#ifndef MOPAC_SERVE_PROTOCOL_HH
+#define MOPAC_SERVE_PROTOCOL_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/serialize.hh"
+#include "serve/io.hh"
+#include "sim/runner.hh"
+#include "sim/sharding.hh"
+
+namespace mopac::serve
+{
+
+/** Frames larger than this are rejected as corrupt (1 GiB). */
+constexpr std::uint64_t kMaxFrameBytes = 1ull << 30;
+
+/** Message discriminator (carried in the envelope's hash field). */
+enum class MsgType : std::uint64_t
+{
+    // Client -> daemon.
+    kPing = 1,
+    kSubmit,      //!< Submit (or re-attach to) a sweep job.
+    kQuery,       //!< Job status by id.
+    kFetch,       //!< Fetch the (possibly partial) manifest.
+    kShutdown,    //!< Request a graceful daemon stop.
+
+    // Daemon -> client.
+    kPong = 50,
+    kSubmitAck,
+    kStatus,
+    kResults,
+    kShutdownAck,
+    kError,       //!< Structured failure (text payload).
+
+    // Supervisor -> worker.
+    kAssign = 100, //!< A chunk of points to execute.
+    kRetire,       //!< Drain and exit cleanly.
+
+    // Worker -> supervisor.
+    kPointStart = 150, //!< About to run a point (doubles as a beat).
+    kPointDone,        //!< One finished PointResult.
+    kHeartbeat,        //!< Idle liveness beat.
+};
+
+/** Lifecycle of a job inside the daemon. */
+enum class JobPhase : std::uint8_t
+{
+    kUnknown,  //!< No such job.
+    kRunning,  //!< Points pending or in flight.
+    kComplete, //!< Every point finished OK (fresh or cached).
+    kDegraded, //!< Finished, but some points are quarantined.
+};
+
+/** Printable name of a job phase. */
+const char *toString(JobPhase phase);
+
+/** Where a manifest entry's result came from. */
+enum class PointSource : std::uint8_t
+{
+    kPending,    //!< Not finished yet (partial manifests only).
+    kFresh,      //!< Simulated by this daemon for this job.
+    kCache,      //!< Served from the content-addressed result cache.
+    kQuarantine, //!< Quarantined after exhausting its retries.
+};
+
+/** Printable name of a point source. */
+const char *toString(PointSource source);
+
+/** Per-job execution knobs carried alongside a submit. */
+struct JobOptions
+{
+    /** Runner fault_retries applied by the workers. */
+    unsigned fault_retries = 0;
+    /** Runner point_max_cycles applied by the workers. */
+    std::uint64_t point_max_cycles = 0;
+    /** Serve OK results from / store them into the daemon cache. */
+    bool use_cache = true;
+};
+
+/** Aggregate job progress counters (kStatus payload). */
+struct JobCounts
+{
+    std::uint64_t total = 0;
+    std::uint64_t done = 0;        //!< OK results (fresh + cached).
+    std::uint64_t cached = 0;      //!< Subset of done served stale-free
+                                   //!< from the cache.
+    std::uint64_t quarantined = 0;
+    std::uint64_t pending = 0;     //!< Not yet finished.
+};
+
+/** One manifest row: a result plus where it came from. */
+struct ManifestEntry
+{
+    PointSource source = PointSource::kPending;
+    PointResult result;
+};
+
+/** One chunk assignment (kAssign payload). */
+struct Assignment
+{
+    /** Supervisor-level attempt number (1-based; backoff bookkeeping
+     *  only -- the simulation seed is attempt-independent, so every
+     *  attempt of a point is bit-identical). */
+    std::uint32_t attempt = 1;
+    /** Execution knobs the worker applies to its Runner. */
+    JobOptions opts;
+    /** The point to execute. */
+    ExperimentPoint point;
+};
+
+/** Point lifecycle beat (kPointStart payload; kPointDone prefix). */
+struct PointEvent
+{
+    std::uint64_t point_id = 0;
+    std::uint32_t attempt = 1;
+};
+
+/** Job identity + progress (kSubmitAck / kStatus payloads). */
+struct JobStatus
+{
+    std::uint64_t job_id = 0;
+    JobPhase phase = JobPhase::kUnknown;
+    JobCounts counts;
+};
+
+/** A (possibly partial) sweep manifest (kResults payload). */
+struct Manifest
+{
+    JobStatus status;
+    /** One entry per submitted point, in submission order. */
+    std::vector<ManifestEntry> entries;
+};
+
+// ------------------------------------------------------------------
+// Field codecs (shared by frames, job specs, and cache entries)
+// ------------------------------------------------------------------
+
+/** Serialize a full SystemConfig (including its fault plan). */
+void saveSystemConfig(Serializer &ser, const SystemConfig &cfg);
+
+/**
+ * Restore a SystemConfig saved by saveSystemConfig().  Throws
+ * SerializeError when the recomputed configSignature() differs from
+ * the embedded one (codec drift) or any enum field is out of range.
+ */
+SystemConfig loadSystemConfig(Deserializer &des);
+
+/** Serialize one ExperimentPoint (id, label, workload, config). */
+void savePoint(Serializer &ser, const ExperimentPoint &point);
+
+/** Restore an ExperimentPoint saved by savePoint(). */
+ExperimentPoint loadPoint(Deserializer &des);
+
+/** Serialize a point list (job specs, kSubmit payloads). */
+void savePoints(Serializer &ser,
+                const std::vector<ExperimentPoint> &points);
+
+/** Restore a point list saved by savePoints(). */
+std::vector<ExperimentPoint> loadPoints(Deserializer &des);
+
+/** Serialize JobOptions. */
+void saveJobOptions(Serializer &ser, const JobOptions &opts);
+
+/** Restore JobOptions. */
+JobOptions loadJobOptions(Deserializer &des);
+
+/** Serialize JobCounts. */
+void saveJobCounts(Serializer &ser, const JobCounts &counts);
+
+/** Restore JobCounts. */
+JobCounts loadJobCounts(Deserializer &des);
+
+/** Serialize an Assignment. */
+void saveAssignment(Serializer &ser, const Assignment &assignment);
+
+/** Restore an Assignment. */
+Assignment loadAssignment(Deserializer &des);
+
+/** Serialize a PointEvent. */
+void savePointEvent(Serializer &ser, const PointEvent &event);
+
+/** Restore a PointEvent. */
+PointEvent loadPointEvent(Deserializer &des);
+
+/** Serialize a bare job id (kQuery / kFetch payloads). */
+void saveJobId(Serializer &ser, std::uint64_t job_id);
+
+/** Restore a bare job id. */
+std::uint64_t loadJobId(Deserializer &des);
+
+/** Serialize a JobStatus. */
+void saveJobStatus(Serializer &ser, const JobStatus &status);
+
+/** Restore a JobStatus. */
+JobStatus loadJobStatus(Deserializer &des);
+
+/** Serialize a Manifest (status + per-point entries). */
+void saveManifest(Serializer &ser, const Manifest &manifest);
+
+/** Restore a Manifest. */
+Manifest loadManifest(Deserializer &des);
+
+/** Serialize a kError text payload. */
+void saveErrorText(Serializer &ser, const std::string &text);
+
+/** Restore a kError text payload. */
+std::string loadErrorText(Deserializer &des);
+
+// ------------------------------------------------------------------
+// Framing
+// ------------------------------------------------------------------
+
+/**
+ * Seal @p ser into a full frame (length prefix + container) for
+ * @p type.  The Serializer must have all sections closed.
+ */
+std::vector<std::uint8_t> sealFrame(const Serializer &ser,
+                                    MsgType type);
+
+/**
+ * Send one message.  Returns kOk / kTimeout / kPeerClosed; throws
+ * IoError on hard failures.
+ */
+IoStatus sendMessage(int fd, const Serializer &ser, MsgType type,
+                     double timeout_sec);
+
+/** Convenience: a message with an empty payload (kPing, kRetire...). */
+IoStatus sendEmptyMessage(int fd, MsgType type, double timeout_sec);
+
+/** A received, envelope-validated message. */
+struct ReceivedMessage
+{
+    IoStatus status = IoStatus::kTimeout;
+    MsgType type = MsgType::kError;
+    /** Valid when status == kOk; positioned at the payload start. */
+    std::optional<Deserializer> payload;
+};
+
+/**
+ * Receive one message, waiting up to @p timeout_sec for the first
+ * byte (a frame already started must complete within the timeout or
+ * the connection is declared corrupt).  Throws SerializeError on a
+ * corrupt frame and IoError on hard I/O failures.
+ */
+ReceivedMessage recvMessage(int fd, double timeout_sec);
+
+} // namespace mopac::serve
+
+#endif // MOPAC_SERVE_PROTOCOL_HH

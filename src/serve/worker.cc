@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Worker main loop implementation.
+ */
+
+#include "worker.hh"
+
+#include "common/log.hh"
+#include "serve/protocol.hh"
+#include "sim/journal.hh"
+#include "sim/runner.hh"
+
+namespace mopac::serve
+{
+
+namespace
+{
+
+/** Execute one assignment and report the result. */
+bool
+runAssignment(int fd, const Assignment &assignment)
+{
+    PointEvent event;
+    event.point_id = assignment.point.point_id;
+    event.attempt = assignment.attempt;
+
+    Serializer start;
+    savePointEvent(start, event);
+    if (sendMessage(fd, start, MsgType::kPointStart, 10.0) !=
+        IoStatus::kOk) {
+        return false;
+    }
+
+    RunnerOptions opts;
+    opts.fault_retries = assignment.opts.fault_retries;
+    opts.point_max_cycles = assignment.opts.point_max_cycles;
+    const PointResult result =
+        Runner::replay(assignment.point, opts);
+
+    Serializer done;
+    savePointEvent(done, event);
+    savePointResult(done, result);
+    return sendMessage(fd, done, MsgType::kPointDone, 30.0) ==
+           IoStatus::kOk;
+}
+
+} // namespace
+
+int
+workerMain(int fd, double heartbeat_sec)
+{
+    for (;;) {
+        ReceivedMessage msg;
+        try {
+            msg = recvMessage(fd, heartbeat_sec);
+        } catch (const std::exception &err) {
+            warn("worker: receive failed: {}", err.what());
+            return 1;
+        }
+        if (msg.status == IoStatus::kPeerClosed) {
+            // Supervisor is gone; orphan workers must not linger.
+            return 0;
+        }
+        if (msg.status == IoStatus::kTimeout) {
+            if (sendEmptyMessage(fd, MsgType::kHeartbeat, 10.0) !=
+                IoStatus::kOk) {
+                return 0;
+            }
+            continue;
+        }
+        switch (msg.type) {
+          case MsgType::kRetire:
+            return 0;
+          case MsgType::kAssign: {
+            Assignment assignment;
+            try {
+                assignment = loadAssignment(*msg.payload);
+                msg.payload->finish();
+            } catch (const std::exception &err) {
+                warn("worker: bad assignment: {}", err.what());
+                return 1;
+            }
+            if (!runAssignment(fd, assignment)) {
+                return 0; // Supervisor gone mid-report.
+            }
+            break;
+          }
+          default:
+            warn("worker: unexpected message type {}",
+                 static_cast<std::uint64_t>(msg.type));
+            return 1;
+        }
+    }
+}
+
+} // namespace mopac::serve

@@ -43,6 +43,43 @@ toString(PointStatus status)
     return "?";
 }
 
+int
+sweepExitCode(const std::vector<PointResult> &results)
+{
+    bool violated = false;
+    bool hung = false;
+    bool quarantined = false;
+    bool pending = false;
+    for (const PointResult &r : results) {
+        if (r.status == PointStatus::kNotRun) {
+            pending = true;
+            continue;
+        }
+        if (r.status == PointStatus::kOk) {
+            continue;
+        }
+        quarantined = true;
+        if (r.outcome == OutcomeClass::kViolated) {
+            violated = true;
+        } else if (r.outcome == OutcomeClass::kHung) {
+            hung = true;
+        }
+    }
+    if (violated) {
+        return sweepstop::kViolatedExit;
+    }
+    if (hung) {
+        return sweepstop::kHungExit;
+    }
+    if (quarantined) {
+        return sweepstop::kQuarantinedExit;
+    }
+    if (pending) {
+        return sweepstop::kResumableExit;
+    }
+    return 0;
+}
+
 Runner::Runner(RunnerOptions opts) : opts_(opts) {}
 
 unsigned

@@ -122,6 +122,16 @@ struct PointResult
     StatSnapshot stats;
 };
 
+/**
+ * Exit code summarizing a finished sweep per the shared code map in
+ * sim/stop.hh: kViolatedExit when any point's outcome classified
+ * VIOLATED, else kHungExit when any classified HUNG, else
+ * kQuarantinedExit when any point was quarantined for another reason
+ * (crash, timeout, retry exhaustion), else kResumableExit when points
+ * are left kNotRun (interrupted sweep), else 0.
+ */
+int sweepExitCode(const std::vector<PointResult> &results);
+
 class SweepJournal;
 
 /** Outcome of one journaled (resumable) sweep invocation. */

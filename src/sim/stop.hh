@@ -43,6 +43,29 @@ class AbortError : public std::runtime_error
 namespace sweepstop
 {
 
+/**
+ * Process exit-code map shared by every bench driver, the mopac_serve
+ * daemon, and its clients (EXPERIMENTS.md, "Exit codes").  The codes
+ * follow the BSD sysexits conventions loosely so wrappers can triage
+ * a finished sweep without parsing its report:
+ *
+ *   0                 every point finished OK
+ *   kViolatedExit  65 some point's outcome classified VIOLATED (the
+ *                     security oracle saw ACTs beyond T_RH, or the
+ *                     point crashed -- the PR 2 convention)
+ *   kHungExit      70 some point classified HUNG (forward-progress
+ *                     watchdog, or a worker hang-killed by the
+ *                     supervisor) and none VIOLATED
+ *   kQuarantinedExit 74 some point was quarantined (timeout, worker
+ *                     crash, retry exhaustion) without a VIOLATED /
+ *                     HUNG classification
+ *   kResumableExit 75 graceful stop: the sweep was interrupted but is
+ *                     resumable (--resume / daemon restart)
+ */
+constexpr int kViolatedExit = 65;
+constexpr int kHungExit = 70;
+constexpr int kQuarantinedExit = 74;
+
 /** Exit status for "interrupted, resume with --resume" (EX_TEMPFAIL). */
 constexpr int kResumableExit = 75;
 

@@ -1,0 +1,33 @@
+// Lint fixture: serve-timeout must fire on every raw blocking
+// syscall below (the "serve" in the filename puts this file in
+// scope).  Each call can wedge a supervisor event loop forever: a
+// dead peer never delivers bytes, a SIGSTOPped child never exits.
+#include <poll.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+long
+drainBad(int fd, char *buf, unsigned long len)
+{
+    return read(fd, buf, len); // expect serve-timeout on line 12
+}
+
+long
+pushBad(int fd, const char *buf, unsigned long len)
+{
+    return ::write(fd, buf, len); // expect serve-timeout on line 18
+}
+
+int
+idleBad(pollfd *fds)
+{
+    return poll(fds, 1, -1); // expect serve-timeout on line 24
+}
+
+int
+reapBad(int pid)
+{
+    int status = 0;
+    waitpid(pid, &status, 0); // expect serve-timeout on line 31
+    return status;
+}

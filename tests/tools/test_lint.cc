@@ -164,6 +164,18 @@ TEST(MopacLint, NextEventBadFixture)
         << res.output;
 }
 
+TEST(MopacLint, ServeTimeoutBadFixture)
+{
+    const LintResult res = runLint({"bad_serve_timeout.cc"});
+    expectFindings(res, {{12, "serve-timeout"},
+                         {18, "serve-timeout"},
+                         {24, "serve-timeout"},
+                         {31, "serve-timeout"}});
+    EXPECT_NE(res.output.find("EINTR-safe bounded wrappers"),
+              std::string::npos)
+        << res.output;
+}
+
 TEST(MopacLint, GuardBadFixture)
 {
     const LintResult res = runLint({"bad_guard.hh"});
@@ -187,6 +199,7 @@ TEST(MopacLint, GoodFixturesAreClean)
         "good_rng_seed.cc",
         "good_next_event.hh",
         "good_guard.hh",
+        "good_serve_timeout.cc",
     });
     EXPECT_EQ(res.exit_code, 0) << res.output;
     EXPECT_TRUE(res.findings.empty()) << res.output;
@@ -215,13 +228,14 @@ TEST(MopacLint, AllBadFixturesTogether)
         "bad_rng_seed.cc",
         "bad_next_event.hh",
         "bad_guard.hh",
+        "bad_serve_timeout.cc",
     });
     EXPECT_EQ(res.exit_code, 1) << res.output;
-    EXPECT_EQ(res.findings.size(), 13u) << res.output;
+    EXPECT_EQ(res.findings.size(), 17u) << res.output;
     for (const char *check :
          {"det-rand", "det-time", "det-clock", "det-rng",
           "det-ptr-key", "det-unordered", "serial-drift", "rng-seed",
-          "next-event", "guard"}) {
+          "next-event", "guard", "serve-timeout"}) {
         bool seen = false;
         for (const LintFinding &f : res.findings) {
             seen = seen || f.check == check;
@@ -237,7 +251,7 @@ TEST(MopacLint, ListChecksEnumeratesEveryCheck)
     for (const char *check :
          {"det-rand", "det-time", "det-clock", "det-rng",
           "det-ptr-key", "det-unordered", "serial-drift", "rng-seed",
-          "next-event", "guard"}) {
+          "next-event", "guard", "serve-timeout"}) {
         EXPECT_NE(res.output.find(check), std::string::npos)
             << "missing from --list-checks: " << check;
     }

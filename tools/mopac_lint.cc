@@ -48,6 +48,13 @@
  *   guard          Include guards must be MOPAC_<DIR>_<FILE>_HH
  *                  derived from the path (src/ stripped); #pragma
  *                  once is not used in this repo.
+ *   serve-timeout  Raw blocking syscalls (read, write, poll, accept,
+ *                  waitpid, sleep, ...) in sweep-service code (any
+ *                  serve/ directory, and serve-named fixtures).  The
+ *                  supervisor event loop must never block without a
+ *                  deadline, so all such calls go through the
+ *                  EINTR-safe bounded wrappers in serve/io.{hh,cc} --
+ *                  the one sanctioned home of the raw calls.
  *
  * Suppression: a comment `// mopac-lint: allow(check-a, check-b)` on
  * the same line or the line directly above suppresses those checks
@@ -87,6 +94,7 @@ namespace
 const char *const kAllChecks[] = {
     "det-rand",  "det-time",     "det-clock",    "det-rng", "det-ptr-key",
     "det-unordered", "serial-drift", "rng-seed", "next-event", "guard",
+    "serve-timeout",
 };
 
 struct Finding
@@ -665,6 +673,99 @@ checkUnorderedIteration(const SourceFile &sf,
                 }
             }
         }
+    }
+}
+
+// ------------------------------------------------------------------
+// serve-timeout
+// ------------------------------------------------------------------
+
+/**
+ * In scope: anything inside a directory named "serve" plus fixture
+ * files whose name mentions serve (the self-tests).  Sanctioned: the
+ * wrapper layer serve/io.{hh,cc} itself.
+ */
+bool
+inServeScope(const std::string &rel)
+{
+    if (rel.find("serve/") != std::string::npos) {
+        return true;
+    }
+    const std::string name = fs::path(rel).filename().string();
+    return name.find("serve") != std::string::npos;
+}
+
+bool
+isServeIoFile(const std::string &rel)
+{
+    const std::string name = fs::path(rel).filename().string();
+    return (name == "io.cc" || name == "io.hh") &&
+           rel.find("serve/") != std::string::npos;
+}
+
+/**
+ * Like calleePosition, but global-scope `::read(` -- exactly the raw
+ * syscall spelling -- also counts, while qualified `Foo::read(` and
+ * member `x.write(` do not.
+ */
+bool
+blockingCalleePosition(const Tokens &t, std::size_t i)
+{
+    if (!is(t, i + 1, "(")) {
+        return false;
+    }
+    if (i == 0) {
+        return true;
+    }
+    const Token &prev = t[i - 1];
+    if (prev.text == "." || prev.text == "->") {
+        return false;
+    }
+    if (prev.text == "::") {
+        // `::read(` is global scope unless an identifier qualifies it
+        // (`Foo::read(`); a keyword like `return ::read(` does not.
+        if (i < 2) {
+            return true;
+        }
+        const Token &scope = t[i - 2];
+        return scope.kind != Token::kIdent ||
+               scope.text == "return" || scope.text == "co_return";
+    }
+    if (prev.kind == Token::kIdent) {
+        return prev.text == "return" || prev.text == "co_return";
+    }
+    return true;
+}
+
+void
+checkServeTimeout(const SourceFile &sf, Linter &lint)
+{
+    if (!inServeScope(sf.rel_path) || isServeIoFile(sf.rel_path)) {
+        return;
+    }
+    // The blocking-by-default POSIX surface.  Nonblocking or
+    // instantaneous calls (open, close, fork, kill, flock with
+    // LOCK_NB, mkdir, rename, ...) are deliberately not listed.
+    static const std::set<std::string> kBlocking = {
+        "read",  "pread",   "readv",   "write",   "pwrite",
+        "writev", "recv",   "recvmsg", "recvfrom", "send",
+        "sendmsg", "sendto", "poll",   "ppoll",   "select",
+        "pselect", "accept", "accept4", "connect", "waitpid",
+        "wait",  "wait4",   "waitid",  "sleep",   "usleep",
+        "nanosleep", "pause",
+    };
+    const Tokens &t = sf.tokens;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        if (t[i].kind != Token::kIdent || !kBlocking.count(t[i].text) ||
+            !blockingCalleePosition(t, i)) {
+            continue;
+        }
+        lint.report(sf, t[i].line, "serve-timeout",
+                    "raw '" + t[i].text +
+                        "' can block the supervisor event loop "
+                        "forever; use the EINTR-safe bounded wrappers "
+                        "in serve/io (readExact, writeAll, "
+                        "waitReadable, reapChild, sleepFor, ...)");
     }
 }
 
@@ -1336,6 +1437,7 @@ main(int argc, char **argv)
         checkPointerKeys(sf, lint);
         checkRngSeeds(sf, lint);
         checkIncludeGuard(sf, lint);
+        checkServeTimeout(sf, lint);
 
         const auto ext = f.extension();
         const SourceFile *impl = nullptr;

@@ -1,0 +1,163 @@
+#!/usr/bin/env bash
+# Daemon kill-resume smoke test (the service-level sibling of
+# kill_resume_smoke.sh).
+#
+#   1. run a bench driver locally for the reference report,
+#   2. start mopac_serve, re-run the driver with --submit, and
+#      SIGKILL the DAEMON mid-sweep (no handler, no flush),
+#   3. restart the daemon on the same state dir: it re-adopts the
+#      journaled job, the client reconnects and resubmits
+#      idempotently, and the sweep completes,
+#   4. require the submitted report to be byte-identical to the
+#      local run (info:/warn: progress lines excluded),
+#   5. prune jobs/ but keep cache/, restart, resubmit: every point
+#      must be served from the result cache, no re-simulation,
+#   6. SIGTERM the daemon mid-sweep: graceful stop, exit 75
+#      (resumable), per the exit-code map in EXPERIMENTS.md.
+#
+# Usage: serve_smoke.sh <bench-binary> <mopac_serve> <mopac_submit>
+# Env:   MOPAC_SIM_SCALE  simulation downscale (default 0.03)
+#        KILL_AFTER       seconds before each kill (default 2)
+
+set -u
+
+if [ "$#" -ne 3 ]; then
+    echo "usage: $0 <bench-binary> <mopac_serve> <mopac_submit>" >&2
+    exit 2
+fi
+
+bench=$1
+serve=$2
+submit=$3
+
+export MOPAC_SIM_SCALE="${MOPAC_SIM_SCALE:-0.03}"
+KILL_AFTER="${KILL_AFTER:-2}"
+
+workdir=$(mktemp -d)
+sock="$workdir/serve.sock"
+state="$workdir/state"
+daemon_pid=""
+cleanup() {
+    [ -n "$daemon_pid" ] && kill -9 "$daemon_pid" 2>/dev/null
+    rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+strip_progress() {
+    grep -v -e '^info:' -e '^warn:' "$1"
+}
+
+start_daemon() {
+    "$serve" --socket "$sock" --state "$state" --workers 2 \
+        >>"$workdir/daemon.log" 2>&1 &
+    daemon_pid=$!
+    # Wait for the socket to accept.
+    for _ in $(seq 50); do
+        if "$submit" --socket "$sock" --timeout 1 ping \
+                >/dev/null 2>&1; then
+            return 0
+        fi
+        sleep 0.2
+    done
+    echo "FAIL: daemon did not come up" >&2
+    return 1
+}
+
+status=0
+name=$(basename "$bench")
+echo "== serve smoke: $name (scale $MOPAC_SIM_SCALE)"
+
+# 1. Local reference run.
+if ! "$bench" --jobs 1 >"$workdir/clean.out" 2>&1; then
+    echo "FAIL: local reference run failed" >&2
+    cat "$workdir/clean.out" >&2
+    exit 1
+fi
+
+# 2. Submit through the daemon and SIGKILL the daemon mid-sweep.
+start_daemon || exit 1
+"$bench" --jobs 1 --submit "$sock" >"$workdir/submitted.out" 2>&1 &
+client_pid=$!
+sleep "$KILL_AFTER"
+if kill -9 "$daemon_pid" 2>/dev/null; then
+    echo "   SIGKILLed daemon (pid $daemon_pid) after ${KILL_AFTER}s"
+else
+    echo "   daemon finished before the kill (restart still exercised)"
+fi
+wait "$daemon_pid" 2>/dev/null
+daemon_pid=""
+
+# 3. Restart: journal re-adoption + client reconnect finish the job.
+start_daemon || exit 1
+if wait "$client_pid"; then
+    echo "   client completed across the daemon restart"
+else
+    echo "FAIL: submitted run failed (exit $?)" >&2
+    cat "$workdir/submitted.out" >&2
+    status=1
+fi
+
+# 4. The served manifest must equal the local run bit for bit.
+if diff -u <(strip_progress "$workdir/clean.out") \
+           <(strip_progress "$workdir/submitted.out"); then
+    echo "   OK: served report is byte-identical to the local run"
+else
+    echo "FAIL: served report differs from the local run" >&2
+    status=1
+fi
+
+# 5. Cache serving: forget the job, keep the cache, resubmit.
+"$submit" --socket "$sock" shutdown >/dev/null 2>&1
+wait "$daemon_pid" 2>/dev/null
+daemon_pid=""
+rm -rf "$state/jobs"
+start_daemon || exit 1
+if ! "$bench" --jobs 1 --submit "$sock" >"$workdir/cached.out" 2>&1; then
+    echo "FAIL: cached resubmission failed" >&2
+    status=1
+fi
+if diff -u <(strip_progress "$workdir/clean.out") \
+           <(strip_progress "$workdir/cached.out") >/dev/null; then
+    echo "   OK: cached report matches the local run"
+else
+    echo "FAIL: cached report differs from the local run" >&2
+    status=1
+fi
+# Shut the daemon down first: its stdout is block-buffered into the
+# log file, so the completion line only lands on exit.
+"$submit" --socket "$sock" shutdown >/dev/null 2>&1
+wait "$daemon_pid" 2>/dev/null
+daemon_pid=""
+# The daemon's completion line proves no point re-simulated: all of
+# `done` came from the cache.
+if grep -E 'job [0-9a-f]+ complete: ([1-9][0-9]*) done \(\1 cached\)' \
+        "$workdir/daemon.log" >/dev/null; then
+    echo "   OK: every point was served from the result cache"
+else
+    echo "FAIL: resubmission re-simulated instead of hitting the cache" >&2
+    tail -5 "$workdir/daemon.log" >&2
+    status=1
+fi
+
+# 6. Graceful stop: SIGTERM mid-sweep must exit 75 (resumable).
+rm -rf "$state"
+start_daemon || exit 1
+"$bench" --jobs 1 --submit "$sock" >"$workdir/stopped.out" 2>&1 &
+client_pid=$!
+sleep "$KILL_AFTER"
+kill -TERM "$daemon_pid" 2>/dev/null
+wait "$daemon_pid"
+rc=$?
+daemon_pid=""
+kill -9 "$client_pid" 2>/dev/null
+wait "$client_pid" 2>/dev/null
+if [ "$rc" -eq 75 ]; then
+    echo "   OK: SIGTERM mid-sweep exits 75 (resumable)"
+elif [ "$rc" -eq 0 ]; then
+    echo "   sweep finished before the SIGTERM (exit 0 is the clean case)"
+else
+    echo "FAIL: daemon exited $rc on SIGTERM (want 75 or 0)" >&2
+    status=1
+fi
+
+exit $status
