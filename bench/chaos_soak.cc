@@ -25,17 +25,41 @@
  * bit-identical to the serial one -- a worker death costs wall time,
  * never results.  A mismatch fails the bench (exit 1).
  *
+ * Part D turns the deterministic syscall fault shim (serve/io.hh) on
+ * the storage and transport layers, in three drills:
+ *   D1  full-disk brownout: a supervised sweep with journal + cache
+ *       while atomicWriteFile fails with injected ENOSPC and the
+ *       worker pipes suffer EINTR / short writes.  Every storage
+ *       failure must be tolerated and counted, the manifest must stay
+ *       bit-identical to the serial run, and a post-run cache budget
+ *       squeeze must evict oldest-insertion-first back under budget.
+ *   D2  checkpointed preemption under EINTR / short-write pressure:
+ *       scripted kPreemptPoint + kKillAtCheckpoint with the transport
+ *       faults armed; the cycles-executed ledger must equal the
+ *       serial total exactly (zero rework).  ENOSPC stays off here on
+ *       purpose -- a failed snapshot write inside a worker surfaces
+ *       as a failed point by design, so the full-disk drill and the
+ *       checkpoint drill are separate experiments.
+ *   D3  EMFILE on the accept path: with fd exhaustion injected the
+ *       listener sheds the pending connection; once the shim drops,
+ *       the same connection is served from the backlog (shed is
+ *       recoverable, never fatal).
+ *
  * Flags: the shared bench flags plus `--smoke` (short durations and a
  * reduced grid; what the ctest smoke run uses).
  */
 
 #include <cstring>
+#include <filesystem>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include <unistd.h>
+
 #include "bench_util.hh"
 #include "common/serialize.hh"
+#include "serve/io.hh"
 #include "serve/supervisor.hh"
 #include "sim/attack.hh"
 #include "sim/faults.hh"
@@ -294,6 +318,239 @@ workerKillChaos(bool smoke)
     }
 }
 
+/**
+ * Common supervision tuning for the Part D drills: enough workers to
+ * overlap points, strike budget high enough that injected pressure
+ * can never quarantine, fast heartbeat/backoff so the smoke run stays
+ * quick.
+ */
+serve::SupervisorOptions
+pressureOptions()
+{
+    serve::SupervisorOptions sopts;
+    sopts.workers = 3;
+    sopts.max_strikes = 25;
+    sopts.heartbeat_sec = 0.2;
+    sopts.hang_timeout_sec = 20.0;
+    sopts.backoff_base_sec = 0.01;
+    sopts.backoff_cap_sec = 0.05;
+    return sopts;
+}
+
+void
+resourcePressureChaos(bool smoke)
+{
+    const std::uint64_t insts = smoke ? 15000 : 40000;
+
+    // Same clean-sweep shape as Part C, but on a small bank: snapshot
+    // size scales with PRAC's per-row state, and drill D2 writes a
+    // snapshot every checkpoint interval.
+    SweepSpec spec;
+    spec.master_seed = 43;
+    for (std::uint32_t trh : {500u, 1000u}) {
+        SystemConfig cfg = makeConfig(MitigationKind::kMopacD, trh);
+        cfg.insts_per_core = insts;
+        cfg.warmup_insts = insts / 10;
+        cfg.geometry.rows_per_bank = 4096;
+        spec.configs.push_back(
+            {"mopac-d@" + std::to_string(trh), cfg});
+    }
+    spec.workloads = {"mcf", "xz"};
+    const std::vector<ExperimentPoint> points = spec.expand();
+
+    RunnerOptions serial_opts;
+    serial_opts.jobs = 1;
+    const std::vector<PointResult> serial =
+        Runner(serial_opts).run(points);
+    std::uint64_t total_cycles = 0;
+    std::uint64_t min_cycles = ~0ull;
+    for (const PointResult &r : serial) {
+        total_cycles += r.run.cycles;
+        min_cycles = std::min(min_cycles, r.run.cycles);
+    }
+
+    const std::string base =
+        format("/tmp/mopac_chaos_pressure_{}", ::getpid());
+    std::filesystem::remove_all(base);
+    serve::ensureDir(base);
+
+    TextTable table("chaos soak: resource-pressure drills");
+    table.header({"drill", "injected", "observed", "verdict"});
+
+    // ---- D1: full-disk brownout + budgeted cache eviction --------
+    {
+        // Journal and cache are set up before the shim arms, so the
+        // directory scaffolding itself cannot fault.
+        SweepJournal journal(base + "/journal", points);
+        serve::ResultCache cache(base + "/cache");
+        serve::Supervisor sup(pressureOptions());
+        sup.setJournal(&journal);
+        sup.setCache(&cache);
+
+        serve::IoFaultConfig shim;
+        shim.seed = 0xbeef;
+        shim.enospc_rate = 0.25;
+        shim.eintr_rate = 0.20;
+        shim.short_write_rate = 0.20;
+        serve::setIoFaultShim(shim);
+        const serve::SupervisorReport report = sup.run(points);
+        const serve::IoFaultStats stats = serve::ioFaultShimStats();
+        serve::setIoFaultShim(serve::IoFaultConfig{});
+
+        std::size_t mismatches = 0;
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            mismatches += canonicalBytes(serial[i]) ==
+                                  canonicalBytes(report.results[i])
+                              ? 0
+                              : 1;
+        }
+        table.row({"D1 brownout",
+                   format("enospc {} eintr {} short {}", stats.enospc,
+                          stats.eintr, stats.short_writes),
+                   format("storage failures {}",
+                          report.storage_write_failures),
+                   mismatches == 0 ? "identical" : "MISMATCH"});
+        if (mismatches > 0) {
+            fatal("pressure chaos: {} of {} brownout results differ "
+                  "from the serial run",
+                  mismatches, points.size());
+        }
+        if (report.storage_write_failures == 0 || stats.enospc == 0) {
+            fatal("pressure chaos: ENOSPC injection never fired "
+                  "(failures {}, injected {})",
+                  report.storage_write_failures, stats.enospc);
+        }
+        if (report.exitCode() != 0) {
+            fatal("pressure chaos: brownout sweep exit {} != 0",
+                  report.exitCode());
+        }
+
+        // Budget squeeze: halve the cache's footprint allowance and
+        // require deterministic oldest-first eviction back under it.
+        const std::uint64_t before = cache.totalBytes();
+        if (before == 0) {
+            fatal("pressure chaos: every cache store failed; the "
+                  "eviction drill has nothing to evict");
+        }
+        const std::uint64_t budget = before / 2;
+        cache.setBudget(budget);
+        table.row({"D1 budget squeeze",
+                   format("budget {} B", budget),
+                   format("{} -> {} B, {} evicted", before,
+                          cache.totalBytes(), cache.evictions()),
+                   cache.totalBytes() <= budget ? "within budget"
+                                                : "OVER"});
+        if (cache.evictions() == 0 || cache.totalBytes() > budget) {
+            fatal("pressure chaos: budget squeeze left {} B against "
+                  "a {} B budget ({} evictions)",
+                  cache.totalBytes(), budget, cache.evictions());
+        }
+    }
+
+    // ---- D2: checkpointed preemption under transport pressure ----
+    {
+        serve::SupervisorOptions sopts = pressureOptions();
+        sopts.job.checkpoint_every =
+            std::max<std::uint64_t>(1, min_cycles / 3);
+        sopts.checkpoint_dir = base + "/ckpt";
+        serve::Supervisor sup(sopts);
+        sup.setFailSchedule({
+            {{points[1].point_id, 1}, serve::FailAction::kPreemptPoint},
+            {{points[3].point_id, 1},
+             serve::FailAction::kKillAtCheckpoint},
+        });
+
+        serve::IoFaultConfig shim;
+        shim.seed = 0xd25c;
+        shim.eintr_rate = 0.25;
+        shim.short_write_rate = 0.25;
+        serve::setIoFaultShim(shim);
+        const serve::SupervisorReport report = sup.run(points);
+        const serve::IoFaultStats stats = serve::ioFaultShimStats();
+        serve::setIoFaultShim(serve::IoFaultConfig{});
+
+        std::size_t mismatches = 0;
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            mismatches += canonicalBytes(serial[i]) ==
+                                  canonicalBytes(report.results[i])
+                              ? 0
+                              : 1;
+        }
+        // Preemption and a checkpoint-rendezvous kill both resume
+        // from the exact snapshot cycle, so the ledger of simulated
+        // cycles across every attempt equals the serial total: the
+        // drill proves zero rework, not just identical results.
+        const bool exact_ledger =
+            report.cycles_executed == total_cycles;
+        table.row({"D2 preempt+ckpt",
+                   format("eintr {} short {}", stats.eintr,
+                          stats.short_writes),
+                   format("preempted {} crashed {} ledger {}/{}",
+                          report.points_preempted,
+                          report.workers_crashed,
+                          report.cycles_executed, total_cycles),
+                   mismatches == 0 && exact_ledger ? "zero rework"
+                                                   : "REWORK"});
+        if (mismatches > 0) {
+            fatal("pressure chaos: {} of {} preempted results differ "
+                  "from the serial run",
+                  mismatches, points.size());
+        }
+        if (report.points_preempted == 0 ||
+            report.workers_crashed == 0) {
+            fatal("pressure chaos: scripted preemption did not fire "
+                  "(preempted {}, crashed {})",
+                  report.points_preempted, report.workers_crashed);
+        }
+        if (!exact_ledger) {
+            fatal("pressure chaos: cycles ledger {} != serial total "
+                  "{} (checkpoint resume lost or redid work)",
+                  report.cycles_executed, total_cycles);
+        }
+        if (report.exitCode() != 0) {
+            fatal("pressure chaos: preemption sweep exit {} != 0",
+                  report.exitCode());
+        }
+    }
+
+    // ---- D3: EMFILE shed and recovery on the accept path ---------
+    {
+        const int listen_fd = serve::listenUnix(base + "/emfile.sock");
+        const int backlogged =
+            serve::connectUnix(base + "/emfile.sock", 1.0);
+
+        serve::IoFaultConfig shim;
+        shim.seed = 0xef11e;
+        shim.emfile_rate = 1.0;
+        serve::setIoFaultShim(shim);
+        const int shed = serve::acceptClient(listen_fd, 0.5);
+        const std::uint64_t injected =
+            serve::ioFaultShimStats().emfile;
+        serve::setIoFaultShim(serve::IoFaultConfig{});
+
+        // The shed connection stayed in the kernel backlog, so the
+        // first un-shimmed accept serves it.
+        const int served = serve::acceptClient(listen_fd, 1.0);
+        table.row({"D3 EMFILE accept",
+                   format("emfile {}", injected),
+                   format("shed fd {} then served fd {}", shed,
+                          served),
+                   shed == -1 && served >= 0 ? "recovered"
+                                             : "STUCK"});
+        serve::closeQuiet(served);
+        serve::closeQuiet(backlogged);
+        serve::closeQuiet(listen_fd);
+        if (injected == 0 || shed != -1 || served < 0) {
+            fatal("pressure chaos: EMFILE shed/recover failed "
+                  "(injected {}, shed {}, served {})",
+                  injected, shed, served);
+        }
+    }
+
+    table.print(std::cout);
+    std::filesystem::remove_all(base);
+}
+
 } // namespace
 
 int
@@ -320,5 +577,6 @@ main(int argc, char **argv)
     degradationTable(smoke, intensities);
     quarantineSweep(smoke, opts);
     workerKillChaos(smoke);
+    resourcePressureChaos(smoke);
     return mopac::bench::finalExitCode();
 }

@@ -2,6 +2,11 @@
  * @file
  * Checkpoint container format implementation.  See serialize.hh for
  * the on-disk layout; everything here is strict-on-load.
+ *
+ * atomicWriteFile is the common layer's durable-write primitive, so
+ * this file (like serve/io) legitimately owns raw EINTR loops and
+ * errno save/restore around open/write/fsync/rename:
+ * mopac-lint: allow-file(io-errno)
  */
 
 #include "serialize.hh"
@@ -14,6 +19,7 @@
 #include <bit>
 #include <cerrno>
 #include <cstdio>
+#include <mutex>
 
 #include "common/format.hh"
 
@@ -444,12 +450,33 @@ syncDirOf(const std::string &path)
     ::close(dfd);
 }
 
+std::mutex write_fault_mutex;
+std::function<void(const std::string &)> write_fault_hook;
+
 } // namespace
+
+void
+setWriteFaultHook(std::function<void(const std::string &)> hook)
+{
+    const std::lock_guard<std::mutex> lock(write_fault_mutex);
+    write_fault_hook = std::move(hook);
+}
 
 void
 atomicWriteFile(const std::string &path,
                 const std::vector<std::uint8_t> &bytes)
 {
+    // Fault-injection drill first: a hook that throws here simulates
+    // ENOSPC before a single byte lands, so callers exercise their
+    // write-failure paths against a disk that is actually fine.
+    std::function<void(const std::string &)> hook;
+    {
+        const std::lock_guard<std::mutex> lock(write_fault_mutex);
+        hook = write_fault_hook;
+    }
+    if (hook) {
+        hook(path);
+    }
     // The temporary lives in the target directory (rename must not
     // cross filesystems) and carries the pid so concurrent writers of
     // *different* targets never collide on scratch names.

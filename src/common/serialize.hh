@@ -32,6 +32,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
+#include <functional>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -204,6 +205,17 @@ ContainerHeader peekHeader(const std::vector<std::uint8_t> &image);
  */
 void atomicWriteFile(const std::string &path,
                      const std::vector<std::uint8_t> &bytes);
+
+/**
+ * Fault-injection hook for tests and chaos drills: invoked with the
+ * destination path at the top of every atomicWriteFile, before any
+ * byte reaches the disk.  A hook that throws SerializeError simulates
+ * a full disk (ENOSPC) without real pressure -- the serve-layer fault
+ * shim installs exactly that (see serve/io setIoFaultShim).  Pass an
+ * empty function to uninstall.  Thread-safe.
+ */
+void setWriteFaultHook(
+    std::function<void(const std::string &path)> hook);
 
 /** Read a whole file; throws SerializeError on I/O failure. */
 std::vector<std::uint8_t> readFileBytes(const std::string &path);

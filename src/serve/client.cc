@@ -61,6 +61,13 @@ Client::ensureConnected()
 ReceivedMessage
 Client::call(const Serializer &request, MsgType type, MsgType expect)
 {
+    // The shed budget shares the reconnect budget: a daemon that
+    // keeps answering kRetryAfter is reachable but overloaded, and
+    // the client should give up at the same horizon as for a daemon
+    // that is down.
+    const bool bounded = opts_.reconnect_budget_sec >= 0.0;
+    const auto shed_deadline = wallclock::deadlineAfter(
+        bounded ? opts_.reconnect_budget_sec : 0.0);
     for (;;) {
         ensureConnected();
         try {
@@ -77,6 +84,23 @@ Client::call(const Serializer &request, MsgType type, MsgType expect)
             }
             if (msg.type == MsgType::kError) {
                 throw ClientError(loadErrorText(*msg.payload));
+            }
+            if (msg.type == MsgType::kRetryAfter) {
+                const RetryAfter retry =
+                    loadRetryAfter(*msg.payload);
+                if (bounded &&
+                    wallclock::secondsSince(shed_deadline) >= 0.0) {
+                    throw ClientError(format(
+                        "daemon at {} still shedding load ({}) "
+                        "after {:.1f}s",
+                        opts_.socket_path, retry.reason,
+                        opts_.reconnect_budget_sec));
+                }
+                warn("serve client: daemon shedding load ({}); "
+                     "retrying in {:.2f}s",
+                     retry.reason, retry.seconds);
+                sleepFor(std::max(retry.seconds, 0.01));
+                continue;
             }
             if (msg.type != expect) {
                 throw ClientError(format(
@@ -98,15 +122,24 @@ Client::call(const Serializer &request, MsgType type, MsgType expect)
     }
 }
 
-bool
+std::optional<DaemonInfo>
 Client::ping()
 {
     try {
         Serializer empty;
-        call(empty, MsgType::kPing, MsgType::kPong);
-        return true;
+        ReceivedMessage msg =
+            call(empty, MsgType::kPing, MsgType::kPong);
+        try {
+            DaemonInfo info = loadDaemonInfo(*msg.payload);
+            msg.payload->finish();
+            return info;
+        } catch (const SerializeError &) {
+            // A daemon predating the identity block answers kPong
+            // with an empty payload; reachable is all we can report.
+            return DaemonInfo{};
+        }
     } catch (const ClientError &) {
-        return false;
+        return std::nullopt;
     }
 }
 

@@ -19,6 +19,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -63,8 +64,12 @@ class Client
     Client(const Client &) = delete;
     Client &operator=(const Client &) = delete;
 
-    /** Round-trip a ping.  False when the daemon is unreachable. */
-    bool ping();
+    /**
+     * Round-trip a ping.  Returns the daemon's identity/health block
+     * (a default-constructed DaemonInfo for daemons predating it) or
+     * nullopt when the daemon is unreachable.
+     */
+    std::optional<DaemonInfo> ping();
 
     /**
      * Submit (or re-attach to) a sweep; returns the daemon's status

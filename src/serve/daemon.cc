@@ -6,15 +6,10 @@
 #include "daemon.hh"
 
 #include <algorithm>
-#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 
 #include <dirent.h>
-#include <fcntl.h>
-#include <sys/file.h>
-#include <sys/stat.h>
 #include <unistd.h>
 
 #include "common/log.hh"
@@ -27,15 +22,8 @@ namespace mopac::serve
 namespace
 {
 
-void
-ensureDir(const std::string &path)
-{
-    if (::mkdir(path.c_str(), 0777) == 0 || errno == EEXIST) {
-        return;
-    }
-    throw IoError(format("cannot create directory {}: {}", path,
-                         std::strerror(errno)));
-}
+/** Backoff hint carried in every kRetryAfter shed. */
+constexpr double kRetryHintSec = 0.2;
 
 std::string
 hex16(std::uint64_t value)
@@ -46,31 +34,18 @@ hex16(std::uint64_t value)
     return std::string(buf);
 }
 
-/** Take the single-instance lock; returns the held fd. */
-int
-takeLock(const std::string &path)
-{
-    const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC,
-                          0666);
-    if (fd < 0) {
-        throw IoError(format("cannot open lock {}: {}", path,
-                             std::strerror(errno)));
-    }
-    if (::flock(fd, LOCK_EX | LOCK_NB) != 0) {
-        closeQuiet(fd);
-        throw IoError(format(
-            "another mopac_serve instance holds {}", path));
-    }
-    return fd;
-}
-
 } // namespace
 
 Daemon::Daemon(DaemonOptions opts) : opts_(std::move(opts))
 {
     ensureDir(opts_.state_dir);
-    lock_fd_ = takeLock(opts_.state_dir + "/lock");
+    lock_fd_ = lockFile(opts_.state_dir + "/lock");
+    if (lock_fd_ < 0) {
+        throw IoError(format("another mopac_serve instance holds {}",
+                             opts_.state_dir + "/lock"));
+    }
     cache_ = std::make_unique<ResultCache>(opts_.state_dir + "/cache");
+    cache_->setBudget(opts_.cache_budget);
     ensureDir(opts_.state_dir + "/jobs");
     loadPersistedJobs();
     listen_fd_ = listenUnix(opts_.socket_path);
@@ -95,6 +70,13 @@ std::string
 Daemon::jobDir(std::uint64_t job_id) const
 {
     return opts_.state_dir + "/jobs/" + hex16(job_id);
+}
+
+std::size_t
+Daemon::activeJobs() const
+{
+    return run_queue_.size() +
+           (live_supervisor_ != nullptr ? 1 : 0);
 }
 
 void
@@ -142,6 +124,7 @@ Daemon::adoptJob(std::uint64_t job_id, JobOptions opts,
     }
     job.journal = std::make_unique<SweepJournal>(
         jobDir(job_id) + "/journal", job.points);
+    job.journal->setRecordBudget(opts_.journal_budget);
     seedReportFromJournal(job);
     if (job.report.counts().pending > 0) {
         run_queue_.push_back(job_id);
@@ -153,9 +136,7 @@ void
 Daemon::loadPersistedJobs()
 {
     const std::string jobs_dir = opts_.state_dir + "/jobs";
-    if (::mkdir(jobs_dir.c_str(), 0777) != 0 && errno != EEXIST) {
-        throw IoError(format("cannot create {}", jobs_dir));
-    }
+    ensureDir(jobs_dir);
     DIR *dir = ::opendir(jobs_dir.c_str());
     if (dir == nullptr) {
         throw IoError(format("cannot list {}", jobs_dir));
@@ -238,6 +219,14 @@ Daemon::runJob(Job &job)
            job.points.size());
     SupervisorOptions sup_opts = opts_.supervision;
     sup_opts.job = job.opts;
+    // Jobs that did not pick a cadence inherit the daemon's default.
+    if (sup_opts.job.checkpoint_every == 0) {
+        sup_opts.job.checkpoint_every =
+            opts_.supervision.job.checkpoint_every;
+    }
+    if (sup_opts.job.checkpoint_every > 0) {
+        sup_opts.checkpoint_dir = jobDir(job.id) + "/ckpt";
+    }
     Supervisor supervisor(sup_opts);
     supervisor.setJournal(job.journal.get());
     supervisor.setCache(cache_.get());
@@ -256,6 +245,15 @@ Daemon::runJob(Job &job)
         job.points, nullptr, [this] { pumpClients(0.0); });
     live_supervisor_ = nullptr;
     job.running = false;
+    // Storage health tracks the latest evidence: failures put the
+    // daemon into brownout (serving from memory), a clean run clears
+    // it.
+    brownout_ = job.report.storage_write_failures > 0;
+    if (brownout_) {
+        warn("mopac_serve: job {} saw {} storage write failures; "
+             "entering brownout (results served from memory)",
+             hex16(job.id), job.report.storage_write_failures);
+    }
     const JobCounts counts = job.report.counts();
     inform("mopac_serve: job {} {}: {} done ({} cached), {} "
            "quarantined, {} pending",
@@ -293,9 +291,15 @@ Daemon::handleClient(std::size_t slot)
     MsgType reply_type = MsgType::kError;
     try {
         switch (msg.type) {
-          case MsgType::kPing:
+          case MsgType::kPing: {
+            DaemonInfo info;
+            info.daemon_pid = static_cast<std::uint64_t>(::getpid());
+            info.queue_depth = opts_.queue_depth;
+            info.brownout = brownout_;
+            saveDaemonInfo(reply, info);
             reply_type = MsgType::kPong;
             break;
+          }
           case MsgType::kSubmit: {
             JobOptions opts = loadJobOptions(*msg.payload);
             std::vector<ExperimentPoint> points =
@@ -306,9 +310,46 @@ Daemon::handleClient(std::size_t slot)
             }
             const std::uint64_t id =
                 SweepJournal::sweepHash(points);
-            Job &job = adoptJob(id, opts, std::move(points), true);
-            saveJobStatus(reply, statusOf(job));
-            reply_type = MsgType::kSubmitAck;
+            // Admission control: shed NEW jobs past the queue bound
+            // before touching disk; re-attaching is always admitted.
+            if (opts_.queue_depth > 0 &&
+                jobs_.find(id) == jobs_.end() &&
+                activeJobs() >= opts_.queue_depth) {
+                RetryAfter retry;
+                retry.seconds = kRetryHintSec;
+                retry.reason = format("queue full ({} active jobs)",
+                                      activeJobs());
+                saveRetryAfter(reply, retry);
+                reply_type = MsgType::kRetryAfter;
+                break;
+            }
+            try {
+                Job &job =
+                    adoptJob(id, opts, std::move(points), true);
+                saveJobStatus(reply, statusOf(job));
+                reply_type = MsgType::kSubmitAck;
+                brownout_ = false;
+            } catch (const std::exception &err) {
+                // Could not persist the spec or journal: shed the
+                // submission rather than lie about crash safety.
+                // Known jobs keep serving -- this is a brownout, not
+                // an outage.
+                jobs_.erase(id);
+                run_queue_.erase(std::remove(run_queue_.begin(),
+                                             run_queue_.end(), id),
+                                 run_queue_.end());
+                brownout_ = true;
+                warn("mopac_serve: cannot persist job {}: {}; "
+                     "shedding (brownout)",
+                     hex16(id), err.what());
+                reply = Serializer();
+                RetryAfter retry;
+                retry.seconds = kRetryHintSec;
+                retry.reason =
+                    format("brownout: {}", err.what());
+                saveRetryAfter(reply, retry);
+                reply_type = MsgType::kRetryAfter;
+            }
             break;
           }
           case MsgType::kQuery: {

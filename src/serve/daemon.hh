@@ -62,6 +62,17 @@ struct DaemonOptions
     std::string state_dir;
     /** Supervision knobs (workers, watchdogs, retry, chaos). */
     SupervisorOptions supervision;
+    /**
+     * Admission bound on jobs with unfinished work (queued +
+     * running; 0 = unbounded).  A NEW submission past the bound is
+     * shed with kRetryAfter instead of being queued; re-attaching to
+     * a known job is always admitted.
+     */
+    std::uint64_t queue_depth = 0;
+    /** Result-cache size budget, bytes (0 = unbounded). */
+    std::uint64_t cache_budget = 0;
+    /** Per-job journal record budget, bytes (0 = unbounded). */
+    std::uint64_t journal_budget = 0;
 };
 
 /** The sweep service; see the file comment. */
@@ -90,6 +101,9 @@ class Daemon
     /** Jobs currently known (loaded + submitted). */
     std::size_t numJobs() const { return jobs_.size(); }
 
+    /** True while storage writes are failing (degraded serving). */
+    bool brownout() const { return brownout_; }
+
   private:
     struct Job
     {
@@ -103,6 +117,7 @@ class Daemon
     };
 
     std::string jobDir(std::uint64_t job_id) const;
+    std::size_t activeJobs() const;
     Job &adoptJob(std::uint64_t job_id, JobOptions opts,
                   std::vector<ExperimentPoint> points, bool persist);
     void loadPersistedJobs();
@@ -124,6 +139,11 @@ class Daemon
     Supervisor *live_supervisor_ = nullptr;
     std::uint64_t live_job_ = 0;
     bool shutdown_requested_ = false;
+    /** Set when a storage write fails, cleared when writes succeed
+     *  again.  A submission whose spec cannot be persisted is shed
+     *  with kRetryAfter, but known jobs keep serving status and
+     *  manifests from memory throughout. */
+    bool brownout_ = false;
 };
 
 } // namespace mopac::serve

@@ -11,14 +11,21 @@
 
 #include <cerrno>
 #include <cstring>
+#include <mutex>
 
+#include <fcntl.h>
 #include <poll.h>
+#include <sys/file.h>
 #include <sys/socket.h>
+#include <sys/stat.h>
 #include <sys/un.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
 #include "common/format.hh"
+#include "common/log.hh"
+#include "common/rng.hh"
+#include "common/serialize.hh"
 #include "common/wallclock.hh"
 
 namespace mopac::serve
@@ -31,6 +38,50 @@ namespace
 throwErrno(const std::string &what)
 {
     throw IoError(format("{}: {}", what, std::strerror(errno)));
+}
+
+// ------------------------------------------------------------------
+// Fault shim state
+// ------------------------------------------------------------------
+
+/** Per-kind decision streams; each keeps its own call counter. */
+enum ShimKind : std::uint64_t
+{
+    kShimWrite = 1,
+    kShimAccept = 2,
+    kShimRecv = 3,
+    kShimSend = 4,
+    kShimSendShort = 5,
+};
+
+std::mutex shim_mutex;
+IoFaultConfig shim_config;     // seed == 0 -> disabled
+IoFaultStats shim_stats;
+std::uint64_t shim_counters[6] = {};
+
+/**
+ * Draw the deterministic injection decision for call number N of
+ * @p kind: Rng(streamSeed(streamSeed(seed, kind), N)) < rate.  The
+ * double counter-mode split makes the decision a pure function of
+ * (seed, kind, N) -- independent of every other stream and of call
+ * interleaving across kinds.
+ */
+bool
+shimFires(ShimKind kind, double IoFaultConfig::*rate,
+          std::uint64_t IoFaultStats::*stat)
+{
+    const std::lock_guard<std::mutex> lock(shim_mutex);
+    if (shim_config.seed == 0 || shim_config.*rate <= 0.0) {
+        return false;
+    }
+    const std::uint64_t n = shim_counters[kind]++;
+    Rng rng = Rng::forStream(Rng::streamSeed(shim_config.seed, kind),
+                             n);
+    if (rng.uniform() >= shim_config.*rate) {
+        return false;
+    }
+    shim_stats.*stat += 1;
+    return true;
 }
 
 /** Remaining budget in milliseconds for poll(); -1 = forever. */
@@ -155,6 +206,10 @@ readExact(int fd, std::uint8_t *out, std::size_t size,
             }
             throwErrno("poll");
         }
+        if (shimFires(kShimRecv, &IoFaultConfig::eintr_rate,
+                      &IoFaultStats::eintr)) {
+            continue; // Injected EINTR: the bounded loop retries.
+        }
         const ssize_t rc = ::recv(fd, out + got, size - got, 0);
         if (rc > 0) {
             got += static_cast<std::size_t>(rc);
@@ -203,8 +258,19 @@ writeAll(int fd, const std::uint8_t *data, std::size_t size,
             }
             throwErrno("poll");
         }
+        if (shimFires(kShimSend, &IoFaultConfig::eintr_rate,
+                      &IoFaultStats::eintr)) {
+            continue; // Injected EINTR: the bounded loop retries.
+        }
+        std::size_t chunk = size - sent;
+        if (chunk > 1 &&
+            shimFires(kShimSendShort, &IoFaultConfig::short_write_rate,
+                      &IoFaultStats::short_writes)) {
+            // Injected short write: force the continuation path.
+            chunk = 1 + (chunk - 1) / 2;
+        }
         const ssize_t rc =
-            ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+            ::send(fd, data + sent, chunk, MSG_NOSIGNAL);
         if (rc > 0) {
             sent += static_cast<std::size_t>(rc);
             continue;
@@ -256,6 +322,11 @@ acceptClient(int listen_fd, double timeout_sec)
     if (waitReadable(listen_fd, timeout_sec) != IoStatus::kOk) {
         return -1;
     }
+    if (shimFires(kShimAccept, &IoFaultConfig::emfile_rate,
+                  &IoFaultStats::emfile)) {
+        // Injected EMFILE: shed exactly as the real path below does.
+        return -1;
+    }
     for (;;) {
         const int fd = ::accept(listen_fd, nullptr, nullptr);
         if (fd >= 0) {
@@ -267,6 +338,15 @@ acceptClient(int listen_fd, double timeout_sec)
         if (errno == EAGAIN || errno == EWOULDBLOCK ||
             errno == ECONNABORTED) {
             return -1; // The pending connection evaporated.
+        }
+        if (errno == EMFILE || errno == ENFILE || errno == ENOMEM ||
+            errno == ENOBUFS) {
+            // Resource exhaustion must shed load, not crash the
+            // daemon: the connection stays queued in the backlog and
+            // the next pump retries once pressure eases.
+            warn("accept: {} -- shedding one connection",
+                 std::strerror(errno));
+            return -1;
         }
         throwErrno("accept");
     }
@@ -380,6 +460,65 @@ closeQuiet(int fd)
     if (fd >= 0) {
         ::close(fd);
     }
+}
+
+void
+ensureDir(const std::string &path)
+{
+    if (::mkdir(path.c_str(), 0755) == 0 || errno == EEXIST) {
+        return;
+    }
+    throwErrno(format("mkdir {}", path));
+}
+
+int
+lockFile(const std::string &path)
+{
+    const int fd =
+        ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+    if (fd < 0) {
+        throwErrno(format("open {}", path));
+    }
+    if (::flock(fd, LOCK_EX | LOCK_NB) != 0) {
+        closeQuiet(fd);
+        return -1;
+    }
+    return fd;
+}
+
+void
+setIoFaultShim(const IoFaultConfig &config)
+{
+    {
+        const std::lock_guard<std::mutex> lock(shim_mutex);
+        shim_config = config;
+        shim_stats = IoFaultStats{};
+        for (std::uint64_t &c : shim_counters) {
+            c = 0;
+        }
+    }
+    // ENOSPC rides the common-layer hook so every atomicWriteFile in
+    // the process (cache entries, journal records, job specs,
+    // checkpoints) injects from the same deterministic stream.
+    if (config.seed != 0 && config.enospc_rate > 0.0) {
+        setWriteFaultHook([](const std::string &path) {
+            if (shimFires(kShimWrite, &IoFaultConfig::enospc_rate,
+                          &IoFaultStats::enospc)) {
+                throw SerializeError(format(
+                    "injected ENOSPC writing '{}' (fault shim)",
+                    path));
+            }
+        });
+    } else {
+        setWriteFaultHook({});
+    }
+}
+
+IoFaultStats
+ioFaultShimStats()
+{
+    const std::lock_guard<std::mutex> lock(shim_mutex);
+    return shim_stats;
 }
 
 } // namespace mopac::serve

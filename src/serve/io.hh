@@ -141,6 +141,74 @@ ChildStatus reapChild(pid_t pid);
 /** Close @p fd if valid, ignoring errors (teardown paths). */
 void closeQuiet(int fd);
 
+/**
+ * Create directory @p path (one level, 0755); an existing directory
+ * is fine.  Throws IoError otherwise.  The serve layer's sanctioned
+ * mkdir -- daemon/cache state dirs go through here so no other serve
+ * file needs to read errno (mopac_lint check `io-errno`).
+ */
+void ensureDir(const std::string &path);
+
+/**
+ * Open (creating if needed) and flock(LOCK_EX | LOCK_NB) @p path.
+ * Returns the held lock fd, or -1 when another process holds the
+ * lock; throws IoError on real failure.  The fd is leaked for the
+ * process lifetime by design: the lock must outlive any scope.
+ */
+int lockFile(const std::string &path);
+
+// ------------------------------------------------------------------
+// Deterministic syscall-level fault injection (tests / chaos drills)
+// ------------------------------------------------------------------
+
+/**
+ * Configuration of the I/O fault shim.  With @c seed == 0 the shim is
+ * fully disabled and every wrapper takes its zero-overhead path.
+ * Each decision is drawn from a counter-mode RNG stream keyed by
+ * (seed, syscall kind, per-kind call counter), so a given seed yields
+ * the same injection sequence on every run -- failures are
+ * reproducible, never flaky.
+ *
+ * What each rate injects:
+ *  - enospc_rate: atomicWriteFile throws SerializeError before any
+ *    byte is written (via the common-layer write fault hook), i.e. a
+ *    full disk for cache entries, journal records, and job specs.
+ *  - emfile_rate: acceptClient sheds the pending connection as if
+ *    accept() had failed with EMFILE (fd exhaustion).
+ *  - eintr_rate: readExact / writeAll skip one syscall iteration as
+ *    if it had returned EINTR (their retry loops must converge).
+ *  - short_write_rate: writeAll truncates one send() so the partial-
+ *    write continuation path actually runs.
+ */
+struct IoFaultConfig
+{
+    std::uint64_t seed = 0; //!< 0 disables the shim entirely.
+    double enospc_rate = 0.0;
+    double emfile_rate = 0.0;
+    double eintr_rate = 0.0;
+    double short_write_rate = 0.0;
+};
+
+/** How many of each fault the shim has injected since installed. */
+struct IoFaultStats
+{
+    std::uint64_t enospc = 0;
+    std::uint64_t emfile = 0;
+    std::uint64_t eintr = 0;
+    std::uint64_t short_writes = 0;
+};
+
+/**
+ * Install (or, with a zero seed, remove) the fault shim.  Also
+ * installs/removes the serialize-layer write fault hook so ENOSPC
+ * injection covers every atomicWriteFile in the process.  Resets the
+ * stats and per-kind counters.
+ */
+void setIoFaultShim(const IoFaultConfig &config);
+
+/** Injection counts since the last setIoFaultShim(). */
+IoFaultStats ioFaultShimStats();
+
 } // namespace mopac::serve
 
 #endif // MOPAC_SERVE_IO_HH

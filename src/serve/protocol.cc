@@ -26,6 +26,8 @@ constexpr std::uint32_t kTagJobId = 0x534A4944; // 'SJID'
 constexpr std::uint32_t kTagStatus = 0x534A5354; // 'SJST'
 constexpr std::uint32_t kTagManifest = 0x534D414E; // 'SMAN'
 constexpr std::uint32_t kTagError = 0x53455252; // 'SERR'
+constexpr std::uint32_t kTagDaemon = 0x53444D4E; // 'SDMN'
+constexpr std::uint32_t kTagRetry = 0x53525441; // 'SRTA'
 
 std::uint8_t
 checkedEnum(std::uint64_t value, std::uint64_t max_value,
@@ -276,6 +278,7 @@ saveJobOptions(Serializer &ser, const JobOptions &opts)
     ser.putU32(opts.fault_retries);
     ser.putU64(opts.point_max_cycles);
     ser.putU8(opts.use_cache ? 1 : 0);
+    ser.putU64(opts.checkpoint_every);
     ser.end();
 }
 
@@ -287,6 +290,7 @@ loadJobOptions(Deserializer &des)
     opts.fault_retries = des.getU32();
     opts.point_max_cycles = des.getU64();
     opts.use_cache = des.getU8() != 0;
+    opts.checkpoint_every = des.getU64();
     des.end();
     return opts;
 }
@@ -322,6 +326,7 @@ saveAssignment(Serializer &ser, const Assignment &assignment)
 {
     ser.begin(kTagAssign);
     ser.putU32(assignment.attempt);
+    ser.putStr(assignment.ckpt_path);
     ser.end();
     saveJobOptions(ser, assignment.opts);
     savePoint(ser, assignment.point);
@@ -333,6 +338,7 @@ loadAssignment(Deserializer &des)
     Assignment assignment;
     des.begin(kTagAssign);
     assignment.attempt = des.getU32();
+    assignment.ckpt_path = des.getStr();
     des.end();
     assignment.opts = loadJobOptions(des);
     assignment.point = loadPoint(des);
@@ -345,6 +351,8 @@ savePointEvent(Serializer &ser, const PointEvent &event)
     ser.begin(kTagEvent);
     ser.putU64(event.point_id);
     ser.putU32(event.attempt);
+    ser.putU64(event.resumed_from);
+    ser.putU64(event.executed_cycles);
     ser.end();
 }
 
@@ -355,6 +363,8 @@ loadPointEvent(Deserializer &des)
     des.begin(kTagEvent);
     event.point_id = des.getU64();
     event.attempt = des.getU32();
+    event.resumed_from = des.getU64();
+    event.executed_cycles = des.getU64();
     des.end();
     return event;
 }
@@ -458,6 +468,50 @@ loadErrorText(Deserializer &des)
     std::string text = des.getStr();
     des.end();
     return text;
+}
+
+void
+saveDaemonInfo(Serializer &ser, const DaemonInfo &info)
+{
+    ser.begin(kTagDaemon);
+    ser.putU32(info.protocol_version);
+    ser.putU64(info.daemon_pid);
+    ser.putU64(info.queue_depth);
+    ser.putU8(info.brownout ? 1 : 0);
+    ser.end();
+}
+
+DaemonInfo
+loadDaemonInfo(Deserializer &des)
+{
+    DaemonInfo info;
+    des.begin(kTagDaemon);
+    info.protocol_version = des.getU32();
+    info.daemon_pid = des.getU64();
+    info.queue_depth = des.getU64();
+    info.brownout = des.getU8() != 0;
+    des.end();
+    return info;
+}
+
+void
+saveRetryAfter(Serializer &ser, const RetryAfter &retry)
+{
+    ser.begin(kTagRetry);
+    ser.putF64(retry.seconds);
+    ser.putStr(retry.reason);
+    ser.end();
+}
+
+RetryAfter
+loadRetryAfter(Deserializer &des)
+{
+    RetryAfter retry;
+    des.begin(kTagRetry);
+    retry.seconds = des.getF64();
+    retry.reason = des.getStr();
+    des.end();
+    return retry;
 }
 
 std::vector<std::uint8_t>

@@ -61,15 +61,20 @@ enum class MsgType : std::uint64_t
     kResults,
     kShutdownAck,
     kError,       //!< Structured failure (text payload).
+    kRetryAfter,  //!< Load shed: back off and resubmit later.
 
     // Supervisor -> worker.
     kAssign = 100, //!< A chunk of points to execute.
     kRetire,       //!< Drain and exit cleanly.
+    kPreempt,      //!< Checkpoint the running point and yield it.
+    kCheckpointAck, //!< Continue past the checkpoint just reported.
 
     // Worker -> supervisor.
     kPointStart = 150, //!< About to run a point (doubles as a beat).
     kPointDone,        //!< One finished PointResult.
     kHeartbeat,        //!< Idle liveness beat.
+    kCheckpointed,     //!< Mid-point checkpoint written (busy beat).
+    kPointPreempted,   //!< Point checkpointed and yielded on request.
 };
 
 /** Lifecycle of a job inside the daemon. */
@@ -105,6 +110,14 @@ struct JobOptions
     std::uint64_t point_max_cycles = 0;
     /** Serve OK results from / store them into the daemon cache. */
     bool use_cache = true;
+    /**
+     * Checkpoint cadence in simulated cycles (0 = off).  With a
+     * cadence and a supervisor checkpoint dir, workers snapshot the
+     * in-flight point every interval and rendezvous with the
+     * supervisor, so a preempted or killed point resumes from its
+     * last checkpoint instead of from zero.
+     */
+    std::uint64_t checkpoint_every = 0;
 };
 
 /** Aggregate job progress counters (kStatus payload). */
@@ -134,15 +147,52 @@ struct Assignment
     std::uint32_t attempt = 1;
     /** Execution knobs the worker applies to its Runner. */
     JobOptions opts;
+    /**
+     * Checkpoint file for this point ("" = checkpointing off).  An
+     * existing file is restored from (resume); the worker rewrites it
+     * at every checkpoint_every interval.
+     */
+    std::string ckpt_path;
     /** The point to execute. */
     ExperimentPoint point;
 };
 
-/** Point lifecycle beat (kPointStart payload; kPointDone prefix). */
+/**
+ * Point lifecycle beat (kPointStart / kCheckpointed /
+ * kPointPreempted payloads; kPointDone prefix).  The cycle fields
+ * are zero on kPointStart and carry executed-cycle accounting on the
+ * rest: @c resumed_from is the cycle this attempt started from (0 =
+ * fresh) and @c executed_cycles the cycles this attempt has executed
+ * so far, so the supervisor can prove re-run work after a preemption
+ * is bounded by one checkpoint interval.
+ */
 struct PointEvent
 {
     std::uint64_t point_id = 0;
     std::uint32_t attempt = 1;
+    std::uint64_t resumed_from = 0;
+    std::uint64_t executed_cycles = 0;
+};
+
+/** Daemon identity + health (kPong payload). */
+struct DaemonInfo
+{
+    /** Serialize/protocol format version of the daemon's build. */
+    std::uint32_t protocol_version = kSerializeVersion;
+    std::uint64_t daemon_pid = 0;
+    /** Admission bound on queued+running jobs (0 = unbounded). */
+    std::uint64_t queue_depth = 0;
+    /** True while storage writes are failing (degraded serving). */
+    bool brownout = false;
+};
+
+/** Load-shed response (kRetryAfter payload). */
+struct RetryAfter
+{
+    /** Suggested client backoff before resubmitting. */
+    double seconds = 1.0;
+    /** Human-readable shed reason ("queue full", "brownout", ...). */
+    std::string reason;
 };
 
 /** Job identity + progress (kSubmitAck / kStatus payloads). */
@@ -235,6 +285,18 @@ void saveErrorText(Serializer &ser, const std::string &text);
 
 /** Restore a kError text payload. */
 std::string loadErrorText(Deserializer &des);
+
+/** Serialize a DaemonInfo (kPong payload). */
+void saveDaemonInfo(Serializer &ser, const DaemonInfo &info);
+
+/** Restore a DaemonInfo. */
+DaemonInfo loadDaemonInfo(Deserializer &des);
+
+/** Serialize a RetryAfter (kRetryAfter payload). */
+void saveRetryAfter(Serializer &ser, const RetryAfter &retry);
+
+/** Restore a RetryAfter. */
+RetryAfter loadRetryAfter(Deserializer &des);
 
 // ------------------------------------------------------------------
 // Framing

@@ -7,6 +7,7 @@
 
 #include <algorithm>
 #include <csignal>
+#include <cstdio>
 
 #include <unistd.h>
 
@@ -28,6 +29,9 @@ struct Supervisor::Slot
     bool hang_killed = false; //!< Watchdog (not chaos/crash) kill.
     std::size_t index = 0;    //!< In-flight point (when busy).
     std::uint32_t attempt = 0;
+    /** Cycles the in-flight attempt had executed at its last durable
+     *  checkpoint (what survives if the worker dies now). */
+    std::uint64_t last_executed = 0;
     wallclock::TimePoint last_beat;
     wallclock::TimePoint busy_since;
 
@@ -164,6 +168,25 @@ Supervisor::killWorker(Slot &slot)
     }
 }
 
+std::string
+Supervisor::checkpointPath(std::uint64_t point_id) const
+{
+    if (opts_.checkpoint_dir.empty() ||
+        opts_.job.checkpoint_every == 0) {
+        return "";
+    }
+    return format("{}/{}.ckpt", opts_.checkpoint_dir, point_id);
+}
+
+void
+Supervisor::dropCheckpoint(std::uint64_t point_id) const
+{
+    const std::string path = checkpointPath(point_id);
+    if (!path.empty()) {
+        std::remove(path.c_str());
+    }
+}
+
 void
 Supervisor::resolve(std::size_t index, const PointResult &result,
                     PointSource source)
@@ -181,13 +204,31 @@ void
 Supervisor::resolveFresh(std::size_t index, const PointResult &result)
 {
     const ExperimentPoint &point = (*points_)[index];
+    // Storage failures (full disk, injected ENOSPC) must not lose a
+    // finished result: keep it in memory, count the brownout, and let
+    // the sweep keep serving.  A later resume re-runs the point.
     if (journal_) {
-        journal_->record(result);
+        try {
+            journal_->record(result);
+        } catch (const std::exception &err) {
+            ++report_->storage_write_failures;
+            warn("supervisor: journal write for point {} failed ({}); "
+                 "serving the in-memory result",
+                 point.point_id, err.what());
+        }
     }
     if (cache_ && opts_.job.use_cache &&
         result.status == PointStatus::kOk) {
-        cache_->store(point, result);
+        try {
+            cache_->store(point, result);
+        } catch (const std::exception &err) {
+            ++report_->storage_write_failures;
+            warn("supervisor: cache store for point {} failed ({}); "
+                 "continuing uncached",
+                 point.point_id, err.what());
+        }
     }
+    dropCheckpoint(point.point_id);
     resolve(index, result,
             result.status == PointStatus::kOk
                 ? PointSource::kFresh
@@ -212,8 +253,16 @@ Supervisor::quarantine(std::size_t index, std::uint32_t attempts,
     warn("supervisor: point {} quarantined: {}", point.point_id,
          result.error);
     if (journal_) {
-        journal_->record(result);
+        try {
+            journal_->record(result);
+        } catch (const std::exception &err) {
+            ++report_->storage_write_failures;
+            warn("supervisor: journal write for point {} failed ({}); "
+                 "serving the in-memory result",
+                 point.point_id, err.what());
+        }
     }
+    dropCheckpoint(point.point_id);
     resolve(index, result, PointSource::kQuarantine);
 }
 
@@ -250,6 +299,11 @@ Supervisor::onWorkerDeath(Slot &slot, bool hang)
         return; // Idle death: nothing in flight, just respawn later.
     }
     slot.busy = false;
+    // Only the work up to the last durable checkpoint survives the
+    // death; that is what the retry resumes from, so that is what the
+    // executed-cycle ledger credits this attempt with.
+    report_->cycles_executed += slot.last_executed;
+    slot.last_executed = 0;
     const std::size_t index = slot.index;
     ++strikes_[index];
     if (strikes_[index] >= opts_.max_strikes) {
@@ -266,9 +320,11 @@ Supervisor::applyChaos(Slot &slot)
     const auto it =
         fail_schedule_.find({point_id, slot.attempt});
     if (it != fail_schedule_.end()) {
+        // Checkpoint-phase actions fire from the rendezvous handler,
+        // not at point start.
         if (it->second == FailAction::kKillWorker) {
             killWorker(slot);
-        } else {
+        } else if (it->second == FailAction::kStopWorker) {
             ::kill(slot.pid, SIGSTOP);
         }
         return;
@@ -307,6 +363,8 @@ Supervisor::assignReady(wallclock::TimePoint now)
         Assignment assignment;
         assignment.attempt = item.attempt;
         assignment.opts = opts_.job;
+        assignment.ckpt_path =
+            checkpointPath((*points_)[item.index].point_id);
         assignment.point = (*points_)[item.index];
         Serializer ser;
         saveAssignment(ser, assignment);
@@ -327,6 +385,7 @@ Supervisor::assignReady(wallclock::TimePoint now)
         slot.busy = true;
         slot.index = item.index;
         slot.attempt = item.attempt;
+        slot.last_executed = 0;
         slot.busy_since = now;
         slot.last_beat = now;
     }
@@ -383,7 +442,74 @@ Supervisor::handleMessage(Slot &slot)
             }
             const std::size_t index = slot.index;
             slot.busy = false;
+            slot.last_executed = 0;
+            report_->cycles_executed += event.executed_cycles;
+            report_->resumed_from[event.point_id] = event.resumed_from;
             resolveFresh(index, result);
+            break;
+          }
+          case MsgType::kCheckpointed: {
+            const PointEvent event = loadPointEvent(*msg.payload);
+            msg.payload->finish();
+            if (!slot.busy ||
+                (*points_)[slot.index].point_id != event.point_id) {
+                throw SerializeError(format(
+                    "unexpected checkpoint of point {}",
+                    event.point_id));
+            }
+            // A checkpoint is a progress proof, not just a liveness
+            // beat: restart the per-point hang clock too.
+            slot.busy_since = now;
+            slot.last_executed = event.executed_cycles;
+            const auto it = fail_schedule_.find(
+                {event.point_id, slot.attempt});
+            if (it != fail_schedule_.end() &&
+                it->second == FailAction::kKillAtCheckpoint) {
+                // The worker is blocked awaiting this verdict, so the
+                // kill lands at exactly the checkpointed cycle.
+                killWorker(slot);
+                break;
+            }
+            const bool preempt =
+                stopping_ ||
+                (it != fail_schedule_.end() &&
+                 it->second == FailAction::kPreemptPoint);
+            sendEmptyMessage(slot.fd,
+                             preempt ? MsgType::kPreempt
+                                     : MsgType::kCheckpointAck,
+                             10.0);
+            break;
+          }
+          case MsgType::kPointPreempted: {
+            const PointEvent event = loadPointEvent(*msg.payload);
+            msg.payload->finish();
+            if (!slot.busy ||
+                (*points_)[slot.index].point_id != event.point_id) {
+                throw SerializeError(format(
+                    "unexpected preemption of point {}",
+                    event.point_id));
+            }
+            const std::size_t index = slot.index;
+            slot.busy = false;
+            slot.last_executed = 0;
+            report_->cycles_executed += event.executed_cycles;
+            ++report_->points_preempted;
+            if (!stopping_) {
+                // Voluntary yield: requeue immediately, no strike and
+                // no backoff -- the checkpoint makes the re-run cheap.
+                RetryRecord record;
+                record.attempt = slot.attempt;
+                record.delay_sec = 0.0;
+                record.reason = "preempt";
+                report_->retries[event.point_id].push_back(record);
+                Pending pending;
+                pending.index = index;
+                pending.attempt = slot.attempt + 1;
+                pending.ready = now;
+                pending_.push_back(pending);
+            }
+            // When stopping the point stays kPending; its checkpoint
+            // file resumes it on the next run.
             break;
           }
           default:
@@ -475,6 +601,12 @@ Supervisor::run(const std::vector<ExperimentPoint> &points,
     pending_.clear();
     strikes_.assign(points.size(), 0);
     unresolved_ = points.size();
+    stopping_ = false;
+
+    if (!opts_.checkpoint_dir.empty() &&
+        opts_.job.checkpoint_every > 0) {
+        ensureDir(opts_.checkpoint_dir);
+    }
 
     // Adopt journaled results first, then answer from the cache; only
     // the remainder is scheduled onto workers.
@@ -492,7 +624,14 @@ Supervisor::run(const std::vector<ExperimentPoint> &points,
             if (auto cached = cache_->lookup(points[i])) {
                 ++report.cache_hits;
                 if (journal_) {
-                    journal_->record(*cached);
+                    try {
+                        journal_->record(*cached);
+                    } catch (const std::exception &err) {
+                        ++report.storage_write_failures;
+                        warn("supervisor: journal write for cached "
+                             "point {} failed ({}); serving anyway",
+                             points[i].point_id, err.what());
+                    }
                 }
                 resolve(i, *cached, PointSource::kCache);
                 continue;
@@ -510,21 +649,20 @@ Supervisor::run(const std::vector<ExperimentPoint> &points,
 
     const double idle_beat_grace =
         std::max(4.0 * opts_.heartbeat_sec, 2.0);
-    bool stopping = false;
     auto drain_deadline = wallclock::now();
 
     while (unresolved_ > 0) {
         const auto now = wallclock::now();
 
-        if (!stopping && sweepstop::stopRequested()) {
-            stopping = true;
+        if (!stopping_ && sweepstop::stopRequested()) {
+            stopping_ = true;
             pending_.clear(); // Unstarted points stay kPending.
             drain_deadline = wallclock::deadlineAfter(
                 opts_.drain_deadline_sec > 0.0
                     ? opts_.drain_deadline_sec
                     : 3600.0);
         }
-        if (stopping) {
+        if (stopping_) {
             const bool abort =
                 sweepstop::abortRequested() ||
                 wallclock::secondsSince(drain_deadline) >= 0.0;
@@ -539,7 +677,7 @@ Supervisor::run(const std::vector<ExperimentPoint> &points,
 
         // Keep the pool at strength while there is work for it.
         const std::size_t want = std::min<std::size_t>(
-            opts_.workers, stopping ? 0 : unresolved_);
+            opts_.workers, stopping_ ? 0 : unresolved_);
         std::size_t alive = 0;
         for (const Slot &slot : slots_) {
             alive += slot.alive() ? 1 : 0;
@@ -554,7 +692,7 @@ Supervisor::run(const std::vector<ExperimentPoint> &points,
             }
         }
 
-        if (!stopping) {
+        if (!stopping_) {
             assignReady(now);
         }
 

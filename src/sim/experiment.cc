@@ -180,6 +180,7 @@ runWorkloadCheckpointed(const SystemConfig &cfg, const std::string &name,
         ckpt.checkpoint_every > 0 ? ckpt.checkpoint_every : (1u << 20);
 
     CheckpointedRun out;
+    out.resumed_from = system.runCycle();
     Cycle target = system.runCycle();
     for (;;) {
         target += step;
@@ -192,15 +193,29 @@ runWorkloadCheckpointed(const SystemConfig &cfg, const std::string &name,
             }
             out.finished = false;
             out.stopped_at = system.runCycle();
+            out.executed_cycles = system.runCycle() - out.resumed_from;
             return out;
         }
         if (!ckpt.save_path.empty() && ckpt.checkpoint_every > 0) {
             writeSnapshot(ckpt.save_path, hash, system, traces);
+            const CheckpointBeat beat{system.runCycle(),
+                                      out.resumed_from};
+            if (ckpt.on_checkpoint &&
+                ckpt.on_checkpoint(beat) ==
+                    CheckpointSignal::kPreempt) {
+                out.finished = false;
+                out.preempted = true;
+                out.stopped_at = system.runCycle();
+                out.executed_cycles =
+                    system.runCycle() - out.resumed_from;
+                return out;
+            }
         }
     }
 
     out.finished = true;
     out.result = system.finishRun();
+    out.executed_cycles = system.runCycle() - out.resumed_from;
     if (stats_out != nullptr) {
         StatRegistry registry;
         system.registerStats(registry);

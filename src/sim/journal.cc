@@ -5,7 +5,9 @@
 
 #include "journal.hh"
 
+#include <algorithm>
 #include <cerrno>
+#include <cstdio>
 #include <cstring>
 
 #include <sys/stat.h>
@@ -28,11 +30,15 @@ constexpr std::uint32_t kTagRun = 0x52554E52;      // 'RUNR'
 void
 ensureDir(const std::string &path)
 {
+    // serve/io has the sanctioned ensureDir, but sim/ cannot depend
+    // on serve/; this mirror is the one allowed raw-errno site here.
+    // mopac-lint: allow(io-errno)
     if (::mkdir(path.c_str(), 0777) == 0 || errno == EEXIST) {
         return;
     }
+    const int err = errno; // mopac-lint: allow(io-errno)
     throw SerializeError(format("cannot create directory {}: {}", path,
-                                std::strerror(errno)));
+                                std::strerror(err)));
 }
 
 void
@@ -217,22 +223,85 @@ SweepJournal::loadCompleted(std::size_t num_points)
         if (!fileExists(path)) {
             continue;
         }
-        Deserializer des(readFileBytes(path), FileKind::kPointRecord,
-                         hash_);
-        PointResult result = loadPointResult(des);
-        des.finish();
-        if (result.point_id != id) {
-            throw SerializeError(format(
-                "journal record {} carries point id {}", path,
-                result.point_id));
+        // A record that fails any check -- torn tail from a partial
+        // write, bit flip, foreign file, wrong id or status -- heals
+        // to "re-run this point" rather than bricking the journal:
+        // only the manifest is load-bearing for resume safety.
+        try {
+            const std::vector<std::uint8_t> image =
+                readFileBytes(path);
+            Deserializer des(image, FileKind::kPointRecord, hash_);
+            PointResult result = loadPointResult(des);
+            des.finish();
+            if (result.point_id != id) {
+                throw SerializeError(format(
+                    "journal record {} carries point id {}", path,
+                    result.point_id));
+            }
+            if (result.status != PointStatus::kOk) {
+                throw SerializeError(format(
+                    "journal record {} has status {} (only OK points "
+                    "belong in points/)", path,
+                    toString(result.status)));
+            }
+            noteRecord(id, /*quarantine=*/false, image.size());
+            completed_.emplace(id, std::move(result));
+        } catch (const SerializeError &err) {
+            warn("journal: healing corrupt record {}: {}", path,
+                 err.what());
+            if (::rename(path.c_str(),
+                         (path + ".corrupt").c_str()) != 0) {
+                std::remove(path.c_str());
+            }
+            ++healed_;
         }
-        if (result.status != PointStatus::kOk) {
-            throw SerializeError(format(
-                "journal record {} has status {} (only OK points "
-                "belong in points/)", path, toString(result.status)));
-        }
-        completed_.emplace(id, std::move(result));
     }
+}
+
+void
+SweepJournal::noteRecord(std::uint64_t point_id, bool quarantine,
+                         std::uint64_t bytes)
+{
+    const auto it = std::find_if(
+        record_order_.begin(), record_order_.end(),
+        [point_id, quarantine](const RecordNote &note) {
+            return note.point_id == point_id &&
+                   note.quarantine == quarantine;
+        });
+    if (it != record_order_.end()) {
+        record_bytes_ -= it->bytes;
+        record_order_.erase(it);
+    }
+    record_order_.push_back({point_id, quarantine, bytes});
+    record_bytes_ += bytes;
+}
+
+void
+SweepJournal::evictRecords()
+{
+    if (record_budget_ == 0) {
+        return;
+    }
+    while (record_bytes_ > record_budget_ && !record_order_.empty()) {
+        const RecordNote note = record_order_.front();
+        record_order_.pop_front();
+        const std::string path = note.quarantine
+                                     ? quarantinePath(note.point_id)
+                                     : pointPath(note.point_id);
+        if (std::remove(path.c_str()) != 0) {
+            warn("journal: cannot evict record {}", path);
+        }
+        record_bytes_ -= note.bytes;
+        ++record_evictions_;
+    }
+}
+
+void
+SweepJournal::setRecordBudget(std::uint64_t bytes)
+{
+    std::lock_guard<std::mutex> lock(write_mutex_);
+    record_budget_ = bytes;
+    evictRecords();
 }
 
 SweepJournal::SweepJournal(std::string dir,
@@ -260,11 +329,12 @@ SweepJournal::record(const PointResult &result)
     const std::vector<std::uint8_t> image =
         ser.finish(FileKind::kPointRecord, hash_);
     std::lock_guard<std::mutex> lock(write_mutex_);
-    if (result.status == PointStatus::kOk) {
-        atomicWriteFile(pointPath(result.point_id), image);
-    } else {
-        atomicWriteFile(quarantinePath(result.point_id), image);
-    }
+    const bool quarantine = result.status != PointStatus::kOk;
+    atomicWriteFile(quarantine ? quarantinePath(result.point_id)
+                               : pointPath(result.point_id),
+                    image);
+    noteRecord(result.point_id, quarantine, image.size());
+    evictRecords();
 }
 
 } // namespace mopac

@@ -15,6 +15,7 @@
 #include "runner.hh"
 
 #include <chrono>
+#include <cstdio>
 #include <deque>
 #include <mutex>
 #include <thread>
@@ -23,6 +24,7 @@
 
 #include "common/log.hh"
 #include "common/rng.hh"
+#include "common/serialize.hh"
 #include "common/wallclock.hh"
 #include "sim/journal.hh"
 #include "sim/stop.hh"
@@ -431,6 +433,127 @@ Runner::replay(const ExperimentPoint &point, const RunnerOptions &opts)
     RunnerOptions single = opts;
     single.jobs = 1;
     return Runner(single).executePoint(point);
+}
+
+CheckpointedPointRun
+Runner::replayCheckpointed(const ExperimentPoint &point,
+                           const RunnerOptions &opts,
+                           const CheckpointOptions &ckpt)
+{
+    const auto start = wallclock::now();
+
+    ExperimentPoint guarded = point;
+    if (guarded.cfg.max_cycles == 0 && opts.point_max_cycles > 0) {
+        guarded.cfg.max_cycles = opts.point_max_cycles;
+    }
+
+    CheckpointedPointRun out;
+    PointResult &result = out.result;
+    result.point_id = point.point_id;
+    result.seed = guarded.cfg.seed;
+
+    const bool faulted_cfg = guarded.cfg.faults.enabled();
+    const std::uint64_t base_fault_seed =
+        guarded.cfg.faults.seed != 0 ? guarded.cfg.faults.seed
+                                     : guarded.cfg.seed;
+
+    CheckpointOptions run_ckpt = ckpt;
+    if (!run_ckpt.restore_path.empty() &&
+        !fileExists(run_ckpt.restore_path)) {
+        run_ckpt.restore_path.clear();
+    }
+
+    RunOutcome outcome;
+    CheckpointedRun chk;
+    unsigned attempt = 0;
+    for (;;) {
+        ++attempt;
+        outcome = RunOutcome{};
+        chk = CheckpointedRun{};
+        {
+            const ErrorTrap trap;
+            try {
+                chk = runWorkloadCheckpointed(guarded.cfg,
+                                              guarded.workload,
+                                              run_ckpt, &outcome.stats);
+                outcome.ok = true;
+                if (chk.finished) {
+                    outcome.result = chk.result;
+                    outcome.outcome = classifyRun(chk.result);
+                }
+            } catch (const AbortError &) {
+                throw;
+            } catch (const std::exception &e) {
+                outcome.error = e.what();
+                outcome.outcome =
+                    outcome.error.find(kWatchdogMarker) !=
+                            std::string::npos
+                        ? OutcomeClass::kHung
+                        : OutcomeClass::kViolated;
+            } catch (...) {
+                outcome.error = "unknown exception";
+                outcome.outcome = OutcomeClass::kViolated;
+            }
+        }
+        if (outcome.ok && !chk.finished) {
+            // Preempted (or stop-interrupted) at a snapshot-durable
+            // boundary: hand back the resumable state instead of a
+            // terminal classification.
+            out.preempted = true;
+            out.resumed_from = chk.resumed_from;
+            out.executed_cycles = chk.executed_cycles;
+            result.attempts = attempt;
+            result.wall_seconds = wallclock::secondsSince(start);
+            return out;
+        }
+        const bool bad = outcome.outcome == OutcomeClass::kViolated ||
+                         outcome.outcome == OutcomeClass::kHung;
+        if (!faulted_cfg || !bad || attempt > opts.fault_retries) {
+            break;
+        }
+        guarded.cfg.faults.seed =
+            Rng::streamSeed(base_fault_seed, attempt);
+        // A reseeded fault stream is a different execution: the old
+        // snapshot must not leak into the retry.
+        if (!ckpt.save_path.empty()) {
+            std::remove(ckpt.save_path.c_str());
+        }
+        run_ckpt.restore_path.clear();
+    }
+    out.resumed_from = chk.resumed_from;
+    out.executed_cycles = chk.executed_cycles;
+    result.attempts = attempt;
+    result.outcome = outcome.outcome;
+    result.wall_seconds = wallclock::secondsSince(start);
+
+    if (!outcome.ok) {
+        result.status =
+            faulted_cfg ? PointStatus::kFaulted : PointStatus::kFailed;
+        result.error = outcome.error;
+        return out;
+    }
+    result.run = std::move(outcome.result);
+    result.stats = std::move(outcome.stats);
+    if (result.run.timed_out) {
+        result.status =
+            faulted_cfg ? PointStatus::kFaulted : PointStatus::kTimedOut;
+        result.error = "hit the max_cycles guard";
+    } else if (faulted_cfg &&
+               outcome.outcome == OutcomeClass::kViolated) {
+        result.status = PointStatus::kFaulted;
+        result.error = format(
+            "security violated under fault plan ({} violations, max "
+            "unmitigated {})",
+            result.run.violations, result.run.max_unmitigated);
+    } else if (opts.point_timeout_sec > 0.0 &&
+               result.wall_seconds > opts.point_timeout_sec) {
+        result.status = PointStatus::kTimedOut;
+        result.error = format("exceeded the {:.1f}s wall-clock budget",
+                              opts.point_timeout_sec);
+    } else {
+        result.status = PointStatus::kOk;
+    }
+    return out;
 }
 
 StatSnapshot

@@ -1,0 +1,686 @@
+/**
+ * @file
+ * Resource-pressure tests: the syscall fault shim (deterministic
+ * ENOSPC / EMFILE / EINTR / short-write injection), budgeted cache
+ * eviction, brownout (storage failures tolerated, results served
+ * from memory), checkpointed preemption with zero-rework resume, the
+ * client's kRetryAfter handling, and daemon admission control.
+ *
+ * Threaded fake servers never fork, and forking tests never run with
+ * live threads, so the whole file is clean under ThreadSanitizer.
+ */
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "common/serialize.hh"
+#include "serve/cache.hh"
+#include "serve/client.hh"
+#include "serve/daemon.hh"
+#include "serve/io.hh"
+#include "serve/supervisor.hh"
+#include "sim/experiment.hh"
+#include "sim/journal.hh"
+#include "sim/sharding.hh"
+#include "sim/stop.hh"
+
+namespace
+{
+
+using namespace mopac;
+using namespace mopac::serve;
+
+/** A tiny 4-point clean sweep (2 configs x 2 workloads). */
+std::vector<ExperimentPoint>
+tinySweep(std::uint64_t insts = 3000)
+{
+    SweepSpec spec;
+    spec.master_seed = 17;
+    for (std::uint32_t trh : {500u, 1000u}) {
+        SystemConfig cfg = makeConfig(MitigationKind::kMopacD, trh);
+        cfg.insts_per_core = insts;
+        cfg.warmup_insts = insts / 10;
+        // Snapshot size scales with PRAC's per-row state; the preempt
+        // tests checkpoint every interval, so a smaller bank keeps
+        // each snapshot write fast (same idiom as test_checkpoint).
+        cfg.geometry.rows_per_bank = 4096;
+        spec.configs.push_back(
+            {"mopac-d@" + std::to_string(trh), cfg});
+    }
+    spec.workloads = {"mcf", "xz"};
+    return spec.expand();
+}
+
+SupervisorOptions
+fastOptions(unsigned workers)
+{
+    SupervisorOptions opts;
+    opts.workers = workers;
+    opts.heartbeat_sec = 0.1;
+    opts.hang_timeout_sec = 20.0;
+    opts.backoff_base_sec = 0.01;
+    opts.backoff_cap_sec = 0.04;
+    return opts;
+}
+
+/** Deterministic bytes of a result (wall clock zeroed). */
+std::vector<std::uint8_t>
+canonicalBytes(const PointResult &result)
+{
+    PointResult canon = result;
+    canon.wall_seconds = 0.0;
+    Serializer ser;
+    savePointResult(ser, canon);
+    return ser.finish(FileKind::kPointRecord, canon.point_id);
+}
+
+/** Fresh scratch directory under the gtest temp root. */
+std::string
+freshDir(const std::string &tag)
+{
+    const std::string dir =
+        ::testing::TempDir() + "mopac_pressure_" + tag;
+    std::error_code ec;
+    std::filesystem::remove_all(dir, ec);
+    return dir;
+}
+
+/** RAII: whatever happens in the test, disarm the fault shim. */
+struct ShimGuard
+{
+    explicit ShimGuard(const IoFaultConfig &config)
+    {
+        setIoFaultShim(config);
+    }
+    ~ShimGuard() { setIoFaultShim(IoFaultConfig{}); }
+};
+
+// ------------------------------------------------------------------
+// The fault shim itself
+// ------------------------------------------------------------------
+
+/** Push @p payload through a socketpair under the live shim. */
+std::vector<std::uint8_t>
+roundTrip(const std::vector<std::uint8_t> &payload)
+{
+    const SocketPair pair = makeSocketPair();
+    std::vector<std::uint8_t> got(payload.size(), 0);
+    std::thread reader([&] {
+        ASSERT_EQ(readExact(pair.worker_fd, got.data(), got.size(),
+                            30.0),
+                  IoStatus::kOk);
+    });
+    EXPECT_EQ(writeAll(pair.supervisor_fd, payload.data(),
+                       payload.size(), 30.0),
+              IoStatus::kOk);
+    reader.join();
+    closeQuiet(pair.supervisor_fd);
+    closeQuiet(pair.worker_fd);
+    return got;
+}
+
+TEST(IoFaultShim, EintrAndShortWritesPreserveByteStreams)
+{
+    // 100 KiB with both EINTR skips and short-write truncation
+    // injected at a high rate: the retry/continuation loops must
+    // still deliver every byte in order.
+    std::vector<std::uint8_t> payload(100 * 1024);
+    for (std::size_t i = 0; i < payload.size(); ++i) {
+        payload[i] = static_cast<std::uint8_t>(i * 2654435761u >> 13);
+    }
+    IoFaultConfig config;
+    config.seed = 42;
+    config.eintr_rate = 0.4;
+    config.short_write_rate = 0.4;
+    ShimGuard shim(config);
+
+    const std::vector<std::uint8_t> got = roundTrip(payload);
+    EXPECT_EQ(got, payload);
+    const IoFaultStats stats = ioFaultShimStats();
+    EXPECT_GT(stats.eintr, 0u);
+    EXPECT_GT(stats.short_writes, 0u);
+}
+
+TEST(IoFaultShim, InjectionSequenceIsDeterministic)
+{
+    // Same seed, same call sequence => identical injection counts:
+    // decisions are counter-mode draws, not wall-clock noise.
+    std::vector<std::uint8_t> payload(32 * 1024, 0x5a);
+    IoFaultConfig config;
+    config.seed = 7;
+    config.eintr_rate = 0.3;
+    config.short_write_rate = 0.3;
+
+    IoFaultStats first;
+    {
+        ShimGuard shim(config);
+        (void)roundTrip(payload);
+        first = ioFaultShimStats();
+    }
+    IoFaultStats second;
+    {
+        ShimGuard shim(config);
+        (void)roundTrip(payload);
+        second = ioFaultShimStats();
+    }
+    EXPECT_GT(first.eintr + first.short_writes, 0u);
+    EXPECT_EQ(first.eintr, second.eintr);
+    EXPECT_EQ(first.short_writes, second.short_writes);
+}
+
+TEST(IoFaultShim, EmfileAcceptShedsAndRecovers)
+{
+    // Injected EMFILE must shed the accept (return -1, no throw)
+    // while leaving the connection queued in the backlog, exactly
+    // like the real fd-exhaustion path; once pressure eases the
+    // next accept serves it.
+    const std::string path =
+        ::testing::TempDir() + "mopac_pressure_emfile.sock";
+    const int listen_fd = listenUnix(path);
+    const int client_fd = connectUnix(path, 1.0);
+    ASSERT_GE(client_fd, 0);
+
+    {
+        IoFaultConfig config;
+        config.seed = 9;
+        config.emfile_rate = 1.0;
+        ShimGuard shim(config);
+        EXPECT_EQ(acceptClient(listen_fd, 1.0), -1);
+        EXPECT_GE(ioFaultShimStats().emfile, 1u);
+    }
+    const int served = acceptClient(listen_fd, 1.0);
+    EXPECT_GE(served, 0);
+    closeQuiet(served);
+    closeQuiet(client_fd);
+    closeQuiet(listen_fd);
+    ::unlink(path.c_str());
+}
+
+TEST(IoFaultShim, EnospcFailsAtomicWritesWithoutTornFiles)
+{
+    const std::string dir = freshDir("enospc");
+    ensureDir(dir);
+    const std::string path = dir + "/victim.bin";
+
+    Serializer ser;
+    const std::vector<std::uint8_t> image =
+        ser.finish(FileKind::kSnapshot, 1);
+    IoFaultConfig config;
+    config.seed = 11;
+    config.enospc_rate = 1.0;
+    {
+        ShimGuard shim(config);
+        EXPECT_THROW(atomicWriteFile(path, image), SerializeError);
+        EXPECT_GE(ioFaultShimStats().enospc, 1u);
+        // Failed before any byte: no file, not even a temp.
+        EXPECT_FALSE(fileExists(path));
+    }
+    atomicWriteFile(path, image);
+    EXPECT_EQ(readFileBytes(path), image);
+}
+
+// ------------------------------------------------------------------
+// Budgeted cache eviction
+// ------------------------------------------------------------------
+
+TEST(CachePressure, BudgetEvictsOldestInsertionFirst)
+{
+    const std::vector<ExperimentPoint> points = tinySweep();
+    PointResult result;
+    result.status = PointStatus::kOk;
+    result.run.cycles = 1234;
+
+    const std::string dir = freshDir("cache_budget");
+    ResultCache cache(dir);
+    for (const ExperimentPoint &point : points) {
+        result.point_id = point.point_id;
+        cache.store(point, result);
+    }
+    const std::uint64_t full = cache.totalBytes();
+    ASSERT_GT(full, 0u);
+    EXPECT_EQ(cache.evictions(), 0u);
+
+    // Budget for roughly half: the earliest-stored entries go first.
+    cache.setBudget(full / 2);
+    EXPECT_GT(cache.evictions(), 0u);
+    EXPECT_LE(cache.totalBytes(), full / 2);
+    EXPECT_FALSE(cache.lookup(points[0]).has_value());
+    EXPECT_TRUE(cache.lookup(points.back()).has_value());
+
+    // A reopened cache rebuilds the same accounting from disk (the
+    // sequence numbers are persisted in the entries).
+    ResultCache reopened(dir);
+    EXPECT_EQ(reopened.totalBytes(), cache.totalBytes());
+    EXPECT_TRUE(reopened.lookup(points.back()).has_value());
+}
+
+TEST(CachePressure, EvictionOrderIsAPureFunctionOfStoreHistory)
+{
+    // Two caches fed the same store sequence and budget evict the
+    // same keys -- insertion-order LRU, never access time (lookups
+    // between stores must not perturb it).
+    const std::vector<ExperimentPoint> points = tinySweep();
+    PointResult result;
+    result.status = PointStatus::kOk;
+
+    std::vector<bool> survive_a;
+    std::vector<bool> survive_b;
+    for (const char *tag : {"order_a", "order_b"}) {
+        const std::string dir = freshDir(tag);
+        ResultCache cache(dir);
+        for (const ExperimentPoint &point : points) {
+            result.point_id = point.point_id;
+            cache.store(point, result);
+            if (std::string(tag) == "order_b") {
+                // Access-pattern noise in one replica only.
+                (void)cache.lookup(points[0]);
+            }
+        }
+        cache.setBudget(cache.totalBytes() / 2);
+        std::vector<bool> &survive =
+            std::string(tag) == "order_a" ? survive_a : survive_b;
+        for (const ExperimentPoint &point : points) {
+            survive.push_back(cache.lookup(point).has_value());
+        }
+    }
+    EXPECT_EQ(survive_a, survive_b);
+}
+
+// ------------------------------------------------------------------
+// Supervised sweeps under storage pressure (brownout)
+// ------------------------------------------------------------------
+
+TEST(SupervisorPressure, EnospcBrownoutKeepsServingResults)
+{
+    sweepstop::reset();
+    const std::vector<ExperimentPoint> points = tinySweep();
+
+    RunnerOptions serial;
+    serial.jobs = 1;
+    const std::vector<PointResult> clean = Runner(serial).run(points);
+
+    // Journal and cache are created while the disk still works; then
+    // every later durable write fails.  The sweep must complete from
+    // memory, counting (not crashing on) each failed write.
+    const std::string dir = freshDir("brownout");
+    ensureDir(dir);
+    SweepJournal journal(dir + "/journal", points);
+    ResultCache cache(dir + "/cache");
+
+    IoFaultConfig config;
+    config.seed = 13;
+    config.enospc_rate = 1.0;
+    ShimGuard shim(config);
+
+    Supervisor sup(fastOptions(2));
+    sup.setJournal(&journal);
+    sup.setCache(&cache);
+    const SupervisorReport report = sup.run(points);
+
+    EXPECT_EQ(report.exitCode(), 0);
+    // One failed journal write and one failed cache store per point.
+    EXPECT_EQ(report.storage_write_failures, 2 * points.size());
+    EXPECT_EQ(cache.totalBytes(), 0u);
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        EXPECT_EQ(report.results[i].status, PointStatus::kOk);
+        EXPECT_EQ(canonicalBytes(report.results[i]),
+                  canonicalBytes(clean[i]));
+        EXPECT_FALSE(fileExists(journal.dir() + "/points/" +
+                                std::to_string(points[i].point_id) +
+                                ".rec"));
+    }
+}
+
+// ------------------------------------------------------------------
+// Checkpointed preemption
+// ------------------------------------------------------------------
+
+/** Clean serial reference + a checkpoint interval that guarantees
+ *  several checkpoints inside every point. */
+struct PreemptFixture
+{
+    std::vector<ExperimentPoint> points;
+    std::vector<PointResult> clean;
+    std::uint64_t total_cycles = 0;
+    std::uint64_t checkpoint_every = 0;
+
+    PreemptFixture()
+    {
+        sweepstop::reset();
+        points = tinySweep();
+        RunnerOptions serial;
+        serial.jobs = 1;
+        clean = Runner(serial).run(points);
+        std::uint64_t min_cycles = ~0ull;
+        for (const PointResult &r : clean) {
+            total_cycles += r.run.cycles;
+            min_cycles = std::min(min_cycles, r.run.cycles);
+        }
+        checkpoint_every = std::max<std::uint64_t>(1, min_cycles / 4);
+    }
+
+    SupervisorOptions options(unsigned workers,
+                              const std::string &ckpt_dir) const
+    {
+        SupervisorOptions opts = fastOptions(workers);
+        opts.job.checkpoint_every = checkpoint_every;
+        opts.checkpoint_dir = ckpt_dir;
+        return opts;
+    }
+};
+
+TEST(SupervisorPreempt, PreemptedPointResumesWithZeroRework)
+{
+    const PreemptFixture fix;
+    const std::uint64_t victim = fix.points[1].point_id;
+    const std::string ckpt_dir = freshDir("preempt_ckpt");
+
+    Supervisor sup(fix.options(2, ckpt_dir));
+    sup.setFailSchedule({{{victim, 1}, FailAction::kPreemptPoint}});
+    const SupervisorReport report = sup.run(fix.points);
+
+    EXPECT_EQ(report.exitCode(), 0);
+    EXPECT_EQ(report.points_preempted, 1u);
+    EXPECT_EQ(report.workers_crashed, 0u) << "preempt is not a crash";
+
+    // The yield is requeued with no strike and no backoff delay.
+    const auto &trace = report.retries.at(victim);
+    ASSERT_EQ(trace.size(), 1u);
+    EXPECT_EQ(trace[0].reason, "preempt");
+    EXPECT_DOUBLE_EQ(trace[0].delay_sec, 0.0);
+
+    // The retry resumed from the checkpoint, not from cycle 0.
+    EXPECT_GT(report.resumed_from.at(victim), 0u);
+
+    // Zero rework: cycles executed across every attempt (durable
+    // checkpoint work + resumed completion) equals the clean serial
+    // total exactly.
+    EXPECT_EQ(report.cycles_executed, fix.total_cycles);
+
+    // Preemption is invisible in the results: bit-identical to the
+    // uninterrupted serial run, and the checkpoint file is gone.
+    for (std::size_t i = 0; i < fix.points.size(); ++i) {
+        EXPECT_EQ(canonicalBytes(report.results[i]),
+                  canonicalBytes(fix.clean[i]));
+    }
+    EXPECT_FALSE(fileExists(ckpt_dir + "/" + std::to_string(victim) +
+                            ".ckpt"));
+}
+
+TEST(SupervisorPreempt, KillAtCheckpointLosesNoWork)
+{
+    const PreemptFixture fix;
+    const std::uint64_t victim = fix.points[2].point_id;
+    const std::string ckpt_dir = freshDir("killckpt");
+
+    Supervisor sup(fix.options(2, ckpt_dir));
+    sup.setFailSchedule({{{victim, 1}, FailAction::kKillAtCheckpoint}});
+    const SupervisorReport report = sup.run(fix.points);
+
+    EXPECT_EQ(report.exitCode(), 0);
+    EXPECT_EQ(report.workers_crashed, 1u);
+
+    // A kill is a strike and retries through crash backoff...
+    const auto &trace = report.retries.at(victim);
+    ASSERT_EQ(trace.size(), 1u);
+    EXPECT_EQ(trace[0].reason, "crash");
+
+    // ...but because the worker was blocked at the rendezvous, the
+    // kill landed exactly at the checkpointed cycle: the retry
+    // resumes there and the executed-cycle ledger balances exactly
+    // (no work ran twice, none was lost).
+    EXPECT_GT(report.resumed_from.at(victim), 0u);
+    EXPECT_EQ(report.cycles_executed, fix.total_cycles);
+
+    for (std::size_t i = 0; i < fix.points.size(); ++i) {
+        EXPECT_EQ(canonicalBytes(report.results[i]),
+                  canonicalBytes(fix.clean[i]));
+    }
+}
+
+TEST(SupervisorPreempt, MidIntervalKillReworkIsBoundedByOneInterval)
+{
+    // A plain SIGKILL at point start (not at a rendezvous): the
+    // attempt dies with whatever checkpoints it had made; the ledger
+    // may exceed the clean total only by work inside one checkpoint
+    // interval.
+    const PreemptFixture fix;
+    const std::uint64_t victim = fix.points[0].point_id;
+    const std::string ckpt_dir = freshDir("midkill");
+
+    Supervisor sup(fix.options(2, ckpt_dir));
+    sup.setFailSchedule({{{victim, 1}, FailAction::kKillWorker}});
+    const SupervisorReport report = sup.run(fix.points);
+
+    EXPECT_EQ(report.exitCode(), 0);
+    EXPECT_GE(report.cycles_executed, fix.total_cycles);
+    EXPECT_LE(report.cycles_executed,
+              fix.total_cycles + fix.checkpoint_every);
+    for (std::size_t i = 0; i < fix.points.size(); ++i) {
+        EXPECT_EQ(canonicalBytes(report.results[i]),
+                  canonicalBytes(fix.clean[i]));
+    }
+}
+
+TEST(SupervisorPreempt, GracefulStopThenResumeMatchesCleanRun)
+{
+    const PreemptFixture fix;
+    const std::string ckpt_dir = freshDir("stop_ckpt");
+    const std::string jnl_dir = freshDir("stop_jnl");
+
+    // Run 1: one worker, stop as soon as the first point resolves.
+    SweepJournal journal_a(jnl_dir, fix.points);
+    Supervisor first(fix.options(1, ckpt_dir));
+    first.setJournal(&journal_a);
+    std::size_t resolved = 0;
+    const SupervisorReport partial = first.run(
+        fix.points,
+        [&resolved](const ExperimentPoint &, const PointResult &) {
+            if (++resolved == 1) {
+                sweepstop::requestStop();
+            }
+        });
+    EXPECT_TRUE(partial.stopped);
+    EXPECT_EQ(partial.exitCode(), sweepstop::kResumableExit);
+    std::size_t pending = 0;
+    for (const PointSource source : partial.sources) {
+        pending += source == PointSource::kPending ? 1 : 0;
+    }
+    EXPECT_GE(pending, 2u);
+
+    // Run 2: same journal + checkpoint dir.  Finished points are
+    // adopted, a point that was checkpointed when the stop drained it
+    // resumes mid-stream (the kAssign carries the surviving .ckpt),
+    // and the merged manifest is bit-identical to the clean run.
+    sweepstop::reset();
+    SweepJournal journal_b(jnl_dir, fix.points);
+    Supervisor second(fix.options(1, ckpt_dir));
+    second.setJournal(&journal_b);
+    const SupervisorReport full = second.run(fix.points);
+
+    EXPECT_EQ(full.exitCode(), 0);
+    EXPECT_GE(full.journal_reused, 1u);
+    for (std::size_t i = 0; i < fix.points.size(); ++i) {
+        EXPECT_EQ(canonicalBytes(full.results[i]),
+                  canonicalBytes(fix.clean[i]));
+    }
+}
+
+// ------------------------------------------------------------------
+// Client-side shed handling (threaded fake daemon, no forks)
+// ------------------------------------------------------------------
+
+/** One-connection fake daemon: answer each request from a script. */
+void
+serveScript(int listen_fd,
+            const std::vector<std::pair<MsgType, RetryAfter>> &script)
+{
+    const int fd = acceptClient(listen_fd, 30.0);
+    ASSERT_GE(fd, 0);
+    for (const auto &[type, retry] : script) {
+        const ReceivedMessage msg = recvMessage(fd, 30.0);
+        if (msg.status != IoStatus::kOk) {
+            break; // client gave up (bounded-budget scenario)
+        }
+        Serializer reply;
+        if (type == MsgType::kRetryAfter) {
+            saveRetryAfter(reply, retry);
+        } else if (type == MsgType::kPong) {
+            saveDaemonInfo(reply, DaemonInfo{});
+        }
+        ASSERT_EQ(sendMessage(fd, reply, type, 30.0), IoStatus::kOk);
+    }
+    closeQuiet(fd);
+}
+
+TEST(ClientPressure, RetryAfterIsRetriedUntilTheDaemonRecovers)
+{
+    const std::string path =
+        ::testing::TempDir() + "mopac_pressure_shed.sock";
+    const int listen_fd = listenUnix(path);
+    const RetryAfter shed{0.02, "queue full (test)"};
+    std::thread server(serveScript, listen_fd,
+                       std::vector<std::pair<MsgType, RetryAfter>>{
+                           {MsgType::kRetryAfter, shed},
+                           {MsgType::kRetryAfter, shed},
+                           {MsgType::kPong, RetryAfter{}},
+                       });
+
+    ClientOptions copts;
+    copts.socket_path = path;
+    copts.reconnect_budget_sec = 30.0;
+    Client client(copts);
+    // Two sheds, then served: ping succeeds without surfacing them.
+    EXPECT_TRUE(client.ping().has_value());
+    server.join();
+    closeQuiet(listen_fd);
+    ::unlink(path.c_str());
+}
+
+TEST(ClientPressure, PersistentSheddingFailsAtTheBudget)
+{
+    const std::string path =
+        ::testing::TempDir() + "mopac_pressure_shed2.sock";
+    const int listen_fd = listenUnix(path);
+    const RetryAfter shed{0.02, "brownout (test)"};
+    std::thread server(serveScript, listen_fd,
+                       std::vector<std::pair<MsgType, RetryAfter>>(
+                           64, {MsgType::kRetryAfter, shed}));
+
+    ClientOptions copts;
+    copts.socket_path = path;
+    copts.reconnect_budget_sec = 0.3;
+    {
+        Client client(copts);
+        // A daemon that never stops shedding is as unreachable as a
+        // dead one: the shed budget shares the reconnect budget.
+        try {
+            (void)client.submit(tinySweep(), JobOptions{});
+            FAIL() << "submit should have exhausted the shed budget";
+        } catch (const ClientError &err) {
+            EXPECT_NE(std::string(err.what()).find("shedding"),
+                      std::string::npos)
+                << err.what();
+        }
+        // The client destructor closes its socket here, which ends
+        // the server thread's blocking recvMessage with kPeerClosed.
+    }
+    server.join();
+    closeQuiet(listen_fd);
+    ::unlink(path.c_str());
+}
+
+// ------------------------------------------------------------------
+// Daemon admission control (forked daemon, no live threads)
+// ------------------------------------------------------------------
+
+TEST(DaemonPressure, QueueDepthShedsNewJobsButReattachesKnownOnes)
+{
+    sweepstop::reset();
+    const std::string dir = freshDir("admission");
+    const std::string socket = dir + "/daemon.sock";
+    ensureDir(dir);
+
+    DaemonOptions opts;
+    opts.socket_path = socket;
+    opts.state_dir = dir + "/state";
+    opts.queue_depth = 1;
+    opts.supervision = fastOptions(1);
+
+    const pid_t pid = ::fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+        // Daemon child: serve until shutdown.  _exit keeps gtest
+        // teardown from running twice.
+        try {
+            Daemon daemon(std::move(opts));
+            ::_exit(daemon.serve());
+        } catch (...) {
+            ::_exit(66);
+        }
+    }
+
+    // Job A must outlive the impatient client's whole shed budget
+    // (two retries at 0.2s); several seconds of simulation leaves a
+    // wide margin.
+    const std::vector<ExperimentPoint> job_a = tinySweep(500000);
+    const std::vector<ExperimentPoint> job_b = tinySweep(3000);
+
+    ClientOptions copts;
+    copts.socket_path = socket;
+    copts.reconnect_budget_sec = 30.0;
+    Client client(copts);
+
+    const std::optional<DaemonInfo> info = client.ping();
+    ASSERT_TRUE(info.has_value());
+    EXPECT_EQ(info->daemon_pid, static_cast<std::uint64_t>(pid));
+    EXPECT_EQ(info->queue_depth, 1u);
+    EXPECT_FALSE(info->brownout);
+
+    const JobStatus ack_a = client.submit(job_a, JobOptions{});
+    EXPECT_NE(ack_a.job_id, 0u);
+    // Re-attaching to the SAME job is always admitted...
+    const JobStatus again = client.submit(job_a, JobOptions{});
+    EXPECT_EQ(again.job_id, ack_a.job_id);
+
+    // ...but a NEW job past the depth is shed until the budget runs
+    // out.
+    ClientOptions bounded = copts;
+    bounded.reconnect_budget_sec = 0.5;
+    Client impatient(bounded);
+    try {
+        (void)impatient.submit(job_b, JobOptions{});
+        FAIL() << "new job should have been shed at queue_depth=1";
+    } catch (const ClientError &err) {
+        EXPECT_NE(std::string(err.what()).find("shedding"),
+                  std::string::npos)
+            << err.what();
+    }
+
+    client.requestShutdown();
+    int status = 0;
+    // Blocking on the child daemon's exit is the point of this wait
+    // (the shutdown was just acknowledged, so it is bounded).
+    // mopac-lint: allow(serve-timeout)
+    ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+    ASSERT_TRUE(WIFEXITED(status));
+    // 0 when job A finished before the shutdown landed,
+    // kResumableExit when the stop cut it off -- both are clean
+    // exits; anything else (66 = daemon threw) is a failure.
+    const int code = WEXITSTATUS(status);
+    EXPECT_TRUE(code == 0 || code == sweepstop::kResumableExit)
+        << "daemon exit code " << code;
+}
+
+} // namespace

@@ -1,8 +1,10 @@
 /**
  * @file
  * Sweep-journal tests: resume skips finished points, merged stats are
- * bit-identical to an uninterrupted run at any jobs count, and a
- * mismatched or corrupt journal is a structured fatal error.
+ * bit-identical to an uninterrupted run at any jobs count, a
+ * mismatched or corrupt MANIFEST is a structured fatal error, and
+ * record-level damage (bit flips, torn tails at any truncation
+ * offset) heals to "re-run that point" with identical final results.
  */
 
 #include <gtest/gtest.h>
@@ -204,22 +206,114 @@ TEST(Journal, RejectsAJournalFromADifferentSweep)
                  SerializeError);
 }
 
-TEST(Journal, RejectsACorruptPointRecord)
+TEST(Journal, HealsACorruptPointRecordByReRunningIt)
 {
     sweepstop::reset();
     const auto points = samplePoints();
     const std::string dir = freshDir("corrupt");
     RunnerOptions opts;
     opts.jobs = 1;
-    (void)Runner(opts).runJournaled(points, dir);
+    const JournaledSweepResult first =
+        Runner(opts).runJournaled(points, dir);
+    EXPECT_TRUE(first.complete());
 
-    // Flip one payload bit in a finished record.
+    // Flip one payload bit in a finished record: the journal heals
+    // (quarantines the file as *.corrupt, re-runs that one point)
+    // rather than bricking the whole sweep.
     const std::string victim = dir + "/points/0.rec";
     std::vector<std::uint8_t> image = readFileBytes(victim);
     image[image.size() / 2] ^= 0x10;
     atomicWriteFile(victim, image);
-    EXPECT_THROW(Runner(opts).runJournaled(points, dir),
-                 SerializeError);
+
+    const JournaledSweepResult healed =
+        Runner(opts).runJournaled(points, dir);
+    EXPECT_TRUE(healed.complete());
+    EXPECT_EQ(healed.executed, 1u);
+    EXPECT_EQ(healed.reused, points.size() - 1);
+    EXPECT_TRUE(fileExists(victim + ".corrupt"));
+
+    // The healed sweep is bit-identical to the uninterrupted one.
+    expectSameStats(Runner::mergeStats(first.results),
+                    Runner::mergeStats(healed.results));
+    std::remove((victim + ".corrupt").c_str());
+}
+
+TEST(Journal, HealsATornTailRecordAtEveryTruncationOffset)
+{
+    // A torn final record -- the daemon died mid-write, leaving a
+    // prefix of the point record -- must heal to "re-run the last
+    // point" at EVERY truncation offset, never corrupt the manifest
+    // or the other records.  One-point sweep keeps the loop cheap.
+    sweepstop::reset();
+    std::vector<ExperimentPoint> points = {samplePoints()[0]};
+    const std::string dir = freshDir("torn");
+    RunnerOptions opts;
+    opts.jobs = 1;
+    const JournaledSweepResult first =
+        Runner(opts).runJournaled(points, dir);
+    ASSERT_TRUE(first.complete());
+
+    const std::string victim = dir + "/points/0.rec";
+    const std::vector<std::uint8_t> pristine = readFileBytes(victim);
+    ASSERT_GT(pristine.size(), 0u);
+
+    for (std::size_t len = 0; len < pristine.size(); ++len) {
+        std::vector<std::uint8_t> torn(pristine.begin(),
+                                       pristine.begin() + len);
+        atomicWriteFile(victim, torn);
+        SweepJournal journal(dir, points);
+        EXPECT_EQ(journal.healed(), 1u) << "offset " << len;
+        EXPECT_TRUE(journal.completed().empty()) << "offset " << len;
+        EXPECT_FALSE(fileExists(victim)) << "offset " << len;
+        std::remove((victim + ".corrupt").c_str());
+    }
+
+    // After the last heal, a resume re-runs the point and converges
+    // on the same results as the clean first pass.
+    const JournaledSweepResult again =
+        Runner(opts).runJournaled(points, dir);
+    EXPECT_TRUE(again.complete());
+    EXPECT_EQ(again.executed, 1u);
+    expectSameStats(Runner::mergeStats(first.results),
+                    Runner::mergeStats(again.results));
+}
+
+TEST(Journal, RecordBudgetEvictsOldestRecordsFirst)
+{
+    sweepstop::reset();
+    const auto points = samplePoints();
+    const std::string dir = freshDir("budget");
+    RunnerOptions opts;
+    opts.jobs = 1;
+    const JournaledSweepResult first =
+        Runner(opts).runJournaled(points, dir);
+    ASSERT_TRUE(first.complete());
+
+    std::uint64_t evicted = 0;
+    {
+        SweepJournal journal(dir, points);
+        const std::uint64_t full = journal.recordBytes();
+        ASSERT_GT(full, 0u);
+        // Budget for roughly half the records: the OLDEST-recorded
+        // files go first (ids ascend on load), the newest survive.
+        journal.setRecordBudget(full / 2);
+        evicted = journal.recordEvictions();
+        EXPECT_GT(evicted, 0u);
+        EXPECT_LE(journal.recordBytes(), full / 2);
+        EXPECT_FALSE(fileExists(dir + "/points/0.rec"));
+        EXPECT_TRUE(fileExists(
+            dir + "/points/" + std::to_string(points.size() - 1) +
+            ".rec"));
+    }
+
+    // Evicted points simply re-run on resume; results stay identical.
+    const JournaledSweepResult second =
+        Runner(opts).runJournaled(points, dir);
+    EXPECT_TRUE(second.complete());
+    EXPECT_EQ(second.executed, evicted);
+    EXPECT_EQ(second.reused, points.size() - evicted);
+    expectSameStats(Runner::mergeStats(first.results),
+                    Runner::mergeStats(second.results));
 }
 
 TEST(Journal, RejectsATruncatedManifest)

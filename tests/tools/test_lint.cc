@@ -176,6 +176,18 @@ TEST(MopacLint, ServeTimeoutBadFixture)
         << res.output;
 }
 
+TEST(MopacLint, IoErrnoBadFixture)
+{
+    const LintResult res = runLint({"bad_io_errno.cc"});
+    expectFindings(res, {{11, "io-errno"},
+                         {17, "io-errno"},
+                         {18, "io-errno"}});
+    EXPECT_NE(res.output.find("raw errno read"), std::string::npos)
+        << res.output;
+    EXPECT_NE(res.output.find("unchecked 'write'"), std::string::npos)
+        << res.output;
+}
+
 TEST(MopacLint, GuardBadFixture)
 {
     const LintResult res = runLint({"bad_guard.hh"});
@@ -200,6 +212,7 @@ TEST(MopacLint, GoodFixturesAreClean)
         "good_next_event.hh",
         "good_guard.hh",
         "good_serve_timeout.cc",
+        "good_io_errno.cc",
     });
     EXPECT_EQ(res.exit_code, 0) << res.output;
     EXPECT_TRUE(res.findings.empty()) << res.output;
@@ -229,13 +242,14 @@ TEST(MopacLint, AllBadFixturesTogether)
         "bad_next_event.hh",
         "bad_guard.hh",
         "bad_serve_timeout.cc",
+        "bad_io_errno.cc",
     });
     EXPECT_EQ(res.exit_code, 1) << res.output;
-    EXPECT_EQ(res.findings.size(), 17u) << res.output;
+    EXPECT_EQ(res.findings.size(), 20u) << res.output;
     for (const char *check :
          {"det-rand", "det-time", "det-clock", "det-rng",
           "det-ptr-key", "det-unordered", "serial-drift", "rng-seed",
-          "next-event", "guard", "serve-timeout"}) {
+          "next-event", "guard", "serve-timeout", "io-errno"}) {
         bool seen = false;
         for (const LintFinding &f : res.findings) {
             seen = seen || f.check == check;
@@ -251,7 +265,7 @@ TEST(MopacLint, ListChecksEnumeratesEveryCheck)
     for (const char *check :
          {"det-rand", "det-time", "det-clock", "det-rng",
           "det-ptr-key", "det-unordered", "serial-drift", "rng-seed",
-          "next-event", "guard", "serve-timeout"}) {
+          "next-event", "guard", "serve-timeout", "io-errno"}) {
         EXPECT_NE(res.output.find(check), std::string::npos)
             << "missing from --list-checks: " << check;
     }

@@ -34,8 +34,15 @@ fi
 export MOPAC_SIM_SCALE="${MOPAC_SIM_SCALE:-0.03}"
 KILL_AFTER="${KILL_AFTER:-2}"
 
-workdir=$(mktemp -d)
-trap 'rm -rf "$workdir"' EXIT
+workdir=$(mktemp -d) || { echo "FAIL: mktemp -d failed" >&2; exit 1; }
+sweep_pid=""
+cleanup() {
+    [ -n "$sweep_pid" ] && kill -9 "$sweep_pid" 2>/dev/null
+    rm -rf "$workdir"
+}
+# INT/TERM too: an interrupted run must not leak the backgrounded
+# journaled sweep or the temp dir.
+trap cleanup EXIT INT TERM
 
 # Progress lines (info:/warn:) differ by construction between a clean
 # and a resumed run; the result tables must not.
@@ -59,14 +66,15 @@ for bin in "$@"; do
 
     MOPAC_SIM_ENGINE=event "$bin" --jobs 4 --journal "$journal" \
         >"$workdir/$name.killed" 2>&1 &
-    pid=$!
+    sweep_pid=$!
     sleep "$KILL_AFTER"
-    if kill -9 "$pid" 2>/dev/null; then
-        echo "   SIGKILLed journaled sweep (pid $pid) after ${KILL_AFTER}s"
+    if kill -9 "$sweep_pid" 2>/dev/null; then
+        echo "   SIGKILLed journaled sweep (pid $sweep_pid) after ${KILL_AFTER}s"
     else
         echo "   sweep finished before the kill (resume still exercised)"
     fi
-    wait "$pid" 2>/dev/null
+    wait "$sweep_pid" 2>/dev/null
+    sweep_pid=""
 
     if ! MOPAC_SIM_ENGINE=event "$bin" --jobs 3 --resume "$journal" \
             >"$workdir/$name.resumed" 2>"$workdir/$name.resumed.err"; then

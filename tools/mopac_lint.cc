@@ -55,6 +55,13 @@
  *                  deadline, so all such calls go through the
  *                  EINTR-safe bounded wrappers in serve/io.{hh,cc} --
  *                  the one sanctioned home of the raw calls.
+ *   io-errno       Raw errno reads, and write()/fsync() calls whose
+ *                  result is discarded, anywhere outside serve/io.
+ *                  Hand-rolled errno handling and fire-and-forget
+ *                  durable writes are how silent data loss enters a
+ *                  crash-safe store; failures must surface as
+ *                  structured errors through atomicWriteFile or the
+ *                  serve/io wrappers.
  *
  * Suppression: a comment `// mopac-lint: allow(check-a, check-b)` on
  * the same line or the line directly above suppresses those checks
@@ -94,7 +101,7 @@ namespace
 const char *const kAllChecks[] = {
     "det-rand",  "det-time",     "det-clock",    "det-rng", "det-ptr-key",
     "det-unordered", "serial-drift", "rng-seed", "next-event", "guard",
-    "serve-timeout",
+    "serve-timeout", "io-errno",
 };
 
 struct Finding
@@ -770,6 +777,69 @@ checkServeTimeout(const SourceFile &sf, Linter &lint)
 }
 
 // ------------------------------------------------------------------
+// io-errno
+// ------------------------------------------------------------------
+
+/**
+ * Raw errno reads and fire-and-forget durable writes, tree-wide.
+ * Outside the sanctioned wrapper layer serve/io.{hh,cc}, failure
+ * handling goes through structured errors (atomicWriteFile, the
+ * serve/io helpers); hand-rolled errno checks drift and an unchecked
+ * write()/fsync() silently drops data exactly when the disk is full
+ * -- the moment the crash-safety story is being relied on.
+ */
+void
+checkIoErrno(const SourceFile &sf, Linter &lint)
+{
+    if (isServeIoFile(sf.rel_path)) {
+        return;
+    }
+    const Tokens &t = sf.tokens;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        if (t[i].kind != Token::kIdent) {
+            continue;
+        }
+        if (t[i].text == "errno") {
+            if (i > 0 &&
+                (t[i - 1].text == "." || t[i - 1].text == "->")) {
+                continue; // a member named errno, not the macro
+            }
+            lint.report(sf, t[i].line, "io-errno",
+                        "raw errno read outside serve/io: surface "
+                        "failures as structured errors (IoError, "
+                        "SerializeError) or go through the serve/io "
+                        "wrappers");
+            continue;
+        }
+        if (t[i].text != "write" && t[i].text != "fsync") {
+            continue;
+        }
+        if (!blockingCalleePosition(t, i)) {
+            continue;
+        }
+        // Statement position == discarded result: the previous
+        // significant token (skipping a global-scope `::`) opens or
+        // ends a statement.  `rc = write(...)`, `if (fsync(...))`,
+        // and `(void)write(...)` all pass.
+        std::size_t p = i;
+        if (p > 0 && t[p - 1].text == "::") {
+            --p;
+        }
+        const bool discarded = p == 0 || t[p - 1].text == ";" ||
+                               t[p - 1].text == "{" ||
+                               t[p - 1].text == "}";
+        if (!discarded) {
+            continue;
+        }
+        lint.report(sf, t[i].line, "io-errno",
+                    "unchecked '" + t[i].text +
+                        "': a failed durable write must not be "
+                        "dropped silently; check the result or use "
+                        "atomicWriteFile / serve/io writeAll");
+    }
+}
+
+// ------------------------------------------------------------------
 // rng-seed
 // ------------------------------------------------------------------
 
@@ -1438,6 +1508,7 @@ main(int argc, char **argv)
         checkRngSeeds(sf, lint);
         checkIncludeGuard(sf, lint);
         checkServeTimeout(sf, lint);
+        checkIoErrno(sf, lint);
 
         const auto ext = f.extension();
         const SourceFile *impl = nullptr;

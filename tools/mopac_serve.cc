@@ -14,7 +14,10 @@
  * The --chaos-* flags exist for the self-tests: they make the
  * supervisor SIGKILL/SIGSTOP its own workers at deterministic
  * per-(point, attempt) rates, proving the sweep still converges to
- * the bit-identical manifest.
+ * the bit-identical manifest.  The --fault-* flags likewise install
+ * the deterministic syscall fault shim (serve/io.hh) in the daemon
+ * process, injecting ENOSPC/EMFILE/EINTR/short writes so the
+ * pressure smokes can rehearse brownout without a real full disk.
  */
 
 #include <cstdlib>
@@ -23,6 +26,7 @@
 
 #include "common/log.hh"
 #include "serve/daemon.hh"
+#include "serve/io.hh"
 
 namespace
 {
@@ -46,10 +50,28 @@ usage(int code)
         "worker is hang-killed (default 300)\n"
         "  --heartbeat SEC      idle worker heartbeat period "
         "(default 0.5)\n"
+        "  --checkpoint-every N checkpoint running points every N "
+        "cycles (0 = off)\n"
+        "  --queue-depth N      shed NEW submissions past N active "
+        "jobs (0 = unbounded)\n"
+        "  --cache-budget B     result-cache size budget, bytes "
+        "(0 = unbounded)\n"
+        "  --journal-budget B   per-job journal record budget, bytes "
+        "(0 = unbounded)\n"
         "  --chaos-kill-rate P  [test] P(SIGKILL worker per point "
         "start)\n"
         "  --chaos-stop-rate P  [test] P(SIGSTOP instead)\n"
-        "  --chaos-seed N       [test] chaos decision stream seed\n");
+        "  --chaos-seed N       [test] chaos decision stream seed\n"
+        "  --fault-enospc-rate P    [test] P(injected ENOSPC per "
+        "durable write)\n"
+        "  --fault-emfile-rate P    [test] P(injected EMFILE per "
+        "accept)\n"
+        "  --fault-eintr-rate P     [test] P(injected EINTR per "
+        "read/write)\n"
+        "  --fault-short-rate P     [test] P(short write per "
+        "write)\n"
+        "  --fault-seed N           [test] fault decision stream "
+        "seed\n");
     std::exit(code);
 }
 
@@ -72,6 +94,7 @@ main(int argc, char **argv)
 {
     DaemonOptions opts;
     opts.supervision.workers = 2;
+    IoFaultConfig faults;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -107,6 +130,37 @@ main(int argc, char **argv)
         } else if (arg == "--chaos-seed") {
             opts.supervision.chaos_seed = std::strtoull(
                 value("--chaos-seed").c_str(), nullptr, 0);
+        } else if (arg == "--checkpoint-every") {
+            opts.supervision.job.checkpoint_every =
+                static_cast<std::uint64_t>(parseNonNegative(
+                    "--checkpoint-every", value("--checkpoint-every")));
+        } else if (arg == "--queue-depth") {
+            opts.queue_depth = static_cast<std::uint64_t>(
+                parseNonNegative("--queue-depth",
+                                 value("--queue-depth")));
+        } else if (arg == "--cache-budget") {
+            opts.cache_budget = static_cast<std::uint64_t>(
+                parseNonNegative("--cache-budget",
+                                 value("--cache-budget")));
+        } else if (arg == "--journal-budget") {
+            opts.journal_budget = static_cast<std::uint64_t>(
+                parseNonNegative("--journal-budget",
+                                 value("--journal-budget")));
+        } else if (arg == "--fault-enospc-rate") {
+            faults.enospc_rate = parseNonNegative(
+                "--fault-enospc-rate", value("--fault-enospc-rate"));
+        } else if (arg == "--fault-emfile-rate") {
+            faults.emfile_rate = parseNonNegative(
+                "--fault-emfile-rate", value("--fault-emfile-rate"));
+        } else if (arg == "--fault-eintr-rate") {
+            faults.eintr_rate = parseNonNegative(
+                "--fault-eintr-rate", value("--fault-eintr-rate"));
+        } else if (arg == "--fault-short-rate") {
+            faults.short_write_rate = parseNonNegative(
+                "--fault-short-rate", value("--fault-short-rate"));
+        } else if (arg == "--fault-seed") {
+            faults.seed = std::strtoull(
+                value("--fault-seed").c_str(), nullptr, 0);
         } else if (arg == "--help" || arg == "-h") {
             usage(0);
         } else {
@@ -115,6 +169,11 @@ main(int argc, char **argv)
     }
     if (opts.socket_path.empty() || opts.state_dir.empty()) {
         usage(2);
+    }
+    if (faults.enospc_rate > 0.0 || faults.emfile_rate > 0.0 ||
+        faults.eintr_rate > 0.0 || faults.short_write_rate > 0.0) {
+        warn("mopac_serve: fault shim armed (test mode)");
+        setIoFaultShim(faults);
     }
 
     try {

@@ -165,12 +165,38 @@ main(int argc, char **argv)
     try {
         Client client(copts);
         if (command == "ping") {
-            if (client.ping()) {
-                inform("daemon at {} is alive", copts.socket_path);
+            const std::optional<DaemonInfo> info = client.ping();
+            if (!info) {
+                warn("daemon at {} is unreachable", copts.socket_path);
+                inform("hint: is mopac_serve running with --socket "
+                       "{}?  Start it, or retry with a larger "
+                       "--timeout.",
+                       copts.socket_path);
+                return 1;
+            }
+            if (info->daemon_pid == 0) {
+                // A pre-identity daemon answers kPong with an empty
+                // payload: reachable, but too old to introspect.
+                inform("daemon at {} is alive (predates the identity "
+                       "block; consider restarting it on this build)",
+                       copts.socket_path);
                 return 0;
             }
-            warn("daemon at {} is unreachable", copts.socket_path);
-            return 1;
+            inform("daemon at {} is alive: pid {}, protocol v{}, "
+                   "queue depth {}{}",
+                   copts.socket_path, info->daemon_pid,
+                   info->protocol_version, info->queue_depth,
+                   info->brownout ? ", BROWNOUT (storage writes "
+                                    "failing; serving from memory)"
+                                  : "");
+            if (info->protocol_version != kSerializeVersion) {
+                warn("protocol mismatch: daemon speaks v{}, this "
+                     "client speaks v{}; restart the daemon from the "
+                     "same build as mopac_submit",
+                     info->protocol_version, kSerializeVersion);
+                return 1;
+            }
+            return 0;
         }
         if (command == "status") {
             if (operands.size() != 1) {
@@ -209,6 +235,27 @@ main(int argc, char **argv)
             return printManifest(manifest);
         }
         fatal("unknown command '{}'", command);
+    } catch (const ClientError &err) {
+        // Reachability / shed-budget failures: say what to do, not
+        // just what happened.
+        warn("mopac_submit: {}", err.what());
+        fatal("hint: check that mopac_serve is running with --socket "
+              "{}; if it is overloaded or restarting, retry with "
+              "--timeout larger than {:.0f}s",
+              copts.socket_path,
+              copts.reconnect_budget_sec >= 0.0
+                  ? copts.reconnect_budget_sec
+                  : 0.0);
+    } catch (const SerializeError &err) {
+        // A malformed reply that persisted across reconnects almost
+        // always means a version skew, not line noise.
+        warn("mopac_submit: {}", err.what());
+        fatal("hint: the daemon at {} speaks a different protocol "
+              "than this client (expected v{}); run `mopac_submit "
+              "--socket {} ping` for its identity and restart it "
+              "from the same build",
+              copts.socket_path, kSerializeVersion,
+              copts.socket_path);
     } catch (const std::exception &err) {
         fatal("mopac_submit: {}", err.what());
     }

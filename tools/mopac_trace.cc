@@ -35,7 +35,7 @@ isBinaryPath(const std::string &path)
 }
 
 void
-write(const TraceData &trace, const std::string &path)
+writeTraceFile(const TraceData &trace, const std::string &path)
 {
     if (isBinaryPath(path)) {
         writeTraceBinary(trace, path);
@@ -62,7 +62,7 @@ cmdGen(int argc, char **argv)
     auto gen = makeTraceSource(findWorkload(workload), map, core, 8,
                                seed);
     const TraceData trace = captureTrace(*gen, records);
-    write(trace, out);
+    writeTraceFile(trace, out);
     std::printf("wrote %zu records of '%s' (core %u, seed %llu) to "
                 "%s\n",
                 trace.records.size(), workload.c_str(), core,
@@ -77,7 +77,7 @@ cmdConv(int argc, char **argv)
         fatal("conv needs: <in> <out>");
     }
     const TraceData trace = loadTrace(argv[1]);
-    write(trace, argv[2]);
+    writeTraceFile(trace, argv[2]);
     std::printf("converted %zu records: %s -> %s\n",
                 trace.records.size(), argv[1], argv[2]);
     return 0;

@@ -33,21 +33,34 @@ submit=$3
 export MOPAC_SIM_SCALE="${MOPAC_SIM_SCALE:-0.03}"
 KILL_AFTER="${KILL_AFTER:-2}"
 
-workdir=$(mktemp -d)
+workdir=$(mktemp -d) || { echo "FAIL: mktemp -d failed" >&2; exit 1; }
 sock="$workdir/serve.sock"
 state="$workdir/state"
 daemon_pid=""
+client_pid=""
 cleanup() {
     [ -n "$daemon_pid" ] && kill -9 "$daemon_pid" 2>/dev/null
+    [ -n "$client_pid" ] && kill -9 "$client_pid" 2>/dev/null
     rm -rf "$workdir"
 }
-trap cleanup EXIT
+# INT/TERM too: an interrupted run must not leak the daemon, the
+# background client, or the temp dir.
+trap cleanup EXIT INT TERM
 
 strip_progress() {
     grep -v -e '^info:' -e '^warn:' "$1"
 }
 
 start_daemon() {
+    # Fail fast if something already answers on this socket: starting
+    # a second daemon would race it for the state dir, and every check
+    # below would be testing the wrong process.
+    if "$submit" --socket "$sock" --timeout 1 ping \
+            >/dev/null 2>&1; then
+        echo "FAIL: a previous daemon is still listening on $sock;" \
+             "kill it (or remove the socket) and rerun" >&2
+        return 1
+    fi
     "$serve" --socket "$sock" --state "$state" --workers 2 \
         >>"$workdir/daemon.log" 2>&1 &
     daemon_pid=$!
@@ -96,6 +109,7 @@ else
     cat "$workdir/submitted.out" >&2
     status=1
 fi
+client_pid=""
 
 # 4. The served manifest must equal the local run bit for bit.
 if diff -u <(strip_progress "$workdir/clean.out") \
@@ -151,6 +165,7 @@ rc=$?
 daemon_pid=""
 kill -9 "$client_pid" 2>/dev/null
 wait "$client_pid" 2>/dev/null
+client_pid=""
 if [ "$rc" -eq 75 ]; then
     echo "   OK: SIGTERM mid-sweep exits 75 (resumable)"
 elif [ "$rc" -eq 0 ]; then
