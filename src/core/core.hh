@@ -14,13 +14,20 @@
  *
  * Writes retire through a posted write buffer: they only block if the
  * memory controller's write queue refuses them.
+ *
+ * Busy-path layout (ISSUE 9): the ROB is a fixed-capacity power-of-two
+ * ring buffer (no per-op allocation, contiguous scans), issue() starts
+ * at a first-unissued hint and stops as soon as no further op can
+ * issue, and the MSHR-release walk is gated behind the earliest
+ * pending completion -- all exactly equivalent to the naive full scans
+ * (the engine-differential suite holds the proof to account).
  */
 
 #ifndef MOPAC_CORE_CORE_HH
 #define MOPAC_CORE_CORE_HH
 
 #include <cstdint>
-#include <deque>
+#include <vector>
 
 #include "common/types.hh"
 #include "core/trace.hh"
@@ -77,6 +84,30 @@ class Core
      *         until nextSelfEventAt() or an external wakeup.
      */
     bool tick(Cycle now);
+
+    /**
+     * Per-core skip contract: callable right after tick(@p now)
+     * returned false, this is the earliest cycle at which a tick can
+     * stop being a no-op without an external wakeup.  The Cpu skips
+     * tick() calls strictly before this cycle -- in both engines --
+     * because every channel that could change the outcome earlier is
+     * accounted for:
+     *
+     *  - a completion callback (onReadComplete) is external; the Cpu
+     *    clears the core's wake when it dispatches one;
+     *  - queue space freeing matters only to a core whose last issue
+     *    walk attempted a trySend, and such a walk leaves issue_idle_
+     *    false, which forces a wake at now + 1 here;
+     *  - time alone acts through a pending completion's done_at
+     *    (releaseMshrs / a retire-blocked head) or through
+     *    issue_wake_at_ (a dependency-blocked read whose predecessor
+     *    has completed), all of which bound the result.
+     *
+     * A no-op tick implies fetch is ROB-blocked and retire is head-
+     * blocked, so both resume only via the channels above.  The
+     * engine-differential suite pins the certification down.
+     */
+    Cycle idleUntil(Cycle now) const;
 
     /**
      * Next-event contract: the earliest cycle after @p now at which
@@ -148,9 +179,25 @@ class Core
         std::uint64_t req_id = 0;
     };
 
-    void retire(Cycle now);
-    void fetch(Cycle now);
-    void issue(Cycle now);
+    // Each phase returns true iff it changed architectural state;
+    // tick() unions the reports into its no-op certification.
+    bool retire(Cycle now);
+    bool fetch(Cycle now);
+    bool issue(Cycle now);
+    bool releaseMshrs(Cycle now);
+
+    /** Op at ring position @p i (0 = oldest). */
+    MemOp &opAt(std::uint32_t i)
+    {
+        return ops_[(ops_head_ + i) & ops_mask_];
+    }
+    const MemOp &opAt(std::uint32_t i) const
+    {
+        return ops_[(ops_head_ + i) & ops_mask_];
+    }
+
+    void pushOp(const MemOp &op);
+    void popFront();
 
     // Construction-time identity and wiring: a restored System
     // rebuilds these from its own config before loadState() runs, and
@@ -163,7 +210,42 @@ class Core
 
     std::uint64_t fetch_inst_ = 0;
     std::uint64_t retire_inst_ = 0;
-    std::deque<MemOp> ops_;
+
+    // ROB ring buffer: fixed power-of-two capacity sized at
+    // construction, occupancy bounded by rob_entries.  Serialized as
+    // the flat op sequence (oldest first), byte-identical to the old
+    // deque layout; head/count/mask are rebuilt on load.  saveState
+    // walks it through opAt(), so the member name only shows up in
+    // loadState.
+    std::vector<MemOp> ops_; // mopac-lint: allow(serial-drift)
+    std::uint32_t ops_head_ = 0;  // mopac-lint: allow(serial-drift)
+    std::uint32_t ops_count_ = 0; // mopac-lint: allow(serial-drift)
+    std::uint32_t ops_mask_ = 0;  // mopac-lint: allow(serial-drift)
+
+    // Derived issue()/release gating state, recomputed on load.
+    // Invariants: every op at ring position < first_unissued_ has
+    // issued set; unissued_ops_/unissued_writes_ count !issued ops
+    // (and the writes among them); mshr_releases_ counts done ops
+    // still holding an MSHR and next_release_at_ is a lower bound on
+    // their earliest done_at (exact right after a release walk,
+    // kNeverCycle iff none pending).
+    std::uint32_t first_unissued_ = 0;   // mopac-lint: allow(serial-drift)
+    std::uint32_t unissued_ops_ = 0;     // mopac-lint: allow(serial-drift)
+    std::uint32_t unissued_writes_ = 0;  // mopac-lint: allow(serial-drift)
+    std::uint32_t mshr_releases_ = 0;    // mopac-lint: allow(serial-drift)
+    Cycle next_release_at_ = kNeverCycle; // mopac-lint: allow(serial-drift)
+
+    // issue() memoization: true when the last walk made no trySend
+    // attempt and drew no req id -- then the walk stays a no-op (and
+    // may be skipped exactly) until new work arrives (pushOp), a
+    // completion lands (onReadComplete), an MSHR frees, or the clock
+    // reaches issue_wake_at_ (the earliest done_at gating a
+    // dependency-blocked read whose predecessor already completed).
+    // A refused trySend clears it, because queue space can free on
+    // any cycle and refused reads burn req ids that bit-identity
+    // requires on exact cycles.
+    bool issue_idle_ = false;          // mopac-lint: allow(serial-drift)
+    Cycle issue_wake_at_ = kNeverCycle; // mopac-lint: allow(serial-drift)
 
     // Partially dispatched trace record.
     bool record_pending_ = false;

@@ -17,9 +17,9 @@ Cpu::Cpu(const CoreParams &params,
     MOPAC_ASSERT(!traces.empty());
     cores_.reserve(traces.size());
     for (unsigned i = 0; i < traces.size(); ++i) {
-        cores_.push_back(std::make_unique<Core>(i, params, traces[i],
-                                                target_insts, sink));
+        cores_.emplace_back(i, params, traces[i], target_insts, sink);
     }
+    wake_.assign(cores_.size(), 0);
 }
 
 std::vector<double>
@@ -28,7 +28,7 @@ Cpu::measuredIpcs() const
     std::vector<double> out;
     out.reserve(cores_.size());
     for (const auto &core : cores_) {
-        out.push_back(core->measuredIpc());
+        out.push_back(core.measuredIpc());
     }
     return out;
 }

@@ -33,31 +33,55 @@ class Cpu : public MemClient
 
     /**
      * Advance every core one cycle.
+     *
+     * Cores sleeping on their idleUntil() bound are skipped outright
+     * (Core::idleUntil documents why the skip is a certified no-op in
+     * both engines); everyone else ticks -- no short-circuit, every
+     * awake core ticks every cycle.  The wake bounds live in one
+     * contiguous array so the common all-asleep scan touches no Core
+     * object at all.
+     *
      * @return true when any core changed state (see Core::tick()).
      */
+    // mopac: hot-path
     bool
     tick(Cycle now)
     {
         bool active = false;
-        for (auto &core : cores_) {
-            // No short-circuit: every core ticks every cycle.
-            active |= core->tick(now);
+        Cycle next = kNeverCycle;
+        Cycle *wake = wake_.data();
+        for (std::size_t i = 0; i < cores_.size(); ++i) {
+            if (now < wake[i]) {
+                next = std::min(next, wake[i]);
+                continue;
+            }
+            if (cores_[i].tick(now)) {
+                active = true;
+                wake[i] = now + 1;
+            } else {
+                wake[i] = cores_[i].idleUntil(now);
+            }
+            next = std::min(next, wake[i]);
         }
+        next_wake_min_ = next;
         return active;
     }
 
     /**
-     * Next-event contract: earliest self-wakeup across all cores
-     * (kNeverCycle when no core has a pending completion).
+     * Next-event contract: earliest self-wakeup across all cores.
+     * This is the minimum of the per-core skip bounds tick()
+     * maintains -- each bound certifies its core's ticks are no-ops
+     * strictly before it (Core::idleUntil), so their minimum is the
+     * earliest possible self-originated change.  The minimum is
+     * folded incrementally (tick() while it walks the bounds anyway,
+     * memComplete() when it clears one), so this is a cached load --
+     * the event probe touches no array at all.
      */
+    // mopac: hot-path
     Cycle
-    nextSelfEventAt(Cycle now) const
+    nextSelfEventAt(Cycle) const
     {
-        Cycle next = kNeverCycle;
-        for (const auto &core : cores_) {
-            next = std::min(next, core->nextSelfEventAt(now));
-        }
-        return next;
+        return next_wake_min_;
     }
 
     /** All cores reached their instruction target? */
@@ -65,7 +89,7 @@ class Cpu : public MemClient
     allDone() const
     {
         for (const auto &core : cores_) {
-            if (!core->done()) {
+            if (!core.done()) {
                 return false;
             }
         }
@@ -73,10 +97,15 @@ class Cpu : public MemClient
     }
 
     /** MemClient: dispatch a read completion to its core. */
+    // mopac: hot-path
     void
     memComplete(const Request &req, Cycle done_cycle) override
     {
-        cores_.at(req.core_id)->onReadComplete(req.req_id, done_cycle);
+        // External wakeup: the completion can unblock the core before
+        // its recorded bound, so clear it.
+        wake_[req.core_id] = 0;
+        next_wake_min_ = 0;
+        cores_[req.core_id].onReadComplete(req.req_id, done_cycle);
     }
 
     /** Start the measured interval on every core. */
@@ -84,7 +113,7 @@ class Cpu : public MemClient
     startMeasurement(Cycle now)
     {
         for (auto &core : cores_) {
-            core->startMeasurement(now);
+            core.startMeasurement(now);
         }
     }
 
@@ -93,8 +122,8 @@ class Cpu : public MemClient
         return static_cast<unsigned>(cores_.size());
     }
 
-    Core &core(unsigned i) { return *cores_.at(i); }
-    const Core &core(unsigned i) const { return *cores_.at(i); }
+    Core &core(unsigned i) { return cores_.at(i); }
+    const Core &core(unsigned i) const { return cores_.at(i); }
 
     /** Per-core IPC over the measured interval. */
     std::vector<double> measuredIpcs() const;
@@ -104,7 +133,7 @@ class Cpu : public MemClient
     saveState(Serializer &ser) const
     {
         for (const auto &core : cores_) {
-            core->saveState(ser);
+            core.saveState(ser);
         }
     }
 
@@ -113,12 +142,29 @@ class Cpu : public MemClient
     loadState(Deserializer &des)
     {
         for (auto &core : cores_) {
-            core->loadState(des);
+            core.loadState(des);
         }
+        // The restored cores may be runnable immediately; the bounds
+        // rebuild themselves on the next tick of each core.
+        wake_.assign(cores_.size(), 0);
+        next_wake_min_ = 0;
     }
 
   private:
-    std::vector<std::unique_ptr<Core>> cores_;
+    /** Contiguous core storage: the tick scan is a linear walk. */
+    std::vector<Core> cores_;
+    /**
+     * Per-core skip bound: core i's tick is a certified no-op at
+     * every cycle < wake_[i] (Core::idleUntil).  Scratch, derived
+     * from core state; never serialized -- loadState resets it.
+     */
+    std::vector<Cycle> wake_; // mopac-lint: allow(serial-drift)
+    /**
+     * Cached min over wake_, maintained at every mutation (tick,
+     * memComplete, loadState) so nextSelfEventAt() is one load.
+     * Scratch like wake_ itself.
+     */
+    Cycle next_wake_min_ = 0; // mopac-lint: allow(serial-drift)
 };
 
 } // namespace mopac

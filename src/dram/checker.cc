@@ -32,12 +32,23 @@ SecurityChecker::bumpChip(unsigned chip, unsigned bank, std::uint32_t row)
     }
 }
 
+// mopac: hot-path
 void
 SecurityChecker::onActivate(unsigned bank, std::uint32_t row, Cycle now)
 {
+    // Chip-minor layout: the chips_ counts sit in one contiguous run
+    // (typically a single cache line), so this is one memory touch
+    // per ACT instead of one per chip.
+    std::uint32_t *base = &counts_[index(0, bank, row)];
+    std::uint32_t hi = 0;
     for (unsigned chip = 0; chip < chips_; ++chip) {
-        bumpChip(chip, bank, row);
+        const std::uint32_t c = ++base[chip];
+        hi = std::max(hi, c);
+        if (trh_ > 0 && c > trh_) {
+            ++violations_;
+        }
     }
+    max_unmitigated_ = std::max(max_unmitigated_, hi);
     if (epoch_enabled_) {
         if (now >= epoch_start_ + epoch_len_) {
             rollEpoch(now);
@@ -50,12 +61,15 @@ void
 SecurityChecker::onSweep(std::uint32_t row_begin, std::uint32_t row_end)
 {
     MOPAC_ASSERT(row_begin <= row_end && row_end <= rows_);
-    for (unsigned chip = 0; chip < chips_; ++chip) {
-        for (unsigned bank = 0; bank < banks_; ++bank) {
-            auto base = counts_.begin() +
-                        static_cast<std::ptrdiff_t>(index(chip, bank, 0));
-            std::fill(base + row_begin, base + row_end, 0u);
-        }
+    // For one bank, rows [begin, end) x all chips are contiguous.
+    for (unsigned bank = 0; bank < banks_; ++bank) {
+        auto base = counts_.begin() +
+                    static_cast<std::ptrdiff_t>(index(0, bank, row_begin));
+        std::fill(base,
+                  base + static_cast<std::ptrdiff_t>(
+                             (row_end - row_begin) *
+                             static_cast<std::size_t>(chips_)),
+                  0u);
     }
 }
 
@@ -270,7 +284,18 @@ SecurityChecker::saveState(Serializer &ser) const
     ser.putU32(rows_);
     ser.putU32(chips_);
     ser.putU32(trh_);
-    ser.putVecU32(counts_);
+    // The byte stream keeps the original chip-major order, so the
+    // in-memory chip-minor layout never shows up in snapshots.
+    std::vector<std::uint32_t> chip_major(counts_.size());
+    std::size_t k = 0;
+    for (unsigned chip = 0; chip < chips_; ++chip) {
+        for (unsigned bank = 0; bank < banks_; ++bank) {
+            for (std::uint32_t row = 0; row < rows_; ++row) {
+                chip_major[k++] = counts_[index(chip, bank, row)];
+            }
+        }
+    }
+    ser.putVecU32(chip_major);
     ser.putU32(max_unmitigated_);
     ser.putU64(violations_);
 
@@ -308,11 +333,18 @@ SecurityChecker::loadState(Deserializer &des)
         trh != trh_) {
         throw SerializeError("security checker shape mismatch");
     }
-    std::vector<std::uint32_t> counts = des.getVecU32();
-    if (counts.size() != counts_.size()) {
+    std::vector<std::uint32_t> chip_major = des.getVecU32();
+    if (chip_major.size() != counts_.size()) {
         throw SerializeError("security checker count array mismatch");
     }
-    counts_ = std::move(counts);
+    std::size_t k = 0;
+    for (unsigned chip = 0; chip < chips_; ++chip) {
+        for (unsigned bank = 0; bank < banks_; ++bank) {
+            for (std::uint32_t row = 0; row < rows_; ++row) {
+                counts_[index(chip, bank, row)] = chip_major[k++];
+            }
+        }
+    }
     max_unmitigated_ = des.getU32();
     violations_ = des.getU64();
 

@@ -112,11 +112,18 @@ class SecurityChecker
     void loadState(Deserializer &des);
 
   private:
+    /**
+     * Chip-minor layout: the @p chips_ counts of one (bank, row) are
+     * adjacent, so onActivate's per-chip bump touches one cache line
+     * instead of striding @c banks_*rows_ words per chip.  The
+     * serialized byte stream keeps the original chip-major order
+     * (saveState/loadState transcode), so snapshots are unchanged.
+     */
     std::size_t
     index(unsigned chip, unsigned bank, std::uint32_t row) const
     {
-        return (static_cast<std::size_t>(chip) * banks_ + bank) * rows_ +
-               row;
+        return (static_cast<std::size_t>(bank) * rows_ + row) * chips_ +
+               chip;
     }
 
     void bumpChip(unsigned chip, unsigned bank, std::uint32_t row);

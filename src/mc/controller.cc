@@ -1,16 +1,37 @@
 /**
  * @file
  * Controller implementation.
+ *
+ * Scheduling hot loops (ISSUE 9): each pass walks per-bank candidate
+ * sets via bitmask iteration over the RequestQueue's incremental
+ * indexes.  Selection is provably identical to the old full-queue
+ * scans:
+ *
+ *  - CAS: all hits in one bank share one ready time, so the oldest
+ *    hit per open bank is the only candidate the naive scan could
+ *    issue or consider() for that bank; issuing the minimum-seq ready
+ *    candidate and considering the not-ready candidates that are
+ *    older than it reproduces the scan's issue choice *and* its
+ *    next_wake_ contributions exactly.
+ *  - ACT: the naive scan looks at the first request per closed bank
+ *    in arrival order (`seen` skips the rest), which is precisely the
+ *    bank list head; queue priority and the cross-queue `seen` set
+ *    survive as bitmask operations.
+ *
+ * tests/mc/test_scheduler_policy.cc's reference model replays both
+ * scans side by side under randomized traffic to hold this to account.
  */
 
 #include "controller.hh"
 
 #include <algorithm>
+#include <array>
 #include <bit>
 
 #include "common/log.hh"
 #include "common/serialize.hh"
 #include "sim/faults.hh"
+#include "sim/profile.hh"
 
 namespace mopac
 {
@@ -23,10 +44,9 @@ Controller::Controller(SubChannel &device, const AddressMap &map,
     const unsigned nbanks = device_.numBanks();
     cu_pending_.assign(nbanks, 0);
     act_claimed_.assign(nbanks, 0);
-    hit_pending_.assign(nbanks, 0);
-    conflict_waiting_.assign(nbanks, 0);
-    read_q_.reserve(params_.read_queue_cap);
-    write_q_.reserve(params_.write_queue_cap);
+    read_q_.init(params_.read_queue_cap, nbanks);
+    write_q_.init(params_.write_queue_cap, nbanks);
+    invalidateMarkCache();
     if (params_.wq_drain_high > params_.write_queue_cap ||
         params_.wq_drain_low >= params_.wq_drain_high) {
         fatal("controller: bad write-drain watermarks");
@@ -46,13 +66,13 @@ Controller::enqueue(Request req, Cycle now)
             return false;
         }
         ++stats_.writes_enqueued;
-        write_q_.push_back(req);
+        write_q_.push(req);
     } else {
         if (!canAcceptRead()) {
             return false;
         }
         ++stats_.reads_enqueued;
-        read_q_.push_back(req);
+        read_q_.push(req);
     }
     next_wake_ = 0;
     return true;
@@ -70,6 +90,7 @@ Controller::allBanksClosed() const
     return !device_.banks().anyOpen();
 }
 
+// mopac: hot-path
 bool
 Controller::drainOnePre(Cycle now)
 {
@@ -90,6 +111,7 @@ Controller::drainOnePre(Cycle now)
     return false;
 }
 
+// mopac: hot-path
 void
 Controller::tick(Cycle now)
 {
@@ -97,6 +119,7 @@ Controller::tick(Cycle now)
         return;
     }
     next_wake_ = kNeverCycle;
+    ++simProfile().mc_ticks;
 
     // Busy executing REF / RFM.
     if (state_ == MaintState::kRfmBusy || state_ == MaintState::kRefBusy) {
@@ -170,12 +193,13 @@ Controller::tick(Cycle now)
     scheduleOne(now);
 }
 
+// mopac: hot-path
 void
-Controller::issueCas(std::vector<Request> &queue, std::size_t idx,
+Controller::issueCas(RequestQueue &queue, std::int32_t slot,
                      bool is_write, Cycle now)
 {
-    Request req = queue[idx];
-    queue.erase(queue.begin() + static_cast<std::ptrdiff_t>(idx));
+    const Request req = queue.at(slot);
+    queue.erase(slot);
 
     if (act_claimed_[req.bank]) {
         // First CAS after the ACT this controller issued for the
@@ -198,88 +222,161 @@ Controller::issueCas(std::vector<Request> &queue, std::size_t idx,
     }
 }
 
+// mopac: hot-path
 bool
-Controller::tryCas(std::vector<Request> &queue, bool is_write, Cycle now)
+Controller::tryCas(RequestQueue &queue, bool is_write, Cycle now)
 {
     const Cycle bus_ready = is_write ? device_.writeBusAllowedAt()
                                      : device_.readBusAllowedAt();
     const BankArray &banks = device_.banks();
-    for (std::size_t i = 0; i < queue.size(); ++i) {
-        const Request &req = queue[i];
-        // One compare: a closed bank reports kInvalid32, never a row.
-        if (banks.openRow(req.bank) != req.row) {
-            continue;
-        }
+    SimProfile &prof = simProfile();
+
+    // Candidate per open bank: its oldest row hit (all hits in a bank
+    // share one ready time, so no younger hit can act differently).
+    // mark() already found it while building the hit/conflict masks,
+    // and hit_q_mask_ narrows the walk to exactly the banks holding a
+    // hit.
+    const unsigned qi = is_write ? 1U : 0U;
+    const std::array<std::int32_t, 64> &hit_head =
+        is_write ? hit_head_write_ : hit_head_read_;
+    std::int32_t best_slot = RequestQueue::kNil;
+    std::uint64_t best_seq = 0;
+    std::array<std::uint64_t, 64> wait_seq;
+    std::array<Cycle, 64> wait_ready;
+    unsigned waits = 0;
+    for (std::uint64_t m =
+             hit_q_mask_[qi] & banks.openMask() & queue.bankMask();
+         m != 0; m &= m - 1) {
+        const unsigned bank =
+            static_cast<unsigned>(std::countr_zero(m));
+        const std::int32_t s = hit_head[bank];
+        ++prof.mc_cas_candidates;
         const Cycle ready =
-            std::max(is_write ? banks.writeReadyAt(req.bank)
-                              : banks.readReadyAt(req.bank),
+            std::max(is_write ? banks.writeReadyAt(bank)
+                              : banks.readReadyAt(bank),
                      bus_ready);
         if (now >= ready) {
-            issueCas(queue, i, is_write, now);
-            return true;
+            if (best_slot == RequestQueue::kNil ||
+                queue.seq(s) < best_seq) {
+                best_slot = s;
+                best_seq = queue.seq(s);
+            }
+        } else {
+            wait_seq[waits] = queue.seq(s);
+            wait_ready[waits] = ready;
+            ++waits;
         }
-        consider(ready);
+    }
+    if (best_slot != RequestQueue::kNil) {
+        // The naive scan stops at the issued request, so only older
+        // not-ready candidates contribute to next_wake_.
+        for (unsigned i = 0; i < waits; ++i) {
+            if (wait_seq[i] < best_seq) {
+                consider(wait_ready[i]);
+            }
+        }
+        issueCas(queue, best_slot, is_write, now);
+        return true;
+    }
+    for (unsigned i = 0; i < waits; ++i) {
+        consider(wait_ready[i]);
     }
     return false;
 }
 
+// mopac: hot-path
 bool
 Controller::tryActs(Cycle now, bool serve_writes)
 {
     const Cycle subch_ready = device_.actAllowedAt();
     const BankArray &banks = device_.banks();
-    // Only the oldest request per closed bank is an ACT candidate.
-    auto scan = [&](std::vector<Request> &queue,
-                    std::vector<std::uint8_t> &seen) -> bool {
-        for (auto &req : queue) {
-            if (banks.hasOpenRow(req.bank) || seen[req.bank]) {
-                continue;
-            }
-            seen[req.bank] = 1;
+    SimProfile &prof = simProfile();
+    const std::uint64_t open = banks.openMask();
+
+    // Candidate per closed bank: its oldest request (= bank list
+    // head), exactly what the naive scan's `seen` filter kept.
+    std::uint64_t seen = 0;
+    auto scan = [&](const RequestQueue &queue) -> bool {
+        std::int32_t best_slot = RequestQueue::kNil;
+        std::uint64_t best_seq = 0;
+        std::array<std::uint64_t, 64> wait_seq;
+        std::array<Cycle, 64> wait_ready;
+        unsigned waits = 0;
+        for (std::uint64_t m = queue.bankMask() & ~open & ~seen;
+             m != 0; m &= m - 1) {
+            const unsigned bank =
+                static_cast<unsigned>(std::countr_zero(m));
+            const std::int32_t s = queue.bankHead(bank);
+            ++prof.mc_act_candidates;
             const Cycle ready =
-                std::max(banks.actReadyAt(req.bank), subch_ready);
+                std::max(banks.actReadyAt(bank), subch_ready);
             if (now >= ready) {
-                device_.cmdAct(now, req.bank, req.row);
-                cu_pending_[req.bank] =
-                    device_.mitigator()->selectForUpdate(req.bank,
-                                                         req.row, now)
-                        ? 1
-                        : 0;
-                act_claimed_[req.bank] = 1;
-                return true;
+                if (best_slot == RequestQueue::kNil ||
+                    queue.seq(s) < best_seq) {
+                    best_slot = s;
+                    best_seq = queue.seq(s);
+                }
+            } else {
+                wait_seq[waits] = queue.seq(s);
+                wait_ready[waits] = ready;
+                ++waits;
             }
-            consider(ready);
+        }
+        seen |= queue.bankMask() & ~open;
+        if (best_slot != RequestQueue::kNil) {
+            for (unsigned i = 0; i < waits; ++i) {
+                if (wait_seq[i] < best_seq) {
+                    consider(wait_ready[i]);
+                }
+            }
+            const Request &req = queue.at(best_slot);
+            device_.cmdAct(now, req.bank, req.row);
+            cu_pending_[req.bank] =
+                device_.mitigator()->selectForUpdate(req.bank,
+                                                     req.row, now)
+                    ? 1
+                    : 0;
+            act_claimed_[req.bank] = 1;
+            return true;
+        }
+        for (unsigned i = 0; i < waits; ++i) {
+            consider(wait_ready[i]);
         }
         return false;
     };
 
-    std::vector<std::uint8_t> seen(device_.numBanks(), 0);
     if (serve_writes && drain_mode_) {
-        if (scan(write_q_, seen)) {
+        if (scan(write_q_)) {
             return true;
         }
-        return scan(read_q_, seen);
+        return scan(read_q_);
     }
-    if (scan(read_q_, seen)) {
+    if (scan(read_q_)) {
         return true;
     }
     if (serve_writes) {
-        return scan(write_q_, seen);
+        return scan(write_q_);
     }
     return false;
 }
 
+// mopac: hot-path
 bool
 Controller::tryPres(Cycle now)
 {
     const BankArray &banks = device_.banks();
-    for (std::uint64_t m = banks.openMask(); m != 0; m &= m - 1) {
+    // Open-page policy closes a row only under a conflict, so the
+    // walk can pre-filter to conflict banks; the other policies must
+    // visit every open non-hit bank (kClose always wants the PRE,
+    // kTimeout owes a consider() even when the timer has not fired).
+    std::uint64_t walk = banks.openMask() & ~hit_mask_;
+    if (params_.page_policy == PagePolicy::kOpen) {
+        walk &= conflict_mask_;
+    }
+    for (std::uint64_t m = walk; m != 0; m &= m - 1) {
         const unsigned bank =
             static_cast<unsigned>(std::countr_zero(m));
-        if (hit_pending_[bank]) {
-            continue;
-        }
-        bool want = conflict_waiting_[bank] != 0;
+        bool want = (conflict_mask_ >> bank) & 1;
         if (!want) {
             switch (params_.page_policy) {
               case PagePolicy::kOpen:
@@ -314,9 +411,18 @@ Controller::tryPres(Cycle now)
     return false;
 }
 
+// mopac: hot-path
 void
 Controller::scheduleOne(Cycle now)
 {
+    if (params_.naive_scan) {
+        scheduleOneNaive(now);
+        return;
+    }
+    SimProfile &prof = simProfile();
+    ++prof.mc_sched_passes;
+    prof.mc_queue_cycles += read_q_.size() + write_q_.size();
+
     // Write-drain hysteresis.
     if (write_q_.size() >= params_.wq_drain_high) {
         drain_mode_ = true;
@@ -325,26 +431,67 @@ Controller::scheduleOne(Cycle now)
     }
     const bool serve_writes = drain_mode_ || read_q_.empty();
 
-    // Per-bank pending-hit / pending-conflict summary.
-    std::fill(hit_pending_.begin(), hit_pending_.end(), 0);
-    std::fill(conflict_waiting_.begin(), conflict_waiting_.end(), 0);
+    // Per-bank pending-hit / pending-conflict summary over exactly
+    // the open banks that hold requests (set union, order-free).
+    // The per-(queue, bank) results are *cached* across passes, keyed
+    // by the queue's bankVersion and the bank's rowVersion: a bank
+    // whose list and open row are unchanged since the last walk keeps
+    // its summary, so steady-state passes re-walk only the one or two
+    // banks a command touched, not the whole queue.  The walk also
+    // finds each bank's oldest row hit (bank lists are
+    // arrival-ordered, so the first hit is the oldest) and caches it
+    // for tryCas(), which then needs no list walk of its own.
     const BankArray &banks = device_.banks();
-    auto mark = [&](const std::vector<Request> &queue) {
-        for (const Request &req : queue) {
-            const std::uint32_t open = banks.openRow(req.bank);
-            if (open == kInvalid32) {
+    auto mark = [&](const RequestQueue &queue, unsigned qi,
+                    std::array<std::int32_t, 64> &hit_head) {
+        for (std::uint64_t m = banks.openMask() & queue.bankMask();
+             m != 0; m &= m - 1) {
+            const unsigned bank =
+                static_cast<unsigned>(std::countr_zero(m));
+            const std::uint64_t qver = queue.bankVersion(bank);
+            const std::uint64_t bver = banks.rowVersion(bank);
+            if (cache_qver_[qi][bank] == qver &&
+                cache_bver_[qi][bank] == bver) {
                 continue;
             }
-            if (open == req.row) {
-                hit_pending_[req.bank] = 1;
-            } else {
-                conflict_waiting_[req.bank] = 1;
+            ++prof.mc_mark_walks;
+            const std::uint32_t open = banks.openRow(bank);
+            const std::uint64_t bit = std::uint64_t{1} << bank;
+            std::int32_t first_hit = RequestQueue::kNil;
+            bool conflict = false;
+            for (std::int32_t s = queue.bankHead(bank);
+                 s != RequestQueue::kNil &&
+                 !(first_hit != RequestQueue::kNil && conflict);
+                 s = queue.bankNext(s)) {
+                ++prof.mc_mark_steps;
+                if (queue.at(s).row == open) {
+                    if (first_hit == RequestQueue::kNil) {
+                        first_hit = s;
+                    }
+                } else {
+                    conflict = true;
+                }
             }
+            hit_head[bank] = first_hit;
+            hit_q_mask_[qi] =
+                (hit_q_mask_[qi] & ~bit) |
+                (first_hit != RequestQueue::kNil ? bit : 0);
+            conflict_q_mask_[qi] =
+                (conflict_q_mask_[qi] & ~bit) | (conflict ? bit : 0);
+            cache_qver_[qi][bank] = qver;
+            cache_bver_[qi][bank] = bver;
         }
     };
-    mark(read_q_);
+    mark(read_q_, 0, hit_head_read_);
+    const std::uint64_t open_mask = banks.openMask();
+    hit_mask_ = hit_q_mask_[0] & open_mask & read_q_.bankMask();
+    conflict_mask_ =
+        conflict_q_mask_[0] & open_mask & read_q_.bankMask();
     if (serve_writes) {
-        mark(write_q_);
+        mark(write_q_, 1, hit_head_write_);
+        hit_mask_ |= hit_q_mask_[1] & open_mask & write_q_.bankMask();
+        conflict_mask_ |=
+            conflict_q_mask_[1] & open_mask & write_q_.bankMask();
     }
 
     bool issued = false;
@@ -368,6 +515,187 @@ Controller::scheduleOne(Cycle now)
     }
 }
 
+// Reference scheduler: the pre-ISSUE-9 scans, expressed over the
+// RequestQueue's global arrival list (identical iteration order to
+// the old flat vectors).  Not a hot path -- it exists so the property
+// test can replay randomized traffic through both schedulers and the
+// throughput harness can measure the busy-path win on one host.
+
+bool
+Controller::tryCasNaive(RequestQueue &queue, bool is_write, Cycle now)
+{
+    const Cycle bus_ready = is_write ? device_.writeBusAllowedAt()
+                                     : device_.readBusAllowedAt();
+    const BankArray &banks = device_.banks();
+    for (std::int32_t s = queue.head(); s != RequestQueue::kNil;
+         s = queue.next(s)) {
+        const Request &req = queue.at(s);
+        // One compare: a closed bank reports kInvalid32, never a row.
+        if (banks.openRow(req.bank) != req.row) {
+            continue;
+        }
+        const Cycle ready =
+            std::max(is_write ? banks.writeReadyAt(req.bank)
+                              : banks.readReadyAt(req.bank),
+                     bus_ready);
+        if (now >= ready) {
+            issueCas(queue, s, is_write, now);
+            return true;
+        }
+        consider(ready);
+    }
+    return false;
+}
+
+bool
+Controller::tryActsNaive(Cycle now, bool serve_writes)
+{
+    const Cycle subch_ready = device_.actAllowedAt();
+    const BankArray &banks = device_.banks();
+    // Only the oldest request per closed bank is an ACT candidate;
+    // `seen` carries across the two queue scans.
+    std::uint64_t seen = 0;
+    auto scan = [&](const RequestQueue &queue) -> bool {
+        for (std::int32_t s = queue.head(); s != RequestQueue::kNil;
+             s = queue.next(s)) {
+            const Request &req = queue.at(s);
+            const std::uint64_t bit = std::uint64_t{1} << req.bank;
+            if (banks.hasOpenRow(req.bank) || (seen & bit) != 0) {
+                continue;
+            }
+            seen |= bit;
+            const Cycle ready =
+                std::max(banks.actReadyAt(req.bank), subch_ready);
+            if (now >= ready) {
+                device_.cmdAct(now, req.bank, req.row);
+                cu_pending_[req.bank] =
+                    device_.mitigator()->selectForUpdate(req.bank,
+                                                         req.row, now)
+                        ? 1
+                        : 0;
+                act_claimed_[req.bank] = 1;
+                return true;
+            }
+            consider(ready);
+        }
+        return false;
+    };
+
+    if (serve_writes && drain_mode_) {
+        if (scan(write_q_)) {
+            return true;
+        }
+        return scan(read_q_);
+    }
+    if (scan(read_q_)) {
+        return true;
+    }
+    if (serve_writes) {
+        return scan(write_q_);
+    }
+    return false;
+}
+
+bool
+Controller::tryPresNaive(Cycle now)
+{
+    const BankArray &banks = device_.banks();
+    // The old walk visits every open non-hit bank (no policy
+    // pre-filter).
+    for (std::uint64_t m = banks.openMask() & ~hit_mask_; m != 0;
+         m &= m - 1) {
+        const unsigned bank =
+            static_cast<unsigned>(std::countr_zero(m));
+        bool want = (conflict_mask_ >> bank) & 1;
+        if (!want) {
+            switch (params_.page_policy) {
+              case PagePolicy::kOpen:
+                break;
+              case PagePolicy::kClose:
+                want = true;
+                break;
+              case PagePolicy::kTimeout:
+                if (now >= banks.lastCas(bank) + params_.timeout_ton) {
+                    want = true;
+                } else {
+                    consider(banks.lastCas(bank) +
+                             params_.timeout_ton);
+                }
+                break;
+            }
+        }
+        if (!want) {
+            continue;
+        }
+        const bool cu = cu_pending_[bank] != 0;
+        const Cycle ready = banks.preReadyAt(bank, cu);
+        if (now >= ready) {
+            device_.cmdPre(now, bank, cu);
+            cu_pending_[bank] = 0;
+            return true;
+        }
+        consider(ready);
+    }
+    return false;
+}
+
+void
+Controller::scheduleOneNaive(Cycle now)
+{
+    // Write-drain hysteresis.
+    if (write_q_.size() >= params_.wq_drain_high) {
+        drain_mode_ = true;
+    } else if (write_q_.size() <= params_.wq_drain_low) {
+        drain_mode_ = false;
+    }
+    const bool serve_writes = drain_mode_ || read_q_.empty();
+
+    // Per-bank pending-hit / pending-conflict summary, recomputed
+    // from scratch by walking the whole queue(s).
+    hit_mask_ = 0;
+    conflict_mask_ = 0;
+    const BankArray &banks = device_.banks();
+    auto mark = [&](const RequestQueue &queue) {
+        for (std::int32_t s = queue.head(); s != RequestQueue::kNil;
+             s = queue.next(s)) {
+            const Request &req = queue.at(s);
+            const std::uint32_t open = banks.openRow(req.bank);
+            if (open == kInvalid32) {
+                continue;
+            }
+            if (open == req.row) {
+                hit_mask_ |= std::uint64_t{1} << req.bank;
+            } else {
+                conflict_mask_ |= std::uint64_t{1} << req.bank;
+            }
+        }
+    };
+    mark(read_q_);
+    if (serve_writes) {
+        mark(write_q_);
+    }
+
+    bool issued = false;
+    if (drain_mode_) {
+        issued = tryCasNaive(write_q_, true, now) ||
+                 tryCasNaive(read_q_, false, now);
+    } else {
+        issued = tryCasNaive(read_q_, false, now);
+        if (!issued && serve_writes) {
+            issued = tryCasNaive(write_q_, true, now);
+        }
+    }
+    if (!issued) {
+        issued = tryActsNaive(now, serve_writes);
+    }
+    if (!issued) {
+        issued = tryPresNaive(now);
+    }
+    if (issued) {
+        consider(now + 1);
+    }
+}
+
 double
 Controller::rowBufferHitRate() const
 {
@@ -379,14 +707,31 @@ Controller::rowBufferHitRate() const
            static_cast<double>(cas);
 }
 
+std::vector<Request>
+Controller::queueSnapshot(bool writes) const
+{
+    const RequestQueue &q = writes ? write_q_ : read_q_;
+    std::vector<Request> out;
+    out.reserve(q.size());
+    for (std::int32_t s = q.head(); s != RequestQueue::kNil;
+         s = q.next(s)) {
+        out.push_back(q.at(s));
+    }
+    return out;
+}
+
 namespace
 {
 
 void
-saveRequestQueue(Serializer &ser, const std::vector<Request> &queue)
+saveRequestQueue(Serializer &ser, const RequestQueue &queue)
 {
-    ser.putU32(static_cast<std::uint32_t>(queue.size()));
-    for (const Request &req : queue) {
+    // Arrival order == the old flat-vector order, so the byte stream
+    // is identical to the pre-indexed layout.
+    ser.putU32(queue.size());
+    for (std::int32_t s = queue.head(); s != RequestQueue::kNil;
+         s = queue.next(s)) {
+        const Request &req = queue.at(s);
         ser.putU64(req.line_addr);
         ser.putU8(req.is_write ? 1 : 0);
         ser.putU32(req.core_id);
@@ -399,8 +744,8 @@ saveRequestQueue(Serializer &ser, const std::vector<Request> &queue)
 }
 
 void
-loadRequestQueue(Deserializer &des, std::vector<Request> &queue,
-                 unsigned cap, const char *what)
+loadRequestQueue(Deserializer &des, RequestQueue &queue, unsigned cap,
+                 const char *what)
 {
     const std::uint32_t n = des.getU32();
     if (n > cap) {
@@ -408,7 +753,6 @@ loadRequestQueue(Deserializer &des, std::vector<Request> &queue,
             "{} occupancy {} exceeds capacity {}", what, n, cap));
     }
     queue.clear();
-    queue.reserve(n);
     for (std::uint32_t i = 0; i < n; ++i) {
         Request req;
         req.line_addr = des.getU64();
@@ -419,7 +763,7 @@ loadRequestQueue(Deserializer &des, std::vector<Request> &queue,
         req.bank = des.getU32();
         req.row = des.getU32();
         req.column = des.getU32();
-        queue.push_back(req);
+        queue.push(req);
     }
 }
 
@@ -438,8 +782,8 @@ Controller::saveState(Serializer &ser) const
     ser.putU8(drain_mode_ ? 1 : 0);
     ser.putVecU8(cu_pending_);
     ser.putVecU8(act_claimed_);
-    // hit_pending_ / conflict_waiting_ are scratch, rebuilt from
-    // scratch by every scheduleOne() pass -- not checkpointed.
+    // hit_mask_ / conflict_mask_ are scratch, rebuilt from scratch by
+    // every scheduleOne() pass -- not checkpointed.
     ser.putU64(stats_.reads_enqueued);
     ser.putU64(stats_.writes_enqueued);
     ser.putU64(stats_.cas_reads);
@@ -489,6 +833,9 @@ Controller::loadState(Deserializer &des)
     stats_.rfms_issued = des.getU64();
     stats_.alert_stall_cycles = des.getU64();
     stats_.read_latency.loadState(des);
+    // The restored queues renumbered their versions from zero, so
+    // every cached mark() summary is stale.
+    invalidateMarkCache();
 }
 
 } // namespace mopac

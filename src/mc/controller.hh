@@ -13,13 +13,22 @@
  * the mitigation engine selected the open activation for a counter
  * update; the bit chooses PRE vs PREcu (and their differing tRAS /
  * tRP) when the row is eventually closed (paper §5.1).
+ *
+ * Busy-path layout (ISSUE 9): the queues are indexed RequestQueue
+ * pools with per-bank arrival lists, so every scheduling pass walks
+ * per-bank *candidates* (oldest hit per open bank, oldest request per
+ * closed bank) via bitmask iteration instead of re-scanning whole
+ * queues.  Candidate selection and the next_wake_/consider() values
+ * are exactly those of the naive scans -- the scheduler property test
+ * (tests/mc/test_scheduler_policy.cc reference model) and the
+ * engine-differential suite pin that equivalence down.
  */
 
 #ifndef MOPAC_MC_CONTROLLER_HH
 #define MOPAC_MC_CONTROLLER_HH
 
+#include <array>
 #include <cstdint>
-#include <deque>
 #include <vector>
 
 #include "common/stats.hh"
@@ -27,6 +36,7 @@
 #include "dram/device.hh"
 #include "mc/mapping.hh"
 #include "mc/request.hh"
+#include "mc/request_queue.hh"
 
 namespace mopac
 {
@@ -51,6 +61,15 @@ struct ControllerParams
     PagePolicy page_policy = PagePolicy::kOpen;
     /** Row-open timeout for PagePolicy::kTimeout. */
     Cycle timeout_ton = nsToCycles(200.0);
+    /**
+     * Reference scheduler: replace the indexed candidate walks with
+     * the pre-ISSUE-9 full-queue scans.  Bit-identical to the indexed
+     * path by design -- the scheduler property test drives both over
+     * randomized traffic to prove it.  Deliberately excluded from
+     * configSignature() and the serve wire format, like the run-loop
+     * engine choice.
+     */
+    bool naive_scan = false;
 };
 
 /** Controller statistics. */
@@ -83,18 +102,10 @@ class Controller
                const ControllerParams &params, MemClient *client);
 
     /** Can another read be accepted right now? */
-    bool
-    canAcceptRead() const
-    {
-        return read_q_.size() < params_.read_queue_cap;
-    }
+    bool canAcceptRead() const { return !read_q_.full(); }
 
     /** Can another write be accepted right now? */
-    bool
-    canAcceptWrite() const
-    {
-        return write_q_.size() < params_.write_queue_cap;
-    }
+    bool canAcceptWrite() const { return !write_q_.full(); }
 
     /**
      * Enqueue a request (coordinates are decoded here).
@@ -117,11 +128,7 @@ class Controller
     Cycle nextWakeAt() const { return next_wake_; }
 
     /** True when no requests are queued. */
-    bool
-    idle() const
-    {
-        return read_q_.empty() && write_q_.empty();
-    }
+    bool idle() const { return read_q_.empty() && write_q_.empty(); }
 
     /** Current read-queue occupancy. */
     std::size_t readQueueDepth() const { return read_q_.size(); }
@@ -135,6 +142,13 @@ class Controller
 
     /** Measured row-buffer hit rate over all CAS operations. */
     double rowBufferHitRate() const;
+
+    /**
+     * Debug/test hook: the queued requests of one queue in arrival
+     * order (the order serialization writes and FR-FCFS compares).
+     * Copies; not for hot paths.
+     */
+    std::vector<Request> queueSnapshot(bool writes) const;
 
     /**
      * Checkpoint queues, maintenance state, per-bank PREcu decisions,
@@ -161,11 +175,19 @@ class Controller
     /** Try to close one open bank (maintenance drains). @return issued. */
     bool drainOnePre(Cycle now);
     void scheduleOne(Cycle now);
-    bool tryCas(std::vector<Request> &queue, bool is_write, Cycle now);
+    bool tryCas(RequestQueue &queue, bool is_write, Cycle now);
     bool tryActs(Cycle now, bool serve_writes);
     bool tryPres(Cycle now);
-    void issueCas(std::vector<Request> &queue, std::size_t idx,
+    void issueCas(RequestQueue &queue, std::int32_t slot,
                   bool is_write, Cycle now);
+
+    // Reference scheduler (ControllerParams::naive_scan): the old
+    // full-queue scans over the global arrival list, kept as the
+    // ground truth the property test compares the indexed walks to.
+    void scheduleOneNaive(Cycle now);
+    bool tryCasNaive(RequestQueue &queue, bool is_write, Cycle now);
+    bool tryActsNaive(Cycle now, bool serve_writes);
+    bool tryPresNaive(Cycle now);
 
     SubChannel &device_;
     const AddressMap &map_;
@@ -175,8 +197,8 @@ class Controller
     // Wired by the System at construction, not part of the snapshot.
     MemClient *client_; // mopac-lint: allow(serial-drift)
 
-    std::vector<Request> read_q_;
-    std::vector<Request> write_q_;
+    RequestQueue read_q_;
+    RequestQueue write_q_;
 
     MaintState state_ = MaintState::kNormal;
     Cycle stall_at_ = 0;
@@ -190,11 +212,39 @@ class Controller
     /** Per-bank: the request that opened the current row was a miss. */
     std::vector<std::uint8_t> act_claimed_;
 
-    // Scratch, rebuilt from the queues at the start of every
-    // scheduling pass; never read across a tick boundary, so a
-    // snapshot taken at a quiesced point need not carry it.
-    std::vector<std::uint8_t> hit_pending_;      // mopac-lint: allow(serial-drift)
-    std::vector<std::uint8_t> conflict_waiting_; // mopac-lint: allow(serial-drift)
+    // Scratch, derived entirely from the queues and bank state;
+    // never read across a snapshot boundary (loadState() invalidates
+    // the cache), so none of it is checkpointed.  The hit-head arrays
+    // cache each open bank's oldest row hit so tryCas() never walks a
+    // bank list; the per-(queue, bank) version keys let scheduleOne's
+    // mark() pass skip banks whose list and open row are unchanged
+    // since their last walk (see scheduleOne for the invariant).
+    std::uint64_t hit_mask_ = 0;      // mopac-lint: allow(serial-drift)
+    std::uint64_t conflict_mask_ = 0; // mopac-lint: allow(serial-drift)
+    std::array<std::int32_t, 64> hit_head_read_{};  // mopac-lint: allow(serial-drift)
+    std::array<std::int32_t, 64> hit_head_write_{}; // mopac-lint: allow(serial-drift)
+    // Cached per-queue hit/conflict bank masks ([0] = read queue,
+    // [1] = write queue) and their validity keys; kInvalidVer marks
+    // an entry that must be rewalked.
+    static constexpr std::uint64_t kInvalidVer = ~std::uint64_t{0};
+    std::array<std::uint64_t, 2> hit_q_mask_{};      // mopac-lint: allow(serial-drift)
+    std::array<std::uint64_t, 2> conflict_q_mask_{}; // mopac-lint: allow(serial-drift)
+    std::array<std::array<std::uint64_t, 64>, 2> cache_qver_{}; // mopac-lint: allow(serial-drift)
+    std::array<std::array<std::uint64_t, 64>, 2> cache_bver_{}; // mopac-lint: allow(serial-drift)
+
+    /** Invalidate every mark() cache entry (construction, restore). */
+    void
+    invalidateMarkCache()
+    {
+        for (auto &per_queue : cache_qver_) {
+            per_queue.fill(kInvalidVer);
+        }
+        for (auto &per_queue : cache_bver_) {
+            per_queue.fill(kInvalidVer);
+        }
+        hit_q_mask_ = {0, 0};
+        conflict_q_mask_ = {0, 0};
+    }
 
     ControllerStats stats_;
 };

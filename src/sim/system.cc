@@ -12,7 +12,7 @@
 #include "analysis/security.hh"
 #include "common/log.hh"
 #include "common/serialize.hh"
-#include "sim/event_queue.hh"
+#include "sim/profile.hh"
 #include "sim/stop.hh"
 #include "mitigation/mopac_c.hh"
 #include "mitigation/none.hh"
@@ -311,44 +311,42 @@ System::totalRetired() const
 }
 
 Cycle
-System::watchdogEventAt() const
-{
-    // Mirror of the aligned watchdog check: if retirement moved since
-    // the last check, the very next aligned cycle refreshes
-    // wd_last_retired_ / wd_last_progress_ (serialized state, so the
-    // update itself is an event the skip must not jump over).
-    // Otherwise nothing happens until the first aligned cycle at or
-    // past the trip deadline.
-    if (totalRetired() != wd_last_retired_) {
-        return alignUpPow2(now_, kWatchdogPollPeriod);
-    }
-    const Cycle trip = wd_last_progress_ + cfg_.watchdog_cycles;
-    return alignUpPow2(std::max(trip, now_), kWatchdogPollPeriod);
-}
-
-Cycle
-System::nextEventCycle(EventQueue &events, bool cpu_active) const
+System::nextEventCycle(Cycle mc_next) const
 {
     // now_ is the next unsimulated cycle; now_ - 1 was just simulated.
-    // Each source re-reports its wakeup; the queue keeps one entry per
-    // source, so stale cycles are overwritten, never duplicated.
-    const std::uint32_t ctrl_base = 1;
-    const std::uint32_t num_ctrl =
-        static_cast<std::uint32_t>(controllers_.size());
-    events.schedule(0, cpu_active ? now_
-                                  : cpu_->nextSelfEventAt(now_ - 1));
-    for (std::uint32_t s = 0; s < num_ctrl; ++s) {
-        events.schedule(ctrl_base + s, controllers_[s]->nextWakeAt());
+    // Each source reports its next wakeup; the run loop only ever
+    // needs the minimum, so this is a direct fold over the sources
+    // (no heap maintenance on the hot path).  The controller minimum
+    // arrives precomputed -- the run loop folds it while the freshly
+    // written next_wake_ values are still in L1 -- and the CPU keeps
+    // its own minimum incrementally (Cpu::nextSelfEventAt is a cached
+    // load), so the whole probe is a handful of compares.  It bails
+    // as soon as the running minimum already forbids a skip -- the
+    // caller only compares the result against now_, so an early
+    // return of any value <= now_ is exact.
+    Cycle next = mc_next;
+    if (next <= now_) {
+        return next;
+    }
+    next = std::min(next, cpu_->nextSelfEventAt(now_ - 1));
+    if (next <= now_) {
+        return next;
     }
     if (cfg_.watchdog_cycles > 0) {
-        events.schedule(ctrl_base + num_ctrl, watchdogEventAt());
+        // Cap the skip at the next aligned watchdog poll rather than
+        // computing the exact watchdog event (which needs
+        // totalRetired(), an all-cores fold) on every probe.  The
+        // aligned cycle then executes and runs the poll exactly as
+        // the tick engine would, so the cap is always exact -- it
+        // only shortens skips, never changes what any executed cycle
+        // does -- and the probe stays O(sources).
+        next = std::min(next, alignUpPow2(now_, kWatchdogPollPeriod));
     }
     // The abort flag is host-asynchronous; polling only at aligned
     // cycles (like the tick loop) keeps the command streams identical
     // while bounding how long a skip can outrun an operator's Ctrl-C.
-    events.schedule(ctrl_base + num_ctrl + 1,
-                    alignUpPow2(now_, kAbortPollPeriod));
-    return events.minCycle();
+    next = std::min(next, alignUpPow2(now_, kAbortPollPeriod));
+    return next;
 }
 
 bool
@@ -364,13 +362,13 @@ System::runTo(Cycle stop_at)
     }
 
     const bool event_mode = cfg_.engine == SimEngine::kEvent;
-    // Wakeup queue: sources are the CPU, each controller, the
-    // watchdog, and the abort poll.  Its contents derive entirely from
-    // component state re-read every simulated cycle, so it is rebuilt
-    // here on entry and never checkpointed -- the next-event contract
-    // lives in the components (Controller serializes next_wake_).
-    EventQueue events(static_cast<std::uint32_t>(
-        controllers_.size() + 3));
+    SimProfile &prof = simProfile();
+    // Cores still waiting to clear warmup; once all have started
+    // their measured interval the per-cycle check below disappears.
+    unsigned measure_pending = 0;
+    for (const std::uint8_t m : measuring_) {
+        measure_pending += m ? 0 : 1;
+    }
     const auto trip_cycle_bound = [&] {
         warn("system: hit cycle bound {} before completion",
              max_cycles);
@@ -390,15 +388,23 @@ System::runTo(Cycle stop_at)
             return false;
         }
         const bool cpu_active = cpu_->tick(now_);
+        // Fold the controller wakeups while their just-updated
+        // next_wake_ values are still hot; the event probe below then
+        // never touches a controller.
+        Cycle mc_next = kNeverCycle;
         for (auto &mc : controllers_) {
             mc->tick(now_);
+            mc_next = std::min(mc_next, mc->nextWakeAt());
         }
         // Begin each core's measured interval once it clears warmup.
-        for (unsigned i = 0; i < cfg_.num_cores; ++i) {
-            if (!measuring_[i] &&
-                cpu_->core(i).retiredInsts() >= cfg_.warmup_insts) {
-                cpu_->core(i).startMeasurement(now_);
-                measuring_[i] = 1;
+        if (measure_pending > 0) {
+            for (unsigned i = 0; i < cfg_.num_cores; ++i) {
+                if (!measuring_[i] &&
+                    cpu_->core(i).retiredInsts() >= cfg_.warmup_insts) {
+                    cpu_->core(i).startMeasurement(now_);
+                    measuring_[i] = 1;
+                    --measure_pending;
+                }
             }
         }
         if (cfg_.watchdog_cycles > 0 &&
@@ -417,28 +423,37 @@ System::runTo(Cycle stop_at)
             reportAbort(now_);
         }
         ++now_;
+        ++prof.cycles_run;
         if (now_ >= max_cycles) {
             trip_cycle_bound();
             break;
         }
-        if (!event_mode) {
+        if (!event_mode || cpu_active) {
+            // An active CPU schedules its own wakeup at now_, which
+            // forbids any skip -- so the whole next-event computation
+            // is elided on busy cycles (the common case on memory-
+            // bound points).
             continue;
         }
 
-        const Cycle next = nextEventCycle(events, cpu_active);
+        ++prof.event_maint;
+        const Cycle next = nextEventCycle(mc_next);
         if (next <= now_) {
             continue;
         }
         if (next >= max_cycles && max_cycles <= stop_at) {
             // The tick loop would idle cycle-by-cycle up to the bound
             // and trip it before pausing; replicate that ordering.
+            prof.cycles_skipped += max_cycles - now_;
             now_ = max_cycles;
             trip_cycle_bound();
             break;
         }
         // Jump straight to the wakeup; the loop head pauses at
         // stop_at first if that comes sooner.
-        now_ = std::min(next, stop_at);
+        const Cycle target = std::min(next, stop_at);
+        prof.cycles_skipped += target - now_;
+        now_ = target;
     }
     return true;
 }

@@ -20,7 +20,6 @@
 namespace mopac
 {
 
-class EventQueue;
 
 /** Aggregate result of one simulation run. */
 struct RunResult
@@ -182,15 +181,16 @@ class System : public RequestSink
     /** Sum of retired instructions across all cores. */
     std::uint64_t totalRetired() const;
 
-    /** Next cycle at which the aligned watchdog check does anything. */
-    Cycle watchdogEventAt() const;
-
     /**
-     * Re-report every tick source's wakeup into @p events and return
-     * the earliest.  @p cpu_active is the CPU's progress report for
-     * the cycle just simulated (an active CPU wakes at now_).
+     * Earliest wakeup across every tick source (CPU self-event,
+     * controllers, watchdog, abort poll).  Called only on cycles
+     * where the CPU made no progress -- an active CPU would wake at
+     * now_ and forbid any skip, so the run loop skips the computation
+     * entirely in that case.  A direct min over the handful of
+     * sources; the indexed EventQueue is kept for callers that need
+     * pop/FIFO semantics, but the run loop never pops.
      */
-    Cycle nextEventCycle(EventQueue &events, bool cpu_active) const;
+    Cycle nextEventCycle(Cycle mc_next) const;
 
     SystemConfig cfg_;
     // Derived from cfg_ at construction; the snapshot header's config

@@ -1,0 +1,39 @@
+// Lint fixture: heap allocation inside `// mopac: hot-path`
+// functions.  Every flagged line is one hot-alloc finding; the
+// un-annotated sibling at the bottom makes the same calls cleanly.
+#include <cstdint>
+#include <vector>
+
+using Cycle = std::uint64_t;
+
+class Leaky
+{
+  public:
+    // mopac: hot-path
+    void
+    tick(Cycle now)
+    {
+        log_.push_back(now);
+        scratch_.resize(64);
+        int *p = new int[8];
+        delete[] p;
+    }
+
+    Cycle nextWakeAt() const { return 0; }
+
+    // mopac: hot-path
+    Cycle
+    drain()
+    {
+        std::vector<Cycle> tmp;
+        tmp.reserve(log_.size());
+        return tmp.empty() ? 0 : tmp[0];
+    }
+
+    // Un-annotated: the same calls are fine here.
+    void flush() { log_.push_back(0); }
+
+  private:
+    std::vector<Cycle> log_;
+    std::vector<Cycle> scratch_;
+};

@@ -1,0 +1,43 @@
+// Lint fixture: clean counterpart of bad_hot_path.cc.  Hot-path
+// functions touch preallocated storage only; allocation stays in the
+// constructor, and un-annotated helpers may allocate freely.
+#ifndef MOPAC_TESTS_TOOLS_FIXTURES_GOOD_HOT_PATH_HH
+#define MOPAC_TESTS_TOOLS_FIXTURES_GOOD_HOT_PATH_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+using Cycle = std::uint64_t;
+
+class Pool
+{
+  public:
+    Pool() { slots_.resize(64); } // the constructor may allocate
+
+    // mopac: hot-path
+    Cycle
+    tick(Cycle now)
+    {
+        // .data()/.size() and reference bindings are not allocations.
+        const Cycle *slot = slots_.data();
+        const std::vector<Cycle> &view = slots_;
+        Cycle next = now + 1;
+        for (std::size_t i = 0; i < view.size(); ++i) {
+            if (slot[i] < next) {
+                next = slot[i];
+            }
+        }
+        return next;
+    }
+
+    Cycle nextWakeAt() const { return slots_.empty() ? 0 : slots_[0]; }
+
+    // Un-annotated: free to allocate.
+    void grow() { slots_.push_back(0); }
+
+  private:
+    std::vector<Cycle> slots_;
+};
+
+#endif // MOPAC_TESTS_TOOLS_FIXTURES_GOOD_HOT_PATH_HH

@@ -198,6 +198,25 @@ TEST(MopacLint, GuardBadFixture)
         << res.output;
 }
 
+TEST(MopacLint, HotAllocBadFixture)
+{
+    // Growing-container methods, operator new, and a container local
+    // inside annotated functions; the un-annotated sibling making the
+    // same calls stays silent.
+    const LintResult res = runLint({"bad_hot_path.cc"});
+    expectFindings(res, {{16, "hot-alloc"},
+                         {17, "hot-alloc"},
+                         {18, "hot-alloc"},
+                         {28, "hot-alloc"},
+                         {29, "hot-alloc"}});
+    EXPECT_NE(res.output.find("must not allocate"), std::string::npos)
+        << res.output;
+    EXPECT_NE(res.output.find("'tick'"), std::string::npos)
+        << res.output;
+    EXPECT_NE(res.output.find("'drain'"), std::string::npos)
+        << res.output;
+}
+
 TEST(MopacLint, GoodFixturesAreClean)
 {
     const LintResult res = runLint({
@@ -213,6 +232,7 @@ TEST(MopacLint, GoodFixturesAreClean)
         "good_guard.hh",
         "good_serve_timeout.cc",
         "good_io_errno.cc",
+        "good_hot_path.hh",
     });
     EXPECT_EQ(res.exit_code, 0) << res.output;
     EXPECT_TRUE(res.findings.empty()) << res.output;
@@ -243,13 +263,15 @@ TEST(MopacLint, AllBadFixturesTogether)
         "bad_guard.hh",
         "bad_serve_timeout.cc",
         "bad_io_errno.cc",
+        "bad_hot_path.cc",
     });
     EXPECT_EQ(res.exit_code, 1) << res.output;
-    EXPECT_EQ(res.findings.size(), 20u) << res.output;
+    EXPECT_EQ(res.findings.size(), 25u) << res.output;
     for (const char *check :
          {"det-rand", "det-time", "det-clock", "det-rng",
           "det-ptr-key", "det-unordered", "serial-drift", "rng-seed",
-          "next-event", "guard", "serve-timeout", "io-errno"}) {
+          "next-event", "guard", "serve-timeout", "io-errno",
+          "hot-alloc"}) {
         bool seen = false;
         for (const LintFinding &f : res.findings) {
             seen = seen || f.check == check;
@@ -265,7 +287,8 @@ TEST(MopacLint, ListChecksEnumeratesEveryCheck)
     for (const char *check :
          {"det-rand", "det-time", "det-clock", "det-rng",
           "det-ptr-key", "det-unordered", "serial-drift", "rng-seed",
-          "next-event", "guard", "serve-timeout", "io-errno"}) {
+          "next-event", "guard", "serve-timeout", "io-errno",
+          "hot-alloc"}) {
         EXPECT_NE(res.output.find(check), std::string::npos)
             << "missing from --list-checks: " << check;
     }

@@ -45,6 +45,18 @@
  *                  can only jump past a tick source that can report
  *                  its next interesting cycle; an opaque tick forces
  *                  the engine back to one-iteration-per-cycle.
+ *   hot-alloc      Heap allocation inside a function annotated
+ *                  `// mopac: hot-path` (the comment, alone on the
+ *                  line directly above the function): new/malloc,
+ *                  growing container methods (push_back, resize,
+ *                  insert, ...), make_unique/make_shared, or a
+ *                  std:: container constructed as a local.  Hot
+ *                  functions run per simulated cycle or per DRAM
+ *                  command; all storage must be preallocated at
+ *                  construction.  Token-level, so allocation hidden
+ *                  behind a helper or operator[] on a map is not
+ *                  seen -- the annotation is a promise, the check a
+ *                  tripwire for the common regressions.
  *   guard          Include guards must be MOPAC_<DIR>_<FILE>_HH
  *                  derived from the path (src/ stripped); #pragma
  *                  once is not used in this repo.
@@ -101,7 +113,7 @@ namespace
 const char *const kAllChecks[] = {
     "det-rand",  "det-time",     "det-clock",    "det-rng", "det-ptr-key",
     "det-unordered", "serial-drift", "rng-seed", "next-event", "guard",
-    "serve-timeout", "io-errno",
+    "serve-timeout", "io-errno",   "hot-alloc",
 };
 
 struct Finding
@@ -131,6 +143,8 @@ struct SourceFile
     /** line -> checks allowed on that line (and the line below). */
     std::map<int, std::set<std::string>> line_allows;
     std::set<std::string> file_allows;
+    /** Lines holding a bare `// mopac: hot-path` annotation. */
+    std::vector<int> hot_path_lines;
 };
 
 // ------------------------------------------------------------------
@@ -207,7 +221,17 @@ scrub(SourceFile &sf)
             if (end == std::string::npos) {
                 end = in.size();
             }
-            parseAllowList(in.substr(i, end - i), line, sf);
+            const std::string comment = in.substr(i, end - i);
+            parseAllowList(comment, line, sf);
+            // The hot-path annotation is the exact line comment
+            // `// mopac: hot-path` -- prose mentions in doc blocks
+            // do not count.
+            const std::size_t b = comment.find_first_not_of("/ \t");
+            const std::size_t e = comment.find_last_not_of(" \t\r");
+            if (b != std::string::npos &&
+                comment.substr(b, e - b + 1) == "mopac: hot-path") {
+                sf.hot_path_lines.push_back(line);
+            }
             i = end;
         } else if (c == '/' && i + 1 < in.size() && in[i + 1] == '*') {
             std::size_t end = in.find("*/", i + 2);
@@ -1356,6 +1380,125 @@ checkNextEvent(const SourceFile &sf, Linter &lint)
 }
 
 // ------------------------------------------------------------------
+// hot-alloc
+// ------------------------------------------------------------------
+
+/**
+ * Scan the body of every `// mopac: hot-path` function for heap
+ * allocation.  The annotation line is matched in scrub(); here each
+ * one anchors a forward scan to the function's parameter list, over
+ * any const/noexcept/override qualifiers to the `{`, then across the
+ * brace-matched body.  Three token shapes are flagged:
+ *
+ *   - keyword/free-function allocators (`new`, malloc family,
+ *     make_unique/make_shared, to_string);
+ *   - growing-container method calls (`.push_back(`, `->resize(`,
+ *     ...) -- the method-call shape keeps same-named free functions
+ *     and members out of scope;
+ *   - a std:: container named in the body with no trailing `&`/`*`
+ *     (a local or temporary; references and pointers to containers
+ *     are free).
+ *
+ * Annotations on declarations (no body in this file) are skipped;
+ * the paired definition carries its own annotation.
+ */
+void
+checkHotPathAlloc(const SourceFile &sf, Linter &lint)
+{
+    static const std::set<std::string> kAllocCalls = {
+        "new",         "malloc",      "calloc",    "realloc",
+        "strdup",      "make_unique", "make_shared", "to_string",
+    };
+    static const std::set<std::string> kAllocMethods = {
+        "push_back",     "emplace_back", "push_front",
+        "emplace_front", "emplace",      "insert",
+        "resize",        "reserve",      "assign",
+        "append",
+    };
+    static const std::set<std::string> kContainers = {
+        "vector",        "deque",        "list",
+        "forward_list",  "map",          "multimap",
+        "unordered_map", "unordered_multimap",
+        "set",           "multiset",     "unordered_set",
+        "unordered_multiset",            "priority_queue",
+        "string",        "basic_string", "ostringstream",
+        "stringstream",  "function",
+    };
+    const Tokens &t = sf.tokens;
+    for (const int ann_line : sf.hot_path_lines) {
+        std::size_t i = 0;
+        while (i < t.size() && t[i].line <= ann_line) {
+            ++i;
+        }
+        // Function name: last identifier before the parameter list.
+        std::string fn = "?";
+        std::size_t paren = i;
+        while (paren < t.size() && t[paren].text != "(" &&
+               t[paren].text != ";" && t[paren].text != "}") {
+            if (t[paren].kind == Token::kIdent) {
+                fn = t[paren].text;
+            }
+            ++paren;
+        }
+        if (paren >= t.size() || t[paren].text != "(") {
+            continue;
+        }
+        const std::size_t args_end = matchForward(t, paren, "(", ")");
+        if (args_end == t.size()) {
+            continue;
+        }
+        std::size_t j = args_end + 1;
+        while (j < t.size() && t[j].text != "{" && t[j].text != ";") {
+            ++j;
+        }
+        if (j >= t.size() || t[j].text != "{") {
+            continue; // declaration only; the definition is checked
+        }
+        const std::size_t close = matchForward(t, j, "{", "}");
+        if (close == t.size()) {
+            continue;
+        }
+        for (std::size_t k = j + 1; k < close; ++k) {
+            if (t[k].kind != Token::kIdent) {
+                continue;
+            }
+            const std::string &w = t[k].text;
+            std::string what;
+            if (kAllocCalls.count(w)) {
+                what = "'" + w + "'";
+            } else if (kAllocMethods.count(w) && k > 0 &&
+                       (t[k - 1].text == "." || t[k - 1].text == "->") &&
+                       is(t, k + 1, "(")) {
+                what = "." + w + "()";
+            } else if (kContainers.count(w) && k >= 2 &&
+                       t[k - 1].text == "::" && t[k - 2].text == "std") {
+                std::size_t after = k + 1;
+                if (is(t, after, "<")) {
+                    const std::size_t gt =
+                        matchForward(t, after, "<", ">");
+                    if (gt == t.size()) {
+                        continue;
+                    }
+                    after = gt + 1;
+                }
+                if (is(t, after, "&") || is(t, after, "*") ||
+                    is(t, after, "::")) {
+                    continue; // reference/pointer/nested name: free
+                }
+                what = "a std::" + w + " local";
+            }
+            if (!what.empty()) {
+                lint.report(sf, t[k].line, "hot-alloc",
+                            what + " in hot-path function '" + fn +
+                                "': functions marked `// mopac: "
+                                "hot-path` must not allocate; "
+                                "preallocate at construction");
+            }
+        }
+    }
+}
+
+// ------------------------------------------------------------------
 // Driver
 // ------------------------------------------------------------------
 
@@ -1509,6 +1652,7 @@ main(int argc, char **argv)
         checkIncludeGuard(sf, lint);
         checkServeTimeout(sf, lint);
         checkIoErrno(sf, lint);
+        checkHotPathAlloc(sf, lint);
 
         const auto ext = f.extension();
         const SourceFile *impl = nullptr;

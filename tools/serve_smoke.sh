@@ -15,20 +15,28 @@
 #   6. SIGTERM the daemon mid-sweep: graceful stop, exit 75
 #      (resumable), per the exit-code map in EXPERIMENTS.md.
 #
-# Usage: serve_smoke.sh <bench-binary> <mopac_serve> <mopac_submit>
+# An optional fourth binary is a second bench driver served through
+# the same daemon after the restart dance (step 4b) -- CMake passes
+# smoke_busy here so a memory-saturated sweep goes through the
+# service path too, not just the idle-heavy sensitivity sweep.
+#
+# Usage: serve_smoke.sh <bench-binary> <mopac_serve> <mopac_submit> \
+#            [<busy-bench-binary>]
 # Env:   MOPAC_SIM_SCALE  simulation downscale (default 0.03)
 #        KILL_AFTER       seconds before each kill (default 2)
 
 set -u
 
-if [ "$#" -ne 3 ]; then
-    echo "usage: $0 <bench-binary> <mopac_serve> <mopac_submit>" >&2
+if [ "$#" -lt 3 ] || [ "$#" -gt 4 ]; then
+    echo "usage: $0 <bench-binary> <mopac_serve> <mopac_submit>" \
+         "[<busy-bench-binary>]" >&2
     exit 2
 fi
 
 bench=$1
 serve=$2
 submit=$3
+busy_bench="${4:-}"
 
 export MOPAC_SIM_SCALE="${MOPAC_SIM_SCALE:-0.03}"
 KILL_AFTER="${KILL_AFTER:-2}"
@@ -118,6 +126,32 @@ if diff -u <(strip_progress "$workdir/clean.out") \
 else
     echo "FAIL: served report differs from the local run" >&2
     status=1
+fi
+
+# 4b. Busy-point pass: serve a memory-saturated sweep through the
+#     already-restarted daemon and require bit-identity with a local
+#     run, so the service path is exercised on optimized scheduler
+#     state, not just the idle-heavy sensitivity sweep.
+if [ -n "$busy_bench" ]; then
+    busy_name=$(basename "$busy_bench")
+    if ! "$busy_bench" --jobs 1 >"$workdir/busy.clean.out" 2>&1; then
+        echo "FAIL: local $busy_name run failed" >&2
+        cat "$workdir/busy.clean.out" >&2
+        status=1
+    elif ! "$busy_bench" --jobs 1 --submit "$sock" \
+            >"$workdir/busy.submitted.out" 2>&1; then
+        echo "FAIL: served $busy_name run failed" >&2
+        cat "$workdir/busy.submitted.out" >&2
+        status=1
+    elif diff -u <(strip_progress "$workdir/busy.clean.out") \
+                 <(strip_progress "$workdir/busy.submitted.out"); then
+        echo "   OK: served $busy_name report is byte-identical" \
+             "to the local run"
+    else
+        echo "FAIL: served $busy_name report differs from the local" \
+             "run" >&2
+        status=1
+    fi
 fi
 
 # 5. Cache serving: forget the job, keep the cache, resubmit.
