@@ -493,10 +493,7 @@ Core::saveState(Serializer &ser) const
         ser.putU64(op.req_id);
     }
     ser.putU8(record_pending_ ? 1 : 0);
-    ser.putU32(record_.inst_gap);
-    ser.putU64(record_.line_addr);
-    ser.putU8(record_.is_write ? 1 : 0);
-    ser.putU8(record_.depends_on_prev ? 1 : 0);
+    record_.saveState(ser);
     ser.putU32(gap_left_);
     ser.putU32(outstanding_reads_);
     ser.putU64(next_req_id_);
@@ -554,10 +551,7 @@ Core::loadState(Deserializer &des)
         }
     }
     record_pending_ = des.getU8() != 0;
-    record_.inst_gap = des.getU32();
-    record_.line_addr = des.getU64();
-    record_.is_write = des.getU8() != 0;
-    record_.depends_on_prev = des.getU8() != 0;
+    record_.loadState(des);
     gap_left_ = des.getU32();
     outstanding_reads_ = des.getU32();
     next_req_id_ = des.getU64();

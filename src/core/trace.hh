@@ -37,6 +37,24 @@ struct TraceRecord
      * latency-bound rather than bandwidth-bound.
      */
     bool depends_on_prev = false;
+
+    void
+    saveState(Serializer &ser) const
+    {
+        ser.putU32(inst_gap);
+        ser.putU64(line_addr);
+        ser.putU8(is_write ? 1 : 0);
+        ser.putU8(depends_on_prev ? 1 : 0);
+    }
+
+    void
+    loadState(Deserializer &des)
+    {
+        inst_gap = des.getU32();
+        line_addr = des.getU64();
+        is_write = des.getU8() != 0;
+        depends_on_prev = des.getU8() != 0;
+    }
 };
 
 /** An endless stream of trace records. */

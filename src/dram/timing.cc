@@ -1,6 +1,7 @@
 /**
  * @file
  * Exact-value verification of the Table 1 timing sets.
+ * mopac-format: skip (hand-aligned per-parameter assert columns)
  *
  * The factories themselves live in timing.hh (constexpr, so the
  * cross-constraint table there runs at compile time).  This TU pins

@@ -1,6 +1,7 @@
 /**
  * @file
  * DRAM timing parameter sets.
+ * mopac-format: skip (hand-aligned Table 1 comment tables)
  *
  * Two sets matter for this paper (Table 1, DDR5-6000AN + JESD79-5C
  * PRAC):

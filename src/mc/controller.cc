@@ -720,60 +720,39 @@ Controller::queueSnapshot(bool writes) const
     return out;
 }
 
-namespace
-{
-
 void
-saveRequestQueue(Serializer &ser, const RequestQueue &queue)
+ControllerStats::saveState(Serializer &ser) const
 {
-    // Arrival order == the old flat-vector order, so the byte stream
-    // is identical to the pre-indexed layout.
-    ser.putU32(queue.size());
-    for (std::int32_t s = queue.head(); s != RequestQueue::kNil;
-         s = queue.next(s)) {
-        const Request &req = queue.at(s);
-        ser.putU64(req.line_addr);
-        ser.putU8(req.is_write ? 1 : 0);
-        ser.putU32(req.core_id);
-        ser.putU64(req.req_id);
-        ser.putU64(req.enqueue_cycle);
-        ser.putU32(req.bank);
-        ser.putU32(req.row);
-        ser.putU32(req.column);
-    }
+    ser.putU64(reads_enqueued);
+    ser.putU64(writes_enqueued);
+    ser.putU64(cas_reads);
+    ser.putU64(cas_writes);
+    ser.putU64(row_hits);
+    ser.putU64(refs_issued);
+    ser.putU64(rfms_issued);
+    ser.putU64(alert_stall_cycles);
+    read_latency.saveState(ser);
 }
 
 void
-loadRequestQueue(Deserializer &des, RequestQueue &queue, unsigned cap,
-                 const char *what)
+ControllerStats::loadState(Deserializer &des)
 {
-    const std::uint32_t n = des.getU32();
-    if (n > cap) {
-        throw SerializeError(format(
-            "{} occupancy {} exceeds capacity {}", what, n, cap));
-    }
-    queue.clear();
-    for (std::uint32_t i = 0; i < n; ++i) {
-        Request req;
-        req.line_addr = des.getU64();
-        req.is_write = des.getU8() != 0;
-        req.core_id = des.getU32();
-        req.req_id = des.getU64();
-        req.enqueue_cycle = des.getU64();
-        req.bank = des.getU32();
-        req.row = des.getU32();
-        req.column = des.getU32();
-        queue.push(req);
-    }
+    reads_enqueued = des.getU64();
+    writes_enqueued = des.getU64();
+    cas_reads = des.getU64();
+    cas_writes = des.getU64();
+    row_hits = des.getU64();
+    refs_issued = des.getU64();
+    rfms_issued = des.getU64();
+    alert_stall_cycles = des.getU64();
+    read_latency.loadState(des);
 }
-
-} // namespace
 
 void
 Controller::saveState(Serializer &ser) const
 {
-    saveRequestQueue(ser, read_q_);
-    saveRequestQueue(ser, write_q_);
+    read_q_.saveState(ser);
+    write_q_.saveState(ser);
     ser.putU8(static_cast<std::uint8_t>(state_));
     ser.putU64(stall_at_);
     ser.putU64(busy_until_);
@@ -784,24 +763,16 @@ Controller::saveState(Serializer &ser) const
     ser.putVecU8(act_claimed_);
     // hit_mask_ / conflict_mask_ are scratch, rebuilt from scratch by
     // every scheduleOne() pass -- not checkpointed.
-    ser.putU64(stats_.reads_enqueued);
-    ser.putU64(stats_.writes_enqueued);
-    ser.putU64(stats_.cas_reads);
-    ser.putU64(stats_.cas_writes);
-    ser.putU64(stats_.row_hits);
-    ser.putU64(stats_.refs_issued);
-    ser.putU64(stats_.rfms_issued);
-    ser.putU64(stats_.alert_stall_cycles);
-    stats_.read_latency.saveState(ser);
+    stats_.saveState(ser);
 }
 
 void
 Controller::loadState(Deserializer &des)
 {
-    loadRequestQueue(des, read_q_, params_.read_queue_cap,
-                     "controller read queue");
-    loadRequestQueue(des, write_q_, params_.write_queue_cap,
-                     "controller write queue");
+    read_q_.loadState(des, params_.read_queue_cap,
+                      "controller read queue");
+    write_q_.loadState(des, params_.write_queue_cap,
+                       "controller write queue");
     const std::uint8_t state = des.getU8();
     if (state > static_cast<std::uint8_t>(MaintState::kRefBusy)) {
         throw SerializeError(format(
@@ -824,15 +795,7 @@ Controller::loadState(Deserializer &des)
     }
     cu_pending_ = std::move(cu);
     act_claimed_ = std::move(claimed);
-    stats_.reads_enqueued = des.getU64();
-    stats_.writes_enqueued = des.getU64();
-    stats_.cas_reads = des.getU64();
-    stats_.cas_writes = des.getU64();
-    stats_.row_hits = des.getU64();
-    stats_.refs_issued = des.getU64();
-    stats_.rfms_issued = des.getU64();
-    stats_.alert_stall_cycles = des.getU64();
-    stats_.read_latency.loadState(des);
+    stats_.loadState(des);
     // The restored queues renumbered their versions from zero, so
     // every cached mark() summary is stale.
     invalidateMarkCache();

@@ -85,6 +85,12 @@ struct ControllerStats
     /** Cycles spent from ALERT stall to RFM completion. */
     std::uint64_t alert_stall_cycles = 0;
     Histogram read_latency{16, 512};
+
+    /** Serialize every counter plus the latency histogram. */
+    void saveState(Serializer &ser) const;
+
+    /** Restore counters saved by saveState(). */
+    void loadState(Deserializer &des);
 };
 
 /** FR-FCFS memory controller for one sub-channel. */

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 
+#include "common/serialize.hh"
 #include "common/types.hh"
 
 namespace mopac
@@ -30,6 +31,32 @@ struct Request
     unsigned bank = 0;
     std::uint32_t row = 0;
     std::uint32_t column = 0;
+
+    void
+    saveState(Serializer &ser) const
+    {
+        ser.putU64(line_addr);
+        ser.putU8(is_write ? 1 : 0);
+        ser.putU32(core_id);
+        ser.putU64(req_id);
+        ser.putU64(enqueue_cycle);
+        ser.putU32(bank);
+        ser.putU32(row);
+        ser.putU32(column);
+    }
+
+    void
+    loadState(Deserializer &des)
+    {
+        line_addr = des.getU64();
+        is_write = des.getU8() != 0;
+        core_id = des.getU32();
+        req_id = des.getU64();
+        enqueue_cycle = des.getU64();
+        bank = des.getU32();
+        row = des.getU32();
+        column = des.getU32();
+    }
 };
 
 /** Receives read-completion notifications from the controller. */

@@ -55,7 +55,12 @@ std::string toString(SimEngine engine);
 /** Parse "tick" / "event"; fatal on anything else. */
 SimEngine parseSimEngine(const std::string &name);
 
-/** Everything needed to build a System. */
+/**
+ * Everything needed to build a System.  Fixed once parsed: a restore
+ * reconstructs the System from the same experiment config, so the
+ * snapshot never carries it.
+ */
+// mopac: stateless
 struct SystemConfig
 {
     Geometry geometry{};

@@ -90,6 +90,25 @@ struct FaultSpec
     Cycle duration = 0;
     /** Restrict per-chip kinds to one chip; kFaultAnyChip = all. */
     unsigned chip = kFaultAnyChip;
+
+    /**
+     * Checkpoint the mutable part: only @c at changes after
+     * construction (a one-shot is consumed when it fires).  The
+     * rate/duration/chip are plan parameters; the restoring side is
+     * built from the same plan.
+     */
+    void
+    saveState(Serializer &ser) const
+    {
+        ser.putU64(at);
+    }
+
+    /** Restore state saved by saveState(). */
+    void
+    loadState(Deserializer &des)
+    {
+        at = des.getU64();
+    }
 };
 
 /** A complete, deterministic fault schedule description. */
@@ -152,6 +171,28 @@ struct FaultPlan
 
     /** Deterministic cache-key fragment (see configSignature()). */
     std::string signature() const;
+
+    /**
+     * Checkpoint the mutable schedule state (the pending one-shot
+     * cycle of every spec).  seed/intensity are construction inputs
+     * and are not saved.
+     */
+    void
+    saveState(Serializer &ser) const
+    {
+        for (const FaultSpec &s : specs) {
+            s.saveState(ser);
+        }
+    }
+
+    /** Restore state saved by saveState(). */
+    void
+    loadState(Deserializer &des)
+    {
+        for (FaultSpec &s : specs) {
+            s.loadState(des);
+        }
+    }
 };
 
 /** Per-kind count of faults that actually fired. */
@@ -167,6 +208,22 @@ struct FaultStats
             sum += f;
         }
         return sum;
+    }
+
+    void
+    saveState(Serializer &ser) const
+    {
+        for (std::uint64_t f : fired) {
+            ser.putU64(f);
+        }
+    }
+
+    void
+    loadState(Deserializer &des)
+    {
+        for (std::uint64_t &f : fired) {
+            f = des.getU64();
+        }
     }
 };
 
@@ -217,6 +274,9 @@ class FaultInjector
                 s.rate = 1.0;
             }
         }
+        // Preallocate the stuck-open windows: stickBankOpen() sits on
+        // the precharge hot path, where growing a vector is forbidden.
+        stuck_until_.assign(kMaxBanks, 0);
     }
 
     /** The (intensity-folded) plan this injector executes. */
@@ -312,14 +372,17 @@ class FaultInjector
     bool
     stickBankOpen(unsigned bank, Cycle now)
     {
-        if (bank < stuck_until_.size() && now < stuck_until_[bank]) {
+        if (bank >= stuck_until_.size()) {
+            // Beyond the preallocated bound (no geometry produces
+            // this many banks per sub-channel): never stick, and draw
+            // nothing so the RNG stream is untouched.
+            return false;
+        }
+        if (now < stuck_until_[bank]) {
             return true;
         }
         if (!fires(FaultKind::kStuckOpenBank, now)) {
             return false;
-        }
-        if (bank >= stuck_until_.size()) {
-            stuck_until_.resize(bank + 1, 0);
         }
         const Cycle dur = durationOf(FaultKind::kStuckOpenBank);
         stuck_until_[bank] =
@@ -337,13 +400,9 @@ class FaultInjector
     void
     saveState(Serializer &ser) const
     {
-        for (unsigned k = 0; k < kNumFaultKinds; ++k) {
-            ser.putU64(plan_.specs[k].at);
-        }
+        plan_.saveState(ser);
         rng_.saveState(ser);
-        for (unsigned k = 0; k < kNumFaultKinds; ++k) {
-            ser.putU64(stats_.fired[k]);
-        }
+        stats_.saveState(ser);
         ser.putVecU64(stuck_until_);
     }
 
@@ -351,19 +410,22 @@ class FaultInjector
     void
     loadState(Deserializer &des)
     {
-        for (unsigned k = 0; k < kNumFaultKinds; ++k) {
-            plan_.specs[k].at = des.getU64();
-        }
+        plan_.loadState(des);
         rng_.loadState(des);
-        for (unsigned k = 0; k < kNumFaultKinds; ++k) {
-            stats_.fired[k] = des.getU64();
-        }
+        stats_.loadState(des);
         stuck_until_ = des.getVecU64();
     }
 
   private:
     /** In-row PRAC counter field width (see PracCounters). */
     static constexpr unsigned kCounterBits = 22;
+
+    /**
+     * Stuck-open window bound.  Per-sub-channel bank counts top out
+     * at 64 everywhere (RequestQueue::init() asserts it), so one
+     * cache line of windows covers every geometry.
+     */
+    static constexpr unsigned kMaxBanks = 64;
 
     bool
     chipMatches(FaultKind kind, unsigned chip) const

@@ -1,0 +1,17 @@
+// Lint fixture: one key in the repo-root CONFIG_KEYS.md registry, one
+// that nobody documented.
+struct Conf
+{
+    unsigned long getUint(const char *key, unsigned long dflt) const;
+    bool has(const char *key) const;
+};
+
+unsigned long
+readKnobs(const Conf &conf)
+{
+    unsigned long v = conf.getUint("seed", 12345);
+    if (conf.has("totally.bogus")) { // expect config-key, line 13
+        v += 1;
+    }
+    return v;
+}

@@ -1,0 +1,13 @@
+// Lint fixture: the hot function itself never allocates -- the
+// allocation sits two calls away in the included helper, where the
+// per-file hot-alloc check cannot see it.
+#include "bad_reach_alloc.hh"
+
+#include <vector>
+
+// mopac: hot-path
+void
+step(std::vector<int> &v)
+{
+    reachStage(v);
+}

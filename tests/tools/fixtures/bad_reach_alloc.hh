@@ -1,0 +1,21 @@
+// Lint fixture helper: the allocation lives here, two calls below the
+// hot path in bad_hot_reach.cc.  Nothing in this file is annotated,
+// so only the whole-program closure can flag it.
+#ifndef MOPAC_TESTS_TOOLS_FIXTURES_BAD_REACH_ALLOC_HH
+#define MOPAC_TESTS_TOOLS_FIXTURES_BAD_REACH_ALLOC_HH
+
+#include <vector>
+
+inline void
+reachGrow(std::vector<int> &v)
+{
+    v.push_back(1); // expect hot-reach, line 12
+}
+
+inline void
+reachStage(std::vector<int> &v)
+{
+    reachGrow(v);
+}
+
+#endif // MOPAC_TESTS_TOOLS_FIXTURES_BAD_REACH_ALLOC_HH

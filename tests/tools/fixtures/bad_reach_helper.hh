@@ -1,0 +1,16 @@
+// Lint fixture helper: a raw blocking syscall outside the serve tree.
+// Harmless on its own -- until something the supervisor event loop
+// can reach calls it (bad_serve_reach.cc does).
+#ifndef MOPAC_TESTS_TOOLS_FIXTURES_BAD_REACH_HELPER_HH
+#define MOPAC_TESTS_TOOLS_FIXTURES_BAD_REACH_HELPER_HH
+
+#include <unistd.h>
+
+inline long
+proxyFlush(int fd)
+{
+    char b = 0;
+    return ::write(fd, &b, 1); // expect serve-reach, line 13
+}
+
+#endif // MOPAC_TESTS_TOOLS_FIXTURES_BAD_REACH_HELPER_HH

@@ -1,0 +1,68 @@
+// Lint fixture: serial-reach must fire twice.  Member inner_ has a
+// type that snapshots, but System only *mentions* it (which satisfies
+// serial-drift) without delegating; ReachLeaf is reachable from
+// System's member-type graph yet neither snapshots nor declares
+// itself stateless.
+#ifndef MOPAC_TESTS_TOOLS_FIXTURES_BAD_SERIAL_REACH_HH
+#define MOPAC_TESTS_TOOLS_FIXTURES_BAD_SERIAL_REACH_HH
+
+#include <cstdint>
+
+struct Serializer;
+struct Deserializer;
+
+class ReachInner
+{
+  public:
+    void
+    saveState(Serializer &ser) const
+    {
+        (void)ser;
+        (void)count_;
+    }
+
+    void
+    loadState(Deserializer &des)
+    {
+        (void)des;
+        (void)count_;
+    }
+
+  private:
+    std::uint32_t count_ = 0;
+};
+
+class ReachLeaf // expect serial-reach (closure), line 35
+{
+  public:
+    int value() const { return value_; }
+
+  private:
+    int value_ = 0;
+};
+
+class System
+{
+  public:
+    void
+    saveState(Serializer &ser) const
+    {
+        (void)ser;
+        (void)inner_;
+        (void)leaf_;
+    }
+
+    void
+    loadState(Deserializer &des)
+    {
+        (void)des;
+        (void)inner_;
+        (void)leaf_;
+    }
+
+  private:
+    ReachInner inner_; // expect serial-reach (delegation), line 64
+    ReachLeaf leaf_;
+};
+
+#endif // MOPAC_TESTS_TOOLS_FIXTURES_BAD_SERIAL_REACH_HH

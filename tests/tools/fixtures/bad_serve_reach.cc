@@ -1,0 +1,10 @@
+// Lint fixture: serve-scope code with no raw syscall of its own --
+// the blocking write hides one call away in a non-serve helper, where
+// the per-file serve-timeout check cannot see it.
+#include "bad_reach_helper.hh"
+
+int
+pumpOnce(int fd)
+{
+    return static_cast<int>(proxyFlush(fd));
+}

@@ -1,0 +1,23 @@
+// Lint fixture: clean counterpart of bad_config_key.cc.  Registered
+// keys pass; a key assembled at runtime never matches the
+// single-literal getter shape and is skipped by construction (the
+// registry documents such families as prose).
+#include <string>
+
+struct Conf
+{
+    unsigned long getUint(const char *key, unsigned long dflt) const;
+    bool getBool(const char *key, bool dflt) const;
+};
+
+unsigned long
+readKnobs(const Conf &conf, const std::string &kind)
+{
+    unsigned long v = conf.getUint("seed", 12345);
+    if (conf.getBool("nup", false)) {
+        v += 1;
+    }
+    const std::string dynamic = "faults." + kind;
+    v += conf.getUint(dynamic.c_str(), 0);
+    return v;
+}

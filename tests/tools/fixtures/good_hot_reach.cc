@@ -1,0 +1,19 @@
+// Lint fixture: clean counterpart of bad_hot_reach.cc.  The hot
+// function touches preallocated storage only; the allocating helper
+// is reachable solely from a cold maintenance path.
+#include "good_reach_alloc.hh"
+
+#include <vector>
+
+// mopac: hot-path
+void
+pulse(std::vector<int> &v)
+{
+    v[0] += 1;
+}
+
+void
+coldRefill(std::vector<int> &v)
+{
+    coldGrow(v);
+}

@@ -1,0 +1,15 @@
+// Lint fixture helper: allocates, but nothing on a hot path ever
+// calls it -- reachability, not mere existence, is what hot-reach
+// keys on.
+#ifndef MOPAC_TESTS_TOOLS_FIXTURES_GOOD_REACH_ALLOC_HH
+#define MOPAC_TESTS_TOOLS_FIXTURES_GOOD_REACH_ALLOC_HH
+
+#include <vector>
+
+inline void
+coldGrow(std::vector<int> &v)
+{
+    v.push_back(1);
+}
+
+#endif // MOPAC_TESTS_TOOLS_FIXTURES_GOOD_REACH_ALLOC_HH

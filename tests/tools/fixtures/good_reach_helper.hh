@@ -1,0 +1,22 @@
+// Lint fixture helper: holds a raw blocking syscall that no
+// serve-scope code ever reaches -- reachability, not mere existence,
+// is what serve-reach keys on.
+#ifndef MOPAC_TESTS_TOOLS_FIXTURES_GOOD_REACH_HELPER_HH
+#define MOPAC_TESTS_TOOLS_FIXTURES_GOOD_REACH_HELPER_HH
+
+#include <unistd.h>
+
+inline long
+rawDrain(int fd)
+{
+    char b = 0;
+    return ::write(fd, &b, 1);
+}
+
+inline int
+safeCount(int n)
+{
+    return n + 1;
+}
+
+#endif // MOPAC_TESTS_TOOLS_FIXTURES_GOOD_REACH_HELPER_HH

@@ -1,0 +1,74 @@
+// Lint fixture: clean counterpart of bad_serial_reach.hh.  inner_ is
+// delegated to directly, pool_ through the range-for idiom, and the
+// stateless leaf says so with the annotation.
+#ifndef MOPAC_TESTS_TOOLS_FIXTURES_GOOD_SERIAL_REACH_HH
+#define MOPAC_TESTS_TOOLS_FIXTURES_GOOD_SERIAL_REACH_HH
+
+#include <array>
+#include <cstdint>
+
+struct Serializer;
+struct Deserializer;
+
+class CalmInner
+{
+  public:
+    void
+    saveState(Serializer &ser) const
+    {
+        (void)ser;
+        (void)count_;
+    }
+
+    void
+    loadState(Deserializer &des)
+    {
+        (void)des;
+        (void)count_;
+    }
+
+  private:
+    std::uint32_t count_ = 0;
+};
+
+/** Pure geometry: fixed at construction, nothing to snapshot. */
+// mopac: stateless
+class CalmLeaf
+{
+  public:
+    int value() const { return value_; }
+
+  private:
+    int value_ = 0;
+};
+
+class System
+{
+  public:
+    void
+    saveState(Serializer &ser) const
+    {
+        inner_.saveState(ser);
+        for (const CalmInner &p : pool_) {
+            p.saveState(ser);
+        }
+        (void)leaf_;
+    }
+
+    void
+    loadState(Deserializer &des)
+    {
+        inner_.loadState(des);
+        for (CalmInner &p : pool_) {
+            p.loadState(des);
+        }
+        (void)leaf_;
+    }
+
+  private:
+    CalmInner inner_;
+    std::array<CalmInner, 2> pool_;
+    CalmLeaf leaf_;
+};
+
+#endif // MOPAC_TESTS_TOOLS_FIXTURES_GOOD_SERIAL_REACH_HH

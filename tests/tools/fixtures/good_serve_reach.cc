@@ -1,0 +1,10 @@
+// Lint fixture: clean counterpart of bad_serve_reach.cc.  The serve
+// loop only ever reaches the syscall-free helper; the raw write in
+// the same header stays uncalled and therefore unflagged.
+#include "good_reach_helper.hh"
+
+int
+pumpIdle(int n)
+{
+    return safeCount(n);
+}

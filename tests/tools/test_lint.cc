@@ -217,6 +217,68 @@ TEST(MopacLint, HotAllocBadFixture)
         << res.output;
 }
 
+TEST(MopacLint, HotReachBadFixture)
+{
+    // The hot function is allocation-free; the push_back sits two
+    // calls away in the included helper.  Only the whole-program
+    // closure ties them together -- and the diagnostic names the
+    // full call chain.
+    const LintResult res =
+        runLint({"bad_hot_reach.cc", "bad_reach_alloc.hh"});
+    expectFindings(res, {{12, "hot-reach"}});
+    EXPECT_NE(res.output.find("step -> reachStage -> reachGrow"),
+              std::string::npos)
+        << res.output;
+    EXPECT_NE(res.output.find("reachable from a hot path"),
+              std::string::npos)
+        << res.output;
+}
+
+TEST(MopacLint, SerialReachBadFixture)
+{
+    // Two distinct audits: a snapshotting member merely *mentioned*
+    // (satisfying serial-drift) but never delegated to, and a class
+    // reachable from System's member-type graph that neither
+    // snapshots nor declares itself stateless.
+    const LintResult res = runLint({"bad_serial_reach.hh"});
+    expectFindings(res, {{35, "serial-reach"}, {64, "serial-reach"}});
+    EXPECT_NE(res.output.find("never delegated to"),
+              std::string::npos)
+        << res.output;
+    EXPECT_NE(res.output.find("System -> ReachLeaf"),
+              std::string::npos)
+        << res.output;
+}
+
+TEST(MopacLint, ServeReachBadFixture)
+{
+    // The serve-scope entry point is syscall-free; the raw write sits
+    // in a non-serve helper the per-file serve-timeout check never
+    // looks at.
+    const LintResult res =
+        runLint({"bad_serve_reach.cc", "bad_reach_helper.hh"});
+    expectFindings(res, {{13, "serve-reach"}});
+    EXPECT_NE(res.output.find("pumpOnce -> proxyFlush"),
+              std::string::npos)
+        << res.output;
+    EXPECT_NE(res.output.find("serve loop can reach"),
+              std::string::npos)
+        << res.output;
+}
+
+TEST(MopacLint, ConfigKeyBadFixture)
+{
+    // "seed" is documented in the repo-root CONFIG_KEYS.md; the other
+    // key is not.
+    const LintResult res = runLint({"bad_config_key.cc"});
+    expectFindings(res, {{13, "config-key"}});
+    EXPECT_NE(res.output.find("totally.bogus"), std::string::npos)
+        << res.output;
+    EXPECT_NE(res.output.find("not documented in CONFIG_KEYS.md"),
+              std::string::npos)
+        << res.output;
+}
+
 TEST(MopacLint, GoodFixturesAreClean)
 {
     const LintResult res = runLint({
@@ -233,6 +295,12 @@ TEST(MopacLint, GoodFixturesAreClean)
         "good_serve_timeout.cc",
         "good_io_errno.cc",
         "good_hot_path.hh",
+        "good_hot_reach.cc",
+        "good_reach_alloc.hh",
+        "good_serial_reach.hh",
+        "good_serve_reach.cc",
+        "good_reach_helper.hh",
+        "good_config_key.cc",
     });
     EXPECT_EQ(res.exit_code, 0) << res.output;
     EXPECT_TRUE(res.findings.empty()) << res.output;
@@ -246,11 +314,11 @@ TEST(MopacLint, AllowCommentSuppressesFindings)
     EXPECT_TRUE(res.findings.empty()) << res.output;
 }
 
-TEST(MopacLint, AllBadFixturesTogether)
+/** Every bad fixture, for the combined and parallel-order tests. */
+const std::vector<std::string> &
+allBadFixtures()
 {
-    // One combined run: every check fires at least once and the exit
-    // code stays 1 (findings), not 2 (usage/IO error).
-    const LintResult res = runLint({
+    static const std::vector<std::string> kAll = {
         "bad_det_rand.cc",
         "bad_det_time.cc",
         "bad_det_clock.cc",
@@ -264,20 +332,46 @@ TEST(MopacLint, AllBadFixturesTogether)
         "bad_serve_timeout.cc",
         "bad_io_errno.cc",
         "bad_hot_path.cc",
-    });
+        "bad_hot_reach.cc",
+        "bad_reach_alloc.hh",
+        "bad_serial_reach.hh",
+        "bad_serve_reach.cc",
+        "bad_reach_helper.hh",
+        "bad_config_key.cc",
+    };
+    return kAll;
+}
+
+TEST(MopacLint, AllBadFixturesTogether)
+{
+    // One combined run: every check fires at least once and the exit
+    // code stays 1 (findings), not 2 (usage/IO error).
+    const LintResult res = runLint(allBadFixtures());
     EXPECT_EQ(res.exit_code, 1) << res.output;
-    EXPECT_EQ(res.findings.size(), 25u) << res.output;
+    EXPECT_EQ(res.findings.size(), 30u) << res.output;
     for (const char *check :
          {"det-rand", "det-time", "det-clock", "det-rng",
           "det-ptr-key", "det-unordered", "serial-drift", "rng-seed",
           "next-event", "guard", "serve-timeout", "io-errno",
-          "hot-alloc"}) {
+          "hot-alloc", "hot-reach", "serial-reach", "serve-reach",
+          "config-key"}) {
         bool seen = false;
         for (const LintFinding &f : res.findings) {
             seen = seen || f.check == check;
         }
         EXPECT_TRUE(seen) << "check never fired: " << check;
     }
+}
+
+TEST(MopacLint, ParallelJobsKeepFindingOrder)
+{
+    // Findings are sorted after the parallel phases, so the report is
+    // byte-identical at any --jobs count.
+    const LintResult serial = runLint(allBadFixtures(), "--jobs 1");
+    const LintResult threaded = runLint(allBadFixtures(), "--jobs 4");
+    EXPECT_EQ(serial.exit_code, 1) << serial.output;
+    EXPECT_EQ(threaded.exit_code, 1) << threaded.output;
+    EXPECT_EQ(serial.output, threaded.output);
 }
 
 TEST(MopacLint, ListChecksEnumeratesEveryCheck)
@@ -288,7 +382,8 @@ TEST(MopacLint, ListChecksEnumeratesEveryCheck)
          {"det-rand", "det-time", "det-clock", "det-rng",
           "det-ptr-key", "det-unordered", "serial-drift", "rng-seed",
           "next-event", "guard", "serve-timeout", "io-errno",
-          "hot-alloc"}) {
+          "hot-alloc", "hot-reach", "serial-reach", "serve-reach",
+          "config-key"}) {
         EXPECT_NE(res.output.find(check), std::string::npos)
             << "missing from --list-checks: " << check;
     }

@@ -1,0 +1,41 @@
+#!/bin/sh
+# Diff the check registry documented in DESIGN.md section 6 against
+# what the mopac_lint binary actually implements, so neither can go
+# stale without failing tier-1.
+#
+# Usage: lint_docs_check.sh <mopac_lint-binary> <DESIGN.md>
+set -eu
+
+if [ "$#" -ne 2 ]; then
+    echo "usage: $0 <mopac_lint-binary> <DESIGN.md>" >&2
+    exit 2
+fi
+
+lint_bin=$1
+design_md=$2
+
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+
+"$lint_bin" --list-checks | sort > "$tmpdir/impl.txt"
+
+# Documented checks: the first `backticked-name` of every list bullet
+# between the lint-checks markers.
+sed -n '/<!-- lint-checks:begin -->/,/<!-- lint-checks:end -->/p' \
+    "$design_md" |
+    sed -n 's/^[[:space:]]*-[[:space:]]*`\([a-z-]*\)`.*/\1/p' |
+    sort > "$tmpdir/docs.txt"
+
+if [ ! -s "$tmpdir/docs.txt" ]; then
+    echo "lint_docs_check: no lint-checks block found in $design_md" >&2
+    exit 1
+fi
+
+if ! diff -u "$tmpdir/docs.txt" "$tmpdir/impl.txt"; then
+    echo "lint_docs_check: DESIGN.md section 6 and" \
+         "'mopac_lint --list-checks' disagree (left: docs," \
+         "right: binary)" >&2
+    exit 1
+fi
+
+echo "lint_docs_check: $(wc -l < "$tmpdir/impl.txt") checks documented"
